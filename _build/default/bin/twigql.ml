@@ -1,0 +1,214 @@
+(* twigql — command-line twig query processor.
+
+     twigql query   [SOURCE] [-s RP] 'XPATH'   run a query
+     twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
+     twigql info    [SOURCE]                   document / catalog / index stats
+     twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
+
+   SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE
+   (default: --xmark 0.1). *)
+
+open Twigmatch
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Source selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Load an XML file.")
+
+let xmark_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "xmark" ] ~docv:"SCALE" ~doc:"Generate an XMark-like dataset at SCALE.")
+
+let dblp_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dblp" ] ~docv:"SCALE" ~doc:"Generate a DBLP-like dataset at SCALE.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Dataset generator seed.")
+
+let snap_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE" ~doc:"Load a database snapshot (see the snapshot command).")
+
+let load_doc file xmark dblp seed =
+  match (file, xmark, dblp) with
+  | Some f, _, _ ->
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Tm_xml.Xml_parser.parse s
+  | None, Some scale, _ -> Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed; scale }
+  | None, None, Some scale -> Tm_datasets.Dblp_gen.generate { Tm_datasets.Dblp_gen.seed; scale }
+  | None, None, None ->
+    Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed; scale = 0.1 }
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_conv =
+  let parse s =
+    match Database.strategy_of_string s with
+    | st -> Ok st
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Database.strategy_name s))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Database.RP
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Indexing strategy: RP, DP, Edge, DG+Edge, IF+Edge, ASR, JI.")
+
+let xpath_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH")
+
+let load_db snap file xmark dblp seed =
+  match snap with
+  | Some path -> Persist.load path
+  | None -> Database.create (load_doc file xmark dblp seed)
+
+let run_query snap file xmark dblp seed strategy auto xpath =
+  let db = load_db snap file xmark dblp seed in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let t0 = Monotonic_clock.now () in
+  let r, strategy, reason =
+    if auto then Executor.run_auto db twig
+    else (Executor.run db strategy twig, strategy, "as requested")
+  in
+  let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+  Printf.printf "%d results in %.2f ms under %s (%s)\n" (List.length r.Executor.ids) ms
+    (Database.strategy_name strategy) reason;
+  Printf.printf "node ids: %s\n"
+    (String.concat ", " (List.map string_of_int r.Executor.ids));
+  Format.printf "stats: %a@." Tm_exec.Stats.pp r.Executor.stats
+
+let auto_arg =
+  Arg.(value & flag & info [ "auto" ] ~doc:"Let the cost-based optimizer choose RP vs DP.")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a twig query under one strategy (or --auto)")
+    Term.(
+      const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
+      $ auto_arg $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_explain file xmark dblp seed strategy auto xpath =
+  let doc = load_doc file xmark dblp seed in
+  let db = Database.create doc in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let strategy, reason =
+    if auto then Executor.choose_plan db twig else (strategy, "as requested")
+  in
+  print_string (Executor.explain db strategy twig);
+  Printf.printf "chosen: %s\n" reason
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Describe the physical plan for a query")
+    Term.(
+      const run_explain $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg $ auto_arg
+      $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_compare snap file xmark dblp seed xpath =
+  let db = load_db snap file xmark dblp seed in
+  let doc = db.Database.doc in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let expected = Tm_query.Naive.query doc twig in
+  Printf.printf "oracle (naive matcher): %d results\n" (List.length expected);
+  List.iter
+    (fun strategy ->
+      let t0 = Monotonic_clock.now () in
+      match Executor.run db strategy twig with
+      | r ->
+        let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+        let ok = if r.Executor.ids = expected then "ok" else "MISMATCH" in
+        Printf.printf "%-8s %4d results  %8.2f ms  %s\n" (Database.strategy_name strategy)
+          (List.length r.Executor.ids) ms ok
+      | exception Tm_index.Family.Unsupported m ->
+        Printf.printf "%-8s unsupported: %s\n" (Database.strategy_name strategy) m)
+    Database.all_strategies
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run a twig query under every strategy and check the answers")
+    Term.(const run_compare $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_info snap file xmark dblp seed =
+  let db = load_db snap file xmark dblp seed in
+  let els, vals, depth, paths = Database.document_stats db in
+  Printf.printf "elements/attributes: %d\nvalues: %d\ndepth: %d\ndistinct schema paths: %d\n" els
+    vals depth paths;
+  Printf.printf "\nindex space (bytes):\n";
+  List.iter
+    (fun s ->
+      Printf.printf "  %-8s %10d\n" (Database.strategy_name s)
+        (Database.strategy_size_bytes db s))
+    Database.all_strategies
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show document, catalog and index statistics")
+    Term.(const run_info $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let out_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let run_generate xmark dblp seed out =
+  let doc = load_doc None xmark dblp seed in
+  let oc = open_out_bin out in
+  output_string oc (Tm_xml.Xml_tree.to_string doc);
+  close_out oc;
+  Printf.printf "wrote %s (%d element nodes)\n" out (Tm_xml.Xml_tree.element_count doc)
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a dataset and write it as XML")
+    Term.(const run_generate $ xmark_arg $ dblp_arg $ seed_arg $ out_arg)
+
+let run_snapshot file xmark dblp seed out =
+  let doc = load_doc file xmark dblp seed in
+  let db = Database.create doc in
+  Persist.save db out;
+  Printf.printf "snapshot written to %s\n" out
+
+let snapshot_cmd =
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Build a database and save it as a snapshot")
+    Term.(const run_snapshot $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "twigql" ~version:"1.0.0"
+      ~doc:"XML twig matching with relational index structures (Chen et al., ICDE 2005)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; explain_cmd; compare_cmd; info_cmd; generate_cmd; snapshot_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_analysis.ml: Array Database Executor Int64 List Monotonic_clock Printf Sys Tm_datasets Tm_exec Tm_query Tm_xml Twigmatch

@@ -1,0 +1,1 @@
+examples/bibliography_search.ml: Array Database Executor Hashtbl List Option Printf Sys Tm_datasets Tm_exec Tm_query Tm_xml Twigmatch

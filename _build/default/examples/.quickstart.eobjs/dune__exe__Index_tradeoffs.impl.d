@@ -1,0 +1,1 @@
+examples/index_tradeoffs.ml: Array Database Executor Hashtbl List Printf String Sys Tm_datasets Tm_exec Tm_index Tm_query Tm_xml Twigmatch

@@ -1,0 +1,1 @@
+examples/live_updates.ml: Database Executor List Option Printf String Tm_query Tm_xml Twigmatch Updates

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Executor Format List Printf String Tm_exec Tm_query Tm_xml Twigmatch

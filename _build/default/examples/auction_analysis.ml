@@ -1,0 +1,56 @@
+(* Auction-site analysis: twig queries over the XMark-like dataset.
+
+     dune exec examples/auction_analysis.exe -- [scale]
+
+   The scenario from the paper's introduction: ad hoc, exploratory
+   queries over a deep auction-site document, where the query workload
+   is not known in advance. Shows how the same twig runs under
+   different strategies and why branching + recursion favor
+   ROOTPATHS/DATAPATHS. *)
+
+open Twigmatch
+
+let queries =
+  [
+    ( "auctions with a 75.00 increase posted by a known person",
+      "/site[people/person/name = 'Hagen Artosi']/open_auctions/open_auction[@increase = '75.00']"
+    );
+    ( "times of auctions annotated by person22082",
+      "/site/open_auctions/open_auction[annotation/author/@person = 'person22082']/time" );
+    ( "items anywhere with quantity 2 located in the United States",
+      "/site//item[quantity = '2'][location = 'United States']" );
+    ( "mail dates of items in the rare category",
+      "/site//item[incategory/category = 'category440']/mailbox/mail/date" );
+    ("all namerica item quantities of 1", "/site/regions/namerica/item/quantity[. = '1']");
+  ]
+
+let time_ns f =
+  let t0 = Monotonic_clock.now () in
+  let r = f () in
+  (r, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6)
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.25
+  in
+  Printf.printf "generating XMark-like data (scale %.2f)...\n%!" scale;
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 42; scale } in
+  Printf.printf "document: %d elements, depth %d\n%!"
+    (Tm_xml.Xml_tree.element_count doc)
+    (Tm_xml.Xml_tree.depth doc);
+  let db = Database.create doc in
+  List.iter
+    (fun (label, xpath) ->
+      Printf.printf "\n-- %s\n   %s\n" label xpath;
+      let twig = Tm_query.Xpath_parser.parse xpath in
+      List.iter
+        (fun strategy ->
+          let r, ms = time_ns (fun () -> Executor.run db strategy twig) in
+          Printf.printf "   %-8s %4d results in %7.2f ms  (%d lookups, %d entries, %d joins)\n"
+            (Database.strategy_name strategy)
+            (List.length r.Executor.ids)
+            ms r.Executor.stats.Tm_exec.Stats.index_lookups
+            r.Executor.stats.Tm_exec.Stats.entries_scanned
+            r.Executor.stats.Tm_exec.Stats.join_steps)
+        Database.[ RP; DP; Edge; DG_edge; IF_edge ])
+    queries

@@ -1,0 +1,68 @@
+(* Bibliography search: shallow-document queries over the DBLP-like
+   dataset, with result rendering.
+
+     dune exec examples/bibliography_search.exe -- [scale]
+
+   Demonstrates: querying a forest of documents (each record is its
+   own root, as the paper's Q1d-Q3d assume), mapping result node ids
+   back to tree nodes, and rendering matched records. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+
+let () =
+  let scale = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.05 in
+  Printf.printf "generating DBLP-like data (scale %.2f)...\n%!" scale;
+  let doc = Tm_datasets.Dblp_gen.generate { Tm_datasets.Dblp_gen.seed = 7; scale } in
+  let db = Database.create ~strategies:Database.[ RP; DP ] doc in
+
+  (* Index of node id -> record root, for rendering hits. *)
+  let record_of_id = Hashtbl.create 1024 in
+  Array.iter
+    (fun root ->
+      let rec walk n =
+        if not (T.is_value n) then begin
+          Hashtbl.replace record_of_id n.T.id root;
+          Array.iter walk n.T.children
+        end
+      in
+      walk root)
+    doc.T.roots;
+
+  let render_record root =
+    let field name =
+      Array.fold_left
+        (fun acc c ->
+          match (acc, c.T.label) with
+          | None, T.Elem t when t = name -> T.leaf_value c
+          | acc, _ -> acc)
+        None root.T.children
+    in
+    Printf.sprintf "[%s] %s (%s, %s)" (T.label_name root)
+      (Option.value ~default:"?" (field "title"))
+      (Option.value ~default:"?" (field "booktitle"))
+      (Option.value ~default:"?" (field "year"))
+  in
+
+  let search label xpath =
+    Printf.printf "\n-- %s\n   %s\n" label xpath;
+    let twig = Tm_query.Xpath_parser.parse xpath in
+    let r = Executor.run db Database.RP twig in
+    Printf.printf "   %d matches (ROOTPATHS: %d index lookups)\n"
+      (List.length r.Executor.ids)
+      r.Executor.stats.Tm_exec.Stats.index_lookups;
+    List.iteri
+      (fun i id ->
+        if i < 5 then
+          match Hashtbl.find_opt record_of_id id with
+          | Some root -> Printf.printf "   %s\n" (render_record root)
+          | None -> Printf.printf "   (node %d)\n" id)
+      r.Executor.ids;
+    if List.length r.Executor.ids > 5 then Printf.printf "   ...\n"
+  in
+
+  search "the 1950 paper" "/inproceedings/year[. = '1950']";
+  search "papers by any Gehrke" "/inproceedings[author = 'j. gehrke']";
+  search "VLDB papers from 1998" "/inproceedings[booktitle = 'VLDB']/year[. = '1998']";
+  search "theses anywhere" "//phdthesis/school";
+  search "anything published in 1979" "//year[. = '1979']"

@@ -1,0 +1,71 @@
+(* Index space/functionality tradeoffs (paper Section 4).
+
+     dune exec examples/index_tradeoffs.exe -- [scale]
+
+   Builds ROOTPATHS/DATAPATHS under each compression regime and shows
+   what each one costs and what it can still answer:
+
+   - differential IdList encoding (lossless, Section 4.1);
+   - schema-path dictionary encoding (Section 4.2 - smaller, but a
+     query with '//' is rejected);
+   - HeadId pruning (Section 4.3 - much smaller DATAPATHS, but
+     index-nested-loop probes only work at retained branch points). *)
+
+open Twigmatch
+
+let check_recursive db =
+  let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']" in
+  match Executor.run db Database.RP twig with
+  | r -> Printf.sprintf "'//' ok (%d results)" (List.length r.Executor.ids)
+  | exception Tm_index.Family.Unsupported _ -> "'//' REJECTED"
+
+let () =
+  let scale = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.25 in
+  Printf.printf "generating XMark-like data (scale %.2f)...\n%!" scale;
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 42; scale } in
+  let strategies = Database.[ RP; DP ] in
+
+  let branch_ids =
+    (* heads the workload can use for INLJ probes: site, item, auction *)
+    let set = Hashtbl.create 1024 in
+    Tm_xml.Xml_tree.iter doc (fun n ->
+        match n.Tm_xml.Xml_tree.label with
+        | Tm_xml.Xml_tree.Elem ("site" | "item" | "open_auction") ->
+          Hashtbl.replace set n.Tm_xml.Xml_tree.id ()
+        | _ -> ());
+    set
+  in
+
+  let variants =
+    [
+      ("raw idlists (no 4.1)", fun () -> Database.create ~strategies ~idlist_codec:`Raw doc);
+      ("delta idlists (default)", fun () -> Database.create ~strategies doc);
+      ( "schema-compressed (4.2)",
+        fun () -> Database.create ~strategies ~schema_compressed:true doc );
+      ( "headid-pruned (4.3)",
+        fun () -> Database.create ~strategies ~head_filter:(Hashtbl.mem branch_ids) doc );
+    ]
+  in
+  Printf.printf "%-26s | %10s | %10s | %s\n" "variant" "RP bytes" "DP bytes" "functionality";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun (name, build) ->
+      let db = build () in
+      Printf.printf "%-26s | %10d | %10d | %s\n" name
+        (Database.strategy_size_bytes db Database.RP)
+        (Database.strategy_size_bytes db Database.DP)
+        (check_recursive db))
+    variants;
+
+  (* The pruned DATAPATHS still answers everything through IdLists; a
+     twig whose branch point was retained keeps its INLJ plan. *)
+  let db = Database.create ~strategies ~head_filter:(Hashtbl.mem branch_ids) doc in
+  let twig =
+    Tm_query.Xpath_parser.parse
+      "/site/open_auctions/open_auction[annotation/author/@person = 'person22082']/time"
+  in
+  let r = Executor.run db Database.DP twig in
+  Printf.printf
+    "\npruned DATAPATHS, Q10x-style query: %d results, %d INLJ probes (branch point retained)\n"
+    (List.length r.Executor.ids)
+    r.Executor.stats.Tm_exec.Stats.inlj_probes

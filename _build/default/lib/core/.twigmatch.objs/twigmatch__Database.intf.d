@@ -1,0 +1,1 @@
+lib/core/database.mli: Asr Buffer_pool Dictionary Edge_table Family Join_index Pager Schema_catalog Tm_index Tm_storage Tm_xml Tm_xmldb

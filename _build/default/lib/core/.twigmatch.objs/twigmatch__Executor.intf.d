@@ -1,0 +1,1 @@
+lib/core/executor.mli: Database Tm_exec Tm_query

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Database Fun Marshal Printf String

@@ -1,0 +1,1 @@
+lib/core/updates.ml: Array Asr Database Dictionary Edge_table Family Join_index List Option Printf Schema_catalog Schema_path Shred Tm_index Tm_xml Tm_xmldb

@@ -1,0 +1,1 @@
+lib/core/updates.mli: Database Tm_xml

@@ -1,0 +1,133 @@
+(** A twig-indexed XML database: one document (forest), one shared
+    storage substrate, and the seven indexing strategies of the paper's
+    evaluation built side by side over it.
+
+    Strategies (paper Section 5.1.2):
+    - [RP]      — ROOTPATHS index, merge/hash-join plans
+    - [DP]      — DATAPATHS index, index-nested-loop-join plans
+    - [Edge]    — Edge table with value / forward-link / backward-link indices
+    - [DG_edge] — simulated DataGuide for structure + Edge for values/climbs
+    - [IF_edge] — simulated Index Fabric for (path, value) + Edge for climbs
+    - [Asr]     — Access Support Relations (one relation per rooted schema path)
+    - [Ji]      — Join Indices (two B+-trees per subpath schema path) *)
+
+open Tm_storage
+open Tm_xmldb
+open Tm_index
+
+type strategy = RP | DP | Edge | DG_edge | IF_edge | Asr | Ji
+
+let all_strategies = [ RP; DP; Edge; DG_edge; IF_edge; Asr; Ji ]
+
+let strategy_name = function
+  | RP -> "RP"
+  | DP -> "DP"
+  | Edge -> "Edge"
+  | DG_edge -> "DG+Edge"
+  | IF_edge -> "IF+Edge"
+  | Asr -> "ASR"
+  | Ji -> "JI"
+
+let strategy_of_string = function
+  | "RP" | "rp" | "rootpaths" -> RP
+  | "DP" | "dp" | "datapaths" -> DP
+  | "Edge" | "edge" -> Edge
+  | "DG+Edge" | "dg" | "dataguide" -> DG_edge
+  | "IF+Edge" | "if" | "index-fabric" -> IF_edge
+  | "ASR" | "asr" -> Asr
+  | "JI" | "ji" -> Ji
+  | s -> invalid_arg ("unknown strategy: " ^ s)
+
+type t = {
+  doc : Tm_xml.Xml_tree.document;
+  dict : Dictionary.t;
+  catalog : Schema_catalog.t;
+  pager : Pager.t;
+  pool : Buffer_pool.t;
+  edge : Edge_table.t;
+  rootpaths : Family.t option;
+  datapaths : Family.t option;
+  dataguide : Family.t option;
+  index_fabric : Family.t option;
+  asr_rels : Asr.t option;
+  ji : Join_index.t option;
+  mutable next_id : int;  (** next node id for subtree insertion *)
+}
+
+(** Build a database over [doc].
+
+    @param strategies which index sets to materialize (default: all).
+      The Edge table is always built — it is the base storage format
+      (paper Section 5.1) and supplies the planner's value-frequency
+      statistics.
+    @param pool_capacity buffer-pool frames (default 4096, ~32 MB of
+      8 KiB pages — scaled-down analogue of the paper's 40 MB pool).
+    @param idlist_codec [`Delta] differential IdList encoding (default)
+      or [`Raw] (Section 4.1 ablation) for ROOTPATHS/DATAPATHS.
+    @param schema_compressed use the Section 4.2 dictionary-encoded
+      schema-path keys for ROOTPATHS/DATAPATHS (disables [//]).
+    @param head_filter Section 4.3 HeadId pruning predicate for
+      DATAPATHS. *)
+let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 8192)
+    ?(idlist_codec = `Delta) ?(schema_compressed = false) ?head_filter doc =
+  let pager = Pager.create ~page_size () in
+  let pool = Buffer_pool.create ~capacity:pool_capacity pager in
+  let dict = Dictionary.create () in
+  let catalog = Schema_catalog.build dict doc in
+  let edge = Edge_table.build pool dict doc in
+  let want s = List.mem s strategies in
+  let build_family config =
+    Family.build ~idlist_codec ?head_filter ~pool ~dict ~catalog config doc
+  in
+  let rp_config = if schema_compressed then Family.rootpaths_schema_compressed else Family.rootpaths in
+  let dp_config = if schema_compressed then Family.datapaths_schema_compressed else Family.datapaths in
+  {
+    doc;
+    dict;
+    catalog;
+    pager;
+    pool;
+    edge;
+    rootpaths = (if want RP then Some (build_family rp_config) else None);
+    datapaths = (if want DP then Some (build_family dp_config) else None);
+    (* IF+Edge plans fall back to the DataGuide for structure-only
+       branches (the paper's "best of several plans" for Index Fabric),
+       so requesting IF_edge also materializes the DataGuide. *)
+    dataguide =
+      (if want DG_edge || want IF_edge then Some (build_family Family.dataguide) else None);
+    index_fabric = (if want IF_edge then Some (build_family Family.index_fabric) else None);
+    asr_rels = (if want Asr then Some (Asr.build ~pool ~dict ~catalog doc) else None);
+    ji = (if want Ji then Some (Join_index.build ~pool ~dict ~catalog doc) else None);
+    next_id = doc.Tm_xml.Xml_tree.node_count;
+  }
+
+let missing name = failwith (name ^ " index was not built for this database")
+
+let rootpaths t = match t.rootpaths with Some x -> x | None -> missing "ROOTPATHS"
+let datapaths t = match t.datapaths with Some x -> x | None -> missing "DATAPATHS"
+let dataguide t = match t.dataguide with Some x -> x | None -> missing "DataGuide"
+let index_fabric t = match t.index_fabric with Some x -> x | None -> missing "IndexFabric"
+let asr_rels t = match t.asr_rels with Some x -> x | None -> missing "ASR"
+let ji t = match t.ji with Some x -> x | None -> missing "JoinIndex"
+
+(** Index space attributable to a strategy, in bytes (Figure 9's
+    accounting: Edge-based strategies include the Edge table and its
+    indices; RP/DP/ASR/JI are the index structures alone). *)
+let strategy_size_bytes t = function
+  | RP -> Family.size_bytes (rootpaths t)
+  | DP -> Family.size_bytes (datapaths t)
+  | Edge -> Edge_table.size_bytes t.edge
+  | DG_edge -> Edge_table.size_bytes t.edge + Family.size_bytes (dataguide t)
+  | IF_edge -> Edge_table.size_bytes t.edge + Family.size_bytes (index_fabric t)
+  | Asr -> Asr.size_bytes (asr_rels t)
+  | Ji -> Join_index.size_bytes (ji t)
+
+(** Simulate a cold cache (drops every buffered page). *)
+let drop_caches t = Buffer_pool.clear t.pool
+
+let document_stats t =
+  let module T = Tm_xml.Xml_tree in
+  ( T.element_count t.doc,
+    T.value_count t.doc,
+    T.depth t.doc,
+    Schema_catalog.path_count t.catalog )

@@ -1,0 +1,71 @@
+(** A twig-indexed XML database: one document, one shared storage
+    substrate, and the seven indexing strategies of the paper's
+    evaluation (Section 5.1.2) built side by side. *)
+
+open Tm_storage
+open Tm_xmldb
+open Tm_index
+
+type strategy =
+  | RP  (** ROOTPATHS: merge/hash-join plans *)
+  | DP  (** DATAPATHS: index-nested-loop-join plans *)
+  | Edge  (** Edge table with value / forward / backward link indices *)
+  | DG_edge  (** simulated DataGuide + Edge *)
+  | IF_edge  (** simulated Index Fabric + Edge *)
+  | Asr  (** Access Support Relations *)
+  | Ji  (** Join Indices *)
+
+val all_strategies : strategy list
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> strategy
+(** @raise Invalid_argument on an unknown name. *)
+
+type t = {
+  doc : Tm_xml.Xml_tree.document;
+  dict : Dictionary.t;
+  catalog : Schema_catalog.t;
+  pager : Pager.t;
+  pool : Buffer_pool.t;
+  edge : Edge_table.t;
+  rootpaths : Family.t option;
+  datapaths : Family.t option;
+  dataguide : Family.t option;
+  index_fabric : Family.t option;
+  asr_rels : Asr.t option;
+  ji : Join_index.t option;
+  mutable next_id : int;  (** next fresh node id (see {!Updates}) *)
+}
+
+val create :
+  ?strategies:strategy list ->
+  ?pool_capacity:int ->
+  ?page_size:int ->
+  ?idlist_codec:[ `Delta | `Raw ] ->
+  ?schema_compressed:bool ->
+  ?head_filter:(int -> bool) ->
+  Tm_xml.Xml_tree.document ->
+  t
+(** Build a database. [strategies] selects which index sets to
+    materialize (default all; the Edge table is always built — it is
+    the base storage format and supplies planner statistics).
+    [idlist_codec], [schema_compressed] and [head_filter] are the
+    Section 4 compression options for ROOTPATHS/DATAPATHS. *)
+
+val rootpaths : t -> Family.t
+(** @raise Failure if not built; likewise below. *)
+
+val datapaths : t -> Family.t
+val dataguide : t -> Family.t
+val index_fabric : t -> Family.t
+val asr_rels : t -> Asr.t
+val ji : t -> Join_index.t
+
+val strategy_size_bytes : t -> strategy -> int
+(** Index space per strategy, with Figure 9's accounting. *)
+
+val drop_caches : t -> unit
+(** Simulate a cold cache. *)
+
+val document_stats : t -> int * int * int * int
+(** (elements, values, depth, distinct schema paths). *)

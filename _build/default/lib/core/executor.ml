@@ -1,0 +1,992 @@
+(** Query execution: one physical plan template per indexing strategy,
+    mirroring Section 5.1.2 of the paper.
+
+    Every plan follows the same outline — cover the twig with its
+    root-to-leaf linear paths (Section 2.3), evaluate each path to a
+    binding relation over the twig's branch points plus the output
+    node, and stitch the relations together with relational joins —
+    but the strategies differ in exactly the ways the paper measures:
+
+    - {b RP} (ROOTPATHS): one index lookup per linear path ([//] heads
+      become prefix scans on the reversed schema path); branch-point
+      ids come straight out of the stored IdLists; stitching uses
+      sort-merge joins.
+    - {b DP} (DATAPATHS): evaluates the most selective path as a
+      FreeIndex lookup (head = virtual root), then drives
+      index-nested-loop joins, probing the BoundIndex with each branch
+      id (Section 3.3).
+    - {b Edge}: value-index lookup at the leaf, then one join per step
+      along the path (backward-link climbs; forward expansion for
+      structure-only paths).
+    - {b DG+Edge}: DataGuide lookup for structure, value index for the
+      predicate, a join to intersect them, then backward-link climbs
+      to reach the branch point.
+    - {b IF+Edge}: like DG+Edge, but a single Index Fabric lookup
+      serves (rooted path, value) pairs.
+    - {b ASR}: one relation per rooted schema path; a [//] pattern
+      visits one structure per matching path; tuples carry all ids, so
+      no climbing is needed.
+    - {b JI}: join-index pairs per subpath; intermediate ids require
+      one backward/forward lookup per needed position, and [//]
+      patterns visit one pair per matching subpath. *)
+
+open Tm_xmldb
+open Tm_index
+open Tm_query
+open Tm_exec
+
+exception Unknown_tag
+(** A query tag absent from the data; the query answer is empty. *)
+
+type result = { ids : int list; stats : Stats.t }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled linear paths                                               *)
+(* ------------------------------------------------------------------ *)
+
+type cpath = {
+  pattern : Decompose.tag_pattern;  (** (axis, tag id) per step, root-anchored *)
+  uids : int array;  (** twig uid per step *)
+  value : string option;  (** equality predicate at the leaf *)
+  range : Twig.range option;  (** inequality predicate at the leaf *)
+  needed_idx : int list;  (** step indices bound into the relation, ascending *)
+}
+
+(* Twig range -> Family/Edge bound pairs. *)
+let vbounds (r : Twig.range) =
+  ( Option.map (fun (b : Twig.bound) -> (b.Twig.bval, b.Twig.binc)) r.Twig.rlo,
+    Option.map (fun (b : Twig.bound) -> (b.Twig.bval, b.Twig.binc)) r.Twig.rhi )
+
+let columns_of cp = Array.of_list (List.map (fun i -> cp.uids.(i)) cp.needed_idx)
+
+let compile (db : Database.t) twig =
+  let branch_uids = List.map (fun n -> n.Twig.uid) (Twig.branch_nodes twig) in
+  let out_uid = (Twig.output_node twig).Twig.uid in
+  let keep = out_uid :: branch_uids in
+  Decompose.linear_paths twig
+  |> List.map (fun (l : Decompose.linear) ->
+         let arr = Array.of_list l.Decompose.steps in
+         let pattern =
+           Array.map
+             (fun (s : Decompose.step) ->
+               if String.equal s.Decompose.name "*" then (s.Decompose.axis, Decompose.wildcard)
+               else
+                 match Dictionary.find db.Database.dict s.Decompose.name with
+                 | Some t -> (s.Decompose.axis, t)
+                 | None -> raise Unknown_tag)
+             arr
+         in
+         let uids = Array.map (fun (s : Decompose.step) -> s.Decompose.uid) arr in
+         let needed_idx =
+           List.init (Array.length arr) Fun.id
+           |> List.filter (fun i -> List.mem uids.(i) keep)
+         in
+         let needed_idx = if needed_idx = [] then [ Array.length arr - 1 ] else needed_idx in
+         { pattern; uids; value = l.Decompose.value; range = l.Decompose.range; needed_idx })
+
+(* Rows from index hits: [positions] maps pattern step -> schema
+   position; [id_at] maps schema position -> data node id. *)
+let rows_of_match cp ~id_at positions =
+  Array.of_list (List.map (fun i -> id_at positions.(i)) cp.needed_idx)
+
+let relation_of_rows cp rows =
+  Relation.distinct (Relation.create (columns_of cp) rows)
+
+(* Schema probe for a root-anchored pattern. *)
+let schema_probe_of pattern =
+  if Decompose.is_pcsubpath pattern && fst pattern.(0) = Twig.Child then
+    Family.Exact (Schema_path.of_list (Array.to_list (Array.map snd pattern)))
+  else Family.Suffix (Schema_path.of_list (Array.to_list (Decompose.child_suffix pattern)))
+
+(* ------------------------------------------------------------------ *)
+(* Shared join pipeline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let join_all ~(stats : Stats.t) ~kind relations =
+  match relations with
+  | [] -> invalid_arg "join_all: no relations"
+  | r :: rest ->
+    List.fold_left
+      (fun acc r ->
+        stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+        let on_result () = stats.Stats.rows_produced <- stats.Stats.rows_produced + 1 in
+        match kind with
+        | `Merge -> Relation.merge_join ~on_result acc r
+        | `Hash -> Relation.hash_join ~on_result acc r)
+      r rest
+
+let finish ~stats ~out_uid relations =
+  let joined = join_all ~stats ~kind:`Hash relations in
+  let ids = Relation.column_values joined out_uid in
+  { ids; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity estimation (used by DP and JI to pick the driver path)  *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_matches catalog (pattern : Decompose.tag_pattern) =
+  Schema_catalog.entries catalog
+  |> List.filter_map (fun (e : Schema_catalog.entry) ->
+         match Decompose.match_all pattern (Array.of_list (Schema_path.to_list e.Schema_catalog.path)) with
+         | [] -> None
+         | positions -> Some (e, positions))
+
+let estimate (db : Database.t) cp =
+  let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
+  match (cp.value, cp.range) with
+  | Some v, _ when leaf_tag <> Decompose.wildcard ->
+    Edge_table.value_cardinality db.Database.edge ~tag:leaf_tag ~value:v
+  | None, Some r when leaf_tag <> Decompose.wildcard ->
+    let lo, hi = vbounds r in
+    Edge_table.range_cardinality db.Database.edge ~tag:leaf_tag ~lo ~hi
+  | _ ->
+    List.fold_left
+      (fun acc ((e : Schema_catalog.entry), _) -> acc + e.Schema_catalog.instance_count)
+      0
+      (catalog_matches db.Database.catalog cp.pattern)
+
+(* ------------------------------------------------------------------ *)
+(* ROOTPATHS / DATAPATHS free evaluation of a rooted linear path       *)
+(* ------------------------------------------------------------------ *)
+
+(* [head_offset]: 0 for rooted rows (idlist = [i1..ik]); used with
+   DATAPATHS head rows where idlist excludes the head. *)
+let eval_family_rooted fam ~(stats : Stats.t) ~head cp =
+  stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+  let schema = schema_probe_of cp.pattern in
+  let on_hit acc (hit : Family.hit) =
+    stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+    let schema_tags = Array.of_list (Schema_path.to_list hit.Family.h_schema) in
+    let ids = Array.of_list hit.Family.h_ids in
+    let id_at p = ids.(p) in
+    List.fold_left
+      (fun acc positions -> rows_of_match cp ~id_at positions :: acc)
+      acc
+      (Decompose.match_all cp.pattern schema_tags)
+  in
+  let rows =
+    match cp.range with
+    | Some r ->
+      let lo, hi = vbounds r in
+      Family.scan_value_range fam ?head ~lo ~hi ~schema on_hit []
+    | None -> Family.scan fam ?head ~value:cp.value ~schema on_hit []
+  in
+  relation_of_rows cp rows
+
+let eval_rp (db : Database.t) ~stats cp =
+  eval_family_rooted (Database.rootpaths db) ~stats ~head:None cp
+
+let eval_dp_free (db : Database.t) ~stats cp =
+  eval_family_rooted (Database.datapaths db) ~stats ~head:(Some 0) cp
+
+(* ------------------------------------------------------------------ *)
+(* RP plan: one lookup per path, merge joins on branch points          *)
+(* ------------------------------------------------------------------ *)
+
+let run_rp (db : Database.t) ~stats ~out_uid cpaths =
+  let relations = List.map (eval_rp db ~stats) cpaths in
+  let joined = join_all ~stats ~kind:`Merge relations in
+  { ids = Relation.column_values joined out_uid; stats }
+
+(* ------------------------------------------------------------------ *)
+(* DP plan: FreeIndex for the most selective path, then INLJ probes    *)
+(* ------------------------------------------------------------------ *)
+
+(* Probe DATAPATHS for the part of [cp] at or below step [idx_b],
+   rooted at head id [h]. Returns rows over the needed columns at
+   steps >= idx_b. *)
+let dp_probe (db : Database.t) ~(stats : Stats.t) cp ~idx_b ~h =
+  let fam = Database.datapaths db in
+  let n = Array.length cp.pattern in
+  (* probe pattern: the head's own tag, then the steps below it *)
+  let probe_pattern =
+    Array.init (n - idx_b) (fun i ->
+        if i = 0 then (Twig.Child, snd cp.pattern.(idx_b)) else cp.pattern.(idx_b + i))
+  in
+  let needed_below = List.filter (fun i -> i >= idx_b) cp.needed_idx in
+  stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+  stats.Stats.inlj_probes <- stats.Stats.inlj_probes + 1;
+  let schema = schema_probe_of probe_pattern in
+  let on_hit acc (hit : Family.hit) =
+    stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+    let schema_tags = Array.of_list (Schema_path.to_list hit.Family.h_schema) in
+    let ids = Array.of_list hit.Family.h_ids in
+    (* schema position 0 is the head itself; ids exclude the head *)
+    let id_at p = if p = 0 then h else ids.(p - 1) in
+    List.fold_left
+      (fun acc positions ->
+        Array.of_list (List.map (fun i -> id_at positions.(i - idx_b)) needed_below) :: acc)
+      acc
+      (Decompose.match_all probe_pattern schema_tags)
+  in
+  (match cp.range with
+  | Some r ->
+    let lo, hi = vbounds r in
+    Family.scan_value_range fam ~head:h ~lo ~hi ~schema on_hit []
+  | None -> Family.scan fam ~head:h ~value:cp.value ~schema on_hit [])
+  |> fun rows ->
+  let cols = Array.of_list (List.map (fun i -> cp.uids.(i)) needed_below) in
+  Relation.distinct (Relation.create cols rows)
+
+let deepest_shared_idx cp bound_cols =
+  let rec go best i =
+    if i >= Array.length cp.uids then best
+    else if Array.exists (( = ) cp.uids.(i)) bound_cols then go (Some i) (i + 1)
+    else go best (i + 1)
+  in
+  go None 0
+
+(* With [use_inlj = false] (an ablation, not a paper strategy), every
+   path is evaluated as a FreeIndex lookup and stitched with hash
+   joins — DATAPATHS reduced to ROOTPATHS-style planning, isolating the
+   contribution of index-nested-loop joins to Figure 12(d). *)
+let run_dp ?(use_inlj = true) (db : Database.t) ~stats ~out_uid cpaths =
+  if not use_inlj then
+    finish ~stats ~out_uid (List.map (eval_dp_free db ~stats) cpaths)
+  else
+  let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
+  match ordered with
+  | [] -> invalid_arg "run_dp: no paths"
+  | first :: rest ->
+    let acc = ref (eval_dp_free db ~stats first) in
+    List.iter
+      (fun cp ->
+        let idx_b =
+          match deepest_shared_idx cp (Relation.columns !acc) with
+          | Some i -> i
+          | None ->
+            (* No shared bound column: evaluate free and hash join. *)
+            -1
+        in
+        if idx_b < 0 then begin
+          let r = eval_dp_free db ~stats cp in
+          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+          acc := Relation.hash_join !acc r
+        end
+        else begin
+          let b_uid = cp.uids.(idx_b) in
+          let b_values = Relation.column_values !acc b_uid in
+          let probe_rel =
+            List.fold_left
+              (fun rel h ->
+                let r = dp_probe db ~stats cp ~idx_b ~h in
+                Relation.create (Relation.columns r) (r.Relation.rows @ rel.Relation.rows))
+              (Relation.empty (Array.of_list (List.map (fun i -> cp.uids.(i))
+                 (List.filter (fun i -> i >= idx_b) cp.needed_idx))))
+              b_values
+          in
+          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+          acc := Relation.hash_join !acc probe_rel
+        end)
+      rest;
+    { ids = Relation.column_values !acc out_uid; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Edge plan: per-step joins                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Bottom-up climb from [leaf] along [cp.pattern], enumerating all
+   bindings of pattern steps to the leaf's ancestor chain. One backward
+   lookup per level climbed (each is a join with the Edge table). *)
+let edge_climb (db : Database.t) ~(stats : Stats.t) cp leaf =
+  let edge = db.Database.edge in
+  let n = Array.length cp.pattern in
+  let parent node =
+    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+    Edge_table.parent_of edge node
+  in
+  (* bindings: (pattern idx -> node id) partial maps built leaf-up *)
+  let results = ref [] in
+  (* [go i node binding]: pattern.(i) is bound to [node]; try to bind
+     pattern.(i-1..0) to ancestors of [node]. *)
+  let rec go i node binding =
+    if i = 0 then begin
+      (* anchor check: Child root axis requires node's parent = 0 *)
+      match fst cp.pattern.(0) with
+      | Twig.Descendant -> results := binding :: !results
+      | Twig.Child -> (
+        match parent node with
+        | Some (0, _, _) -> results := binding :: !results
+        | _ -> ())
+    end
+    else
+      match parent node with
+      | None -> ()
+      | Some (p, ptag, _) when p <> 0 -> (
+        let axis, _ = cp.pattern.(i) in
+        let want_tag = snd cp.pattern.(i - 1) in
+        (match axis with
+        | Twig.Child ->
+          if Decompose.tag_matches want_tag ptag then go (i - 1) p ((i - 1, p) :: binding)
+        | Twig.Descendant ->
+          (* the ancestor may be any number of levels up: climb one and
+             either bind here or keep climbing with the same step *)
+          if Decompose.tag_matches want_tag ptag then go (i - 1) p ((i - 1, p) :: binding);
+          go i p binding))
+      | Some _ -> () (* reached a document root without binding all steps *)
+  in
+  (* verify the leaf's own tag *)
+  (match Edge_table.parent_of edge leaf with
+  | Some (_, _, tag) when Decompose.tag_matches (snd cp.pattern.(n - 1)) tag ->
+    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+    go (n - 1) leaf [ (n - 1, leaf) ]
+  | _ -> ());
+  !results
+
+(* A Descendant step at i=0 with a document root: the node itself can be
+   a document root; edge_climb's Child anchor handles roots via parent=0.
+   For Descendant, any position is fine. *)
+
+let edge_rows_of_bindings cp bindings =
+  List.filter_map
+    (fun binding ->
+      let find i = List.assoc_opt i binding in
+      let cols = List.map find cp.needed_idx in
+      if List.for_all Option.is_some cols then
+        Some (Array.of_list (List.map Option.get cols))
+      else None)
+    bindings
+
+(* Top-down evaluation for structure-only paths. *)
+let edge_topdown (db : Database.t) ~(stats : Stats.t) cp =
+  let edge = db.Database.edge in
+  let expand_children node tag =
+    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+    if tag = Decompose.wildcard then Edge_table.all_children edge ~parent:node
+    else Edge_table.children_of edge ~parent:node ~tag
+  in
+  (* all strict descendants of [node] with tag [tag]: matching children
+     via the forward link, then recurse into every child *)
+  let rec descendants_with_tag node tag acc =
+    let acc = List.rev_append (expand_children node tag) acc in
+    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+    List.fold_left
+      (fun acc child -> descendants_with_tag child tag acc)
+      acc
+      (Edge_table.all_children edge ~parent:node)
+  in
+  let n = Array.length cp.pattern in
+  let rec step i frontier =
+    (* frontier: (node bound to pattern.(i-1), partial binding) *)
+    if i = n then frontier
+    else begin
+      let axis, tag = cp.pattern.(i) in
+      let next =
+        List.concat_map
+          (fun (node, binding) ->
+            let nodes =
+              match axis with
+              | Twig.Child -> expand_children node tag
+              | Twig.Descendant -> descendants_with_tag node tag []
+            in
+            List.map (fun c -> (c, (i, c) :: binding)) nodes)
+          frontier
+      in
+      stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+      step (i + 1) next
+    end
+  in
+  let final = step 0 [ (0, []) ] in
+  List.map snd final
+
+let eval_edge_path (db : Database.t) ~(stats : Stats.t) cp =
+  let n = Array.length cp.pattern in
+  let leaf_tag = snd cp.pattern.(n - 1) in
+  (* filter top-down bindings by the leaf's Edge-tuple value *)
+  let filter_leaf_value pred bindings =
+    List.filter
+      (fun binding ->
+        match List.assoc_opt (n - 1) binding with
+        | Some leaf ->
+          stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+          (match Edge_table.node_value db.Database.edge leaf with
+          | Some v -> pred v
+          | None -> false)
+        | None -> false)
+      bindings
+  in
+  let bindings =
+    match (cp.value, cp.range) with
+    | Some v, _ when leaf_tag <> Decompose.wildcard ->
+      stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+      let leaves = Edge_table.lookup_value db.Database.edge ~tag:leaf_tag ~value:v in
+      List.concat_map (fun leaf -> edge_climb db ~stats cp leaf) leaves
+    | None, Some r when leaf_tag <> Decompose.wildcard ->
+      (* value-index range scan, then the usual bottom-up climbs *)
+      stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+      let lo, hi = vbounds r in
+      let leaves = Edge_table.lookup_value_range db.Database.edge ~tag:leaf_tag ~lo ~hi in
+      List.concat_map (fun leaf -> edge_climb db ~stats cp leaf) leaves
+    | Some v, _ ->
+      (* wildcard leaf with a value predicate: no (tag, value) key
+         exists, so expand top-down and filter on the Edge tuple *)
+      filter_leaf_value (String.equal v) (edge_topdown db ~stats cp)
+    | None, Some r -> filter_leaf_value (Twig.range_matches r) (edge_topdown db ~stats cp)
+    | None, None -> edge_topdown db ~stats cp
+  in
+  relation_of_rows cp (edge_rows_of_bindings cp bindings)
+
+let run_edge db ~stats ~out_uid cpaths =
+  finish ~stats ~out_uid (List.map (eval_edge_path db ~stats) cpaths)
+
+(* ------------------------------------------------------------------ *)
+(* DG+Edge and IF+Edge plans                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Climb from a leaf whose full rooted path is a known concrete catalog
+   path of [path_len] tags; needed ids sit at known schema positions,
+   so the climb is [path_len - 1 - min_needed_pos] backward lookups
+   (the paper's "5-way join" when the branch point is 5 levels up). *)
+let climb_known_path (db : Database.t) ~(stats : Stats.t) ~path_len ~needed_schema_pos leaf =
+  let edge = db.Database.edge in
+  let min_pos = List.fold_left min (path_len - 1) needed_schema_pos in
+  let chain = Hashtbl.create 8 in
+  Hashtbl.replace chain (path_len - 1) leaf;
+  let rec up pos node =
+    if pos > min_pos then begin
+      stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+      match Edge_table.parent_of edge node with
+      | Some (p, _, _) ->
+        Hashtbl.replace chain (pos - 1) p;
+        up (pos - 1) p
+      | None -> ()
+    end
+  in
+  up (path_len - 1) leaf;
+  if List.for_all (Hashtbl.mem chain) needed_schema_pos then
+    Some (List.map (Hashtbl.find chain) needed_schema_pos)
+  else None
+
+(* Evaluate one linear path via DataGuide or IndexFabric + Edge climbs.
+   [structure_lookup] returns the instance leaf ids of a concrete
+   rooted schema path (DG exact lookup); [value_leaf_ids] when the path
+   has a value predicate. *)
+let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
+  let matches = catalog_matches db.Database.catalog cp.pattern in
+  let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
+  let value_ids tag =
+    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+    let ids =
+      match (cp.value, cp.range) with
+      | Some v, _ -> Edge_table.lookup_value db.Database.edge ~tag ~value:v
+      | None, Some r ->
+        let lo, hi = vbounds r in
+        Edge_table.lookup_value_range db.Database.edge ~tag ~lo ~hi
+      | None, None -> []
+    in
+    let set = Hashtbl.create (List.length ids) in
+    List.iter (fun i -> Hashtbl.replace set i ()) ids;
+    set
+  in
+  let has_pred = cp.value <> None || cp.range <> None in
+  let value_set =
+    if not has_pred then None
+    else if use_fabric && cp.range = None then
+      None (* Index Fabric resolves value + path in one lookup *)
+    else if leaf_tag = Decompose.wildcard then None (* per catalog path below *)
+    else Some (value_ids leaf_tag)
+  in
+  let rows =
+    List.concat_map
+      (fun ((entry : Schema_catalog.entry), positions_list) ->
+        (* leaf instances of this concrete rooted path *)
+        let leaf_ids =
+          if use_fabric && cp.value <> None then begin
+            stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+            Family.scan (Database.index_fabric db) ~value:cp.value
+              ~schema:(Family.Exact entry.Schema_catalog.path)
+              (fun acc (hit : Family.hit) ->
+                stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+                match hit.Family.h_ids with [ id ] -> id :: acc | _ -> acc)
+              []
+          end
+          else if use_fabric && cp.range <> None then begin
+            (* Index Fabric key order is (path, value): the range scan
+               stays contiguous within this concrete path *)
+            stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+            let lo, hi = vbounds (Option.get cp.range) in
+            Family.scan_value_range (Database.index_fabric db) ~lo ~hi
+              ~schema:(Family.Exact entry.Schema_catalog.path)
+              (fun acc (hit : Family.hit) ->
+                stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+                match hit.Family.h_ids with [ id ] -> id :: acc | _ -> acc)
+              []
+          end
+          else begin
+            stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+            let structural =
+              Family.scan (Database.dataguide db) ~value:None
+                ~schema:(Family.Exact entry.Schema_catalog.path)
+                (fun acc (hit : Family.hit) ->
+                  stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+                  match hit.Family.h_ids with [ id ] -> id :: acc | _ -> acc)
+                []
+            in
+            match value_set with
+            | Some set ->
+              (* the DG (struct) |><| value-index join of Section 5.2.1 *)
+              stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+              List.filter (Hashtbl.mem set) structural
+            | None when has_pred && leaf_tag = Decompose.wildcard ->
+              (* wildcard leaf: the concrete tag comes from the catalog
+                 path this lookup enumerates *)
+              let concrete =
+                match List.rev (Schema_path.to_list entry.Schema_catalog.path) with
+                | t :: _ -> t
+                | [] -> assert false
+              in
+              stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+              List.filter (Hashtbl.mem (value_ids concrete)) structural
+            | None -> structural
+          end
+        in
+        (* climb to the needed positions along the known concrete path *)
+        let path_len = Schema_path.length entry.Schema_catalog.path in
+        List.concat_map
+          (fun positions ->
+            let needed_schema_pos = List.map (fun i -> positions.(i)) cp.needed_idx in
+            List.filter_map
+              (fun leaf ->
+                climb_known_path db ~stats ~path_len ~needed_schema_pos leaf
+                |> Option.map Array.of_list)
+              leaf_ids)
+          positions_list)
+      matches
+  in
+  relation_of_rows cp rows
+
+let run_guide db ~stats ~out_uid ~use_fabric cpaths =
+  finish ~stats ~out_uid (List.map (eval_guide_path db ~stats ~use_fabric) cpaths)
+
+(* ------------------------------------------------------------------ *)
+(* ASR plan                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let eval_asr_path (db : Database.t) ~(stats : Stats.t) cp =
+  let asrs = Database.asr_rels db in
+  let matches = catalog_matches db.Database.catalog cp.pattern in
+  let rows =
+    List.concat_map
+      (fun ((entry : Schema_catalog.entry), positions_list) ->
+        stats.Stats.structures_accessed <- stats.Stats.structures_accessed + 1;
+        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+        let tuples =
+          match cp.range with
+          | Some r ->
+            let lo, hi = vbounds r in
+            Asr.scan_relation_range asrs ~path:entry.Schema_catalog.path ~lo ~hi
+              (fun acc ids ->
+                stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+                Array.of_list ids :: acc)
+              []
+          | None ->
+            Asr.scan_relation asrs ~path:entry.Schema_catalog.path
+              ?value:(match cp.value with Some v -> Some (Some v) | None -> Some None)
+              (fun acc ids ->
+                stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
+                Array.of_list ids :: acc)
+              []
+        in
+        List.concat_map
+          (fun positions ->
+            List.map (fun ids -> rows_of_match cp ~id_at:(fun p -> ids.(p)) positions) tuples)
+          positions_list)
+      matches
+  in
+  relation_of_rows cp rows
+
+let run_asr db ~stats ~out_uid cpaths =
+  finish ~stats ~out_uid (List.map (eval_asr_path db ~stats) cpaths)
+
+(* ------------------------------------------------------------------ *)
+(* JI plan                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* First (driver) path: candidate leaves from the value index (or all
+   pairs of the matching rooted subpaths), then one backward lookup per
+   needed position per matching rooted path. *)
+let eval_ji_driver (db : Database.t) ~(stats : Stats.t) cp =
+  let ji = Database.ji db in
+  let matches = catalog_matches db.Database.catalog cp.pattern in
+  let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
+  let leaf_candidates =
+    match (cp.value, cp.range) with
+    | Some v, _ when leaf_tag <> Decompose.wildcard ->
+      stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+      Some (Edge_table.lookup_value db.Database.edge ~tag:leaf_tag ~value:v)
+    | None, Some r when leaf_tag <> Decompose.wildcard ->
+      stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+      let lo, hi = vbounds r in
+      Some (Edge_table.lookup_value_range db.Database.edge ~tag:leaf_tag ~lo ~hi)
+    | _ -> None
+  in
+  (* wildcard leaf with a predicate: filter streamed instances by their
+     Edge-tuple value *)
+  let value_ok leaf =
+    if leaf_tag <> Decompose.wildcard then true
+    else
+      match (cp.value, cp.range) with
+      | None, None -> true
+      | _ ->
+        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+        (match Edge_table.node_value db.Database.edge leaf with
+        | Some v -> (
+          match (cp.value, cp.range) with
+          | Some want, _ -> String.equal v want
+          | None, Some r -> Twig.range_matches r v
+          | None, None -> true)
+        | None -> false)
+  in
+  let rows =
+    List.concat_map
+      (fun ((entry : Schema_catalog.entry), positions_list) ->
+        let path = entry.Schema_catalog.path in
+        let plen = Schema_path.length path in
+        (* Join-index relations hold every occurrence of a tag sequence,
+           not just root-anchored ones, so a rooted-path instance is a
+           pair whose head is a document root of the path's first tag. *)
+        let doc_roots =
+          lazy
+            (match Schema_path.to_list path with
+            | tag :: _ ->
+              stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+              let ids = Edge_table.children_of db.Database.edge ~parent:0 ~tag in
+              let set = Hashtbl.create (List.length ids) in
+              List.iter (fun i -> Hashtbl.replace set i ()) ids;
+              set
+            | [] -> Hashtbl.create 0)
+        in
+        let instances () =
+          (* length-1 rooted paths have no join-index pair; their
+             instances are the document roots of that tag *)
+          if plen = 1 then
+            Hashtbl.fold (fun id () acc -> id :: acc) (Lazy.force doc_roots) []
+          else begin
+            stats.Stats.structures_accessed <- stats.Stats.structures_accessed + 1;
+            stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+            Join_index.all_pairs ji ~path
+            |> List.filter_map (fun (h, leaf) ->
+                   if Hashtbl.mem (Lazy.force doc_roots) h then Some leaf else None)
+          end
+        in
+        let leaves =
+          match leaf_candidates with
+          | Some ids when plen > 1 ->
+            (* keep leaves whose rooted path is this concrete path: the
+               unique ancestor at the path's root position must be a
+               document root *)
+            stats.Stats.structures_accessed <- stats.Stats.structures_accessed + 1;
+            List.filter
+              (fun leaf ->
+                stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+                List.exists
+                  (fun h -> Hashtbl.mem (Lazy.force doc_roots) h)
+                  (Join_index.backward_lookup ji ~path ~end_:leaf))
+              ids
+          | Some ids ->
+            let roots = Lazy.force doc_roots in
+            List.filter (Hashtbl.mem roots) ids
+          | None -> List.filter value_ok (instances ())
+        in
+        let plen = Schema_path.length path in
+        List.concat_map
+          (fun positions ->
+            let needed_schema_pos = List.map (fun i -> positions.(i)) cp.needed_idx in
+            List.filter_map
+              (fun leaf ->
+                (* one backward lookup per needed interior position *)
+                let resolve pos =
+                  if pos = plen - 1 then Some leaf
+                  else begin
+                    stats.Stats.structures_accessed <- stats.Stats.structures_accessed + 1;
+                    stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+                    match
+                      Join_index.backward_lookup ji
+                        ~path:(Schema_path.suffix path (plen - pos))
+                        ~end_:leaf
+                    with
+                    | [ h ] -> Some h
+                    | h :: _ -> Some h
+                    | [] -> None
+                  end
+                in
+                let ids = List.map resolve needed_schema_pos in
+                if List.for_all Option.is_some ids then
+                  Some (Array.of_list (List.map Option.get ids))
+                else None)
+              leaves)
+          positions_list)
+      matches
+  in
+  relation_of_rows cp rows
+
+(* Subsequent path probed from branch ids: forward lookups along the
+   matching materialized subpaths below the branch. *)
+let eval_ji_probe (db : Database.t) ~(stats : Stats.t) cp ~idx_b ~b_values =
+  let ji = Database.ji db in
+  let n = Array.length cp.pattern in
+  let tag_b = snd cp.pattern.(idx_b) in
+  let probe_pattern =
+    Array.init (n - idx_b) (fun i ->
+        if i = 0 then (Twig.Child, tag_b) else cp.pattern.(idx_b + i))
+  in
+  (* materialized subpath schemas matching the below-branch pattern *)
+  let sub_matches p =
+    Decompose.match_all probe_pattern (Array.of_list (Schema_path.to_list p)) <> []
+  in
+  let sub_schemas =
+    if tag_b = Decompose.wildcard then
+      Join_index.fold_paths ji (fun acc p -> if sub_matches p then p :: acc else acc) []
+    else Join_index.subpaths_from ji ~head_tag:tag_b sub_matches
+  in
+  let leaf_tag = snd cp.pattern.(n - 1) in
+  let value_set =
+    if leaf_tag = Decompose.wildcard then None (* resolved per leaf via the Edge tuple *)
+    else
+      match (cp.value, cp.range) with
+      | None, None -> None
+      | Some v, _ ->
+        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+        let ids = Edge_table.lookup_value db.Database.edge ~tag:leaf_tag ~value:v in
+        let set = Hashtbl.create (List.length ids) in
+        List.iter (fun i -> Hashtbl.replace set i ()) ids;
+        Some set
+      | None, Some r ->
+        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+        let lo, hi = vbounds r in
+        let ids = Edge_table.lookup_value_range db.Database.edge ~tag:leaf_tag ~lo ~hi in
+        let set = Hashtbl.create (List.length ids) in
+        List.iter (fun i -> Hashtbl.replace set i ()) ids;
+        Some set
+  in
+  let leaf_value_ok leaf =
+    if leaf_tag <> Decompose.wildcard then true
+    else
+      match (cp.value, cp.range) with
+      | None, None -> true
+      | _ ->
+        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+        (match Edge_table.node_value db.Database.edge leaf with
+        | Some v -> (
+          match (cp.value, cp.range) with
+          | Some want, _ -> String.equal v want
+          | None, Some r -> Twig.range_matches r v
+          | None, None -> true)
+        | None -> false)
+  in
+  let needed_below = List.filter (fun i -> i >= idx_b) cp.needed_idx in
+  let rows =
+    if Array.length probe_pattern = 1 then
+      (* the path ends at the branch node itself: only its value
+         predicate remains to check; needed_below = [idx_b] *)
+      List.filter_map
+        (fun b ->
+          match value_set with
+          | None -> if leaf_value_ok b then Some [| b |] else None
+          | Some set -> if Hashtbl.mem set b then Some [| b |] else None)
+        b_values
+    else
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun sub ->
+            stats.Stats.structures_accessed <- stats.Stats.structures_accessed + 1;
+            stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+            stats.Stats.inlj_probes <- stats.Stats.inlj_probes + 1;
+            let leaves = Join_index.forward_lookup ji ~path:sub ~start:b in
+            let leaves =
+              match value_set with
+              | None -> List.filter leaf_value_ok leaves
+              | Some set -> List.filter (Hashtbl.mem set) leaves
+            in
+            let slen = Schema_path.length sub in
+            let positions_list =
+              Decompose.match_all probe_pattern (Array.of_list (Schema_path.to_list sub))
+            in
+            List.concat_map
+              (fun positions ->
+                List.filter_map
+                  (fun leaf ->
+                    let resolve i =
+                      let pos = positions.(i - idx_b) in
+                      if pos = 0 then Some b
+                      else if pos = slen - 1 then Some leaf
+                      else begin
+                        stats.Stats.structures_accessed <-
+                          stats.Stats.structures_accessed + 1;
+                        stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
+                        match
+                          Join_index.backward_lookup ji
+                            ~path:(Schema_path.suffix sub (slen - pos))
+                            ~end_:leaf
+                        with
+                        | h :: _ -> Some h
+                        | [] -> None
+                      end
+                    in
+                    let ids = List.map resolve needed_below in
+                    if List.for_all Option.is_some ids then
+                      Some (Array.of_list (List.map Option.get ids))
+                    else None)
+                  leaves)
+              positions_list)
+          sub_schemas)
+      b_values
+  in
+  let cols = Array.of_list (List.map (fun i -> cp.uids.(i)) needed_below) in
+  Relation.distinct (Relation.create cols rows)
+
+let run_ji (db : Database.t) ~stats ~out_uid cpaths =
+  let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
+  match ordered with
+  | [] -> invalid_arg "run_ji: no paths"
+  | first :: rest ->
+    let acc = ref (eval_ji_driver db ~stats first) in
+    List.iter
+      (fun cp ->
+        match deepest_shared_idx cp (Relation.columns !acc) with
+        | None ->
+          let r = eval_ji_driver db ~stats cp in
+          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+          acc := Relation.hash_join !acc r
+        | Some idx_b ->
+          let b_values = Relation.column_values !acc cp.uids.(idx_b) in
+          let probe_rel = eval_ji_probe db ~stats cp ~idx_b ~b_values in
+          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+          acc := Relation.hash_join !acc probe_rel)
+      rest;
+    { ids = Relation.column_values !acc out_uid; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate [twig] under [strategy]. Raises {!Family.Unsupported} if
+    the strategy's index cannot answer this query shape (e.g. [//]
+    under Section 4.2 schema-path compression). [dp_use_inlj:false]
+    disables index-nested-loop joins for DP (ablation). *)
+let run ?(dp_use_inlj = true) (db : Database.t) (strategy : Database.strategy) twig =
+  let stats = Stats.create () in
+  match compile db twig with
+  | exception Unknown_tag -> { ids = []; stats }
+  | cpaths ->
+    let out_uid = (Twig.output_node twig).Twig.uid in
+    let result =
+      match strategy with
+      | Database.RP -> run_rp db ~stats ~out_uid cpaths
+      | Database.DP -> run_dp ~use_inlj:dp_use_inlj db ~stats ~out_uid cpaths
+      | Database.Edge -> run_edge db ~stats ~out_uid cpaths
+      | Database.DG_edge -> run_guide db ~stats ~out_uid ~use_fabric:false cpaths
+      | Database.IF_edge -> run_guide db ~stats ~out_uid ~use_fabric:true cpaths
+      | Database.Asr -> run_asr db ~stats ~out_uid cpaths
+      | Database.Ji -> run_ji db ~stats ~out_uid cpaths
+    in
+    { result with ids = List.sort_uniq compare result.ids }
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based strategy choice (a Lore-style optimizer, paper Section 6) *)
+(* ------------------------------------------------------------------ *)
+
+(* Rough plan costs in "entries touched" units. An RP plan scans and
+   materializes every branch; a DP plan scans the most selective branch
+   and probes the BoundIndex once per binding and remaining branch,
+   each probe costing about one root-to-leaf descent. The constant is
+   calibrated against the benchmark harness (a warm descent of a
+   three-to-four-level tree costs about as much as scanning half a
+   dozen contiguous entries); raising it biases toward merge joins. *)
+let probe_cost_entries = 6
+
+let plan_costs (db : Database.t) cpaths =
+  let ests = List.map (estimate db) cpaths in
+  let total = List.fold_left ( + ) 0 ests in
+  let emin = List.fold_left min max_int ests in
+  let k = List.length ests in
+  let rp_cost = total in
+  let dp_cost = emin + (emin * (k - 1) * probe_cost_entries) in
+  (ests, rp_cost, dp_cost)
+
+(** Pick between the ROOTPATHS (merge join) and DATAPATHS
+    (index-nested-loop join) plans from selectivity estimates — the
+    optimizer integration the paper points at ("can thus be used with a
+    Lore-style optimizer", Section 6). Returns the chosen strategy and
+    a one-line justification. *)
+let choose_plan (db : Database.t) twig =
+  match compile db twig with
+  | exception Unknown_tag -> (Database.RP, "unknown tag: empty result either way")
+  | [ _ ] -> (Database.RP, "single path: one ROOTPATHS lookup")
+  | cpaths ->
+    let ests, rp_cost, dp_cost = plan_costs db cpaths in
+    let detail =
+      Printf.sprintf "branch estimates [%s]; RP~%d DP~%d entries"
+        (String.concat ";" (List.map string_of_int ests))
+        rp_cost dp_cost
+    in
+    if dp_cost < rp_cost then (Database.DP, "INLJ from the selective branch: " ^ detail)
+    else (Database.RP, "merge join over branch scans: " ^ detail)
+
+(** Evaluate under the cost-chosen strategy; returns the result and the
+    choice made. Requires both ROOTPATHS and DATAPATHS to be built. *)
+let run_auto (db : Database.t) twig =
+  let strategy, reason = choose_plan db twig in
+  (run db strategy twig, strategy, reason)
+
+(** Human-readable plan description for a (strategy, twig) pair. *)
+let explain (db : Database.t) (strategy : Database.strategy) twig =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "query: %s" (Twig.to_string twig);
+  add "strategy: %s" (Database.strategy_name strategy);
+  (match compile db twig with
+  | exception Unknown_tag -> add "plan: empty (a query tag does not occur in the data)"
+  | cpaths ->
+    let ests = List.map (estimate db) cpaths in
+    List.iteri
+      (fun i (cp, est) ->
+        let tags =
+          Array.to_list cp.pattern
+          |> List.map (fun (ax, t) ->
+                 (match ax with Twig.Child -> "/" | Twig.Descendant -> "//")
+                 ^
+                 if t = Decompose.wildcard then "*" else Dictionary.name db.Database.dict t)
+          |> String.concat ""
+        in
+        add "  path %d: %s%s  (est. %d rows)" (i + 1) tags
+          (match cp.value with Some v -> Printf.sprintf " = %S" v | None -> "")
+          est)
+      (List.combine cpaths ests);
+    match strategy with
+    | Database.RP ->
+      add "  one ROOTPATHS lookup per path; extract branch ids from IdLists; sort-merge join"
+    | Database.DP ->
+      let emin = List.fold_left min max_int ests in
+      add "  FreeIndex lookup for the most selective path (est. %d), then BoundIndex" emin;
+      add "  index-nested-loop probes per branch binding"
+    | Database.Edge -> add "  value-index lookup per valued leaf; one backward-link join per step"
+    | Database.DG_edge ->
+      add "  DataGuide lookup per matching schema path + value-index join; backward-link climbs"
+    | Database.IF_edge ->
+      add "  Index Fabric (path,value) lookup per matching schema path; backward-link climbs"
+    | Database.Asr ->
+      add "  one relation scan per matching rooted schema path; ids taken from tuples"
+    | Database.Ji ->
+      add "  value-index lookup, then backward/forward join-index probes per matching subpath");
+  Buffer.contents buf
+
+(** Per-branch result size (the paper's Figures 7-8 column), measured
+    with a ROOTPATHS lookup when available, else the naive matcher. *)
+let branch_cardinality (db : Database.t) cp =
+  (* count matches of the path itself (leaf bindings), not the distinct
+     branch-point projection the executor would keep *)
+  let cp = { cp with needed_idx = [ Array.length cp.pattern - 1 ] } in
+  match db.Database.rootpaths with
+  | Some fam ->
+    let stats = Stats.create () in
+    Relation.cardinality (eval_family_rooted fam ~stats ~head:None cp)
+  | None -> estimate db cp
+
+(** The per-branch result sizes of a twig (one entry per linear path),
+    reproducing the "Result Size Per Branch" column of Figures 7-8. *)
+let path_cardinalities (db : Database.t) twig =
+  match compile db twig with
+  | exception Unknown_tag -> []
+  | cpaths -> List.map (branch_cardinality db) cpaths

@@ -1,0 +1,36 @@
+(** Query execution: one physical plan template per indexing strategy
+    (paper Section 5.1.2). Every plan covers the twig with its linear
+    root-to-leaf paths, evaluates each to a binding relation over the
+    branch points and the output node, and stitches the relations with
+    relational joins — using exactly the access paths and join
+    algorithms the paper attributes to each strategy. *)
+
+type result = { ids : int list; stats : Tm_exec.Stats.t }
+
+val run : ?dp_use_inlj:bool -> Database.t -> Database.strategy -> Tm_query.Twig.t -> result
+(** Evaluate a twig. [ids] are the sorted distinct data-node ids bound
+    to the twig's output node. Query tags absent from the data yield an
+    empty result. [dp_use_inlj:false] (default true) disables
+    index-nested-loop joins for the DP strategy — an ablation isolating
+    the Figure 12(d) effect.
+    @raise Tm_index.Family.Unsupported when the strategy's index cannot
+    answer the query shape (e.g. [//] under Section 4.2 schema-path
+    compression). *)
+
+val path_cardinalities : Database.t -> Tm_query.Twig.t -> int list
+(** Per-branch result sizes (the "Result Size Per Branch" column of
+    Figures 7-8), one per linear path. *)
+
+val choose_plan : Database.t -> Tm_query.Twig.t -> Database.strategy * string
+(** Cost-based choice between the RP (merge join) and DP (INLJ) plans
+    from the pre-collected selectivity statistics — the Lore-style
+    optimizer integration of paper Section 6. Returns the strategy and
+    a one-line justification. *)
+
+val run_auto : Database.t -> Tm_query.Twig.t -> result * Database.strategy * string
+(** {!run} under the {!choose_plan} choice. Requires ROOTPATHS and
+    DATAPATHS to be built. *)
+
+val explain : Database.t -> Database.strategy -> Tm_query.Twig.t -> string
+(** Human-readable plan description: the linear paths with selectivity
+    estimates and the strategy's physical plan shape. *)

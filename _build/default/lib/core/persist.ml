@@ -1,0 +1,44 @@
+(** Database snapshots: save a built database (document, dictionary,
+    catalog, every index's pages and metadata) to a file and reload it
+    without re-shredding or re-bulk-loading.
+
+    Format: a magic header, a format version, then the OCaml [Marshal]
+    image of the {!Database.t}. This is a {e snapshot}, not a
+    write-ahead-logged store: it is only readable by the same library
+    version that wrote it (the header encodes a format version checked
+    on load), and a crash between [save] calls loses the delta — the
+    appropriate scope for a reproduction whose substrate "disk" is
+    simulated. Databases built with a [head_filter] or [id_keep]
+    closure cannot be snapshotted (closures do not survive
+    serialization meaningfully); {!save} rejects them. *)
+
+let magic = "TWIGMATCH-SNAPSHOT"
+let version = 1
+
+exception Bad_snapshot of string
+
+let save (db : Database.t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      try Marshal.to_channel oc db []
+      with Invalid_argument _ ->
+        raise
+          (Bad_snapshot
+             "database contains closures (head_filter / id_keep); pruned databases cannot be \
+              snapshotted"))
+
+let load path : Database.t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then raise (Bad_snapshot "not a twigmatch snapshot");
+      let v = input_binary_int ic in
+      if v <> version then
+        raise (Bad_snapshot (Printf.sprintf "snapshot version %d, expected %d" v version));
+      (Marshal.from_channel ic : Database.t))

@@ -1,0 +1,13 @@
+(** Database snapshots: save/load a built database (document,
+    dictionary, catalog, and every index) without re-shredding or
+    re-bulk-loading. Snapshots are version-checked and same-library
+    only; databases built with pruning closures ([head_filter] /
+    [id_keep]) are rejected. *)
+
+exception Bad_snapshot of string
+
+val save : Database.t -> string -> unit
+(** @raise Bad_snapshot for databases containing pruning closures. *)
+
+val load : string -> Database.t
+(** @raise Bad_snapshot on a wrong magic header or format version. *)

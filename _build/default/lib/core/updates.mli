@@ -1,0 +1,19 @@
+(** Incremental subtree insertion and deletion with maintenance of
+    every built index — the paper's Section 7 future work. Lookup of
+    affected entries uses indexed ancestor climbs (O(depth)), per the
+    paper's own suggestion; the per-structure write cost is exactly the
+    update overhead the paper warns about (ROOTPATHS: one entry per new
+    rooted path prefix; DATAPATHS: one per new subpath). *)
+
+val insert_subtree : Database.t -> parent:int -> Tm_xml.Xml_tree.node -> int
+(** Attach a subtree as the last child of node [parent]; assigns fresh
+    ids, updates document, Edge table, catalog, statistics and every
+    built index; returns the subtree root's new id.
+    @raise Invalid_argument for the virtual root, an unknown parent, or
+    a value-leaf subtree root. *)
+
+val delete_subtree : Database.t -> int -> int
+(** Detach the subtree rooted at a node id, removing its entries from
+    every built index; returns the number of element/attribute nodes
+    removed.
+    @raise Invalid_argument for a document root or an unknown id. *)

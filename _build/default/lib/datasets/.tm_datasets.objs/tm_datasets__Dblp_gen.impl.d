@@ -1,0 +1,1 @@
+lib/datasets/dblp_gen.ml: Array List Printf Random String Tm_xml

@@ -1,0 +1,1 @@
+lib/datasets/dblp_gen.mli: Tm_xml

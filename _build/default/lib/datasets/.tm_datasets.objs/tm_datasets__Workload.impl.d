@@ -1,0 +1,1 @@
+lib/datasets/workload.ml: List String Tm_query

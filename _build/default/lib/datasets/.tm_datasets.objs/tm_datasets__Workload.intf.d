@@ -1,0 +1,1 @@
+lib/datasets/workload.mli: Tm_query

@@ -1,0 +1,1 @@
+lib/datasets/xmark_gen.ml: Array List Printf Random String Tm_xml

@@ -1,0 +1,1 @@
+lib/datasets/xmark_gen.mli: Tm_xml

@@ -1,0 +1,1 @@
+lib/exec/relation.ml: Array Hashtbl List Option

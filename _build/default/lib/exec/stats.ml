@@ -1,0 +1,41 @@
+(** Per-query execution statistics.
+
+    The paper reports wall-clock time on DB2; our substrate additionally
+    exposes the cost drivers directly, which makes the {e reasons} for
+    each figure's shape visible: a strategy that does one index lookup
+    per branch has [index_lookups] ~ branch count, while an Edge-style
+    plan's [join_steps] and [entries_scanned] grow with path length and
+    branch selectivity. *)
+
+type t = {
+  mutable index_lookups : int;  (** B+-tree probes (point, range or prefix scans started) *)
+  mutable entries_scanned : int;  (** index entries touched by scans *)
+  mutable rows_produced : int;  (** rows materialized into binding relations *)
+  mutable join_steps : int;  (** joins executed (of any kind) *)
+  mutable inlj_probes : int;  (** index-nested-loop probe count *)
+  mutable structures_accessed : int;  (** distinct physical structures touched (ASR/JI) *)
+}
+
+let create () =
+  {
+    index_lookups = 0;
+    entries_scanned = 0;
+    rows_produced = 0;
+    join_steps = 0;
+    inlj_probes = 0;
+    structures_accessed = 0;
+  }
+
+let add a b =
+  {
+    index_lookups = a.index_lookups + b.index_lookups;
+    entries_scanned = a.entries_scanned + b.entries_scanned;
+    rows_produced = a.rows_produced + b.rows_produced;
+    join_steps = a.join_steps + b.join_steps;
+    inlj_probes = a.inlj_probes + b.inlj_probes;
+    structures_accessed = a.structures_accessed + b.structures_accessed;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "lookups=%d scanned=%d rows=%d joins=%d probes=%d structures=%d" s.index_lookups
+    s.entries_scanned s.rows_produced s.join_steps s.inlj_probes s.structures_accessed

@@ -1,0 +1,15 @@
+(** Per-query execution statistics: the cost drivers behind each
+    figure's shape. *)
+
+type t = {
+  mutable index_lookups : int;  (** B+-tree probes / scans started *)
+  mutable entries_scanned : int;  (** index entries touched *)
+  mutable rows_produced : int;  (** rows materialized by joins *)
+  mutable join_steps : int;  (** joins executed *)
+  mutable inlj_probes : int;  (** index-nested-loop probes *)
+  mutable structures_accessed : int;  (** distinct structures touched (ASR/JI) *)
+}
+
+val create : unit -> t
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/index/asr.ml: Bptree Buffer_pool Codec Hashtbl List Path_relation Schema_catalog Schema_path String Tm_storage Tm_xmldb

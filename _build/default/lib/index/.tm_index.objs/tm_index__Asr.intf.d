@@ -1,0 +1,1 @@
+lib/index/asr.mli: Tm_storage Tm_xml Tm_xmldb

@@ -1,0 +1,1 @@
+lib/index/join_index.ml: Bptree Buffer_pool Codec Hashtbl List Path_relation Schema_catalog Schema_path Tm_storage Tm_xmldb

@@ -1,0 +1,1 @@
+lib/index/join_index.mli: Tm_storage Tm_xml Tm_xmldb

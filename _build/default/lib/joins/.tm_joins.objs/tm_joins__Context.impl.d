@@ -1,0 +1,1 @@
+lib/joins/context.ml: Bptree Codec Dictionary Edge_table List Region Shred Tm_storage Tm_xmldb

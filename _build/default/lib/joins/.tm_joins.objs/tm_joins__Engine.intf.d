@@ -1,0 +1,1 @@
+lib/joins/engine.mli: Context Tm_exec Tm_query

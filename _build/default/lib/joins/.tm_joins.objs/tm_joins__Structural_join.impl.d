@@ -1,0 +1,1 @@
+lib/joins/structural_join.ml: List Region Tm_xmldb

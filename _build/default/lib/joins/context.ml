@@ -1,0 +1,59 @@
+(** Shared context for the structural-join engines: the region index,
+    a tag index yielding start-sorted node streams, and the Edge
+    table's value index for predicate leaves.
+
+    These engines are the comparison the paper's evaluation had to skip
+    ("We could not use the structural join algorithms of [34, 1, 3]
+    since none of these algorithms has been implemented in commercial
+    database systems", Section 5.1.2) — implemented here as
+    beyond-the-paper baselines.
+
+    A context is a snapshot of the document at {!build} time: region
+    bounds and tag streams are not maintained by
+    {!Twigmatch.Updates} (region encodings are famously
+    update-hostile — the very motivation for the paper's plain numeric
+    ids). Rebuild the context after structural updates. *)
+
+open Tm_storage
+open Tm_xmldb
+
+type t = {
+  region : Region.t;
+  edge : Edge_table.t;
+  dict : Dictionary.t;
+  tag_index : Bptree.t;  (** designator -> u32 node id, start-sorted per tag *)
+}
+
+let build ~pool ~dict ~edge doc =
+  let region = Region.build doc in
+  let entries =
+    Shred.fold_nodes doc dict
+      (fun acc info ->
+        (Dictionary.designator info.Shred.tag, Codec.u32_to_string info.Shred.id) :: acc)
+      []
+  in
+  let tag_index = Bptree.bulk_load ~name:"tag_index" pool (List.sort compare entries) in
+  { region; edge; dict; tag_index }
+
+let size_bytes t = Bptree.size_bytes t.tag_index
+
+(** Start-sorted stream of all nodes with the given tag. *)
+let tag_stream t tag =
+  Bptree.lookup_all t.tag_index (Dictionary.designator tag)
+  |> List.map (fun p -> fst (Codec.read_u32 p 0))
+  |> List.sort compare
+
+(** Start-sorted stream of nodes with the tag and leaf value. *)
+let value_stream t tag value =
+  List.sort compare (Edge_table.lookup_value t.edge ~tag ~value)
+
+(** Start-sorted stream of every element/attribute node (wildcard
+    steps). *)
+let all_stream t =
+  List.sort compare
+    (Bptree.fold_range t.tag_index ~lo:"" ~hi:None
+       (fun acc _ p -> fst (Codec.read_u32 p 0) :: acc)
+       [])
+
+(** Leaf value of a node (for wildcard steps with value predicates). *)
+let node_value t id = Edge_table.node_value t.edge id

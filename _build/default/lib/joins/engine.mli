@@ -1,0 +1,12 @@
+(** Twig evaluation by structural joins (beyond-paper baselines):
+    binary Stack-Tree semi-joins and holistic PathStack + merge. *)
+
+type result = { ids : int list; stats : Tm_exec.Stats.t }
+
+val run_stj : Context.t -> Tm_query.Twig.t -> result
+(** One structural semi-join per twig edge: bottom-up candidate
+    filtering, then top-down selection. *)
+
+val run_pathstack : Context.t -> Tm_query.Twig.t -> result
+(** Holistic PathStack over each root-to-leaf path (path solutions via
+    chained stacks), merged with relational joins. *)

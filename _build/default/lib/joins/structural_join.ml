@@ -1,0 +1,91 @@
+(** Stack-based structural (containment) semi-join, after the
+    Stack-Tree family of Al-Khalifa et al. and the merge joins of
+    Zhang et al. — reference [34]/[1] of the paper.
+
+    Both inputs are start-sorted candidate lists; one merge pass with a
+    stack of open ancestors produces, in O(|anc| + |desc| + output),
+    the ancestors having at least one matching descendant and the
+    descendants having at least one matching ancestor. *)
+
+open Tm_xmldb
+
+type axis = Child | Descendant
+
+(* A stack entry: (ancestor id, already emitted?). *)
+type entry = { anc : int; mutable hit : bool }
+
+(** [semijoin region ~axis ~ancs ~descs] is
+    [(ancs with a matching desc, descs with a matching anc)], both
+    start-sorted. [Child] requires adjacent levels. *)
+let semijoin region ~axis ~ancs ~descs =
+  let matched_ancs = ref [] and matched_descs = ref [] in
+  let stack : entry list ref = ref [] in
+  let pop_closed pos =
+    (* remove ancestors whose region ended before [pos] *)
+    stack := List.filter (fun e -> pos <= Region.end_of region e.anc) !stack
+  in
+  let mark_anc e =
+    if not e.hit then begin
+      e.hit <- true;
+      matched_ancs := e.anc :: !matched_ancs
+    end
+  in
+  let on_desc d =
+    pop_closed d;
+    (* strict containment: a node occurring in both lists (self-join)
+       is not its own ancestor *)
+    let open_ancs = List.filter (fun e -> e.anc < d) !stack in
+    match axis with
+    | Descendant ->
+      if open_ancs <> [] then begin
+        matched_descs := d :: !matched_descs;
+        (* every open ancestor contains d *)
+        List.iter mark_anc open_ancs
+      end
+    | Child -> (
+      let want = Region.level_of region d - 1 in
+      match List.find_opt (fun e -> Region.level_of region e.anc = want) open_ancs with
+      | Some e ->
+        matched_descs := d :: !matched_descs;
+        mark_anc e
+      | None -> ())
+  in
+  let on_anc a = stack := { anc = a; hit = false } :: !stack in
+  (* merge by start position; an ancestor at the same position opens
+     before any descendant is tested (ids are unique, so ties cannot
+     actually occur between the two lists unless a node plays both
+     roles, in which case strict containment excludes self-pairs and
+     opening first is harmless) *)
+  let rec merge ancs descs =
+    match (ancs, descs) with
+    | [], [] -> ()
+    | a :: ancs', d :: _ when a <= d ->
+      pop_closed a;
+      on_anc a;
+      merge ancs' descs
+    | _, d :: descs' ->
+      on_desc d;
+      merge ancs descs'
+    | a :: ancs', [] ->
+      pop_closed a;
+      on_anc a;
+      merge ancs' []
+  in
+  merge ancs descs;
+  (List.sort compare !matched_ancs, List.rev !matched_descs)
+
+(** All (anc, desc) pairs — the full structural join (used by tests;
+    the engines only need semi-joins). *)
+let join region ~axis ~ancs ~descs =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun d ->
+          let ok =
+            match axis with
+            | Descendant -> Region.is_ancestor region ~anc:a ~desc:d
+            | Child -> Region.is_parent region ~parent:a ~child:d
+          in
+          if ok then Some (a, d) else None)
+        descs)
+    ancs

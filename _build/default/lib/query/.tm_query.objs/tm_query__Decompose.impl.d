@@ -1,0 +1,1 @@
+lib/query/decompose.ml: Array List Twig

@@ -1,0 +1,1 @@
+lib/query/decompose.mli: Twig

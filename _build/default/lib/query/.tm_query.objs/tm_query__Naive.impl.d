@@ -1,0 +1,1 @@
+lib/query/naive.ml: Array Decompose List String Tm_xml Twig

@@ -1,0 +1,1 @@
+lib/query/naive.mli: Decompose Tm_xml Twig

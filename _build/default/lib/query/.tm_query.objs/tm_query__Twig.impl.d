@@ -1,0 +1,1 @@
+lib/query/twig.ml: List Printf String

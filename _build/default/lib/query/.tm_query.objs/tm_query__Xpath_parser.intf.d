@@ -1,0 +1,1 @@
+lib/query/xpath_parser.mli: Twig

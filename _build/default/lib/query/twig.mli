@@ -1,0 +1,60 @@
+(** Query twig patterns (paper Section 2.1): node-labeled trees with
+    parent-child and ancestor-descendant edges, optional equality
+    predicates on leaf values, and exactly one output node. *)
+
+type axis = Child | Descendant
+
+type bound = { bval : string; binc : bool (** inclusive? *) }
+(** One bound of a value range. Comparison is lexicographic. *)
+
+type range = { rlo : bound option; rhi : bound option }
+(** Range predicate on a leaf value, e.g. [. >= 'a' and . < 'm']. *)
+
+val range_matches : range -> string -> bool
+
+type node = {
+  uid : int;  (** dense pre-order id over the twig *)
+  name : string;
+  value : string option;  (** equality predicate on the leaf value *)
+  range : range option;  (** inequality predicate (never with [value]) *)
+  output : bool;
+  branches : (axis * node) list;
+}
+
+type t = { root_axis : axis; root : node }
+
+(** {1 Construction} *)
+
+type spec = {
+  s_name : string;
+  s_value : string option;
+  s_range : range option;
+  s_output : bool;
+  s_branches : (axis * spec) list;
+}
+(** Unnumbered node spec; {!make} assigns uids. *)
+
+val spec : ?value:string -> ?range:range -> ?output:bool -> string -> (axis * spec) list -> spec
+
+val make : axis -> spec -> t
+(** @raise Invalid_argument unless exactly one node is the output, or
+    if a node carries both an equality and a range predicate. *)
+
+(** {1 Accessors} *)
+
+val fold_nodes : ('a -> node -> 'a) -> 'a -> node -> 'a
+val node_count : t -> int
+val output_node : t -> node
+
+val branch_nodes : t -> node list
+(** Twig nodes where linear paths diverge (the join points): more than
+    one branch, or a value/range predicate alongside at least one
+    branch. *)
+
+val leaf_count : t -> int
+(** Number of leaf-to-root paths — the paper's "number of branches". *)
+
+val has_descendant_edge : t -> bool
+
+val to_string : t -> string
+(** Debug rendering in XPath-like syntax. *)

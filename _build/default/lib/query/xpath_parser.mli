@@ -1,0 +1,10 @@
+(** Parser for the paper's XPath fragment: absolute paths with [/] and
+    [//], attribute steps ([@name]), and predicates that are relative
+    paths with an optional equality to a (quoted or bare) literal;
+    [. = 'v'] is a value predicate on the current step. The last trunk
+    step becomes the output node. *)
+
+exception Parse_error of string
+
+val parse : string -> Twig.t
+(** @raise Parse_error on malformed input. *)

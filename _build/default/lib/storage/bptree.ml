@@ -1,0 +1,570 @@
+(** Disk-oriented B+-tree over byte-string keys and payloads.
+
+    This is the access method the whole paper rests on: every member of
+    the index family (Section 3) is realized as a B+-tree over an
+    order-preserving key encoding. Properties:
+
+    - duplicate keys are allowed (entries with equal keys are kept in
+      payload order, so scans are deterministic);
+    - nodes are serialized into fixed-size pages and accessed through a
+      {!Buffer_pool}, so lookups and scans incur realistic page costs;
+    - range scans are half-open [[lo, hi)]; prefix scans (the engine of
+      the paper's reverse-schema-path trick for [//] queries) are range
+      scans up to {!Codec.prefix_successor};
+    - leaves optionally use front-coding of keys (prefix compression),
+      which the paper cites as what makes B+-trees space-competitive for
+      path keys on DB2;
+    - sorted inputs can be bulk-loaded bottom-up. *)
+
+type node =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int (* page id + 1; 0 = none *) }
+  | Internal of { mutable keys : string array; mutable children : int array }
+      (* |children| = |keys| + 1; keys.(i) is the smallest key reachable
+         under children.(i+1). *)
+
+type t = {
+  pool : Buffer_pool.t;
+  page_size : int;
+  prefix_compression : bool;
+  mutable root : int;
+  mutable n_entries : int;
+  mutable n_pages : int;
+  mutable height : int;
+  name : string;
+  (* Decoded-node cache. Page I/O accounting still goes through the
+     buffer pool on every access; this only memoizes the *parse* of a
+     page image into a node, the way a real engine operates directly on
+     the buffered page rather than re-deserializing it. Entries are
+     validated by a per-page version bumped on every write. *)
+  decoded : (int, int * node) Hashtbl.t;
+  versions : (int, int) Hashtbl.t;
+}
+
+let max_entry_size t = t.page_size / 4
+
+(* ------------------------------------------------------------------ *)
+(* Node serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let shared_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let encode_leaf t entries next =
+  let buf = Buffer.create t.page_size in
+  Buffer.add_char buf 'L';
+  Codec.add_u16 buf (Array.length entries);
+  Codec.add_u32 buf next;
+  let prev = ref "" in
+  Array.iter
+    (fun (k, p) ->
+      let shared = if t.prefix_compression then shared_prefix_len !prev k else 0 in
+      Codec.add_varint buf shared;
+      Codec.add_lstring buf (String.sub k shared (String.length k - shared));
+      Codec.add_lstring buf p;
+      prev := k)
+    entries;
+  Buffer.contents buf
+
+let encode_internal keys children =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'I';
+  Codec.add_u16 buf (Array.length keys);
+  Codec.add_u32 buf children.(0);
+  Array.iteri
+    (fun i k ->
+      Codec.add_lstring buf k;
+      Codec.add_u32 buf children.(i + 1))
+    keys;
+  Buffer.contents buf
+
+let encode_node t = function
+  | Leaf l -> encode_leaf t l.entries l.next
+  | Internal n -> encode_internal n.keys n.children
+
+let decode_node s =
+  match s.[0] with
+  | 'L' ->
+    let count, pos = Codec.read_u16 s 1 in
+    let next, pos = Codec.read_u32 s pos in
+    let entries = Array.make count ("", "") in
+    let pos = ref pos in
+    let prev = ref "" in
+    for i = 0 to count - 1 do
+      let shared, p = Codec.read_varint s !pos in
+      let suffix, p = Codec.read_lstring s p in
+      let payload, p = Codec.read_lstring s p in
+      let key = String.sub !prev 0 shared ^ suffix in
+      entries.(i) <- (key, payload);
+      prev := key;
+      pos := p
+    done;
+    Leaf { entries; next }
+  | 'I' ->
+    let count, pos = Codec.read_u16 s 1 in
+    let child0, pos = Codec.read_u32 s pos in
+    let keys = Array.make count "" in
+    let children = Array.make (count + 1) child0 in
+    let pos = ref pos in
+    for i = 0 to count - 1 do
+      let k, p = Codec.read_lstring s !pos in
+      let c, p = Codec.read_u32 s p in
+      keys.(i) <- k;
+      children.(i + 1) <- c;
+      pos := p
+    done;
+    Internal { keys; children }
+  | c -> invalid_arg (Printf.sprintf "Bptree.decode_node: bad tag %C" c)
+
+let read_node t id =
+  (* the buffer-pool read happens unconditionally so that logical reads
+     and misses are accounted exactly as without the decode cache *)
+  let bytes = Buffer_pool.read t.pool id in
+  let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+  match Hashtbl.find_opt t.decoded id with
+  | Some (v, node) when v = version -> node
+  | _ ->
+    let node = decode_node (Bytes.to_string bytes) in
+    Hashtbl.replace t.decoded id (version, node);
+    node
+
+(* Store an already-encoded node image and refresh the decode cache. *)
+let commit_node t id node encoded =
+  Buffer_pool.write t.pool id (Bytes.of_string encoded);
+  let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+  Hashtbl.replace t.versions id v;
+  Hashtbl.replace t.decoded id (v, node)
+
+let write_node t id node = commit_node t id node (encode_node t node)
+
+let alloc_page t =
+  t.n_pages <- t.n_pages + 1;
+  Buffer_pool.alloc t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(prefix_compression = true) ~name pool =
+  let page_size = Pager.page_size (Buffer_pool.pager pool) in
+  let t =
+    {
+      pool;
+      page_size;
+      prefix_compression;
+      root = -1;
+      n_entries = 0;
+      n_pages = 0;
+      height = 1;
+      name;
+      decoded = Hashtbl.create 256;
+      versions = Hashtbl.create 256;
+    }
+  in
+  let root = alloc_page t in
+  write_node t root (Leaf { entries = [||]; next = 0 });
+  t.root <- root;
+  t
+
+let name t = t.name
+let entry_count t = t.n_entries
+let page_count t = t.n_pages
+let size_bytes t = t.n_pages * t.page_size
+let height t = t.height
+
+(* ------------------------------------------------------------------ *)
+(* Search helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of the child to descend into for [key]: the first [i] with
+   key <= keys.(i). Equality descends LEFT because duplicate keys may
+   span a leaf boundary (the separator is the right leaf's first key);
+   a scan starting in the left leaf reaches the right duplicates via
+   the next pointer. *)
+let child_index keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare key keys.(mid) <= 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* First entry index with entry key >= [key]. *)
+let lower_bound entries key =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, _ = entries.(mid) in
+    if String.compare k key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+(* Insert position among duplicates: after all entries with the same key
+   and payload <= the new payload, giving (key, payload) order. *)
+let insert_position entries key payload =
+  let i = ref (lower_bound entries key) in
+  let n = Array.length entries in
+  while
+    !i < n
+    &&
+    let k, p = entries.(!i) in
+    String.compare k key = 0 && String.compare p payload <= 0
+  do
+    incr i
+  done;
+  !i
+
+type split = No_split | Split of string * int (* separator key, new right page *)
+
+let rec insert_at t page key payload =
+  match read_node t page with
+  | Leaf l ->
+    let i = insert_position l.entries key payload in
+    l.entries <- array_insert l.entries i (key, payload);
+    let encoded = encode_leaf t l.entries l.next in
+    if String.length encoded <= t.page_size then begin
+      commit_node t page (Leaf l) encoded;
+      No_split
+    end
+    else begin
+      let n = Array.length l.entries in
+      let mid = n / 2 in
+      let left = Array.sub l.entries 0 mid in
+      let right = Array.sub l.entries mid (n - mid) in
+      let right_page = alloc_page t in
+      write_node t right_page (Leaf { entries = right; next = l.next });
+      write_node t page (Leaf { entries = left; next = right_page + 1 });
+      Split (fst right.(0), right_page)
+    end
+  | Internal node ->
+    let ci = child_index node.keys key in
+    (match insert_at t node.children.(ci) key payload with
+    | No_split -> No_split
+    | Split (sep, right_page) ->
+      let keys = array_insert node.keys ci sep in
+      let children = array_insert node.children (ci + 1) right_page in
+      let encoded = encode_internal keys children in
+      if String.length encoded <= t.page_size then begin
+        commit_node t page (Internal { keys; children }) encoded;
+        No_split
+      end
+      else begin
+        let n = Array.length keys in
+        let mid = n / 2 in
+        let sep_up = keys.(mid) in
+        let left_keys = Array.sub keys 0 mid in
+        let right_keys = Array.sub keys (mid + 1) (n - mid - 1) in
+        let left_children = Array.sub children 0 (mid + 1) in
+        let right_children = Array.sub children (mid + 1) (n - mid) in
+        let right_page = alloc_page t in
+        write_node t right_page (Internal { keys = right_keys; children = right_children });
+        write_node t page (Internal { keys = left_keys; children = left_children });
+        Split (sep_up, right_page)
+      end)
+
+let insert t key payload =
+  let entry_size = String.length key + String.length payload + 16 in
+  if entry_size > max_entry_size t then
+    invalid_arg
+      (Printf.sprintf "Bptree.insert(%s): entry of %d bytes exceeds max %d" t.name entry_size
+         (max_entry_size t));
+  (match insert_at t t.root key payload with
+  | No_split -> ()
+  | Split (sep, right_page) ->
+    let new_root = alloc_page t in
+    write_node t new_root (Internal { keys = [| sep |]; children = [| t.root; right_page |] });
+    t.root <- new_root;
+    t.height <- t.height + 1);
+  t.n_entries <- t.n_entries + 1
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* Lazy deletion: the entry is removed from its leaf but no rebalancing
+   happens (underfull and even empty leaves are legal; scans walk the
+   next-pointer chain regardless). This matches the common commercial
+   practice of deferring structure maintenance to reorganization. *)
+let rec delete_from_leaf t page key payload =
+  match read_node t page with
+  | Internal _ -> assert false
+  | Leaf l ->
+    let n = Array.length l.entries in
+    let rec find i =
+      if i >= n then None
+      else
+        let k, p = l.entries.(i) in
+        let c = String.compare k key in
+        if c > 0 then None
+        else if c = 0 && String.equal p payload then Some i
+        else find (i + 1)
+    in
+    (match find (lower_bound l.entries key) with
+    | Some i ->
+      l.entries <- array_remove l.entries i;
+      write_node t page (Leaf l);
+      true
+    | None ->
+      (* duplicates may continue in the next leaf *)
+      if l.next = 0 then false
+      else begin
+        let next = l.next - 1 in
+        match read_node t next with
+        | Leaf nl
+          when Array.length nl.entries = 0
+               || String.compare (fst nl.entries.(0)) key <= 0 ->
+          delete_from_leaf t next key payload
+        | _ -> false
+      end)
+
+(** Remove one entry equal to ([key], [payload]); returns whether an
+    entry was found. *)
+let delete t key payload =
+  let rec descend page =
+    match read_node t page with
+    | Leaf _ -> page
+    | Internal node -> descend node.children.(child_index node.keys key)
+  in
+  let leaf = descend t.root in
+  let found = delete_from_leaf t leaf key payload in
+  if found then t.n_entries <- t.n_entries - 1;
+  found
+
+(* ------------------------------------------------------------------ *)
+(* Scans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_leaf t page key =
+  match read_node t page with
+  | Leaf _ as l -> (page, l)
+  | Internal node -> find_leaf t node.children.(child_index node.keys key) key
+
+(** [fold_range t ~lo ~hi f acc] folds [f] over all entries with
+    [lo <= key < hi] in key order. [hi = None] means unbounded above. *)
+let fold_range t ~lo ~hi f acc =
+  let below_hi k = match hi with None -> true | Some h -> String.compare k h < 0 in
+  let rec walk_leaf l acc i =
+    match l with
+    | Internal _ -> assert false
+    | Leaf leaf ->
+      let n = Array.length leaf.entries in
+      let rec entries acc i =
+        if i >= n then
+          if leaf.next = 0 then acc
+          else
+            let next_page = leaf.next - 1 in
+            walk_leaf (read_node t next_page) acc 0
+        else
+          let k, p = leaf.entries.(i) in
+          if below_hi k then entries (f acc k p) (i + 1) else acc
+      in
+      entries acc i
+  in
+  let _, leaf = find_leaf t t.root lo in
+  match leaf with
+  | Internal _ -> assert false
+  | Leaf l -> walk_leaf leaf acc (lower_bound l.entries lo)
+
+let iter_range t ~lo ~hi f = fold_range t ~lo ~hi (fun () k p -> f k p) ()
+
+(** All entries whose key starts with [prefix], in key order. *)
+let fold_prefix t ~prefix f acc =
+  fold_range t ~lo:prefix ~hi:(Codec.prefix_successor prefix) f acc
+
+let iter_prefix t ~prefix f = fold_prefix t ~prefix (fun () k p -> f k p) ()
+
+(** Payloads of all entries with exactly [key], sorted. (Duplicate
+    entries are key-ordered in the tree but their payload order across
+    leaf boundaries is unspecified, so we sort for determinism.) *)
+let lookup_all t key =
+  List.sort compare
+    (fold_range t ~lo:key ~hi:(Codec.prefix_successor key)
+       (fun acc k p -> if String.equal k key then p :: acc else acc)
+       [])
+
+let lookup_first t key =
+  match lookup_all t key with [] -> None | p :: _ -> Some p
+
+let count_range t ~lo ~hi = fold_range t ~lo ~hi (fun acc _ _ -> acc + 1) 0
+let count_prefix t ~prefix = fold_prefix t ~prefix (fun acc _ _ -> acc + 1) 0
+
+let to_list t = List.rev (fold_range t ~lo:"" ~hi:None (fun acc k p -> (k, p) :: acc) [])
+
+(* ------------------------------------------------------------------ *)
+(* Bulk loading                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [bulk_load ?prefix_compression ~name pool entries] builds a tree
+    bottom-up from [entries], which must be sorted by (key, payload).
+    Leaves are packed to a ~90% fill factor. *)
+let bulk_load ?(prefix_compression = true) ?(fill = 0.9) ~name pool entries =
+  let t = create ~prefix_compression ~name pool in
+  let budget = int_of_float (fill *. float_of_int t.page_size) in
+  (* Pack leaves greedily. We approximate the encoded size incrementally:
+     exact enough because we re-check against the real encoding. *)
+  let leaves = ref [] in
+  let current = ref [] in
+  let current_size = ref 16 in
+  let current_count = ref 0 in
+  let first_keys = ref [] in
+  let flush_leaf () =
+    if !current_count > 0 then begin
+      let arr = Array.of_list (List.rev !current) in
+      let page = alloc_page t in
+      leaves := page :: !leaves;
+      first_keys := fst arr.(0) :: !first_keys;
+      (* next pointers are fixed up after all leaves exist *)
+      write_node t page (Leaf { entries = arr; next = 0 });
+      current := [];
+      current_size := 16;
+      current_count := 0
+    end
+  in
+  let last_key = ref None in
+  List.iter
+    (fun (k, p) ->
+      (match !last_key with
+      | Some prev when String.compare prev k > 0 ->
+        invalid_arg (Printf.sprintf "Bptree.bulk_load(%s): input not sorted" name)
+      | _ -> ());
+      let shared =
+        match !last_key with
+        | Some prev when prefix_compression && !current_count > 0 -> shared_prefix_len prev k
+        | _ -> 0
+      in
+      last_key := Some k;
+      let esize = String.length k - shared + String.length p + 12 in
+      if esize > max_entry_size t then
+        invalid_arg (Printf.sprintf "Bptree.bulk_load(%s): oversized entry (%d bytes)" name esize);
+      if !current_size + esize > budget then flush_leaf ();
+      current := (k, p) :: !current;
+      current_size := !current_size + esize;
+      current_count := !current_count + 1;
+      t.n_entries <- t.n_entries + 1)
+    entries;
+  flush_leaf ();
+  let leaf_pages = Array.of_list (List.rev !leaves) in
+  let leaf_keys = Array.of_list (List.rev !first_keys) in
+  let n_leaves = Array.length leaf_pages in
+  if n_leaves = 0 then t
+  else begin
+    (* Link the leaf chain. *)
+    for i = 0 to n_leaves - 1 do
+      match read_node t leaf_pages.(i) with
+      | Leaf l ->
+        l.next <- (if i + 1 < n_leaves then leaf_pages.(i + 1) + 1 else 0);
+        write_node t leaf_pages.(i) (Leaf { entries = l.entries; next = l.next })
+      | Internal _ -> assert false
+    done;
+    (* Build internal levels bottom-up. Each internal node takes as many
+       children as fit in a page. *)
+    let rec build_level pages keys height =
+      if Array.length pages = 1 then begin
+        t.root <- pages.(0);
+        t.height <- height
+      end
+      else begin
+        let parents = ref [] and parent_keys = ref [] in
+        let i = ref 0 in
+        let n = Array.length pages in
+        while !i < n do
+          (* Greedily extend a parent while the encoding fits. *)
+          let child_list = ref [ pages.(!i) ] in
+          let key_list = ref [] in
+          let start_key = keys.(!i) in
+          incr i;
+          let fits () =
+            let ks = Array.of_list (List.rev !key_list) in
+            let cs = Array.of_list (List.rev !child_list) in
+            String.length (encode_internal ks cs) <= budget
+          in
+          let continue = ref true in
+          while !continue && !i < n do
+            key_list := keys.(!i) :: !key_list;
+            child_list := pages.(!i) :: !child_list;
+            if fits () then incr i
+            else begin
+              key_list := List.tl !key_list;
+              child_list := List.tl !child_list;
+              continue := false
+            end
+          done;
+          let ks = Array.of_list (List.rev !key_list) in
+          let cs = Array.of_list (List.rev !child_list) in
+          let page = alloc_page t in
+          write_node t page (Internal { keys = ks; children = cs });
+          parents := page :: !parents;
+          parent_keys := start_key :: !parent_keys
+        done;
+        build_level
+          (Array.of_list (List.rev !parents))
+          (Array.of_list (List.rev !parent_keys))
+          (height + 1)
+      end
+    in
+    (* The initial empty-leaf root page is wasted; acceptable bookkeeping. *)
+    build_level leaf_pages leaf_keys 1;
+    t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (used by tests)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Walk the whole tree checking ordering and fanout invariants; returns
+    the number of entries seen. Raises [Failure] on violation. *)
+let check_invariants t =
+  let rec go page lo hi depth =
+    match read_node t page with
+    | Leaf l ->
+      Array.iter
+        (fun (k, _) ->
+          (match lo with
+          | Some l when String.compare k l < 0 -> failwith "leaf key below lower bound"
+          | _ -> ());
+          (* duplicates may equal the separator on either side *)
+          match hi with
+          | Some h when String.compare k h > 0 -> failwith "leaf key above upper bound"
+          | _ -> ())
+        l.entries;
+      let sorted = ref true in
+      Array.iteri
+        (fun i (k, _) -> if i > 0 && String.compare (fst l.entries.(i - 1)) k > 0 then sorted := false)
+        l.entries;
+      if not !sorted then failwith "leaf entries unsorted";
+      (Array.length l.entries, depth)
+    | Internal node ->
+      if Array.length node.children <> Array.length node.keys + 1 then failwith "bad fanout";
+      let total = ref 0 in
+      let leaf_depth = ref (-1) in
+      Array.iteri
+        (fun i child ->
+          let lo' = if i = 0 then lo else Some node.keys.(i - 1) in
+          let hi' = if i = Array.length node.keys then hi else Some node.keys.(i) in
+          let n, d = go child lo' hi' (depth + 1) in
+          total := !total + n;
+          if !leaf_depth = -1 then leaf_depth := d
+          else if !leaf_depth <> d then failwith "leaves at different depths")
+        node.children;
+      (!total, !leaf_depth)
+  in
+  let n, _ = go t.root None None 1 in
+  if n <> t.n_entries then
+    failwith (Printf.sprintf "entry count mismatch: counted %d, recorded %d" n t.n_entries);
+  n

@@ -1,0 +1,70 @@
+(** Disk-oriented B+-tree over byte-string keys and payloads — the
+    access method realizing every member of the paper's index family.
+
+    - Duplicate keys are allowed; entries with equal keys are returned
+      in key order by scans (payload order across leaf boundaries is
+      unspecified; {!lookup_all} sorts).
+    - Nodes live in fixed-size pages accessed through a {!Buffer_pool},
+      so operations incur realistic page costs. A decoded-node cache
+      avoids re-parsing buffered pages; I/O accounting is unaffected.
+    - Leaves optionally front-code keys (prefix compression), the
+      feature the paper credits for B+-tree space efficiency on path
+      keys.
+    - Deletion is lazy (no rebalancing). *)
+
+type t
+
+val create : ?prefix_compression:bool -> name:string -> Buffer_pool.t -> t
+(** Empty tree. [prefix_compression] defaults to [true]. *)
+
+val bulk_load :
+  ?prefix_compression:bool ->
+  ?fill:float ->
+  name:string ->
+  Buffer_pool.t ->
+  (string * string) list ->
+  t
+(** Bottom-up build from entries sorted by (key, payload); leaves are
+    packed to [fill] (default 0.9) of a page.
+    @raise Invalid_argument on unsorted input or an oversized entry. *)
+
+val name : t -> string
+val entry_count : t -> int
+val page_count : t -> int
+val size_bytes : t -> int
+val height : t -> int
+
+val insert : t -> string -> string -> unit
+(** Insert an entry. @raise Invalid_argument if the entry cannot fit in
+    a quarter page. *)
+
+val delete : t -> string -> string -> bool
+(** Remove one entry equal to (key, payload); returns whether one was
+    found. *)
+
+val fold_range : t -> lo:string -> hi:string option -> ('a -> string -> string -> 'a) -> 'a -> 'a
+(** Fold over entries with [lo <= key < hi] in key order ([hi = None]
+    is unbounded). *)
+
+val iter_range : t -> lo:string -> hi:string option -> (string -> string -> unit) -> unit
+
+val fold_prefix : t -> prefix:string -> ('a -> string -> string -> 'a) -> 'a -> 'a
+(** Fold over entries whose key starts with [prefix] — the B+-tree
+    prefix scan behind the paper's reversed-schema-path [//] support. *)
+
+val iter_prefix : t -> prefix:string -> (string -> string -> unit) -> unit
+
+val lookup_all : t -> string -> string list
+(** Sorted payloads of all entries with exactly this key. *)
+
+val lookup_first : t -> string -> string option
+val count_range : t -> lo:string -> hi:string option -> int
+val count_prefix : t -> prefix:string -> int
+
+val to_list : t -> (string * string) list
+(** All entries in key order. *)
+
+val check_invariants : t -> int
+(** Walk the tree checking ordering, fanout and balance invariants;
+    returns the entry count. @raise Failure on violation. Testing
+    hook. *)

@@ -1,0 +1,129 @@
+(** LRU buffer pool over a {!Pager}.
+
+    Mirrors the paper's experimental setup (Section 5.1.1: a fixed-size
+    buffer pool with the OS cache disabled): every page access is a
+    logical read; accesses that miss the pool cost a simulated I/O
+    (a physical {!Pager.read}); dirty pages are written back on eviction
+    and on {!flush_all}. Capacity is a number of frames. *)
+
+type frame = { mutable data : bytes; mutable dirty : bool }
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t; (* page id -> frame *)
+  (* LRU order: most-recently-used at the front of [order]; we keep a
+     sequence number per page and scan for the minimum on eviction, which
+     is O(capacity) but capacity is small and eviction infrequent at our
+     scales. A doubly-linked list would be the production choice; the
+     simple scheme keeps the invariants obvious. *)
+  last_used : (int, int) Hashtbl.t;
+  mutable clock : int;
+  mutable logical_reads : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 1024) pager =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    pager;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    last_used = Hashtbl.create (2 * capacity);
+    clock = 0;
+    logical_reads = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let pager t = t.pager
+let capacity t = t.capacity
+
+let touch t id =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.last_used id t.clock
+
+let evict_one t =
+  (* Find the least-recently-used resident page and write it back if dirty. *)
+  let victim = ref (-1) and best = ref max_int in
+  Hashtbl.iter
+    (fun id seq ->
+      if seq < !best then begin
+        best := seq;
+        victim := id
+      end)
+    t.last_used;
+  let id = !victim in
+  assert (id >= 0);
+  (match Hashtbl.find_opt t.frames id with
+  | Some fr when fr.dirty -> Pager.write t.pager id fr.data
+  | _ -> ());
+  Hashtbl.remove t.frames id;
+  Hashtbl.remove t.last_used id;
+  t.evictions <- t.evictions + 1
+
+let find_frame t id =
+  match Hashtbl.find_opt t.frames id with
+  | Some fr ->
+    touch t id;
+    fr
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.frames >= t.capacity then evict_one t;
+    let fr = { data = Pager.read t.pager id; dirty = false } in
+    Hashtbl.replace t.frames id fr;
+    touch t id;
+    fr
+
+(** Read a page through the pool. The returned bytes must not be mutated;
+    use {!write} to modify a page. *)
+let read t id =
+  t.logical_reads <- t.logical_reads + 1;
+  (find_frame t id).data
+
+(** Replace a page's contents through the pool (write-back caching). *)
+let write t id data =
+  t.logical_reads <- t.logical_reads + 1;
+  (* Avoid a pointless physical read when overwriting a non-resident page. *)
+  (match Hashtbl.find_opt t.frames id with
+  | Some fr ->
+    touch t id;
+    fr.data <- data;
+    fr.dirty <- true
+  | None ->
+    if Hashtbl.length t.frames >= t.capacity then evict_one t;
+    Hashtbl.replace t.frames id { data; dirty = true };
+    touch t id)
+
+(** Allocate a fresh page (through the pager) and cache it as dirty. *)
+let alloc t =
+  let id = Pager.alloc t.pager in
+  write t id (Bytes.make (Pager.page_size t.pager) '\x00');
+  id
+
+let flush_all t =
+  Hashtbl.iter
+    (fun id fr ->
+      if fr.dirty then begin
+        Pager.write t.pager id fr.data;
+        fr.dirty <- false
+      end)
+    t.frames
+
+(** Drop every cached frame (after writing dirty ones back), simulating a
+    cold cache for benchmark runs. *)
+let clear t =
+  flush_all t;
+  Hashtbl.reset t.frames;
+  Hashtbl.reset t.last_used
+
+type stats = { logical_reads : int; misses : int; evictions : int }
+
+let stats (t : t) : stats =
+  { logical_reads = t.logical_reads; misses = t.misses; evictions = t.evictions }
+
+let reset_stats (t : t) =
+  t.logical_reads <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,33 @@
+(** LRU buffer pool over a {!Pager}: the paper's fixed-size DB2 buffer
+    pool analogue. Logical reads, misses (simulated I/O) and evictions
+    are counted; dirty pages are written back on eviction and flush. *)
+
+type t
+
+val create : ?capacity:int -> Pager.t -> t
+(** [capacity] is a number of frames (default 1024).
+    @raise Invalid_argument if capacity < 1. *)
+
+val pager : t -> Pager.t
+val capacity : t -> int
+
+val read : t -> int -> bytes
+(** Read a page through the pool. The returned bytes must not be
+    mutated; use {!write} to modify a page. *)
+
+val write : t -> int -> bytes -> unit
+(** Replace a page's contents (write-back caching). *)
+
+val alloc : t -> int
+(** Allocate a fresh page via the pager and cache it dirty. *)
+
+val flush_all : t -> unit
+(** Write every dirty frame back to the pager. *)
+
+val clear : t -> unit
+(** Flush, then drop every frame — simulates a cold cache. *)
+
+type stats = { logical_reads : int; misses : int; evictions : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,72 @@
+(** Byte-level codecs: order-preserving key encodings and compact
+    payload encodings (varints, zigzag, differential id lists). *)
+
+(** {1 Varints (unsigned LEB128)} *)
+
+val add_varint : Buffer.t -> int -> unit
+(** Append an unsigned varint. The value must be non-negative. *)
+
+val read_varint : string -> int -> int * int
+(** [read_varint s pos] is [(value, next_pos)]. *)
+
+(** {1 Zigzag-coded signed varints} *)
+
+val zigzag : int -> int
+val unzigzag : int -> int
+val add_signed_varint : Buffer.t -> int -> unit
+val read_signed_varint : string -> int -> int * int
+
+(** {1 Length-prefixed strings} *)
+
+val add_lstring : Buffer.t -> string -> unit
+val read_lstring : string -> int -> string * int
+
+(** {1 Fixed-width big-endian integers}
+
+    Encodings compare bytewise in numeric order, so they embed directly
+    in composite B+-tree keys. *)
+
+val add_u16 : Buffer.t -> int -> unit
+val read_u16 : string -> int -> int * int
+val add_u32 : Buffer.t -> int -> unit
+val read_u32 : string -> int -> int * int
+val u32_to_string : int -> string
+
+(** {1 Id lists}
+
+    [idlist] is the differential (delta + zigzag varint) encoding of
+    paper Section 4.1; [idlist_raw] stores 4 bytes per id and exists
+    for the compression ablation and for ASR relations. *)
+
+val add_idlist : Buffer.t -> int list -> unit
+val read_idlist : string -> int -> int list * int
+val idlist_to_string : int list -> string
+val idlist_of_string : string -> int list
+val add_idlist_raw : Buffer.t -> int list -> unit
+val read_idlist_raw : string -> int -> int list * int
+val idlist_raw_to_string : int list -> string
+val idlist_raw_of_string : string -> int list
+
+(** {1 Composite keys} *)
+
+val key_sep : char
+(** Component separator (0x00). *)
+
+val encode_value : string option -> string
+(** Escape a leaf value into a 0x00/0x01-free component; [None] (the
+    SQL-null of the 4-ary relation) encodes as the empty string and
+    sorts before every present value. Order-preserving. *)
+
+val decode_value : string -> string option
+
+val concat_key : string list -> string
+(** Join components with {!key_sep}. *)
+
+val split_key : string -> string list
+(** Split on {!key_sep}. Only valid when every component is
+    0x00-free (not true of fixed-width integer components). *)
+
+val prefix_successor : string -> string option
+(** Smallest string greater than every string prefixed by the argument,
+    or [None] when no such string exists. Turns a prefix scan into a
+    half-open range scan. *)

@@ -1,0 +1,100 @@
+(** Append-only heap file of variable-length records over pages.
+
+    Used for base relations (the Edge table and ASR relations). Records
+    are byte strings identified by a {!rid} (page id, slot). Page layout:
+    ['H'], u16 record count, then length-prefixed records back to back.
+    A record never spans pages; records larger than a page are refused. *)
+
+type rid = { page : int; slot : int }
+
+type t = {
+  pool : Buffer_pool.t;
+  page_size : int;
+  mutable pages : int list; (* all pages, newest first *)
+  mutable current : int; (* page being filled, -1 if none *)
+  mutable current_used : int;
+  mutable current_count : int;
+  mutable n_records : int;
+  mutable n_pages : int;
+  name : string;
+}
+
+let create ~name pool =
+  {
+    pool;
+    page_size = Pager.page_size (Buffer_pool.pager pool);
+    pages = [];
+    current = -1;
+    current_used = 0;
+    current_count = 0;
+    n_records = 0;
+    n_pages = 0;
+    name;
+  }
+
+let name t = t.name
+let record_count t = t.n_records
+let page_count t = t.n_pages
+let size_bytes t = t.n_pages * t.page_size
+
+let header_size = 3 (* tag + u16 count *)
+
+let decode_page bytes =
+  let s = Bytes.to_string bytes in
+  if String.length s = 0 || s.[0] <> 'H' then [||]
+  else begin
+    let count, pos = Codec.read_u16 s 1 in
+    let records = Array.make count "" in
+    let pos = ref pos in
+    for i = 0 to count - 1 do
+      let r, p = Codec.read_lstring s !pos in
+      records.(i) <- r;
+      pos := p
+    done;
+    records
+  end
+
+let encode_page records =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'H';
+  Codec.add_u16 buf (List.length records);
+  List.iter (Codec.add_lstring buf) records;
+  Buffer.contents buf
+
+(** Append a record; returns its rid. *)
+let append t record =
+  let rsize = String.length record + 5 in
+  if rsize + header_size > t.page_size then
+    invalid_arg (Printf.sprintf "Heap_file.append(%s): record too large (%d bytes)" t.name rsize);
+  if t.current = -1 || t.current_used + rsize > t.page_size then begin
+    let page = Buffer_pool.alloc t.pool in
+    t.current <- page;
+    t.current_used <- header_size;
+    t.current_count <- 0;
+    t.pages <- page :: t.pages;
+    t.n_pages <- t.n_pages + 1
+  end;
+  let existing = Array.to_list (decode_page (Buffer_pool.read t.pool t.current)) in
+  let records = existing @ [ record ] in
+  Buffer_pool.write t.pool t.current (Bytes.of_string (encode_page records));
+  let slot = t.current_count in
+  t.current_used <- t.current_used + rsize;
+  t.current_count <- t.current_count + 1;
+  t.n_records <- t.n_records + 1;
+  { page = t.current; slot }
+
+(** Fetch the record at [rid]. *)
+let get t rid =
+  let records = decode_page (Buffer_pool.read t.pool rid.page) in
+  if rid.slot >= Array.length records then
+    invalid_arg (Printf.sprintf "Heap_file.get(%s): bad rid" t.name);
+  records.(rid.slot)
+
+(** Fold over all records in insertion order. *)
+let fold t f acc =
+  List.fold_left
+    (fun acc page ->
+      Array.fold_left (fun acc r -> f acc r) acc (decode_page (Buffer_pool.read t.pool page)))
+    acc (List.rev t.pages)
+
+let iter t f = fold t (fun () r -> f r) ()

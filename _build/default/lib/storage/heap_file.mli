@@ -1,0 +1,25 @@
+(** Append-only heap file of variable-length records over pages, for
+    base relations (the Edge table, ASR relations). *)
+
+type rid = { page : int; slot : int }
+(** Record identifier. *)
+
+type t
+
+val create : name:string -> Buffer_pool.t -> t
+val name : t -> string
+val record_count : t -> int
+val page_count : t -> int
+val size_bytes : t -> int
+
+val append : t -> string -> rid
+(** Append a record. @raise Invalid_argument if it cannot fit in one
+    page. *)
+
+val get : t -> rid -> string
+(** @raise Invalid_argument on a bad rid. *)
+
+val fold : t -> ('a -> string -> 'a) -> 'a -> 'a
+(** Fold over all records in insertion order. *)
+
+val iter : t -> (string -> unit) -> unit

@@ -1,0 +1,67 @@
+(** Simulated disk: a growable array of fixed-size pages.
+
+    The pager is the bottom of the storage stack. It hands out page ids,
+    stores raw page images, and counts {e physical} reads and writes.
+    All structured access should go through {!Buffer_pool}, which adds
+    caching and counts {e logical} accesses; the gap between the two is
+    the simulated I/O that the benchmark harness reports. *)
+
+type t = {
+  page_size : int;
+  mutable pages : bytes array; (* backing store, grown geometrically *)
+  mutable n_pages : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+}
+
+let default_page_size = 8192
+
+let create ?(page_size = default_page_size) () =
+  { page_size; pages = Array.make 64 Bytes.empty; n_pages = 0; physical_reads = 0; physical_writes = 0 }
+
+let page_size t = t.page_size
+let page_count t = t.n_pages
+
+(** Total bytes occupied on the simulated disk. *)
+let size_bytes t = t.n_pages * t.page_size
+
+let grow t needed =
+  if needed > Array.length t.pages then begin
+    let cap = max needed (2 * Array.length t.pages) in
+    let pages = Array.make cap Bytes.empty in
+    Array.blit t.pages 0 pages 0 t.n_pages;
+    t.pages <- pages
+  end
+
+(** Allocate a fresh zeroed page; returns its id. *)
+let alloc t =
+  grow t (t.n_pages + 1);
+  let id = t.n_pages in
+  t.pages.(id) <- Bytes.make t.page_size '\x00';
+  t.n_pages <- id + 1;
+  id
+
+let check_id t id =
+  if id < 0 || id >= t.n_pages then invalid_arg (Printf.sprintf "Pager: bad page id %d" id)
+
+(** Physical read: returns a copy of the page image. *)
+let read t id =
+  check_id t id;
+  t.physical_reads <- t.physical_reads + 1;
+  Bytes.copy t.pages.(id)
+
+(** Physical write: stores a copy of [data] (padded/truncated to page size). *)
+let write t id data =
+  check_id t id;
+  t.physical_writes <- t.physical_writes + 1;
+  let page = Bytes.make t.page_size '\x00' in
+  let len = min (Bytes.length data) t.page_size in
+  Bytes.blit data 0 page 0 len;
+  t.pages.(id) <- page
+
+let reset_stats t =
+  t.physical_reads <- 0;
+  t.physical_writes <- 0
+
+let physical_reads t = t.physical_reads
+let physical_writes t = t.physical_writes

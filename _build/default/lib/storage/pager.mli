@@ -1,0 +1,29 @@
+(** Simulated disk: a growable array of fixed-size pages with physical
+    I/O accounting. Structured access should go through
+    {!Buffer_pool}. *)
+
+type t
+
+val default_page_size : int
+(** 8 KiB. *)
+
+val create : ?page_size:int -> unit -> t
+val page_size : t -> int
+val page_count : t -> int
+
+val size_bytes : t -> int
+(** Total bytes occupied on the simulated disk. *)
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page; returns its id. *)
+
+val read : t -> int -> bytes
+(** Physical read (counted); returns a copy of the page image.
+    @raise Invalid_argument on an unallocated page id. *)
+
+val write : t -> int -> bytes -> unit
+(** Physical write (counted); pads or truncates to the page size. *)
+
+val reset_stats : t -> unit
+val physical_reads : t -> int
+val physical_writes : t -> int

@@ -1,0 +1,9 @@
+(** Parser for the XML subset used by this reproduction: elements,
+    attributes, text, self-closing tags, comments, XML declarations,
+    the five predefined entities. Multiple top-level elements parse to
+    a forest. *)
+
+exception Parse_error of string
+
+val parse : string -> Xml_tree.document
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,163 @@
+(** XML data model: rooted, ordered, labeled trees (paper Section 2.1).
+
+    Non-leaf nodes are elements and attributes, labeled with tags or
+    attribute names; leaf nodes are string values. Per the paper
+    (Figure 1(b)), each non-leaf node carries a unique numeric id,
+    assigned in depth-first (document) order; value leaves carry no id
+    ([no_id]). A {!document} wraps one or more roots under a virtual
+    root with id 0 (paper Section 3.3, footnote 4), so a forest of XML
+    documents is supported uniformly. *)
+
+type label =
+  | Elem of string  (** element, labeled with its tag *)
+  | Attr of string  (** attribute, labeled with its name *)
+  | Value of string  (** leaf value (element text or attribute value) *)
+
+type node = { mutable id : int; label : label; mutable children : node array }
+
+type document = {
+  virtual_root_id : int;  (** always 0 *)
+  roots : node array;  (** document roots, children of the virtual root *)
+  node_count : int;  (** number of numbered (non-value) nodes, incl. virtual root *)
+}
+
+let no_id = -1
+
+(* ------------------------------------------------------------------ *)
+(* Constructors (ids are assigned by [document])                       *)
+(* ------------------------------------------------------------------ *)
+
+let elem tag children = { id = no_id; label = Elem tag; children = Array.of_list children }
+
+(** An attribute node with its value leaf, e.g. [attr "income" "9876.00"]. *)
+let attr name value =
+  { id = no_id; label = Attr name; children = [| { id = no_id; label = Value value; children = [||] } |] }
+
+let text value = { id = no_id; label = Value value; children = [||] }
+
+(** An element with a single text leaf, e.g. [elem_text "year" "1998"]. *)
+let elem_text tag value = elem tag [ text value ]
+
+let is_value node = match node.label with Value _ -> true | Elem _ | Attr _ -> false
+
+let label_name node =
+  match node.label with Elem t -> t | Attr a -> a | Value v -> v
+
+(** Assign depth-first pre-order ids (virtual root = 0, first root = 1, …)
+    and return the finished document. Value leaves keep [no_id]. *)
+let document roots =
+  let counter = ref 0 in
+  let rec number node =
+    match node.label with
+    | Value _ -> node.id <- no_id
+    | Elem _ | Attr _ ->
+      incr counter;
+      node.id <- !counter;
+      Array.iter number node.children
+  in
+  List.iter number roots;
+  { virtual_root_id = 0; roots = Array.of_list roots; node_count = !counter + 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals and measures                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Pre-order fold over all nodes (value leaves included), with the path
+    of ancestors (nearest first) available to the visitor. *)
+let fold_with_ancestors doc f acc =
+  let rec go ancestors acc node =
+    let acc = f acc ~ancestors node in
+    Array.fold_left (go (node :: ancestors)) acc node.children
+  in
+  Array.fold_left (go []) acc doc.roots
+
+let fold doc f acc = fold_with_ancestors doc (fun acc ~ancestors:_ n -> f acc n) acc
+let iter doc f = fold doc (fun () n -> f n) ()
+
+(** Number of element/attribute nodes (excluding the virtual root). *)
+let element_count doc =
+  fold doc (fun acc n -> if is_value n then acc else acc + 1) 0
+
+let value_count doc = fold doc (fun acc n -> if is_value n then acc + 1 else acc) 0
+
+(** Maximum depth of any node, counting a document root as depth 1. *)
+let depth doc =
+  let rec go d node = Array.fold_left (fun m c -> max m (go (d + 1) c)) d node.children in
+  Array.fold_left (fun m r -> max m (go 1 r)) 0 doc.roots
+
+(** The single text value directly under [node], if any. *)
+let leaf_value node =
+  Array.fold_left
+    (fun acc c -> match c.label with Value v -> Some v | Elem _ | Attr _ -> acc)
+    None node.children
+
+(** Find the node with a given id (linear; for tests and tools). *)
+let find_by_id doc id =
+  fold doc (fun acc n -> if n.id = id then Some n else acc) None
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_buffer buf doc =
+  let rec go indent node =
+    match node.label with
+    | Value v ->
+      Buffer.add_string buf indent;
+      Buffer.add_string buf (escape_text v);
+      Buffer.add_char buf '\n'
+    | Attr _ -> () (* attributes are printed inline by their element *)
+    | Elem tag ->
+      Buffer.add_string buf indent;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      Array.iter
+        (fun c ->
+          match c.label with
+          | Attr name ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf name;
+            Buffer.add_string buf "=\"";
+            (match leaf_value c with Some v -> Buffer.add_string buf (escape_text v) | None -> ());
+            Buffer.add_char buf '"'
+          | Elem _ | Value _ -> ())
+        node.children;
+      let non_attr_children =
+        Array.to_list node.children
+        |> List.filter (fun c -> match c.label with Attr _ -> false | _ -> true)
+      in
+      (match non_attr_children with
+      | [] -> Buffer.add_string buf "/>\n"
+      | [ { label = Value v; _ } ] ->
+        Buffer.add_char buf '>';
+        Buffer.add_string buf (escape_text v);
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_string buf ">\n"
+      | children ->
+        Buffer.add_string buf ">\n";
+        List.iter (go (indent ^ "  ")) children;
+        Buffer.add_string buf indent;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_string buf ">\n")
+  in
+  Array.iter (go "") doc.roots
+
+let to_string doc =
+  let buf = Buffer.create 4096 in
+  to_buffer buf doc;
+  Buffer.contents buf

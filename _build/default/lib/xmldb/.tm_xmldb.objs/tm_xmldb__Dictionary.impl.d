@@ -1,0 +1,1 @@
+lib/xmldb/dictionary.ml: Array Bytes Char Hashtbl String

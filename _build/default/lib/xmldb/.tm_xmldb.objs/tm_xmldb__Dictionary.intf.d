@@ -1,0 +1,1 @@
+lib/xmldb/dictionary.mli:

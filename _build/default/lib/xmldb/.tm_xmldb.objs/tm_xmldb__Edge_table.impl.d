@@ -1,0 +1,1 @@
+lib/xmldb/edge_table.ml: Bptree Buffer Codec Dictionary Hashtbl Heap_file List Option Shred String Tm_storage

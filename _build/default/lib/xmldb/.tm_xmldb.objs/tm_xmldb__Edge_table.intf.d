@@ -1,0 +1,1 @@
+lib/xmldb/edge_table.mli: Dictionary Shred Tm_storage Tm_xml

@@ -1,0 +1,1 @@
+lib/xmldb/path_relation.ml: Array List Schema_path Shred

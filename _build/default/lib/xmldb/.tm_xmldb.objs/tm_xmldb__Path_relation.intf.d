@@ -1,0 +1,1 @@
+lib/xmldb/path_relation.mli: Dictionary Schema_path Shred Tm_xml

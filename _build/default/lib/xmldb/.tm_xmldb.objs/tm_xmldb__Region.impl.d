@@ -1,0 +1,1 @@
+lib/xmldb/region.ml: Array Tm_xml

@@ -1,0 +1,1 @@
+lib/xmldb/region.mli: Tm_xml

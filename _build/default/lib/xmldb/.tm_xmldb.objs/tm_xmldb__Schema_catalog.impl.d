@@ -1,0 +1,1 @@
+lib/xmldb/schema_catalog.ml: Hashtbl List Schema_path Shred

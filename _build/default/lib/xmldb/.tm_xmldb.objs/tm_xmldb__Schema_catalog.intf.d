@@ -1,0 +1,1 @@
+lib/xmldb/schema_catalog.mli: Dictionary Schema_path Shred Tm_xml

@@ -1,0 +1,1 @@
+lib/xmldb/schema_path.ml: Array Buffer Dictionary List Stdlib String

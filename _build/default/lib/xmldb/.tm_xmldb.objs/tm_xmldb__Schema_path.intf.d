@@ -1,0 +1,1 @@
+lib/xmldb/schema_path.mli: Dictionary

@@ -1,0 +1,1 @@
+lib/xmldb/shred.ml: Array Dictionary List Schema_path Tm_xml

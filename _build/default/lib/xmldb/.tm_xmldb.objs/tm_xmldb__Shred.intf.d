@@ -1,0 +1,1 @@
+lib/xmldb/shred.mli: Dictionary Schema_path Tm_xml

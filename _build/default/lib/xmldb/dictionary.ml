@@ -1,0 +1,59 @@
+(** Tag/attribute-name dictionary (paper Section 3.1).
+
+    Schema components (element tags and attribute names) are
+    dictionary-encoded as fixed-width 2-byte designators, the relational
+    analogue of the paper's "special characters" (B for book, U for
+    allauthors, ...). Fixed width keeps reversal and prefix matching on
+    unit boundaries; the bytes avoid 0x00 so designator strings can be
+    embedded as components of composite B+-tree keys. *)
+
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let byte_base = 0x04
+let byte_range = 0xfb - byte_base (* 247 values per byte, no 0x00..0x03 *)
+
+let max_tags = byte_range * byte_range
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let tag_count t = t.next
+
+(** Id for [name], allocating one on first sight. *)
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    if t.next >= max_tags then failwith "Dictionary: too many distinct tags";
+    let id = t.next in
+    t.next <- id + 1;
+    if id >= Array.length t.by_id then begin
+      let arr = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 arr 0 id;
+      t.by_id <- arr
+    end;
+    t.by_id.(id) <- name;
+    Hashtbl.replace t.by_name name id;
+    id
+
+(** Id for [name] if already interned. *)
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.next then invalid_arg "Dictionary.name: bad tag id";
+  t.by_id.(id)
+
+(** The 2-byte designator for a tag id. *)
+let designator id =
+  let hi = byte_base + (id / byte_range) and lo = byte_base + (id mod byte_range) in
+  let b = Bytes.create 2 in
+  Bytes.set b 0 (Char.chr hi);
+  Bytes.set b 1 (Char.chr lo);
+  Bytes.to_string b
+
+let of_designator s pos =
+  let hi = Char.code s.[pos] - byte_base and lo = Char.code s.[pos + 1] - byte_base in
+  (hi * byte_range) + lo

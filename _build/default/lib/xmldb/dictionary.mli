@@ -1,0 +1,24 @@
+(** Tag/attribute-name dictionary: schema components are encoded as
+    fixed-width 2-byte designators (paper Section 3.1), free of
+    reserved bytes so they embed in composite B+-tree keys. *)
+
+type t
+
+val create : unit -> t
+val tag_count : t -> int
+
+val intern : t -> string -> int
+(** Id for a name, allocating on first sight.
+    @raise Failure past {!max_tags}. *)
+
+val find : t -> string -> int option
+val name : t -> int -> string
+(** @raise Invalid_argument on a bad id. *)
+
+val designator : int -> string
+(** The 2-byte designator; order-preserving in the id. *)
+
+val of_designator : string -> int -> int
+(** Decode the designator at an offset. *)
+
+val max_tags : int

@@ -1,0 +1,68 @@
+(** Generator for the 4-ary relation [(HeadId, SchemaPath, LeafValue,
+    IdList)] of paper Section 3.1 (Figure 2), and its two adaptations:
+
+    - {e root paths} (Figure 4): only rows whose head is the virtual
+      root — every prefix of every root-to-leaf data path. This feeds
+      ROOTPATHS.
+    - {e all subpaths} (Figure 5): additionally one row per
+      (ancestor-or-self head, descendant) pair. This feeds DATAPATHS.
+
+    For a node with rooted tags [t1..tk] and ids [i1..ik], the rows are:
+    head 0 (virtual root) with schema path [t1..tk] and id list
+    [i1..ik]; and, when all subpaths are requested, for each j >= 1 a
+    row with head [ij], schema path [tj..tk] (the head's own tag is
+    included, as in Figure 2's "1 B null []"), and id list
+    [i(j+1)..ik] (the head's id is excluded). Every row is emitted with
+    LeafValue null, plus a duplicate carrying the value when the path
+    ends at a node with a leaf value. *)
+
+type row = {
+  head : int;
+  schema : Schema_path.t;
+  value : string option;
+  idlist : int list;
+}
+
+(** Root-path rows contributed by one node (a null row plus a value row
+    when the node has a leaf value). *)
+let node_root_rows (info : Shred.node_info) =
+  let idlist = Array.to_list info.Shred.ids in
+  let base = { head = 0; schema = info.Shred.path; value = None; idlist } in
+  match info.Shred.value with None -> [ base ] | Some v -> [ base; { base with value = Some v } ]
+
+(** All-subpath rows contributed by one node: the virtual-root row plus
+    one per ancestor-or-self head, each with its value duplicate. *)
+let node_all_rows (info : Shred.node_info) =
+  let k = Array.length info.Shred.ids in
+  let with_value base =
+    match info.Shred.value with None -> [ base ] | Some v -> [ base; { base with value = Some v } ]
+  in
+  let rec go acc j =
+    if j > k then List.rev acc
+    else
+      let head = info.Shred.ids.(j - 1) in
+      let schema = Schema_path.suffix info.Shred.path (k - j + 1) in
+      let idlist = Array.to_list (Array.sub info.Shred.ids j (k - j)) in
+      go (List.rev_append (with_value { head; schema; value = None; idlist }) acc) (j + 1)
+  in
+  with_value { head = 0; schema = info.Shred.path; value = None; idlist = Array.to_list info.Shred.ids }
+  @ go [] 1
+
+(** Fold [f] over every root-path row of [doc] (heads are all 0). *)
+let fold_root_rows doc dict f acc =
+  Shred.fold_nodes doc dict
+    (fun acc info -> List.fold_left f acc (node_root_rows info))
+    acc
+
+(** Fold [f] over every subpath row of [doc] (heads are 0 and every
+    proper ancestor-or-self). Row count is Theta(nodes x depth): this is
+    exactly the space-time tradeoff the paper studies. *)
+let fold_all_rows doc dict f acc =
+  Shred.fold_nodes doc dict
+    (fun acc info -> List.fold_left f acc (node_all_rows info))
+    acc
+
+(** Materialize root-path rows as a list (tests, small inputs). *)
+let root_rows doc dict = List.rev (fold_root_rows doc dict (fun acc r -> r :: acc) [])
+
+let all_rows doc dict = List.rev (fold_all_rows doc dict (fun acc r -> r :: acc) [])

@@ -1,0 +1,28 @@
+(** Generator for the 4-ary relation [(HeadId, SchemaPath, LeafValue,
+    IdList)] of paper Section 3.1: root-path rows (Figure 4, feeding
+    ROOTPATHS) and all-subpath rows (Figure 5, feeding DATAPATHS). Every
+    path yields a null-value row plus a value row when it ends at a node
+    with a leaf value. *)
+
+type row = {
+  head : int;  (** 0 = virtual root; otherwise the subpath's start node *)
+  schema : Schema_path.t;  (** includes the head's own tag (Figure 2) *)
+  value : string option;
+  idlist : int list;  (** ids below the head; excludes the head itself *)
+}
+
+val node_root_rows : Shred.node_info -> row list
+(** Root-path rows of a single node (incremental maintenance). *)
+
+val node_all_rows : Shred.node_info -> row list
+(** All-subpath rows of a single node (incremental maintenance). *)
+
+val fold_root_rows :
+  Tm_xml.Xml_tree.document -> Dictionary.t -> ('a -> row -> 'a) -> 'a -> 'a
+
+val fold_all_rows :
+  Tm_xml.Xml_tree.document -> Dictionary.t -> ('a -> row -> 'a) -> 'a -> 'a
+(** Theta(nodes x depth) rows — the paper's space-time tradeoff. *)
+
+val root_rows : Tm_xml.Xml_tree.document -> Dictionary.t -> row list
+val all_rows : Tm_xml.Xml_tree.document -> Dictionary.t -> row list

@@ -1,0 +1,64 @@
+(** Region (interval) encoding of node positions.
+
+    The paper's footnote 3 points out that its simple numeric ids can
+    be replaced by containment-enabling identifiers "such as those in
+    [34]" (Zhang et al.): each node gets a ([start], [end], [level])
+    triple with [start] < [desc.start] <= [end] exactly for
+    descendants. Our depth-first pre-order ids {e are} start positions,
+    so the region index only adds the end bound and the level, computed
+    in one traversal and held in flat arrays (a real system would store
+    them in the Edge tuple).
+
+    This module powers the structural-join engines in [Tm_joins] — the
+    comparison the paper could not run because no commercial system
+    implemented structural joins at the time (Section 5.1.2). *)
+
+module T = Tm_xml.Xml_tree
+
+type t = {
+  end_ : int array;  (** [end_.(id)]: largest descendant id (inclusive); own id if leaf *)
+  level : int array;  (** [level.(id)]: depth, document roots = 1 *)
+  count : int;
+}
+
+let build (doc : T.document) =
+  let n = doc.T.node_count in
+  let end_ = Array.make n 0 in
+  let level = Array.make n 0 in
+  let rec go depth (node : T.node) =
+    if T.is_value node then 0
+    else begin
+      let id = node.T.id in
+      level.(id) <- depth;
+      let last = Array.fold_left (fun acc c -> max acc (go (depth + 1) c)) id node.T.children in
+      end_.(id) <- last;
+      last
+    end
+  in
+  Array.iter (fun r -> ignore (go 1 r)) doc.T.roots;
+  (* the virtual root spans everything *)
+  end_.(0) <- n - 1;
+  level.(0) <- 0;
+  { end_; level; count = n }
+
+let check t id = if id < 0 || id >= t.count then invalid_arg "Region: bad node id"
+
+let end_of t id =
+  check t id;
+  t.end_.(id)
+
+let level_of t id =
+  check t id;
+  t.level.(id)
+
+(** Strict ancestorship: [anc] properly contains [desc]. *)
+let is_ancestor t ~anc ~desc =
+  check t anc;
+  check t desc;
+  anc < desc && desc <= t.end_.(anc)
+
+(** Parent-child: containment plus adjacent levels. (With pre-order ids
+    and levels this is exact: the parent is the nearest enclosing node,
+    and no non-parent ancestor can sit one level above.) *)
+let is_parent t ~parent ~child =
+  is_ancestor t ~anc:parent ~desc:child && t.level.(child) = t.level.(parent) + 1

@@ -1,0 +1,19 @@
+(** Region (interval) encoding: ([start = pre-order id], [end],
+    [level]) per node, enabling O(1) containment tests (the Zhang et
+    al. identifiers of the paper's footnote 3). *)
+
+type t
+
+val build : Tm_xml.Xml_tree.document -> t
+
+val end_of : t -> int -> int
+(** Largest descendant id (inclusive). @raise Invalid_argument on a
+    bad id; likewise below. *)
+
+val level_of : t -> int -> int
+(** Depth; document roots have level 1, the virtual root 0. *)
+
+val is_ancestor : t -> anc:int -> desc:int -> bool
+(** Strict (proper) ancestorship. *)
+
+val is_parent : t -> parent:int -> child:int -> bool

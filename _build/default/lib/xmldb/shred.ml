@@ -1,0 +1,52 @@
+(** Single shredding pass over a document.
+
+    Everything relational in this system — the Edge table, the schema
+    catalog, the 4-ary path relation behind ROOTPATHS/DATAPATHS, the ASR
+    and Join-Index relations — is derived from one traversal that visits
+    every element/attribute node together with its rooted schema path
+    and rooted id list. *)
+
+type node_info = {
+  id : int;  (** this node's id *)
+  tag : int;  (** this node's tag id (interned) *)
+  parent_id : int;  (** 0 for document roots (the virtual root) *)
+  parent_tag : int;  (** -1 for document roots *)
+  path : Schema_path.t;  (** rooted schema path, ending at this node *)
+  ids : int array;  (** rooted id list [i1..ik]; [ids.(k-1) = id] *)
+  value : string option;  (** leaf value directly under this node, if any *)
+}
+
+(** Fold [f] over every element/attribute node in document order,
+    interning tags into [dict] as they are first seen. *)
+let fold_nodes (doc : Tm_xml.Xml_tree.document) dict f acc =
+  let module T = Tm_xml.Xml_tree in
+  (* rev_tags / rev_ids are the ancestor chain including the current node,
+     nearest first. *)
+  let rec go ~rev_tags ~rev_ids ~parent_id ~parent_tag acc (node : T.node) =
+    match node.T.label with
+    | T.Value _ -> acc
+    | T.Elem name | T.Attr name ->
+      let tag = Dictionary.intern dict name in
+      let rev_tags = tag :: rev_tags in
+      let rev_ids = node.T.id :: rev_ids in
+      let info =
+        {
+          id = node.T.id;
+          tag;
+          parent_id;
+          parent_tag;
+          path = Schema_path.of_list (List.rev rev_tags);
+          ids = Array.of_list (List.rev rev_ids);
+          value = T.leaf_value node;
+        }
+      in
+      let acc = f acc info in
+      Array.fold_left
+        (go ~rev_tags ~rev_ids ~parent_id:node.T.id ~parent_tag:tag)
+        acc node.T.children
+  in
+  Array.fold_left
+    (go ~rev_tags:[] ~rev_ids:[] ~parent_id:doc.T.virtual_root_id ~parent_tag:(-1))
+    acc doc.T.roots
+
+let iter_nodes doc dict f = fold_nodes doc dict (fun () info -> f info) ()

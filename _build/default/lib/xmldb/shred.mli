@@ -1,0 +1,20 @@
+(** Single shredding pass over a document: every relational structure
+    (Edge table, catalog, 4-ary path relation, ASR/JI relations) derives
+    from this traversal. *)
+
+type node_info = {
+  id : int;
+  tag : int;
+  parent_id : int;  (** 0 for document roots (the virtual root) *)
+  parent_tag : int;  (** -1 for document roots *)
+  path : Schema_path.t;  (** rooted schema path ending at this node *)
+  ids : int array;  (** rooted id list; last element = [id] *)
+  value : string option;  (** leaf value directly under this node *)
+}
+
+val fold_nodes :
+  Tm_xml.Xml_tree.document -> Dictionary.t -> ('a -> node_info -> 'a) -> 'a -> 'a
+(** Fold over every element/attribute node in document order, interning
+    tags into the dictionary as first seen. *)
+
+val iter_nodes : Tm_xml.Xml_tree.document -> Dictionary.t -> (node_info -> unit) -> unit

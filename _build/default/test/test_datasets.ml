@@ -1,0 +1,136 @@
+(* Tests for the dataset generators and the workload: determinism,
+   planted special values, and the selectivity classes the paper's
+   experiments depend on. *)
+
+module T = Tm_xml.Xml_tree
+module X = Tm_datasets.Xmark_gen
+module D = Tm_datasets.Dblp_gen
+module W = Tm_datasets.Workload
+
+let check = Alcotest.check
+
+let xmark = lazy (X.generate { X.seed = 5; scale = 0.2 })
+let dblp = lazy (D.generate { D.seed = 5; scale = 0.05 })
+
+(* count nodes with tag [tag] and leaf value [v] *)
+let count_value doc tag v =
+  T.fold doc
+    (fun acc n ->
+      if (not (T.is_value n)) && T.label_name n = tag && T.leaf_value n = Some v then acc + 1
+      else acc)
+    0
+
+let test_xmark_deterministic () =
+  let a = X.generate { X.seed = 5; scale = 0.05 } in
+  let b = X.generate { X.seed = 5; scale = 0.05 } in
+  check Alcotest.string "same document" (T.to_string a) (T.to_string b);
+  let c = X.generate { X.seed = 6; scale = 0.05 } in
+  if T.to_string a = T.to_string c then Alcotest.fail "different seeds produced identical data"
+
+let test_xmark_special_values () =
+  let doc = Lazy.force xmark in
+  check Alcotest.int "one quantity=5" 1 (count_value doc "quantity" "5");
+  check Alcotest.int "one unique income" 1 (count_value doc "income" "46814.17");
+  check Alcotest.int "one Hagen Artosi" 1 (count_value doc "name" "Hagen Artosi");
+  check Alcotest.int "three special annotations" 3 (count_value doc "person" "person22082")
+
+let test_xmark_selectivity_classes () =
+  let doc = Lazy.force xmark in
+  let q v = count_value doc "quantity" v in
+  if not (q "5" < q "2" && q "2" < q "1") then
+    Alcotest.failf "quantity classes broken: 5->%d 2->%d 1->%d" (q "5") (q "2") (q "1");
+  let inc v = count_value doc "increase" v in
+  if not (inc "75.00" * 5 < inc "3.00") then
+    Alcotest.failf "increase classes broken: 75.00->%d 3.00->%d" (inc "75.00") (inc "3.00");
+  let income v = count_value doc "income" v in
+  if not (income "46814.17" * 10 < income "9876.00") then
+    Alcotest.failf "income classes broken: %d vs %d" (income "46814.17") (income "9876.00")
+
+let test_xmark_six_item_paths () =
+  (* Figure 13 setup: '//item' must match six distinct schema paths *)
+  let doc = Lazy.force xmark in
+  let dict = Tm_xmldb.Dictionary.create () in
+  let catalog = Tm_xmldb.Schema_catalog.build dict doc in
+  let item = Option.get (Tm_xmldb.Dictionary.find dict "item") in
+  let matching =
+    Tm_xmldb.Schema_catalog.paths_with_suffix catalog (Tm_xmldb.Schema_path.of_list [ item ])
+  in
+  check Alcotest.int "six //item paths" 6 (List.length matching)
+
+let test_xmark_scaling () =
+  let small = X.generate { X.seed = 5; scale = 0.05 } in
+  let large = X.generate { X.seed = 5; scale = 0.2 } in
+  if T.element_count large <= T.element_count small then
+    Alcotest.fail "scale factor does not grow the document"
+
+let test_dblp_deterministic () =
+  let a = D.generate { D.seed = 9; scale = 0.02 } in
+  let b = D.generate { D.seed = 9; scale = 0.02 } in
+  check Alcotest.string "same document" (T.to_string a) (T.to_string b)
+
+let test_dblp_shape () =
+  let doc = Lazy.force dblp in
+  (* forest of records, shallow *)
+  if Array.length doc.T.roots < 100 then Alcotest.fail "too few records";
+  if T.depth doc > 5 then Alcotest.failf "DBLP should be shallow, depth=%d" (T.depth doc);
+  check Alcotest.int "exactly one 1950" 1 (count_value doc "year" "1950");
+  let y v = count_value doc "year" v in
+  if not (y "1950" < y "1979" && y "1979" < y "1998") then
+    Alcotest.failf "year classes broken: %d %d %d" (y "1950") (y "1979") (y "1998")
+
+let test_dblp_record_variety () =
+  let doc = Lazy.force dblp in
+  let kinds =
+    Array.to_list doc.T.roots |> List.map T.label_name |> List.sort_uniq compare
+  in
+  if List.length kinds < 4 then
+    Alcotest.failf "expected several record types, got %s" (String.concat "," kinds);
+  check Alcotest.bool "inproceedings dominate" true
+    (Array.length doc.T.roots * 3 / 4
+    <= (Array.to_list doc.T.roots |> List.filter (fun r -> T.label_name r = "inproceedings") |> List.length))
+
+let test_workload_lookup () =
+  check Alcotest.int "20 queries" 20 (List.length W.all);
+  let q = W.find "Q12x" in
+  check Alcotest.int "branches" 2 q.W.branches;
+  check Alcotest.bool "xmark" true (q.W.dataset = W.Xmark);
+  (match W.find "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  let r = W.recursive_variant q in
+  check Alcotest.string "recursive name" "Q12xr" r.W.name;
+  check Alcotest.bool "leading //" true (String.length r.W.xpath > 1 && String.sub r.W.xpath 0 2 = "//")
+
+let test_workload_queries_have_results () =
+  let xdoc = Lazy.force xmark and ddoc = Lazy.force dblp in
+  List.iter
+    (fun (q : W.query) ->
+      let doc = match q.W.dataset with W.Xmark -> xdoc | W.Dblp -> ddoc in
+      let n = List.length (Tm_query.Naive.query doc (W.parse q)) in
+      if n = 0 then Alcotest.failf "%s has no results at test scale" q.W.name)
+    W.all
+
+let suite =
+  [
+    ( "xmark",
+      [
+        Alcotest.test_case "deterministic" `Quick test_xmark_deterministic;
+        Alcotest.test_case "planted special values" `Quick test_xmark_special_values;
+        Alcotest.test_case "selectivity classes" `Quick test_xmark_selectivity_classes;
+        Alcotest.test_case "six //item paths" `Quick test_xmark_six_item_paths;
+        Alcotest.test_case "scale grows data" `Quick test_xmark_scaling;
+      ] );
+    ( "dblp",
+      [
+        Alcotest.test_case "deterministic" `Quick test_dblp_deterministic;
+        Alcotest.test_case "shape and year classes" `Quick test_dblp_shape;
+        Alcotest.test_case "record variety" `Quick test_dblp_record_variety;
+      ] );
+    ( "workload",
+      [
+        Alcotest.test_case "lookup and variants" `Quick test_workload_lookup;
+        Alcotest.test_case "all queries nonempty" `Slow test_workload_queries_have_results;
+      ] );
+  ]
+
+let () = Alcotest.run "tm_datasets" suite

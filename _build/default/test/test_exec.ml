@@ -1,0 +1,128 @@
+(* Tests for the execution primitives: binding relations and joins.
+   hash_join and merge_join are checked against a reference nested-loop
+   natural join with qcheck-generated inputs. *)
+
+open Tm_exec
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let rel cols rows = Relation.create (Array.of_list cols) (List.map Array.of_list rows)
+
+let rows_sorted r = List.sort compare (List.map Array.to_list r.Relation.rows)
+
+let test_project_distinct () =
+  let r = rel [ 1; 2; 3 ] [ [ 10; 20; 30 ]; [ 10; 21; 30 ]; [ 10; 20; 30 ] ] in
+  let p = Relation.project r [ 1; 3 ] in
+  check Alcotest.(list (list int)) "projection" [ [ 10; 30 ]; [ 10; 30 ]; [ 10; 30 ] ]
+    (List.map Array.to_list p.Relation.rows);
+  check Alcotest.int "distinct" 1 (Relation.cardinality (Relation.distinct p));
+  check Alcotest.(list int) "column values" [ 20; 21 ] (Relation.column_values r 2)
+
+let test_hash_join_basic () =
+  let a = rel [ 1; 2 ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ] in
+  let b = rel [ 2; 3 ] [ [ 10; 100 ]; [ 10; 101 ]; [ 30; 300 ] ] in
+  let j = Relation.hash_join a b in
+  check Alcotest.(list int) "columns" [ 1; 2; 3 ] (Array.to_list (Relation.columns j));
+  check
+    Alcotest.(list (list int))
+    "rows"
+    [ [ 1; 10; 100 ]; [ 1; 10; 101 ]; [ 3; 30; 300 ] ]
+    (rows_sorted j)
+
+let test_merge_join_equals_hash () =
+  let a = rel [ 1; 2 ] [ [ 1; 10 ]; [ 2; 10 ]; [ 3; 30 ] ] in
+  let b = rel [ 2 ] [ [ 10 ]; [ 10 ]; [ 40 ] ] in
+  check
+    Alcotest.(list (list int))
+    "same result"
+    (rows_sorted (Relation.hash_join a b))
+    (rows_sorted (Relation.merge_join a b))
+
+let test_join_on_multiple_columns () =
+  let a = rel [ 1; 2 ] [ [ 1; 10 ]; [ 1; 11 ] ] in
+  let b = rel [ 1; 2; 3 ] [ [ 1; 10; 7 ]; [ 1; 12; 8 ] ] in
+  let j = Relation.hash_join a b in
+  check Alcotest.(list (list int)) "joined on both" [ [ 1; 10; 7 ] ] (rows_sorted j)
+
+let test_join_callbacks () =
+  let a = rel [ 1 ] [ [ 1 ]; [ 2 ] ] in
+  let b = rel [ 1 ] [ [ 1 ]; [ 1 ]; [ 3 ] ] in
+  let probes = ref 0 and results = ref 0 in
+  ignore
+    (Relation.hash_join
+       ~on_probe:(fun () -> incr probes)
+       ~on_result:(fun () -> incr results)
+       a b);
+  check Alcotest.int "probes" 3 !probes;
+  check Alcotest.int "results" 2 !results
+
+(* Reference natural join. *)
+let nested_loop_join a b =
+  let shared = Relation.shared_columns a b in
+  let a_idx = List.map (fun c -> Option.get (Relation.column_index a c)) shared in
+  let b_idx = List.map (fun c -> Option.get (Relation.column_index b c)) shared in
+  let b_extra =
+    Array.to_list (Relation.columns b) |> List.filter (fun c -> not (List.mem c shared))
+  in
+  let b_extra_idx = List.map (fun c -> Option.get (Relation.column_index b c)) b_extra in
+  List.concat_map
+    (fun arow ->
+      List.filter_map
+        (fun brow ->
+          if List.map (fun i -> arow.(i)) a_idx = List.map (fun i -> brow.(i)) b_idx then
+            Some (Array.append arow (Array.of_list (List.map (fun i -> brow.(i)) b_extra_idx)))
+          else None)
+        b.Relation.rows)
+    a.Relation.rows
+  |> List.map Array.to_list |> List.sort compare
+
+let gen_rel cols =
+  QCheck.Gen.(
+    map
+      (fun rows -> rel cols rows)
+      (list_size (int_range 0 20) (flatten_l (List.map (fun _ -> int_bound 4) cols))))
+
+let prop_joins_match_reference =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(pair (gen_rel [ 1; 2 ]) (gen_rel [ 2; 3 ]))
+  in
+  QCheck.Test.make ~name:"hash and merge join match nested-loop reference" ~count:200 gen
+    (fun (a, b) ->
+      let reference = nested_loop_join a b in
+      rows_sorted (Relation.hash_join a b) = reference
+      && rows_sorted (Relation.merge_join a b) = reference)
+
+let prop_join_no_shared_is_cross_product =
+  let gen = QCheck.make QCheck.Gen.(pair (gen_rel [ 1 ]) (gen_rel [ 2 ])) in
+  QCheck.Test.make ~name:"join without shared columns = cross product" ~count:50 gen
+    (fun (a, b) ->
+      Relation.cardinality (Relation.hash_join a b)
+      = Relation.cardinality a * Relation.cardinality b)
+
+let test_stats () =
+  let s = Stats.create () in
+  s.Stats.index_lookups <- 3;
+  s.Stats.join_steps <- 1;
+  let s2 = Stats.add s s in
+  check Alcotest.int "add lookups" 6 s2.Stats.index_lookups;
+  check Alcotest.int "add joins" 2 s2.Stats.join_steps;
+  check Alcotest.bool "pp" true (String.length (Format.asprintf "%a" Stats.pp s2) > 0)
+
+let suite =
+  [
+    ( "relation",
+      [
+        Alcotest.test_case "project/distinct/columns" `Quick test_project_distinct;
+        Alcotest.test_case "hash join" `Quick test_hash_join_basic;
+        Alcotest.test_case "merge = hash" `Quick test_merge_join_equals_hash;
+        Alcotest.test_case "multi-column join" `Quick test_join_on_multiple_columns;
+        Alcotest.test_case "join callbacks" `Quick test_join_callbacks;
+        qtest prop_joins_match_reference;
+        qtest prop_join_no_shared_is_cross_product;
+      ] );
+    ("stats", [ Alcotest.test_case "accumulate" `Quick test_stats ]);
+  ]
+
+let () = Alcotest.run "tm_exec" suite

@@ -1,0 +1,391 @@
+(* Tests for the index family and the baselines, including literal
+   checks of the paper's Section 2.3 FreeIndex/BoundIndex examples and
+   the Section 4 compression variants. *)
+
+open Tm_storage
+open Tm_xmldb
+open Tm_index
+module T = Tm_xml.Xml_tree
+
+let check = Alcotest.check
+
+(* Figure 1 example; ids: book=1 title=2 allauthors=3 author=4 fn=5
+   ln=6 author=7 fn=8 ln=9 author=10 fn=11 ln=12 year=13. *)
+let figure1_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+type ctx = {
+  dict : Dictionary.t;
+  catalog : Schema_catalog.t;
+  pool : Buffer_pool.t;
+  doc : T.document;
+}
+
+let make_ctx () =
+  let doc = figure1_doc () in
+  let pool = Buffer_pool.create ~capacity:4096 (Pager.create ()) in
+  let dict = Dictionary.create () in
+  let catalog = Schema_catalog.build dict doc in
+  { dict; catalog; pool; doc }
+
+let build ?idlist_codec ?head_filter ctx config =
+  Family.build ?idlist_codec ?head_filter ~pool:ctx.pool ~dict:ctx.dict ~catalog:ctx.catalog
+    config ctx.doc
+
+let tags ctx names = Schema_path.of_list (List.map (fun n -> Option.get (Dictionary.find ctx.dict n)) names)
+
+
+let scan_ids ?head ?value fam ~schema =
+  List.sort compare
+    (Family.scan fam ?head ?value ~schema (fun acc h -> h.Family.h_ids :: acc) [])
+
+(* ------------------------------------------------------------------ *)
+(* ROOTPATHS: the paper's FreeIndex example (Section 2.3)              *)
+(* ------------------------------------------------------------------ *)
+
+let test_rootpaths_freeindex_example () =
+  (* "A lookup for the PCsubpath /book/allauthors/author[fn = 'jane']
+     gives the id lists ([1,5,6,7], [1,5,41,42])" — with our numbering:
+     [1;3;4;5] and [1;3;10;11]. *)
+  let ctx = make_ctx () in
+  let rp = build ctx Family.rootpaths in
+  let schema = Family.Exact (tags ctx [ "book"; "allauthors"; "author"; "fn" ]) in
+  let got = scan_ids rp ~value:(Some "jane") ~schema in
+  check
+    Alcotest.(list (list int))
+    "jane id lists"
+    [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ]
+    got;
+  (* "[ln = 'doe'] gives ([1,5,21,25],[1,5,41,45])" -> [1;3;7;9],[1;3;10;12] *)
+  let schema = Family.Exact (tags ctx [ "book"; "allauthors"; "author"; "ln" ]) in
+  let got = scan_ids rp ~value:(Some "doe") ~schema in
+  check
+    Alcotest.(list (list int))
+    "doe id lists"
+    [ [ 1; 3; 7; 9 ]; [ 1; 3; 10; 12 ] ]
+    got
+  (* the author id (penultimate entry) is 4/10 vs 7/10: intersecting on
+     it yields author 10, the paper's merge-join step *)
+
+let test_rootpaths_recursive_lookup () =
+  (* "//author[fn='jane']" = suffix probe on (jane, reverse FA) *)
+  let ctx = make_ctx () in
+  let rp = build ctx Family.rootpaths in
+  let got =
+    scan_ids rp ~value:(Some "jane") ~schema:(Family.Suffix (tags ctx [ "author"; "fn" ]))
+  in
+  check Alcotest.(list (list int)) "suffix probe" [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ] got;
+  (* structural (null) variant: //author/fn without value *)
+  let got = scan_ids rp ~value:None ~schema:(Family.Suffix (tags ctx [ "author"; "fn" ])) in
+  check Alcotest.int "three fn paths" 3 (List.length got)
+
+let test_rootpaths_stores_prefixes () =
+  (* unlike Index Fabric, prefix paths are present: /book alone works *)
+  let ctx = make_ctx () in
+  let rp = build ctx Family.rootpaths in
+  check
+    Alcotest.(list (list int))
+    "/book" [ [ 1 ] ]
+    (scan_ids rp ~value:None ~schema:(Family.Exact (tags ctx [ "book" ])))
+
+(* ------------------------------------------------------------------ *)
+(* DATAPATHS: the BoundIndex example (Sections 2.3 and 3.3)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_datapaths_boundindex_example () =
+  (* Probe for //author[ln = 'doe'] rooted at book id 1. *)
+  let ctx = make_ctx () in
+  let dp = build ctx Family.datapaths in
+  let got =
+    scan_ids dp ~head:1 ~value:(Some "doe")
+      ~schema:(Family.Suffix (tags ctx [ "author"; "ln" ]))
+  in
+  (* id lists exclude the head: [3;7;9] and [3;10;12] *)
+  check Alcotest.(list (list int)) "bound doe" [ [ 3; 7; 9 ]; [ 3; 10; 12 ] ] got;
+  (* bound at the allauthors node (id 3) instead *)
+  let got =
+    scan_ids dp ~head:3 ~value:(Some "doe")
+      ~schema:(Family.Suffix (tags ctx [ "author"; "ln" ]))
+  in
+  check Alcotest.(list (list int)) "bound at 3" [ [ 7; 9 ]; [ 10; 12 ] ] got;
+  (* a different head yields nothing *)
+  let got =
+    scan_ids dp ~head:4 ~value:(Some "doe")
+      ~schema:(Family.Suffix (tags ctx [ "author"; "ln" ]))
+  in
+  check Alcotest.(list (list int)) "author 4 has no doe" [] got
+
+let test_datapaths_freeindex_via_virtual_root () =
+  (* Section 3.3 footnote: head 0 solves FreeIndex *)
+  let ctx = make_ctx () in
+  let dp = build ctx Family.datapaths in
+  let got =
+    scan_ids dp ~head:0 ~value:(Some "jane")
+      ~schema:(Family.Suffix (tags ctx [ "author"; "fn" ]))
+  in
+  check Alcotest.(list (list int)) "free via head 0" [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ] got
+
+let test_datapaths_requires_head () =
+  let ctx = make_ctx () in
+  let dp = build ctx Family.datapaths in
+  match scan_ids dp ~value:(Some "jane") ~schema:Family.Any_schema with
+  | exception Family.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported without a head"
+
+(* ------------------------------------------------------------------ *)
+(* DataGuide and Index Fabric semantics (Figure 3 rows)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataguide_returns_last_ids () =
+  let ctx = make_ctx () in
+  let dg = build ctx Family.dataguide in
+  let got =
+    scan_ids dg ~value:None ~schema:(Family.Exact (tags ctx [ "book"; "allauthors"; "author" ]))
+  in
+  check Alcotest.(list (list int)) "author last ids" [ [ 4 ]; [ 7 ]; [ 10 ] ] got
+
+let test_dataguide_cannot_suffix () =
+  let ctx = make_ctx () in
+  let dg = build ctx Family.dataguide in
+  match scan_ids dg ~value:None ~schema:(Family.Suffix (tags ctx [ "author" ])) with
+  | exception Family.Unsupported _ -> ()
+  | _ -> Alcotest.fail "forward keys must reject suffix probes"
+
+let test_index_fabric_path_value_lookup () =
+  let ctx = make_ctx () in
+  let ifab = build ctx Family.index_fabric in
+  let got =
+    scan_ids ifab ~value:(Some "jane")
+      ~schema:(Family.Exact (tags ctx [ "book"; "allauthors"; "author"; "fn" ]))
+  in
+  check Alcotest.(list (list int)) "leaf ids only" [ [ 5 ]; [ 11 ] ] got;
+  (* root-to-leaf only: no prefix paths stored *)
+  let got = scan_ids ifab ~value:None ~schema:(Family.Exact (tags ctx [ "book" ])) in
+  check Alcotest.(list (list int)) "no structural prefix" [] got;
+  check Alcotest.bool "smaller than rootpaths" true
+    (Family.entry_count ifab < Family.entry_count (build ctx Family.rootpaths))
+
+(* ------------------------------------------------------------------ *)
+(* Compression variants (Section 4)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_raw_and_delta_agree () =
+  let ctx = make_ctx () in
+  let delta = build ~idlist_codec:`Delta ctx Family.rootpaths in
+  let raw = build ~idlist_codec:`Raw ctx { Family.rootpaths with Family.cfg_name = "rp_raw" } in
+  let probe fam =
+    scan_ids fam ~value:(Some "doe") ~schema:(Family.Suffix (tags ctx [ "ln" ]))
+  in
+  check Alcotest.(list (list int)) "same answers" (probe delta) (probe raw)
+
+let test_schema_compressed_exact_works_suffix_fails () =
+  let ctx = make_ctx () in
+  let rp = build ctx Family.rootpaths_schema_compressed in
+  let exact = tags ctx [ "book"; "allauthors"; "author"; "fn" ] in
+  check
+    Alcotest.(list (list int))
+    "exact ok"
+    [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ]
+    (scan_ids rp ~value:(Some "jane") ~schema:(Family.Exact exact));
+  match scan_ids rp ~value:(Some "jane") ~schema:(Family.Suffix (tags ctx [ "fn" ])) with
+  | exception Family.Unsupported _ -> ()
+  | _ -> Alcotest.fail "schema-id keys must reject '//'"
+
+let test_head_pruning () =
+  let ctx = make_ctx () in
+  let full = build ctx Family.datapaths in
+  let pruned =
+    build
+      ~head_filter:(fun h -> h = 1) (* keep only the book as a branch point *)
+      ctx
+      { Family.datapaths with Family.cfg_name = "dp_pruned" }
+  in
+  check Alcotest.bool "pruned smaller" true (Family.entry_count pruned < Family.entry_count full);
+  (* probes at the retained head still work *)
+  let probe fam head =
+    scan_ids fam ~head ~value:(Some "doe") ~schema:(Family.Suffix (tags ctx [ "ln" ]))
+  in
+  check Alcotest.(list (list int)) "head 1 kept" (probe full 1) (probe pruned 1);
+  (* probes at pruned heads return nothing (INLJ disabled there) *)
+  check Alcotest.(list (list int)) "head 3 pruned" [] (probe pruned 3);
+  (* FreeIndex (virtual root) is always preserved *)
+  check Alcotest.(list (list int)) "head 0 kept" (probe full 0) (probe pruned 0)
+
+let test_idlist_pruning () =
+  let ctx = make_ctx () in
+  let full = build ctx Family.rootpaths in
+  let keep_last =
+    Family.build
+      ~id_keep:(fun _ ids ->
+        match List.rev ids with [] -> [] | last :: _ -> [ last ])
+      ~pool:ctx.pool ~dict:ctx.dict ~catalog:ctx.catalog
+      { Family.rootpaths with Family.cfg_name = "rp_lastonly" }
+      ctx.doc
+  in
+  check Alcotest.bool "pruned not larger" true
+    (Family.size_bytes keep_last <= Family.size_bytes full);
+  let got =
+    scan_ids keep_last ~value:(Some "jane") ~schema:(Family.Suffix (tags ctx [ "author"; "fn" ]))
+  in
+  (* only the leaf ids survive: branch extraction impossible *)
+  check Alcotest.(list (list int)) "only leaf ids" [ [ 5 ]; [ 11 ] ] got
+
+(* ------------------------------------------------------------------ *)
+(* Value-range scans (Section 7 extension)                             *)
+(* ------------------------------------------------------------------ *)
+
+let range_ids ?head fam ctx ~lo ~hi ~suffix =
+  List.sort compare
+    (Family.scan_value_range fam ?head ~lo ~hi ~schema:(Family.Suffix (tags ctx suffix))
+       (fun acc (h : Family.hit) -> h.Family.h_ids :: acc)
+       [])
+
+let test_rootpaths_value_range () =
+  let ctx = make_ctx () in
+  let rp = build ctx Family.rootpaths in
+  (* fn values: jane, john, jane; range [jane, jane] hits both janes *)
+  check
+    Alcotest.(list (list int))
+    "point range"
+    [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ]
+    (range_ids rp ctx ~lo:(Some ("jane", true)) ~hi:(Some ("jane", true)) ~suffix:[ "fn" ]);
+  (* exclusive lower bound drops jane, keeps john *)
+  check
+    Alcotest.(list (list int))
+    "exclusive lo"
+    [ [ 1; 3; 7; 8 ] ]
+    (range_ids rp ctx ~lo:(Some ("jane", false)) ~hi:None ~suffix:[ "fn" ]);
+  (* open range over ln: doe, doe, poe *)
+  check Alcotest.int "open range" 3
+    (List.length (range_ids rp ctx ~lo:None ~hi:None ~suffix:[ "ln" ]));
+  (* prefix-extension false positives are filtered: hi = 'jan' must not
+     include 'jane' *)
+  check
+    Alcotest.(list (list int))
+    "prefix extension excluded" []
+    (range_ids rp ctx ~lo:None ~hi:(Some ("jan", true)) ~suffix:[ "fn" ]
+    |> List.filter (fun _ -> true))
+
+let test_datapaths_bound_range () =
+  let ctx = make_ctx () in
+  let dp = build ctx Family.datapaths in
+  (* range probe bound at allauthors(3): both doe rows *)
+  check
+    Alcotest.(list (list int))
+    "bound range"
+    [ [ 7; 9 ]; [ 10; 12 ] ]
+    (range_ids ~head:3 dp ctx ~lo:(Some ("doe", true)) ~hi:(Some ("doe", true)) ~suffix:[ "ln" ])
+
+let test_dataguide_range_unsupported () =
+  let ctx = make_ctx () in
+  let dg = build ctx Family.dataguide in
+  match range_ids dg ctx ~lo:None ~hi:None ~suffix:[ "fn" ] with
+  | exception Family.Unsupported _ -> ()
+  | _ -> Alcotest.fail "DataGuide has no value component; range must be rejected"
+
+let test_edge_value_range () =
+  let ctx = make_ctx () in
+  let edge = Edge_table.build ctx.pool ctx.dict ctx.doc in
+  let tag name = Option.get (Dictionary.find ctx.dict name) in
+  check Alcotest.(list int) "fn >= jane" [ 5; 8; 11 ]
+    (List.sort compare
+       (Edge_table.lookup_value_range edge ~tag:(tag "fn") ~lo:(Some ("jane", true)) ~hi:None));
+  check Alcotest.(list int) "fn > jane" [ 8 ]
+    (Edge_table.lookup_value_range edge ~tag:(tag "fn") ~lo:(Some ("jane", false)) ~hi:None);
+  check Alcotest.int "range cardinality" 2
+    (Edge_table.range_cardinality edge ~tag:(tag "ln") ~lo:(Some ("doe", true))
+       ~hi:(Some ("doe", true)))
+
+(* ------------------------------------------------------------------ *)
+(* ASR and Join Indices                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_asr_relations () =
+  let ctx = make_ctx () in
+  let a = Asr.build ~pool:ctx.pool ~dict:ctx.dict ~catalog:ctx.catalog ctx.doc in
+  check Alcotest.int "one relation per rooted path" (Schema_catalog.path_count ctx.catalog)
+    (Asr.relation_count a);
+  let path = tags ctx [ "book"; "allauthors"; "author"; "fn" ] in
+  let tuples = List.sort compare (Asr.scan_relation a ~path ~value:(Some "jane") (fun acc t -> t :: acc) []) in
+  check Alcotest.(list (list int)) "jane tuples" [ [ 1; 3; 4; 5 ]; [ 1; 3; 10; 11 ] ] tuples;
+  let all = Asr.scan_relation a ~path (fun acc _ -> acc + 1) 0 in
+  check Alcotest.int "all instances" 3 all;
+  check Alcotest.int "matching // paths" 1
+    (List.length (Asr.matching_paths a (tags ctx [ "fn" ])))
+
+let test_join_index_lookups () =
+  let ctx = make_ctx () in
+  let ji = Join_index.build ~pool:ctx.pool ~dict:ctx.dict ~catalog:ctx.catalog ctx.doc in
+  (* forward: from allauthors(3) along allauthors/author -> authors *)
+  let p = tags ctx [ "allauthors"; "author" ] in
+  check Alcotest.(list int) "forward" [ 4; 7; 10 ]
+    (List.sort compare (Join_index.forward_lookup ji ~path:p ~start:3));
+  check Alcotest.(list int) "backward" [ 3 ] (Join_index.backward_lookup ji ~path:p ~end_:7);
+  (* rooted subpath book->fn *)
+  let rooted = tags ctx [ "book"; "allauthors"; "author"; "fn" ] in
+  check Alcotest.(list int) "rooted backward" [ 1 ]
+    (Join_index.backward_lookup ji ~path:rooted ~end_:11);
+  check Alcotest.int "all pairs" 3 (List.length (Join_index.all_pairs ji ~path:p));
+  check Alcotest.bool "two trees per subpath" true (Join_index.pair_count ji > 0);
+  (* a subpath absent from the data *)
+  check Alcotest.(list int) "missing subpath" []
+    (Join_index.forward_lookup ji ~path:(tags ctx [ "fn"; "ln" ]) ~start:5)
+
+let suite =
+  [
+    ( "rootpaths",
+      [
+        Alcotest.test_case "FreeIndex example (paper 2.3)" `Quick test_rootpaths_freeindex_example;
+        Alcotest.test_case "recursive suffix probe" `Quick test_rootpaths_recursive_lookup;
+        Alcotest.test_case "stores prefixes" `Quick test_rootpaths_stores_prefixes;
+      ] );
+    ( "datapaths",
+      [
+        Alcotest.test_case "BoundIndex example (paper 2.3/3.3)" `Quick
+          test_datapaths_boundindex_example;
+        Alcotest.test_case "FreeIndex via virtual root" `Quick
+          test_datapaths_freeindex_via_virtual_root;
+        Alcotest.test_case "probe requires head" `Quick test_datapaths_requires_head;
+      ] );
+    ( "dataguide+fabric",
+      [
+        Alcotest.test_case "DataGuide last ids" `Quick test_dataguide_returns_last_ids;
+        Alcotest.test_case "DataGuide rejects suffix" `Quick test_dataguide_cannot_suffix;
+        Alcotest.test_case "Index Fabric (path,value)" `Quick test_index_fabric_path_value_lookup;
+      ] );
+    ( "compression",
+      [
+        Alcotest.test_case "raw = delta answers" `Quick test_raw_and_delta_agree;
+        Alcotest.test_case "schema compression loses //" `Quick
+          test_schema_compressed_exact_works_suffix_fails;
+        Alcotest.test_case "head pruning" `Quick test_head_pruning;
+        Alcotest.test_case "idlist pruning" `Quick test_idlist_pruning;
+      ] );
+    ( "ranges",
+      [
+        Alcotest.test_case "ROOTPATHS value range" `Quick test_rootpaths_value_range;
+        Alcotest.test_case "DATAPATHS bound range" `Quick test_datapaths_bound_range;
+        Alcotest.test_case "DataGuide rejects ranges" `Quick test_dataguide_range_unsupported;
+        Alcotest.test_case "Edge value range" `Quick test_edge_value_range;
+      ] );
+    ( "baselines",
+      [
+        Alcotest.test_case "ASR relations" `Quick test_asr_relations;
+        Alcotest.test_case "Join Index lookups" `Quick test_join_index_lookups;
+      ] );
+  ]
+
+let () = Alcotest.run "tm_index" suite

@@ -1,0 +1,208 @@
+(* Tests for the structural-join engines: region encoding, the
+   stack-based semi-join against a nested-loop reference, and both
+   engines against the naive oracle (fixed cases + randomized). *)
+
+open Tm_xmldb
+open Tm_joins
+module T = Tm_xml.Xml_tree
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+          T.elem "chapter" [ T.elem_text "title" "XML"; T.elem "section" [ T.elem_text "head" "Origins" ] ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Region encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_region_basics () =
+  let doc = book_doc () in
+  let r = Region.build doc in
+  (* book=1 spans everything; title=2 is a leaf *)
+  check Alcotest.int "book end" (T.element_count doc) (Region.end_of r 1);
+  check Alcotest.int "title end" 2 (Region.end_of r 2);
+  check Alcotest.int "book level" 1 (Region.level_of r 1);
+  check Alcotest.int "title level" 2 (Region.level_of r 2);
+  check Alcotest.bool "book anc of fn" true (Region.is_ancestor r ~anc:1 ~desc:5);
+  check Alcotest.bool "not self-anc" false (Region.is_ancestor r ~anc:5 ~desc:5);
+  check Alcotest.bool "siblings not anc" false (Region.is_ancestor r ~anc:2 ~desc:3);
+  check Alcotest.bool "author parent of fn" true (Region.is_parent r ~parent:4 ~child:5);
+  check Alcotest.bool "allauthors not parent of fn" false (Region.is_parent r ~parent:3 ~child:5)
+
+let test_region_matches_tree () =
+  (* is_ancestor agrees with the tree on every pair *)
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 2; scale = 0.01 } in
+  let r = Region.build doc in
+  let ancs = Hashtbl.create 256 in
+  T.fold_with_ancestors doc
+    (fun () ~ancestors n ->
+      if not (T.is_value n) then
+        List.iter (fun (a : T.node) -> Hashtbl.replace ancs (a.T.id, n.T.id) ()) ancestors)
+    ();
+  let ids = T.fold doc (fun acc n -> if T.is_value n then acc else n.T.id :: acc) [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun d ->
+          let expected = Hashtbl.mem ancs (a, d) in
+          if Region.is_ancestor r ~anc:a ~desc:d <> expected then
+            Alcotest.failf "is_ancestor(%d,%d) should be %b" a d expected)
+        (List.filteri (fun i _ -> i mod 7 = 0) ids))
+    (List.filteri (fun i _ -> i mod 13 = 0) ids)
+
+(* ------------------------------------------------------------------ *)
+(* Structural semi-join vs reference                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_semijoin_matches_reference =
+  let doc = lazy (Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 4; scale = 0.01 }) in
+  let gen =
+    QCheck.Gen.(
+      let* axis = oneofl [ Structural_join.Child; Structural_join.Descendant ] in
+      let doc = Lazy.force doc in
+      let n = doc.T.node_count - 1 in
+      let* ancs = list_size (int_range 0 40) (int_range 1 n) in
+      let* descs = list_size (int_range 0 40) (int_range 1 n) in
+      return (axis, List.sort_uniq compare ancs, List.sort_uniq compare descs))
+  in
+  QCheck.Test.make ~name:"semijoin agrees with nested-loop join" ~count:200 (QCheck.make gen)
+    (fun (axis, ancs, descs) ->
+      let region = Region.build (Lazy.force doc) in
+      let got_ancs, got_descs = Structural_join.semijoin region ~axis ~ancs ~descs in
+      let pairs = Structural_join.join region ~axis ~ancs ~descs in
+      let want_ancs = List.sort_uniq compare (List.map fst pairs) in
+      let want_descs = List.sort_uniq compare (List.map snd pairs) in
+      got_ancs = want_ancs && List.sort compare got_descs = want_descs)
+
+(* ------------------------------------------------------------------ *)
+(* Engines vs the oracle                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx doc =
+  let pool = Tm_storage.Buffer_pool.create ~capacity:4096 (Tm_storage.Pager.create ()) in
+  let dict = Dictionary.create () in
+  let edge = Edge_table.build pool dict doc in
+  Context.build ~pool ~dict ~edge doc
+
+let check_engines doc ctx xpath =
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let expected = Tm_query.Naive.query doc twig in
+  check Alcotest.(list int) ("STJ: " ^ xpath) expected (Engine.run_stj ctx twig).Engine.ids;
+  check Alcotest.(list int) ("PathStack: " ^ xpath) expected
+    (Engine.run_pathstack ctx twig).Engine.ids
+
+let test_engines_on_book () =
+  let doc = book_doc () in
+  let ctx = make_ctx doc in
+  List.iter (check_engines doc ctx)
+    [
+      "/book";
+      "/book/title";
+      "//title[. = 'XML']";
+      "//author[fn = 'jane']";
+      "//author[fn = 'jane'][ln = 'doe']";
+      "/book[title = 'XML']//author[fn = 'jane'][ln = 'doe']";
+      "/book//title";
+      "/book/chapter/section/head";
+      "//missing";
+      "//author[fn = 'zz']";
+    ]
+
+let test_engines_on_workload () =
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 11; scale = 0.05 } in
+  let ctx = make_ctx doc in
+  List.iter
+    (fun (q : Tm_datasets.Workload.query) ->
+      if q.Tm_datasets.Workload.dataset = Tm_datasets.Workload.Xmark then
+        check_engines doc ctx q.Tm_datasets.Workload.xpath)
+    Tm_datasets.Workload.all
+
+(* randomized: same generators as the strategy differential test *)
+let gen_doc =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  let value = oneofl [ "u"; "v" ] in
+  let rec node depth =
+    if depth = 0 then map2 T.elem_text tag value
+    else
+      frequency
+        [
+          (2, map2 T.elem_text tag value);
+          (3, map2 T.elem tag (list_size (int_range 1 3) (node (depth - 1))));
+        ]
+  in
+  map (fun roots -> T.document roots) (list_size (int_range 1 2) (node 4))
+
+let gen_xpath =
+  QCheck.Gen.oneofl
+    [
+      "//a";
+      "/a/b";
+      "//a//b";
+      "//a[b]";
+      "//a[b = 'u']";
+      "//b[a][c]";
+      "/a[b = 'u']//c";
+      "//a[b[c = 'v']]";
+      "//c[. = 'u']";
+      "//a//a[b]";
+      "//*[b = 'u']";
+      "/a/*/c";
+      "//a[*]";
+      "//c[. >= 'u']";
+      "//a[b >= 'u'][b <= 'v']";
+      "//b[. < 'v']";
+    ]
+
+let prop_engines_match_oracle =
+  QCheck.Test.make ~name:"join engines = naive oracle on random inputs" ~count:150
+    (QCheck.make QCheck.Gen.(pair gen_doc gen_xpath))
+    (fun (doc, xpath) ->
+      let ctx = make_ctx doc in
+      let twig = Tm_query.Xpath_parser.parse xpath in
+      let expected = Tm_query.Naive.query doc twig in
+      let stj = (Engine.run_stj ctx twig).Engine.ids in
+      let ps = (Engine.run_pathstack ctx twig).Engine.ids in
+      if stj <> expected then
+        QCheck.Test.fail_reportf "STJ on %s:\nexpected [%s]\ngot [%s]\n%s" xpath
+          (String.concat ";" (List.map string_of_int expected))
+          (String.concat ";" (List.map string_of_int stj))
+          (T.to_string doc)
+      else if ps <> expected then
+        QCheck.Test.fail_reportf "PathStack on %s:\nexpected [%s]\ngot [%s]\n%s" xpath
+          (String.concat ";" (List.map string_of_int expected))
+          (String.concat ";" (List.map string_of_int ps))
+          (T.to_string doc)
+      else true)
+
+let () =
+  Alcotest.run "tm_joins"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "basics" `Quick test_region_basics;
+          Alcotest.test_case "agrees with tree" `Quick test_region_matches_tree;
+        ] );
+      ("semijoin", [ qtest prop_semijoin_matches_reference ]);
+      ( "engines",
+        [
+          Alcotest.test_case "book examples" `Quick test_engines_on_book;
+          Alcotest.test_case "xmark workload" `Slow test_engines_on_workload;
+          qtest prop_engines_match_oracle;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the query layer: twig AST, XPath parser, decomposition,
+   pattern matching, naive matcher. *)
+
+open Tm_query
+module T = Tm_xml.Xml_tree
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* XPath parser                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_single_path () =
+  let t = Xpath_parser.parse "/site/regions/namerica/item/quantity[. = '5']" in
+  check Alcotest.int "5 nodes" 5 (Twig.node_count t);
+  check Alcotest.bool "no //" false (Twig.has_descendant_edge t);
+  check Alcotest.int "1 leaf" 1 (Twig.leaf_count t);
+  let out = Twig.output_node t in
+  check Alcotest.string "output is quantity" "quantity" out.Twig.name;
+  check Alcotest.(option string) "value pred" (Some "5") out.Twig.value
+
+let test_parse_twig () =
+  let t =
+    Xpath_parser.parse
+      "/site[people/person/profile/@income = '9876.00']/open_auctions/open_auction[@increase = '75.00']"
+  in
+  check Alcotest.int "nodes" 8 (Twig.node_count t);
+  check Alcotest.int "leaves" 2 (Twig.leaf_count t);
+  let out = Twig.output_node t in
+  check Alcotest.string "output" "open_auction" out.Twig.name;
+  check Alcotest.(option string) "no value on output" None out.Twig.value;
+  (* branch nodes: site (predicate + trunk) *)
+  let branches = Twig.branch_nodes t in
+  check Alcotest.(list string) "branch points" [ "site" ]
+    (List.map (fun n -> n.Twig.name) branches)
+
+let test_parse_descendant () =
+  let t = Xpath_parser.parse "/site//item[quantity = '2'][location = 'United States']" in
+  check Alcotest.bool "has //" true (Twig.has_descendant_edge t);
+  let out = Twig.output_node t in
+  check Alcotest.string "output is item" "item" out.Twig.name;
+  check Alcotest.int "item branches" 2 (List.length out.Twig.branches)
+
+let test_parse_leading_descendant () =
+  let t = Xpath_parser.parse "//author[fn = 'jane']" in
+  check Alcotest.bool "root axis" true (t.Twig.root_axis = Twig.Descendant)
+
+let test_parse_attribute_step () =
+  let t = Xpath_parser.parse "/a/@b" in
+  check Alcotest.string "attr name stripped" "b" (Twig.output_node t).Twig.name
+
+let test_parse_bare_literal () =
+  let t = Xpath_parser.parse "/site[people/person/profile/@income = 46814.17]/x" in
+  let rec find n =
+    if n.Twig.name = "income" then Some n
+    else List.fold_left (fun acc (_, c) -> if acc = None then find c else acc) None n.Twig.branches
+  in
+  match find t.Twig.root with
+  | Some n -> check Alcotest.(option string) "bare literal" (Some "46814.17") n.Twig.value
+  | None -> Alcotest.fail "income step missing"
+
+let test_parse_nested_predicate_path () =
+  let t = Xpath_parser.parse "/a[.//b/c = 'v']/d" in
+  let branches = t.Twig.root.Twig.branches in
+  check Alcotest.int "two branches" 2 (List.length branches);
+  match branches with
+  | (ax, b) :: _ ->
+    check Alcotest.bool "descendant pred" true (ax = Twig.Descendant);
+    check Alcotest.string "pred head" "b" b.Twig.name
+  | [] -> Alcotest.fail "no branches"
+
+let test_parse_ranges () =
+  let t = Xpath_parser.parse "/a/b[. >= '10'][. < '20']" in
+  let out = Twig.output_node t in
+  check Alcotest.(option string) "no equality" None out.Twig.value;
+  (match out.Twig.range with
+  | Some { Twig.rlo = Some { bval = "10"; binc = true }; rhi = Some { bval = "20"; binc = false } }
+    -> ()
+  | _ -> Alcotest.fail "range bounds wrong");
+  let t2 = Xpath_parser.parse "/a[b > 'x']" in
+  (match t2.Twig.root.Twig.branches with
+  | [ (_, b) ] -> (
+    match b.Twig.range with
+    | Some { Twig.rlo = Some { bval = "x"; binc = false }; rhi = None } -> ()
+    | _ -> Alcotest.fail "predicate range wrong")
+  | _ -> Alcotest.fail "expected one branch");
+  check Alcotest.bool "range_matches inclusive" true
+    (Twig.range_matches { Twig.rlo = Some { bval = "a"; binc = true }; rhi = None } "a");
+  check Alcotest.bool "range_matches exclusive" false
+    (Twig.range_matches { Twig.rlo = Some { bval = "a"; binc = false }; rhi = None } "a");
+  (* mixing = with a bound on one step is rejected *)
+  match Xpath_parser.parse "/a/b[. = 'x'][. > 'a']" with
+  | exception Xpath_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected rejection of mixed predicates"
+
+let test_parse_wildcard () =
+  let t = Xpath_parser.parse "/a/*/c" in
+  let names = ref [] in
+  ignore (Twig.fold_nodes (fun () n -> names := n.Twig.name :: !names) () t.Twig.root);
+  check Alcotest.(list string) "names" [ "c"; "*"; "a" ] !names
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Xpath_parser.parse s with
+    | exception Xpath_parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter expect_fail [ ""; "site"; "/"; "/a["; "/a[]"; "/a[b = ]"; "/a]"; "/a[b = 'x]" ]
+
+let test_workload_parses () =
+  List.iter
+    (fun (q : Tm_datasets.Workload.query) ->
+      match Xpath_parser.parse q.Tm_datasets.Workload.xpath with
+      | t ->
+        if Twig.leaf_count t < 1 then
+          Alcotest.failf "%s: no leaves" q.Tm_datasets.Workload.name
+      | exception Xpath_parser.Parse_error m ->
+        Alcotest.failf "%s failed to parse: %s" q.Tm_datasets.Workload.name m)
+    Tm_datasets.Workload.all
+
+let test_twig_requires_one_output () =
+  match Twig.make Twig.Child (Twig.spec "a" []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for zero outputs"
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_paths_cover () =
+  let t =
+    Xpath_parser.parse
+      "/site[people/person/name = 'x'][regions/namerica/item/location = 'y']/open_auctions/open_auction"
+  in
+  let paths = Decompose.linear_paths t in
+  check Alcotest.int "three paths" 3 (List.length paths);
+  (* every path starts at the twig root *)
+  List.iter
+    (fun (l : Decompose.linear) ->
+      match l.Decompose.steps with
+      | s :: _ -> check Alcotest.string "starts at site" "site" s.Decompose.name
+      | [] -> Alcotest.fail "empty path")
+    paths;
+  (* the union of path uids covers all twig nodes *)
+  let all_uids =
+    List.concat_map Decompose.step_uids paths |> List.sort_uniq compare
+  in
+  check Alcotest.int "covers twig" (Twig.node_count t) (List.length all_uids)
+
+let test_internal_value_node_gets_path () =
+  (* a value predicate on an internal node contributes its own linear
+     path ending there *)
+  let t = Xpath_parser.parse "/a/b[. = 'v']/c" in
+  let paths = Decompose.linear_paths t in
+  check Alcotest.int "two paths" 2 (List.length paths);
+  let values = List.map (fun (l : Decompose.linear) -> l.Decompose.value) paths in
+  check Alcotest.(list (option string)) "value path first" [ Some "v"; None ] values
+
+let test_deepest_shared_uid () =
+  let t = Xpath_parser.parse "/a/b[c = 'x']/d" in
+  match Decompose.linear_paths t with
+  | [ p1; p2 ] ->
+    let uid = Decompose.deepest_shared_uid p1 p2 in
+    (* shared prefix of a/b/c and a/b/d is a/b; b is the branch *)
+    let b_uid = (List.nth p1.Decompose.steps 1).Decompose.uid in
+    check Alcotest.int "shared at b" b_uid uid
+  | _ -> Alcotest.fail "expected two paths"
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching (match_all)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pat l = Array.of_list l
+let c t = (Twig.Child, t)
+let d t = (Twig.Descendant, t)
+
+let test_match_exact () =
+  check
+    Alcotest.(list (list int))
+    "exact"
+    [ [ 0; 1; 2 ] ]
+    (List.map Array.to_list (Decompose.match_all (pat [ c 1; c 2; c 3 ]) [| 1; 2; 3 |]))
+
+let test_match_requires_both_anchors () =
+  check Alcotest.(list (list int)) "leaf not at end" []
+    (List.map Array.to_list (Decompose.match_all (pat [ c 1; c 2 ]) [| 1; 2; 3 |]));
+  check Alcotest.(list (list int)) "root not at start" []
+    (List.map Array.to_list (Decompose.match_all (pat [ c 2; c 3 ]) [| 1; 2; 3 |]))
+
+let test_match_descendant () =
+  check
+    Alcotest.(list (list int))
+    "skips levels"
+    [ [ 0; 3 ] ]
+    (List.map Array.to_list (Decompose.match_all (pat [ c 1; d 9 ]) [| 1; 2; 3; 9 |]));
+  check
+    Alcotest.(list (list int))
+    "leading descendant"
+    [ [ 2 ] ]
+    (List.map Array.to_list (Decompose.match_all (pat [ d 3 ]) [| 1; 2; 3 |]))
+
+let test_match_multiple_bindings () =
+  (* //a//a over a path a/a: only one full anchoring (0,1); over a/a/a:
+     the leaf must land at the end, the first step may bind 0 or 1 *)
+  check
+    Alcotest.(list (list int))
+    "two bindings"
+    [ [ 0; 2 ]; [ 1; 2 ] ]
+    (List.map Array.to_list (Decompose.match_all (pat [ d 5; d 5 ]) [| 5; 5; 5 |]))
+
+let test_child_suffix () =
+  check Alcotest.(list int) "all-child pattern" [ 1; 2; 3 ]
+    (Array.to_list (Decompose.child_suffix (pat [ c 1; c 2; c 3 ])));
+  check Alcotest.(list int) "after last //" [ 7; 8 ]
+    (Array.to_list (Decompose.child_suffix (pat [ c 1; d 7; c 8 ])));
+  check Alcotest.(list int) "leading // only" [ 7; 8; 9 ]
+    (Array.to_list (Decompose.child_suffix (pat [ d 7; c 8; c 9 ])))
+
+let test_is_pcsubpath () =
+  check Alcotest.bool "all child" true (Decompose.is_pcsubpath (pat [ c 1; c 2 ]));
+  check Alcotest.bool "leading // ok" true (Decompose.is_pcsubpath (pat [ d 1; c 2 ]));
+  check Alcotest.bool "internal // not" false (Decompose.is_pcsubpath (pat [ c 1; d 2 ]))
+
+let prop_match_all_sound =
+  (* every returned position vector is monotone, tag-correct, and
+     respects the axes *)
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 4) (pair bool (int_bound 3)))
+        (list_of_size Gen.(int_range 1 8) (int_bound 3)))
+  in
+  QCheck.Test.make ~name:"match_all positions are sound" ~count:500 gen (fun (spec, path) ->
+      let pattern =
+        Array.of_list
+          (List.map (fun (desc, t) -> ((if desc then Twig.Descendant else Twig.Child), t)) spec)
+      in
+      let path = Array.of_list path in
+      List.for_all
+        (fun positions ->
+          let n = Array.length positions in
+          n = Array.length pattern
+          && positions.(n - 1) = Array.length path - 1
+          && (fst pattern.(0) = Twig.Descendant || positions.(0) = 0)
+          && Array.for_all (fun p -> path.(p) = snd pattern.(0) || true) positions
+          && List.for_all
+               (fun i ->
+                 path.(positions.(i)) = snd pattern.(i)
+                 &&
+                 if i = 0 then true
+                 else
+                   match fst pattern.(i) with
+                   | Twig.Child -> positions.(i) = positions.(i - 1) + 1
+                   | Twig.Descendant -> positions.(i) > positions.(i - 1))
+               (List.init n Fun.id))
+        (Decompose.match_all pattern path))
+
+(* ------------------------------------------------------------------ *)
+(* Naive matcher                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let doc () =
+  T.document
+    [
+      T.elem "a"
+        [
+          T.elem "b" [ T.elem_text "c" "1" ];
+          T.elem "b" [ T.elem_text "c" "2"; T.elem "b" [ T.elem_text "c" "1" ] ];
+        ];
+    ]
+
+let q s = Xpath_parser.parse s
+
+let test_naive_basics () =
+  let doc = doc () in
+  check Alcotest.(list int) "root" [ 1 ] (Naive.query doc (q "/a"));
+  check Alcotest.(list int) "all b" [ 2; 4; 6 ] (Naive.query doc (q "//b"));
+  check Alcotest.(list int) "nested b" [ 6 ] (Naive.query doc (q "/a/b/b"));
+  check Alcotest.(list int) "c=1" [ 3; 7 ] (Naive.query doc (q "//c[. = '1']"));
+  check Alcotest.(list int) "b with c=1" [ 2; 6 ] (Naive.query doc (q "//b[c = '1']"));
+  check Alcotest.(list int) "b with c=1 under b" [ 6 ] (Naive.query doc (q "/a/b//b[c = '1']"));
+  check Alcotest.(list int) "no match" [] (Naive.query doc (q "//b[c = '9']"));
+  check Alcotest.(list int) "missing tag" [] (Naive.query doc (q "//zzz"))
+
+let test_naive_twig_semantics () =
+  (* existential branch semantics: both predicates must hold at the
+     same b node *)
+  let doc = doc () in
+  check Alcotest.(list int) "b[c='2'][b/c='1']" [ 4 ]
+    (Naive.query doc (q "//b[c = '2'][b/c = '1']"));
+  check Alcotest.(list int) "b[c='1'][b]" [] (Naive.query doc (q "//b[c = '1'][b/c = '2']"))
+
+let suite =
+  [
+    ( "xpath",
+      [
+        Alcotest.test_case "single path" `Quick test_parse_single_path;
+        Alcotest.test_case "twig with predicates" `Quick test_parse_twig;
+        Alcotest.test_case "descendant axis" `Quick test_parse_descendant;
+        Alcotest.test_case "leading //" `Quick test_parse_leading_descendant;
+        Alcotest.test_case "attribute step" `Quick test_parse_attribute_step;
+        Alcotest.test_case "bare literal" `Quick test_parse_bare_literal;
+        Alcotest.test_case "nested predicate path" `Quick test_parse_nested_predicate_path;
+        Alcotest.test_case "range predicates" `Quick test_parse_ranges;
+        Alcotest.test_case "wildcard step" `Quick test_parse_wildcard;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "whole workload parses" `Quick test_workload_parses;
+        Alcotest.test_case "twig needs one output" `Quick test_twig_requires_one_output;
+      ] );
+    ( "decompose",
+      [
+        Alcotest.test_case "linear paths cover" `Quick test_linear_paths_cover;
+        Alcotest.test_case "internal value path" `Quick test_internal_value_node_gets_path;
+        Alcotest.test_case "deepest shared uid" `Quick test_deepest_shared_uid;
+      ] );
+    ( "match_all",
+      [
+        Alcotest.test_case "exact" `Quick test_match_exact;
+        Alcotest.test_case "both ends anchored" `Quick test_match_requires_both_anchors;
+        Alcotest.test_case "descendant" `Quick test_match_descendant;
+        Alcotest.test_case "multiple bindings" `Quick test_match_multiple_bindings;
+        Alcotest.test_case "child suffix" `Quick test_child_suffix;
+        Alcotest.test_case "is_pcsubpath" `Quick test_is_pcsubpath;
+        qtest prop_match_all_sound;
+      ] );
+    ( "naive",
+      [
+        Alcotest.test_case "basics" `Quick test_naive_basics;
+        Alcotest.test_case "twig semantics" `Quick test_naive_twig_semantics;
+      ] );
+  ]
+
+let () = Alcotest.run "tm_query" suite

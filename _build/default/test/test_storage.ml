@@ -1,0 +1,506 @@
+(* Tests for the storage substrate: codecs, pager, buffer pool, B+-tree,
+   heap file. The B+-tree is checked against a reference model (sorted
+   association list) with qcheck-generated workloads. *)
+
+open Tm_storage
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Codec.add_varint buf n;
+      let v, pos = Codec.read_varint (Buffer.contents buf) 0 in
+      check Alcotest.int "value" n v;
+      check Alcotest.int "consumed" (Buffer.length buf) pos)
+    [ 0; 1; 127; 128; 300; 16384; 1_000_000; max_int / 2 ]
+
+let test_signed_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Codec.add_signed_varint buf n;
+      let v, _ = Codec.read_signed_varint (Buffer.contents buf) 0 in
+      check Alcotest.int "value" n v)
+    [ 0; 1; -1; 63; -64; 64; -65; 1_000_000; -1_000_000 ]
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound 1_000_000_000)
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Codec.add_varint buf n;
+      fst (Codec.read_varint (Buffer.contents buf) 0) = n)
+
+let prop_signed_varint_roundtrip =
+  QCheck.Test.make ~name:"signed varint roundtrip" ~count:500 QCheck.int (fun n ->
+      let n = n / 4 (* stay clear of zigzag overflow at min_int *) in
+      let buf = Buffer.create 8 in
+      Codec.add_signed_varint buf n;
+      fst (Codec.read_signed_varint (Buffer.contents buf) 0) = n)
+
+let test_idlist_roundtrip () =
+  List.iter
+    (fun ids ->
+      check
+        Alcotest.(list int)
+        "delta" ids
+        (Codec.idlist_of_string (Codec.idlist_to_string ids));
+      check
+        Alcotest.(list int)
+        "raw" ids
+        (Codec.idlist_raw_of_string (Codec.idlist_raw_to_string ids)))
+    [ []; [ 1 ]; [ 1; 5; 6; 7 ]; [ 100; 3; 200; 199 ]; List.init 50 (fun i -> i * i) ]
+
+let prop_idlist_roundtrip =
+  QCheck.Test.make ~name:"idlist delta roundtrip" ~count:300
+    QCheck.(list (int_bound 1_000_000))
+    (fun ids -> Codec.idlist_of_string (Codec.idlist_to_string ids) = ids)
+
+let test_idlist_delta_smaller () =
+  (* The whole point of differential encoding: parent/child ids are close,
+     so the delta form is much smaller than 4 bytes per id. *)
+  let ids = List.init 12 (fun i -> 100_000 + i) in
+  let delta = String.length (Codec.idlist_to_string ids) in
+  let raw = String.length (Codec.idlist_raw_to_string ids) in
+  if delta * 2 > raw then
+    Alcotest.failf "delta encoding not compact: %d vs raw %d" delta raw
+
+let test_value_encoding () =
+  check Alcotest.string "null is empty" "" (Codec.encode_value None);
+  List.iter
+    (fun v ->
+      check
+        Alcotest.(option string)
+        "roundtrip" (Some v)
+        (Codec.decode_value (Codec.encode_value (Some v))))
+    [ ""; "XML"; "jane"; "a\x00b"; "a\x01b"; "\x00\x01\x02" ]
+
+let prop_value_encoding_order =
+  (* Order-preserving: null sorts before everything; values keep their
+     relative order apart from escape expansion of 0x00/0x01 bytes, which
+     we avoid in generated values. *)
+  QCheck.Test.make ~name:"value encoding preserves order" ~count:300
+    QCheck.(pair printable_string printable_string)
+    (fun (a, b) ->
+      let ea = Codec.encode_value (Some a) and eb = Codec.encode_value (Some b) in
+      compare ea eb = compare a b && Codec.encode_value None < ea)
+
+let test_u32_order () =
+  let pairs = [ (0, 1); (255, 256); (65535, 65536); (1, 1_000_000) ] in
+  List.iter
+    (fun (a, b) ->
+      if not (Codec.u32_to_string a < Codec.u32_to_string b) then
+        Alcotest.failf "u32 order broken for %d < %d" a b)
+    pairs
+
+let test_prefix_successor () =
+  check Alcotest.(option string) "simple" (Some "ab") (Codec.prefix_successor "aa");
+  check Alcotest.(option string) "carry" (Some "b") (Codec.prefix_successor "a\xff");
+  check Alcotest.(option string) "all ff" None (Codec.prefix_successor "\xff\xff");
+  check Alcotest.(option string) "empty" None (Codec.prefix_successor "")
+
+let prop_prefix_successor_bounds =
+  QCheck.Test.make ~name:"prefix successor bounds all extensions" ~count:500
+    QCheck.(pair string small_string)
+    (fun (p, ext) ->
+      match Codec.prefix_successor p with
+      | None -> true
+      | Some succ -> String.compare (p ^ ext) succ < 0 && String.compare p succ < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pager / buffer pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pager_roundtrip () =
+  let pager = Pager.create ~page_size:256 () in
+  let a = Pager.alloc pager and b = Pager.alloc pager in
+  Pager.write pager a (Bytes.of_string "hello");
+  Pager.write pager b (Bytes.of_string "world");
+  check Alcotest.string "page a" "hello" (Bytes.sub_string (Pager.read pager a) 0 5);
+  check Alcotest.string "page b" "world" (Bytes.sub_string (Pager.read pager b) 0 5);
+  check Alcotest.int "count" 2 (Pager.page_count pager);
+  check Alcotest.int "size" 512 (Pager.size_bytes pager)
+
+let test_pager_bad_id () =
+  let pager = Pager.create () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Pager: bad page id 7") (fun () ->
+      ignore (Pager.read pager 7))
+
+let test_buffer_pool_caching () =
+  let pager = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let a = Buffer_pool.alloc pool in
+  Buffer_pool.write pool a (Bytes.of_string "aaa");
+  Pager.reset_stats pager;
+  Buffer_pool.reset_stats pool;
+  (* Two reads of a resident page: no physical I/O. *)
+  ignore (Buffer_pool.read pool a);
+  ignore (Buffer_pool.read pool a);
+  check Alcotest.int "no physical reads" 0 (Pager.physical_reads pager);
+  let s = Buffer_pool.stats pool in
+  check Alcotest.int "logical reads" 2 s.Buffer_pool.logical_reads;
+  check Alcotest.int "misses" 0 s.Buffer_pool.misses
+
+let test_buffer_pool_eviction_writeback () =
+  let pager = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let a = Buffer_pool.alloc pool in
+  let b = Buffer_pool.alloc pool in
+  let c = Buffer_pool.alloc pool in
+  Buffer_pool.write pool a (Bytes.of_string "AAA");
+  Buffer_pool.write pool b (Bytes.of_string "BBB");
+  Buffer_pool.write pool c (Bytes.of_string "CCC");
+  (* capacity 2: page [a] must have been evicted and written back. *)
+  check Alcotest.string "a persisted" "AAA" (Bytes.sub_string (Pager.read pager a) 0 3);
+  (* Re-reading [a] is a miss that refetches from the pager. *)
+  Buffer_pool.reset_stats pool;
+  check Alcotest.string "a content" "AAA" (Bytes.sub_string (Buffer_pool.read pool a) 0 3);
+  check Alcotest.int "one miss" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+let test_buffer_pool_lru_order () =
+  let pager = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let a = Buffer_pool.alloc pool and b = Buffer_pool.alloc pool in
+  Buffer_pool.write pool a (Bytes.of_string "A");
+  Buffer_pool.write pool b (Bytes.of_string "B");
+  ignore (Buffer_pool.read pool a);
+  (* a is now MRU; alloc a third page evicts b, not a. *)
+  let _c = Buffer_pool.alloc pool in
+  Buffer_pool.reset_stats pool;
+  ignore (Buffer_pool.read pool a);
+  check Alcotest.int "a still resident" 0 (Buffer_pool.stats pool).Buffer_pool.misses;
+  ignore (Buffer_pool.read pool b);
+  check Alcotest.int "b was evicted" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+let test_buffer_pool_clear () =
+  let pager = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:8 pager in
+  let a = Buffer_pool.alloc pool in
+  Buffer_pool.write pool a (Bytes.of_string "XYZ");
+  Buffer_pool.clear pool;
+  check Alcotest.string "persisted through clear" "XYZ" (Bytes.sub_string (Pager.read pager a) 0 3);
+  Buffer_pool.reset_stats pool;
+  ignore (Buffer_pool.read pool a);
+  check Alcotest.int "cold after clear" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_pool ?(page_size = 512) ?(capacity = 4096) () =
+  Buffer_pool.create ~capacity (Pager.create ~page_size ())
+
+let test_bptree_empty () =
+  let t = Bptree.create ~name:"t" (make_pool ()) in
+  check Alcotest.(list string) "lookup on empty" [] (Bptree.lookup_all t "x");
+  check Alcotest.int "count" 0 (Bptree.entry_count t);
+  check Alcotest.int "invariants" 0 (Bptree.check_invariants t)
+
+let test_bptree_basic () =
+  let t = Bptree.create ~name:"t" (make_pool ()) in
+  Bptree.insert t "b" "2";
+  Bptree.insert t "a" "1";
+  Bptree.insert t "c" "3";
+  check Alcotest.(list string) "a" [ "1" ] (Bptree.lookup_all t "a");
+  check Alcotest.(list string) "b" [ "2" ] (Bptree.lookup_all t "b");
+  check Alcotest.(list string) "missing" [] (Bptree.lookup_all t "zz");
+  check
+    Alcotest.(list (pair string string))
+    "scan" [ ("a", "1"); ("b", "2"); ("c", "3") ] (Bptree.to_list t)
+
+let test_bptree_duplicates () =
+  let t = Bptree.create ~name:"t" (make_pool ()) in
+  Bptree.insert t "k" "3";
+  Bptree.insert t "k" "1";
+  Bptree.insert t "k" "2";
+  Bptree.insert t "j" "0";
+  check Alcotest.(list string) "dups in payload order" [ "1"; "2"; "3" ] (Bptree.lookup_all t "k")
+
+let test_bptree_many_inserts_with_splits () =
+  let t = Bptree.create ~name:"t" (make_pool ~page_size:256 ()) in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    (* Shuffled-ish order via multiplication by a unit mod n. *)
+    let j = 7 * i mod n in
+    Bptree.insert t (Printf.sprintf "key%06d" j) (string_of_int j)
+  done;
+  check Alcotest.int "entries" n (Bptree.check_invariants t);
+  if Bptree.height t < 3 then Alcotest.failf "expected splits, height=%d" (Bptree.height t);
+  for i = 0 to n - 1 do
+    let got = Bptree.lookup_all t (Printf.sprintf "key%06d" i) in
+    check Alcotest.(list string) "lookup" [ string_of_int i ] got
+  done
+
+let test_bptree_range_scan () =
+  let t = Bptree.create ~name:"t" (make_pool ~page_size:256 ()) in
+  for i = 0 to 999 do
+    Bptree.insert t (Printf.sprintf "%04d" i) (string_of_int i)
+  done;
+  let got = Bptree.fold_range t ~lo:"0100" ~hi:(Some "0200") (fun acc k _ -> k :: acc) [] in
+  check Alcotest.int "range size" 100 (List.length got);
+  check Alcotest.string "first" "0100" (List.nth (List.rev got) 0);
+  check Alcotest.string "last" "0199" (List.hd got);
+  check Alcotest.int "count_range" 100 (Bptree.count_range t ~lo:"0100" ~hi:(Some "0200"))
+
+let test_bptree_prefix_scan () =
+  let t = Bptree.create ~name:"t" (make_pool ()) in
+  List.iter
+    (fun (k, v) -> Bptree.insert t k v)
+    [ ("apple", "1"); ("applet", "2"); ("apply", "3"); ("banana", "4"); ("app", "0") ];
+  let got = List.rev (Bptree.fold_prefix t ~prefix:"appl" (fun acc k _ -> k :: acc) []) in
+  check Alcotest.(list string) "prefix matches" [ "apple"; "applet"; "apply" ] got;
+  check Alcotest.int "count_prefix app" 4 (Bptree.count_prefix t ~prefix:"app")
+
+let test_bptree_bulk_load () =
+  let n = 5000 in
+  let entries = List.init n (fun i -> (Printf.sprintf "key%06d" i, string_of_int i)) in
+  let t = Bptree.bulk_load ~name:"bulk" (make_pool ~page_size:512 ()) entries in
+  check Alcotest.int "entries" n (Bptree.check_invariants t);
+  check Alcotest.(list string) "lookup mid" [ "2500" ] (Bptree.lookup_all t "key002500");
+  check Alcotest.(list string) "lookup first" [ "0" ] (Bptree.lookup_all t "key000000");
+  check Alcotest.(list string) "lookup last" [ "4999" ] (Bptree.lookup_all t "key004999");
+  check Alcotest.(list (pair string string)) "full scan" entries (Bptree.to_list t)
+
+let test_bptree_bulk_load_unsorted_rejected () =
+  let pool = make_pool () in
+  match Bptree.bulk_load ~name:"bad" pool [ ("b", "1"); ("a", "2") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on unsorted input"
+
+let test_bptree_prefix_compression_smaller () =
+  (* Keys sharing long prefixes (like reverse schema paths) should occupy
+     fewer pages with front-coding on. *)
+  let entries =
+    List.init 4000 (fun i -> (Printf.sprintf "common/long/shared/prefix/%06d" i, "p"))
+  in
+  let with_pc =
+    Bptree.bulk_load ~prefix_compression:true ~name:"pc" (make_pool ~page_size:512 ()) entries
+  in
+  let without_pc =
+    Bptree.bulk_load ~prefix_compression:false ~name:"nopc" (make_pool ~page_size:512 ()) entries
+  in
+  if Bptree.page_count with_pc >= Bptree.page_count without_pc then
+    Alcotest.failf "prefix compression did not shrink tree: %d vs %d pages"
+      (Bptree.page_count with_pc) (Bptree.page_count without_pc)
+
+let test_bptree_oversized_entry_rejected () =
+  let t = Bptree.create ~name:"t" (make_pool ~page_size:256 ()) in
+  match Bptree.insert t (String.make 500 'k') "v" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for oversized entry"
+
+let test_bptree_delete_basic () =
+  let t = Bptree.create ~name:"t" (make_pool ()) in
+  Bptree.insert t "a" "1";
+  Bptree.insert t "b" "2";
+  Bptree.insert t "b" "3";
+  check Alcotest.bool "delete existing" true (Bptree.delete t "b" "2");
+  check Alcotest.(list string) "one b left" [ "3" ] (Bptree.lookup_all t "b");
+  check Alcotest.bool "delete missing payload" false (Bptree.delete t "b" "2");
+  check Alcotest.bool "delete missing key" false (Bptree.delete t "zz" "x");
+  check Alcotest.int "count" 2 (Bptree.entry_count t);
+  check Alcotest.int "invariants" 2 (Bptree.check_invariants t)
+
+let test_bptree_delete_across_leaves () =
+  (* duplicates spanning leaf boundaries must all be reachable *)
+  let t = Bptree.create ~name:"t" (make_pool ~page_size:256 ()) in
+  for i = 0 to 199 do
+    Bptree.insert t "dup" (Printf.sprintf "%04d" i)
+  done;
+  for i = 0 to 199 do
+    if not (Bptree.delete t "dup" (Printf.sprintf "%04d" i)) then
+      Alcotest.failf "failed to delete dup %04d" i
+  done;
+  check Alcotest.(list string) "all gone" [] (Bptree.lookup_all t "dup");
+  check Alcotest.int "empty" 0 (Bptree.check_invariants t)
+
+let test_bptree_delete_then_insert () =
+  let t = Bptree.create ~name:"t" (make_pool ~page_size:256 ()) in
+  for i = 0 to 500 do
+    Bptree.insert t (Printf.sprintf "k%04d" i) "v"
+  done;
+  for i = 0 to 500 do
+    if i mod 2 = 0 then ignore (Bptree.delete t (Printf.sprintf "k%04d" i) "v")
+  done;
+  for i = 0 to 500 do
+    if i mod 4 = 0 then Bptree.insert t (Printf.sprintf "k%04d" i) "w"
+  done;
+  ignore (Bptree.check_invariants t);
+  check Alcotest.(list string) "odd kept" [ "v" ] (Bptree.lookup_all t "k0001");
+  check Alcotest.(list string) "reinserted" [ "w" ] (Bptree.lookup_all t "k0004");
+  check Alcotest.(list string) "deleted" [] (Bptree.lookup_all t "k0002")
+
+(* qcheck: interleaved inserts/deletes vs a multiset model. *)
+let prop_bptree_delete_model =
+  let gen =
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 300)
+        (pair bool (pair (string_gen_of_size (Gen.return 2) Gen.printable) (string_gen_of_size (Gen.return 1) Gen.printable))))
+  in
+  QCheck.Test.make ~name:"insert/delete agrees with multiset model" ~count:80 gen (fun ops ->
+      let t = Bptree.create ~name:"m" (make_pool ~page_size:256 ()) in
+      let model = ref [] in
+      List.iter
+        (fun (is_delete, (k, v)) ->
+          if is_delete then begin
+            let found = Bptree.delete t k v in
+            let in_model = List.mem (k, v) !model in
+            if found <> in_model then failwith "delete disagrees";
+            if in_model then begin
+              let rec remove_one = function
+                | [] -> []
+                | x :: rest -> if x = (k, v) then rest else x :: remove_one rest
+              in
+              model := remove_one !model
+            end
+          end
+          else begin
+            Bptree.insert t k v;
+            model := (k, v) :: !model
+          end)
+        ops;
+      ignore (Bptree.check_invariants t);
+      List.sort compare (Bptree.to_list t) = List.sort compare !model)
+
+(* Model-based qcheck test: B+-tree vs sorted association list. *)
+let prop_bptree_model =
+  let gen =
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 400)
+        (pair
+           (string_gen_of_size (Gen.return 3) Gen.printable)
+           (string_gen_of_size Gen.(int_range 0 8) Gen.printable)))
+  in
+  QCheck.Test.make ~name:"bptree agrees with model" ~count:60 gen (fun ops ->
+      let t = Bptree.create ~name:"model" (make_pool ~page_size:256 ()) in
+      List.iter (fun (k, v) -> Bptree.insert t k v) ops;
+      ignore (Bptree.check_invariants t);
+      let model = List.sort compare ops in
+      (* duplicate payload order across leaves is unspecified: compare
+         as sorted multisets *)
+      List.sort compare (Bptree.to_list t) = model
+      && List.for_all
+           (fun (k, _) ->
+             Bptree.lookup_all t k
+             = (List.filter (fun (k', _) -> k' = k) model |> List.map snd))
+           ops)
+
+let prop_bptree_range_model =
+  let gen =
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 300) (string_gen_of_size (Gen.return 2) Gen.printable))
+        (string_gen_of_size (QCheck.Gen.return 2) QCheck.Gen.printable)
+        (string_gen_of_size (QCheck.Gen.return 2) QCheck.Gen.printable))
+  in
+  QCheck.Test.make ~name:"bptree range scan agrees with model" ~count:80 gen
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Bptree.create ~name:"model" (make_pool ~page_size:256 ()) in
+      List.iteri (fun i k -> Bptree.insert t k (string_of_int i)) keys;
+      let got = List.rev (Bptree.fold_range t ~lo ~hi:(Some hi) (fun acc k _ -> k :: acc) []) in
+      let want = List.sort compare (List.filter (fun k -> k >= lo && k < hi) keys) in
+      got = want)
+
+let prop_bulk_load_equals_inserts =
+  let gen =
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 300)
+        (pair
+           (string_gen_of_size (Gen.return 3) Gen.printable)
+           (string_gen_of_size Gen.(int_range 0 8) Gen.printable)))
+  in
+  QCheck.Test.make ~name:"bulk load equals insert-built tree" ~count:40 gen (fun ops ->
+      let sorted = List.stable_sort compare ops in
+      let bulk = Bptree.bulk_load ~name:"b" (make_pool ~page_size:256 ()) sorted in
+      let ins = Bptree.create ~name:"i" (make_pool ~page_size:256 ()) in
+      List.iter (fun (k, v) -> Bptree.insert ins k v) ops;
+      ignore (Bptree.check_invariants bulk);
+      List.sort compare (Bptree.to_list bulk) = List.sort compare (Bptree.to_list ins))
+
+(* ------------------------------------------------------------------ *)
+(* Heap file                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_file_roundtrip () =
+  let hf = Heap_file.create ~name:"h" (make_pool ~page_size:128 ()) in
+  let records = List.init 50 (fun i -> Printf.sprintf "record-%d" i) in
+  let rids = List.map (Heap_file.append hf) records in
+  List.iter2
+    (fun r rid -> check Alcotest.string "get" r (Heap_file.get hf rid))
+    records rids;
+  check Alcotest.int "count" 50 (Heap_file.record_count hf);
+  check Alcotest.(list string) "fold order" records
+    (List.rev (Heap_file.fold hf (fun acc r -> r :: acc) []));
+  if Heap_file.page_count hf < 2 then Alcotest.fail "expected multiple pages"
+
+let test_heap_file_large_record_rejected () =
+  let hf = Heap_file.create ~name:"h" (make_pool ~page_size:128 ()) in
+  match Heap_file.append hf (String.make 200 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  [
+    ( "codec",
+      [
+        Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+        Alcotest.test_case "signed varint roundtrip" `Quick test_signed_varint_roundtrip;
+        Alcotest.test_case "idlist roundtrip" `Quick test_idlist_roundtrip;
+        Alcotest.test_case "idlist delta is compact" `Quick test_idlist_delta_smaller;
+        Alcotest.test_case "value encoding" `Quick test_value_encoding;
+        Alcotest.test_case "u32 order preserving" `Quick test_u32_order;
+        Alcotest.test_case "prefix successor" `Quick test_prefix_successor;
+        qtest prop_varint_roundtrip;
+        qtest prop_signed_varint_roundtrip;
+        qtest prop_idlist_roundtrip;
+        qtest prop_value_encoding_order;
+        qtest prop_prefix_successor_bounds;
+      ] );
+    ( "pager+pool",
+      [
+        Alcotest.test_case "pager roundtrip" `Quick test_pager_roundtrip;
+        Alcotest.test_case "pager bad id" `Quick test_pager_bad_id;
+        Alcotest.test_case "pool caching" `Quick test_buffer_pool_caching;
+        Alcotest.test_case "pool eviction writes back" `Quick test_buffer_pool_eviction_writeback;
+        Alcotest.test_case "pool LRU order" `Quick test_buffer_pool_lru_order;
+        Alcotest.test_case "pool clear" `Quick test_buffer_pool_clear;
+      ] );
+    ( "bptree",
+      [
+        Alcotest.test_case "empty" `Quick test_bptree_empty;
+        Alcotest.test_case "basic" `Quick test_bptree_basic;
+        Alcotest.test_case "duplicates" `Quick test_bptree_duplicates;
+        Alcotest.test_case "many inserts + splits" `Quick test_bptree_many_inserts_with_splits;
+        Alcotest.test_case "range scan" `Quick test_bptree_range_scan;
+        Alcotest.test_case "prefix scan" `Quick test_bptree_prefix_scan;
+        Alcotest.test_case "bulk load" `Quick test_bptree_bulk_load;
+        Alcotest.test_case "bulk load rejects unsorted" `Quick test_bptree_bulk_load_unsorted_rejected;
+        Alcotest.test_case "prefix compression shrinks" `Quick test_bptree_prefix_compression_smaller;
+        Alcotest.test_case "oversized entry rejected" `Quick test_bptree_oversized_entry_rejected;
+        Alcotest.test_case "delete basic" `Quick test_bptree_delete_basic;
+        Alcotest.test_case "delete across leaves" `Quick test_bptree_delete_across_leaves;
+        Alcotest.test_case "delete then insert" `Quick test_bptree_delete_then_insert;
+        qtest prop_bptree_delete_model;
+        qtest prop_bptree_model;
+        qtest prop_bptree_range_model;
+        qtest prop_bulk_load_equals_inserts;
+      ] );
+    ( "heap_file",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_heap_file_roundtrip;
+        Alcotest.test_case "large record rejected" `Quick test_heap_file_large_record_rejected;
+      ] );
+  ]
+
+let () = Alcotest.run "tm_storage" suite

@@ -1,0 +1,279 @@
+(* Tests for incremental updates (paper Section 7): subtree insertion
+   and deletion must keep every index consistent — verified by
+   re-running queries under all strategies against the naive oracle on
+   the mutated document, and by comparing against a freshly rebuilt
+   database. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+
+let check = Alcotest.check
+
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+let queries =
+  [
+    "/book";
+    "/book/allauthors/author[fn = 'jane']";
+    "//author[fn = 'jane'][ln = 'doe']";
+    "//author[ln = 'doe']";
+    "/book[title = 'XML']//author[fn = 'jane']";
+    "//fn";
+    "//section[head = 'Origins']";
+  ]
+
+(* All strategies must agree with the naive matcher on the (mutated)
+   document. *)
+let check_consistent db doc label =
+  List.iter
+    (fun xpath ->
+      let twig = Tm_query.Xpath_parser.parse xpath in
+      let expected = Tm_query.Naive.query doc twig in
+      List.iter
+        (fun s ->
+          check
+            Alcotest.(list int)
+            (Printf.sprintf "%s: %s under %s" label xpath (Database.strategy_name s))
+            expected
+            (Executor.run db s twig).Executor.ids)
+        Database.all_strategies)
+    queries
+
+let find_id doc name =
+  T.fold doc (fun acc n -> if T.label_name n = name && acc = None then Some n.T.id else acc) None
+  |> Option.get
+
+let test_insert_author () =
+  (* The paper's Section 7 example: insert an author with a certain
+     name into an existing book. *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let allauthors = find_id doc "allauthors" in
+  let new_author = T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ] in
+  let new_id = Updates.insert_subtree db ~parent:allauthors new_author in
+  if new_id < doc.T.node_count then Alcotest.fail "new id should be fresh";
+  check_consistent db doc "after insert";
+  (* the new author is findable through the twig the paper uses *)
+  let twig = Tm_query.Xpath_parser.parse "//author[fn = 'jane'][ln = 'doe']" in
+  check Alcotest.(list int) "new author found" [ new_id ] (Executor.run db Database.RP twig).Executor.ids
+
+let test_insert_deep_subtree () =
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let book = find_id doc "book" in
+  let chapter =
+    T.elem "chapter"
+      [ T.elem_text "title" "XML"; T.elem "section" [ T.elem_text "head" "Origins" ] ]
+  in
+  ignore (Updates.insert_subtree db ~parent:book chapter);
+  check_consistent db doc "after deep insert";
+  let twig = Tm_query.Xpath_parser.parse "/book//title[. = 'XML']" in
+  check Alcotest.int "two XML titles" 2 (List.length (Executor.run db Database.DP twig).Executor.ids)
+
+let test_insert_new_schema_path () =
+  (* a tag never seen before must flow into the dictionary and catalog *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let book = find_id doc "book" in
+  ignore
+    (Updates.insert_subtree db ~parent:book
+       (T.elem "appendix" [ T.elem_text "errata" "typo on p.3" ]));
+  check_consistent db doc "after new-path insert";
+  let twig = Tm_query.Xpath_parser.parse "//appendix/errata" in
+  check Alcotest.int "new path queryable" 1
+    (List.length (Executor.run db Database.Asr twig).Executor.ids)
+
+let test_delete_author () =
+  let doc = book_doc () in
+  let db = Database.create doc in
+  (* delete john doe (the second author) *)
+  let john_fn =
+    T.fold doc
+      (fun acc n ->
+        if T.label_name n = "fn" && T.leaf_value n = Some "john" && acc = None then Some n.T.id
+        else acc)
+      None
+    |> Option.get
+  in
+  (* the author node is fn's parent *)
+  let author_id =
+    match Tm_xmldb.Edge_table.parent_of db.Database.edge john_fn with
+    | Some (p, _, _) -> p
+    | None -> Alcotest.fail "no parent"
+  in
+  let removed = Updates.delete_subtree db author_id in
+  check Alcotest.int "author + fn + ln removed" 3 removed;
+  check_consistent db doc "after delete";
+  let twig = Tm_query.Xpath_parser.parse "//author[ln = 'doe']" in
+  check Alcotest.(list int) "john doe gone" [] (Executor.run db Database.RP twig).Executor.ids
+
+let test_insert_then_delete_roundtrip () =
+  (* after insert + delete, every query answers as before *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let before =
+    List.map
+      (fun q -> (q, (Executor.run db Database.DP (Tm_query.Xpath_parser.parse q)).Executor.ids))
+      queries
+  in
+  let allauthors = find_id doc "allauthors" in
+  let new_id =
+    Updates.insert_subtree db ~parent:allauthors
+      (T.elem "author" [ T.elem_text "fn" "mira"; T.elem_text "ln" "poe" ])
+  in
+  ignore (Updates.delete_subtree db new_id);
+  List.iter
+    (fun (q, expected) ->
+      check
+        Alcotest.(list int)
+        ("roundtrip: " ^ q)
+        expected
+        (Executor.run db Database.DP (Tm_query.Xpath_parser.parse q)).Executor.ids)
+    before;
+  check_consistent db doc "after roundtrip"
+
+let test_update_matches_rebuild () =
+  (* incremental result = rebuild-from-scratch result, for every
+     strategy, on a generated document *)
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 3; scale = 0.03 } in
+  let db = Database.create doc in
+  let site = find_id doc "site" in
+  let item =
+    T.elem "item"
+      [
+        T.attr "id" "itemX";
+        T.elem_text "location" "United States";
+        T.elem_text "quantity" "2";
+        T.elem "mailbox" [ T.elem "mail" [ T.elem_text "to" "x@example" ] ];
+      ]
+  in
+  ignore (Updates.insert_subtree db ~parent:site item);
+  (* rebuild over the mutated document: renumber to compare answers via
+     the oracle, not raw ids (ids differ between incremental and
+     rebuilt databases) *)
+  List.iter
+    (fun xpath ->
+      let twig = Tm_query.Xpath_parser.parse xpath in
+      let expected = Tm_query.Naive.query doc twig in
+      List.iter
+        (fun s ->
+          check
+            Alcotest.(list int)
+            (Printf.sprintf "%s under %s" xpath (Database.strategy_name s))
+            expected
+            (Executor.run db s twig).Executor.ids)
+        Database.all_strategies)
+    [ "//item[quantity = '2']"; "/site/item/mailbox/mail/to"; "//item[location = 'United States']" ]
+
+let test_invalid_updates_rejected () =
+  let doc = book_doc () in
+  let db = Database.create doc in
+  (match Updates.insert_subtree db ~parent:0 (T.elem "x" []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "virtual root insert should fail");
+  (match Updates.delete_subtree db (find_id doc "book") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "document root delete should fail");
+  match Updates.delete_subtree db 99999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown id delete should fail"
+
+let test_update_with_compression_options () =
+  (* updates must respect build-time compression options *)
+  let doc = book_doc () in
+  let db = Database.create ~strategies:Database.[ RP; DP ] ~idlist_codec:`Raw doc in
+  let allauthors = find_id doc "allauthors" in
+  ignore
+    (Updates.insert_subtree db ~parent:allauthors
+       (T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ]));
+  let twig = Tm_query.Xpath_parser.parse "//author[fn = 'jane'][ln = 'doe']" in
+  let expected = Tm_query.Naive.query doc twig in
+  check Alcotest.(list int) "raw-idlist db updated" expected
+    (Executor.run db Database.RP twig).Executor.ids
+
+let test_snapshot_roundtrip () =
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 3; scale = 0.03 } in
+  let db = Database.create doc in
+  let path = Filename.temp_file "twigmatch" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save db path;
+      let db2 = Persist.load path in
+      (* the reloaded database answers every strategy identically, and
+         updates still work on it *)
+      let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']" in
+      List.iter
+        (fun s ->
+          check
+            Alcotest.(list int)
+            (Database.strategy_name s)
+            (Executor.run db s twig).Executor.ids
+            (Executor.run db2 s twig).Executor.ids)
+        Database.all_strategies;
+      let site = find_id db2.Database.doc "site" in
+      let id =
+        Updates.insert_subtree db2 ~parent:site
+          (Tm_xml.Xml_tree.elem "item" [ Tm_xml.Xml_tree.elem_text "quantity" "2" ])
+      in
+      let after = (Executor.run db2 Database.RP twig).Executor.ids in
+      if not (List.mem id after) then Alcotest.fail "update lost after reload")
+
+let test_snapshot_rejects_garbage () =
+  let path = Filename.temp_file "twigmatch" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "NOT-A-SNAPSHOT-----";
+      close_out oc;
+      match Persist.load path with
+      | exception Persist.Bad_snapshot _ -> ()
+      | _ -> Alcotest.fail "expected Bad_snapshot")
+
+let test_snapshot_rejects_pruned () =
+  let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 3; scale = 0.02 } in
+  let db = Database.create ~strategies:Database.[ DP ] ~head_filter:(fun _ -> true) doc in
+  let path = Filename.temp_file "twigmatch" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Persist.save db path with
+      | exception Persist.Bad_snapshot _ -> ()
+      | _ -> Alcotest.fail "expected Bad_snapshot for closure-bearing database")
+
+let () =
+  Alcotest.run "updates"
+    [
+      ( "updates",
+        [
+          Alcotest.test_case "insert author (paper 7)" `Quick test_insert_author;
+          Alcotest.test_case "insert deep subtree" `Quick test_insert_deep_subtree;
+          Alcotest.test_case "insert new schema path" `Quick test_insert_new_schema_path;
+          Alcotest.test_case "delete author" `Quick test_delete_author;
+          Alcotest.test_case "insert/delete roundtrip" `Quick test_insert_then_delete_roundtrip;
+          Alcotest.test_case "incremental = rebuild" `Slow test_update_matches_rebuild;
+          Alcotest.test_case "invalid updates rejected" `Quick test_invalid_updates_rejected;
+          Alcotest.test_case "respects compression options" `Quick
+            test_update_with_compression_options;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "save/load roundtrip + update" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_snapshot_rejects_garbage;
+          Alcotest.test_case "pruned database rejected" `Quick test_snapshot_rejects_pruned;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Tests for the XML substrate: tree model, numbering, parser, printer. *)
+
+module T = Tm_xml.Xml_tree
+module P = Tm_xml.Xml_parser
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Tree model and numbering                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure1_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+let test_preorder_numbering () =
+  (* Figure 1(b): book=1, title=2, allauthors=5, first author=6, fn=7 *)
+  let doc = figure1_doc () in
+  let id_of name =
+    T.fold doc (fun acc n -> if T.label_name n = name && acc = None then Some n.T.id else acc) None
+  in
+  check Alcotest.(option int) "book" (Some 1) (id_of "book");
+  check Alcotest.(option int) "title" (Some 2) (id_of "title");
+  check Alcotest.(option int) "allauthors" (Some 3) (id_of "allauthors");
+  check Alcotest.(option int) "author" (Some 4) (id_of "author");
+  check Alcotest.(option int) "fn" (Some 5) (id_of "fn")
+
+let test_ids_unique_and_contiguous () =
+  let doc = figure1_doc () in
+  let ids = T.fold doc (fun acc n -> if T.is_value n then acc else n.T.id :: acc) [] in
+  let sorted = List.sort compare ids in
+  check Alcotest.(list int) "contiguous from 1" (List.init (List.length ids) (fun i -> i + 1)) sorted
+
+let test_value_leaves_unnumbered () =
+  let doc = figure1_doc () in
+  T.iter doc (fun n -> if T.is_value n then check Alcotest.int "no id" T.no_id n.T.id)
+
+let test_counts_and_depth () =
+  let doc = figure1_doc () in
+  check Alcotest.int "elements" 13 (T.element_count doc);
+  check Alcotest.int "values" 8 (T.value_count doc);
+  check Alcotest.int "depth" 5 (T.depth doc)
+
+let test_leaf_value () =
+  let doc = figure1_doc () in
+  let title = Option.get (T.find_by_id doc 2) in
+  check Alcotest.(option string) "title value" (Some "XML") (T.leaf_value title)
+
+let test_forest_numbering () =
+  let doc = T.document [ T.elem_text "a" "1"; T.elem_text "b" "2" ] in
+  check Alcotest.int "two roots" 2 (Array.length doc.T.roots);
+  check Alcotest.int "first root id" 1 doc.T.roots.(0).T.id;
+  check Alcotest.int "second root id" 2 doc.T.roots.(1).T.id
+
+let test_attr_is_node () =
+  let doc = T.document [ T.elem "e" [ T.attr "income" "9876.00" ] ] in
+  let attr =
+    T.fold doc (fun acc n -> match n.T.label with T.Attr _ -> Some n | _ -> acc) None
+  in
+  let attr = Option.get attr in
+  check Alcotest.string "attr name" "income" (T.label_name attr);
+  check Alcotest.(option string) "attr value" (Some "9876.00") (T.leaf_value attr);
+  check Alcotest.int "attr id" 2 attr.T.id
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  let doc = P.parse "<a><b>hello</b><c/></a>" in
+  check Alcotest.int "elements" 3 (T.element_count doc);
+  check Alcotest.int "values" 1 (T.value_count doc)
+
+let test_parse_attributes () =
+  let doc = P.parse {|<item id="i1" price='10'><name>x</name></item>|} in
+  let attrs =
+    T.fold doc (fun acc n -> match n.T.label with T.Attr a -> a :: acc | _ -> acc) []
+  in
+  check Alcotest.(list string) "attrs" [ "price"; "id" ] attrs
+
+let test_parse_entities () =
+  let doc = P.parse "<a>x &amp; y &lt;z&gt; &quot;q&quot; &apos;s&apos;</a>" in
+  let v = T.leaf_value doc.T.roots.(0) in
+  check Alcotest.(option string) "decoded" (Some "x & y <z> \"q\" 's'") v
+
+let test_parse_comments_and_decl () =
+  let doc = P.parse "<?xml version=\"1.0\"?><!-- top --><a><!-- in --><b/></a>" in
+  check Alcotest.int "elements" 2 (T.element_count doc)
+
+let test_parse_forest () =
+  let doc = P.parse "<a/><b/><c/>" in
+  check Alcotest.int "roots" 3 (Array.length doc.T.roots)
+
+let test_parse_whitespace () =
+  let doc = P.parse "<a>\n  <b>  spaced text  </b>\n</a>" in
+  let b = doc.T.roots.(0).T.children.(0) in
+  check Alcotest.(option string) "trimmed" (Some "spaced text") (T.leaf_value b)
+
+let test_parse_errors () =
+  let expect_fail s =
+    match P.parse s with
+    | exception P.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter expect_fail
+    [ "<a>"; "<a></b>"; "text only"; "<a attr></a>"; "<a>&unknown;</a>"; "" ]
+
+let test_roundtrip_figure1 () =
+  let doc = figure1_doc () in
+  let doc2 = P.parse (T.to_string doc) in
+  check Alcotest.int "elements" (T.element_count doc) (T.element_count doc2);
+  check Alcotest.int "values" (T.value_count doc) (T.value_count doc2);
+  check Alcotest.string "stable print" (T.to_string doc) (T.to_string doc2)
+
+(* qcheck: random trees survive print -> parse. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "bb"; "ccc"; "item"; "name_x" ] in
+  let value = oneofl [ "v"; "hello world"; "x & y"; "<tag>"; "quote\"s" ] in
+  let rec node depth =
+    if depth = 0 then map T.text value
+    else
+      frequency
+        [
+          (2, map T.text value);
+          (1, map2 T.attr tag value);
+          ( 3,
+            map2 (fun t cs -> T.elem t cs) tag (list_size (int_range 0 3) (node (depth - 1))) );
+        ]
+  in
+  map
+    (fun roots -> T.document (List.map (fun n -> T.elem "root" [ n ]) roots))
+    (list_size (int_range 1 3) (node 3))
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip preserves structure" ~count:100
+    (QCheck.make gen_tree) (fun doc ->
+      (* attribute/value children may be reordered textually (attributes
+         print first); compare structural counts and a second print *)
+      let doc2 = P.parse (T.to_string doc) in
+      T.element_count doc = T.element_count doc2
+      && T.depth doc = T.depth doc2
+      && T.to_string doc2 = T.to_string (P.parse (T.to_string doc2)))
+
+let prop_preorder_parent_before_child =
+  QCheck.Test.make ~name:"pre-order: parents numbered before children" ~count:100
+    (QCheck.make gen_tree) (fun doc ->
+      let ok = ref true in
+      T.fold_with_ancestors doc
+        (fun () ~ancestors n ->
+          if not (T.is_value n) then
+            List.iter
+              (fun (a : T.node) -> if a.T.id >= n.T.id then ok := false)
+              ancestors)
+        ();
+      !ok)
+
+let suite =
+  [
+    ( "tree",
+      [
+        Alcotest.test_case "figure 1(b) pre-order ids" `Quick test_preorder_numbering;
+        Alcotest.test_case "ids unique and contiguous" `Quick test_ids_unique_and_contiguous;
+        Alcotest.test_case "value leaves unnumbered" `Quick test_value_leaves_unnumbered;
+        Alcotest.test_case "counts and depth" `Quick test_counts_and_depth;
+        Alcotest.test_case "leaf value" `Quick test_leaf_value;
+        Alcotest.test_case "forest numbering" `Quick test_forest_numbering;
+        Alcotest.test_case "attribute nodes" `Quick test_attr_is_node;
+        qtest prop_preorder_parent_before_child;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "simple" `Quick test_parse_simple;
+        Alcotest.test_case "attributes" `Quick test_parse_attributes;
+        Alcotest.test_case "entities" `Quick test_parse_entities;
+        Alcotest.test_case "comments and declaration" `Quick test_parse_comments_and_decl;
+        Alcotest.test_case "forest" `Quick test_parse_forest;
+        Alcotest.test_case "whitespace trimming" `Quick test_parse_whitespace;
+        Alcotest.test_case "malformed inputs rejected" `Quick test_parse_errors;
+        Alcotest.test_case "figure 1 roundtrip" `Quick test_roundtrip_figure1;
+        qtest prop_print_parse_roundtrip;
+      ] );
+  ]
+
+let () = Alcotest.run "tm_xml" suite
