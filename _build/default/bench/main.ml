@@ -19,6 +19,7 @@ let xmark_scale = ref 0.5
 let dblp_scale = ref 0.5
 let figures = ref []
 let run_bechamel = ref false
+let metrics_out : string option ref = ref None
 let seed = ref 42
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
@@ -60,13 +61,13 @@ let db_of = function
 (* Total wall-clock of [!runs] warm executions, in ms; also returns the
    result cardinality and last-run stats. *)
 let time_query db strategy twig =
-  ignore (Executor.run db strategy twig);
+  ignore (Executor.run ~plan:(`Strategy strategy) db twig);
   (* warm-up *)
   let t0 = Monotonic_clock.now () in
   for _ = 2 to !runs do
-    ignore (Executor.run db strategy twig)
+    ignore (Executor.run ~plan:(`Strategy strategy) db twig)
   done;
-  let r = Executor.run db strategy twig in
+  let r = Executor.run ~plan:(`Strategy strategy) db twig in
   let t1 = Monotonic_clock.now () in
   let ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
   (ms, List.length r.Executor.ids, r.Executor.stats)
@@ -293,7 +294,7 @@ let figure_compression () =
      the schema-compressed index must be rejected. *)
   let db = Database.create ~strategies ~schema_compressed:true xdoc in
   let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']" in
-  match Executor.run db Database.RP twig with
+  match Executor.run ~plan:(`Strategy Database.RP) db twig with
   | exception Tm_index.Family.Unsupported msg ->
     say "schema-compressed RP correctly rejects '//' queries: %s" msg
   | _ -> say "WARNING: schema-compressed RP unexpectedly answered a '//' query"
@@ -335,7 +336,7 @@ let figure_13 () =
   let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find "Q12x") in
   List.iter
     (fun s ->
-      let r = Executor.run xdb s twig in
+      let r = Executor.run ~plan:(`Strategy s) xdb twig in
       say "%s on Q12x: %d structures accessed, %d index lookups" (Database.strategy_name s)
         r.Executor.stats.Tm_exec.Stats.structures_accessed
         r.Executor.stats.Tm_exec.Stats.index_lookups)
@@ -354,10 +355,10 @@ let ablation_inlj () =
     [ "query"; "RP"; "DP"; "DP(noINLJ)" ];
   let xdb = Lazy.force xmark_db in
   let time ?dp_use_inlj strategy twig =
-    ignore (Executor.run ?dp_use_inlj xdb strategy twig);
+    ignore (Executor.run ?dp_use_inlj ~plan:(`Strategy strategy) xdb twig);
     let t0 = Monotonic_clock.now () in
     for _ = 1 to !runs do
-      ignore (Executor.run ?dp_use_inlj xdb strategy twig)
+      ignore (Executor.run ?dp_use_inlj ~plan:(`Strategy strategy) xdb twig)
     done;
     Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
   in
@@ -448,11 +449,11 @@ let ablation_pool () =
   List.iter
     (fun strategy ->
       let db = Database.create ~strategies:[ strategy ] ~pool_capacity:4096 doc in
-      ignore (Executor.run db strategy twig);
+      ignore (Executor.run ~plan:(`Strategy strategy) db twig);
       Database.drop_caches db;
       Tm_storage.Buffer_pool.reset_stats db.Database.pool;
       let t0 = Monotonic_clock.now () in
-      ignore (Executor.run db strategy twig);
+      ignore (Executor.run ~plan:(`Strategy strategy) db twig);
       let cold = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
       let s = Tm_storage.Buffer_pool.stats db.Database.pool in
       say "%s | %s | %s | %s"
@@ -552,11 +553,11 @@ let extension_joins () =
   List.iter
     (fun name ->
       let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find name) in
-      let card = List.length (Executor.run xdb Database.RP twig).Executor.ids in
+      let card = List.length (Executor.run ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
       say "%s | %s | %s | %s | %s | %s" (fmt_cell name)
         (fmt_cell (string_of_int card))
-        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run xdb Database.RP twig))))
-        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run xdb Database.DP twig))))
+        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run ~plan:(`Strategy Database.RP) xdb twig))))
+        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run ~plan:(`Strategy Database.DP) xdb twig))))
         (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Tm_joins.Engine.run_stj ctx twig))))
         (fmt_cell
            (Printf.sprintf "%.2f" (time (fun () -> Tm_joins.Engine.run_pathstack ctx twig)))))
@@ -572,7 +573,7 @@ let bechamel_suite () =
   let xdb = Lazy.force xmark_db in
   let bench_query name strategy qname =
     let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find qname) in
-    Test.make ~name (Staged.stage (fun () -> ignore (Executor.run xdb strategy twig)))
+    Test.make ~name (Staged.stage (fun () -> ignore (Executor.run ~plan:(`Strategy strategy) xdb twig)))
   in
   let test =
     Test.make_grouped ~name:"twig-queries"
@@ -653,16 +654,29 @@ let () =
       ("--dblp-scale", Arg.Set_float dblp_scale, "F DBLP scale factor (default 0.5)");
       ("--seed", Arg.Set_int seed, "N dataset PRNG seed (default 42)");
       ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-suite");
+      ( "--metrics-out",
+        Arg.String (fun f -> metrics_out := Some f),
+        "FILE record observability counters/histograms over the whole run and write them as \
+         JSON to FILE" );
     ]
   in
   Arg.parse spec (fun a -> failwith ("unexpected argument " ^ a)) "twig index benchmarks";
   say "twig-index benchmark harness (Chen et al., ICDE 2005 reproduction)";
   say "datasets: XMark-like scale %.2f, DBLP-like scale %.2f; %d runs per query" !xmark_scale
     !dblp_scale !runs;
+  if !metrics_out <> None then Tm_obs.Obs.enable ();
   if !run_bechamel then bechamel_suite ()
   else begin
     let figs = if !figures = [] then all_figures else List.rev !figures in
     List.iter run_figure figs;
     say "";
     say "done. See EXPERIMENTS.md for paper-vs-measured discussion."
-  end
+  end;
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Tm_obs.Export.metrics_to_json ());
+    output_char oc '\n';
+    close_out oc;
+    say "observability metrics written to %s" path

@@ -1,7 +1,9 @@
 (* twigql — command-line twig query processor.
 
-     twigql query   [SOURCE] [-s RP] 'XPATH'   run a query
+     twigql query   [SOURCE] [-s RP] [--analyze] 'XPATH'   run a query
+     twigql explain [SOURCE] [-s RP] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
      twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
+     twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
 
@@ -57,11 +59,7 @@ let load_doc file xmark dblp seed =
 (* ------------------------------------------------------------------ *)
 
 let strategy_conv =
-  let parse s =
-    match Database.strategy_of_string s with
-    | st -> Ok st
-    | exception Invalid_argument m -> Error (`Msg m)
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Database.strategy_of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Database.strategy_name s))
 
 let strategy_arg =
@@ -78,51 +76,68 @@ let load_db snap file xmark dblp seed =
   | Some path -> Persist.load path
   | None -> Database.create (load_doc file xmark dblp seed)
 
-let run_query snap file xmark dblp seed strategy auto xpath =
+let run_query snap file xmark dblp seed strategy auto analyze xpath =
   let db = load_db snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
+  let plan = if auto then `Auto else `Strategy strategy in
   let t0 = Monotonic_clock.now () in
-  let r, strategy, reason =
-    if auto then Executor.run_auto db twig
-    else (Executor.run db strategy twig, strategy, "as requested")
-  in
+  let r = Tm_obs.Obs.with_enabled analyze (fun () -> Executor.run ~plan db twig) in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
   Printf.printf "%d results in %.2f ms under %s (%s)\n" (List.length r.Executor.ids) ms
-    (Database.strategy_name strategy) reason;
+    (Database.strategy_name r.Executor.strategy) r.Executor.reason;
   Printf.printf "node ids: %s\n"
     (String.concat ", " (List.map string_of_int r.Executor.ids));
-  Format.printf "stats: %a@." Tm_exec.Stats.pp r.Executor.stats
+  Format.printf "stats: %a@." Tm_exec.Stats.pp r.Executor.stats;
+  match r.Executor.trace with
+  | Some tr when analyze -> print_string (Tm_obs.Export.trace_to_string tr)
+  | _ -> ()
 
 let auto_arg =
   Arg.(value & flag & info [ "auto" ] ~doc:"Let the cost-based optimizer choose RP vs DP.")
+
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Record the execution under the observability sink and print the span tree \
+           (per-path and per-join timings, buffer-pool hit rates, row counts).")
 
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run a twig query under one strategy (or --auto)")
     Term.(
       const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ xpath_arg)
+      $ auto_arg $ analyze_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain file xmark dblp seed strategy auto xpath =
-  let doc = load_doc file xmark dblp seed in
-  let db = Database.create doc in
+let run_explain snap file xmark dblp seed strategy auto analyze xpath =
+  let db =
+    match snap with
+    | Some path -> Persist.load path
+    | None ->
+      (* Materialize only the index sets this explain can touch (the
+         Edge table is always built and carries the planner statistics)
+         instead of all seven. *)
+      let strategies = if auto then [ Database.RP; Database.DP ] else [ strategy ] in
+      Database.create ~strategies (load_doc file xmark dblp seed)
+  in
   let twig = Tm_query.Xpath_parser.parse xpath in
   let strategy, reason =
     if auto then Executor.choose_plan db twig else (strategy, "as requested")
   in
-  print_string (Executor.explain db strategy twig);
+  print_string (Executor.explain ~analyze db strategy twig);
   Printf.printf "chosen: %s\n" reason
 
 let explain_cmd =
   Cmd.v
-    (Cmd.info "explain" ~doc:"Describe the physical plan for a query")
+    (Cmd.info "explain" ~doc:"Describe the physical plan for a query (EXPLAIN ANALYZE with --analyze)")
     Term.(
-      const run_explain $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg $ auto_arg
-      $ xpath_arg)
+      const run_explain $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
+      $ auto_arg $ analyze_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -137,7 +152,7 @@ let run_compare snap file xmark dblp seed xpath =
   List.iter
     (fun strategy ->
       let t0 = Monotonic_clock.now () in
-      match Executor.run db strategy twig with
+      match Executor.run ~plan:(`Strategy strategy) db twig with
       | r ->
         let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
         let ok = if r.Executor.ids = expected then "ok" else "MISMATCH" in
@@ -151,6 +166,45 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Run a twig query under every strategy and check the answers")
     Term.(const run_compare $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("prometheus", `Prometheus) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text), $(b,json) or $(b,prometheus).")
+
+let run_metrics snap file xmark dblp seed strategy auto fmt xpath =
+  let db = load_db snap file xmark dblp seed in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let plan = if auto then `Auto else `Strategy strategy in
+  ignore (Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~plan db twig));
+  match fmt with
+  | `Json -> print_endline (Tm_obs.Export.metrics_to_json ())
+  | `Prometheus -> print_string (Tm_obs.Export.metrics_to_prometheus ())
+  | `Text ->
+    List.iter
+      (fun (name, v) -> if v <> 0 then Printf.printf "%-28s %d\n" name v)
+      (Tm_obs.Obs.counters ());
+    List.iter
+      (fun (h : Tm_obs.Obs.histogram) ->
+        if h.Tm_obs.Obs.h_count > 0 then
+          Printf.printf "%-28s count=%d sum=%.2f\n" h.Tm_obs.Obs.h_name h.Tm_obs.Obs.h_count
+            h.Tm_obs.Obs.h_sum)
+      (Tm_obs.Obs.histograms ())
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a query with the observability sink enabled and dump the accumulated counters and \
+          histograms (buffer-pool traffic, B+-tree node visits, pager I/O, join latencies)")
+    Term.(
+      const run_metrics $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
+      $ auto_arg $ format_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -211,4 +265,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; explain_cmd; compare_cmd; info_cmd; generate_cmd; snapshot_cmd ]))
+          [ query_cmd; explain_cmd; compare_cmd; metrics_cmd; info_cmd; generate_cmd; snapshot_cmd ]))

@@ -60,13 +60,13 @@ let () =
   List.iter
     (fun s ->
       Printf.printf "  %-8s -> [%s]\n" (Database.strategy_name s)
-        (String.concat ";" (List.map string_of_int (Executor.run db s twig).Executor.ids)))
+        (String.concat ";" (List.map string_of_int (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)))
     Database.all_strategies;
 
   (* 4. Range query over the updated data. *)
   let range = Tm_query.Xpath_parser.parse "//fn[. >= 'jane'][. <= 'john']" in
   Printf.printf "\n//fn in ['jane','john']: %d matches\n"
-    (List.length (Executor.run db Database.RP range).Executor.ids);
+    (List.length (Executor.run ~plan:(`Strategy Database.RP) db range).Executor.ids);
 
   (* 5. Delete and verify we are back to the initial answers. *)
   let removed = Updates.delete_subtree db new_id in

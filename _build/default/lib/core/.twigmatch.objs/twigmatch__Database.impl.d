@@ -1,1 +1,1 @@
-lib/core/database.ml: Asr Buffer_pool Dictionary Edge_table Family Join_index List Pager Schema_catalog Tm_index Tm_storage Tm_xml Tm_xmldb
+lib/core/database.ml: Asr Buffer_pool Dictionary Edge_table Family Join_index List Pager Printexc Printf Schema_catalog String Tm_index Tm_storage Tm_xml Tm_xmldb

@@ -1,1 +1,1 @@
-lib/core/executor.mli: Database Tm_exec Tm_query
+lib/core/executor.mli: Database Tm_exec Tm_obs Tm_query

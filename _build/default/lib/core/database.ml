@@ -29,14 +29,17 @@ let strategy_name = function
   | Ji -> "JI"
 
 let strategy_of_string = function
-  | "RP" | "rp" | "rootpaths" -> RP
-  | "DP" | "dp" | "datapaths" -> DP
-  | "Edge" | "edge" -> Edge
-  | "DG+Edge" | "dg" | "dataguide" -> DG_edge
-  | "IF+Edge" | "if" | "index-fabric" -> IF_edge
-  | "ASR" | "asr" -> Asr
-  | "JI" | "ji" -> Ji
-  | s -> invalid_arg ("unknown strategy: " ^ s)
+  | "RP" | "rp" | "rootpaths" -> Ok RP
+  | "DP" | "dp" | "datapaths" -> Ok DP
+  | "Edge" | "edge" -> Ok Edge
+  | "DG+Edge" | "dg" | "dataguide" -> Ok DG_edge
+  | "IF+Edge" | "if" | "index-fabric" -> Ok IF_edge
+  | "ASR" | "asr" -> Ok Asr
+  | "JI" | "ji" -> Ok Ji
+  | s ->
+    Error
+      (Printf.sprintf "unknown strategy %S (expected one of %s)" s
+         (String.concat ", " (List.map strategy_name all_strategies)))
 
 type t = {
   doc : Tm_xml.Xml_tree.document;
@@ -101,26 +104,61 @@ let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 
     next_id = doc.Tm_xml.Xml_tree.node_count;
   }
 
-let missing name = failwith (name ^ " index was not built for this database")
+let find_rootpaths t = t.rootpaths
+let find_datapaths t = t.datapaths
+let find_dataguide t = t.dataguide
+let find_index_fabric t = t.index_fabric
+let find_asr_rels t = t.asr_rels
+let find_ji t = t.ji
 
-let rootpaths t = match t.rootpaths with Some x -> x | None -> missing "ROOTPATHS"
-let datapaths t = match t.datapaths with Some x -> x | None -> missing "DATAPATHS"
-let dataguide t = match t.dataguide with Some x -> x | None -> missing "DataGuide"
-let index_fabric t = match t.index_fabric with Some x -> x | None -> missing "IndexFabric"
-let asr_rels t = match t.asr_rels with Some x -> x | None -> missing "ASR"
-let ji t = match t.ji with Some x -> x | None -> missing "JoinIndex"
+exception Index_not_built of strategy
+
+let () =
+  Printexc.register_printer (function
+    | Index_not_built s ->
+      Some
+        (Printf.sprintf
+           "Index_not_built(%s): the %s index set was not materialized for this database \
+            (pass it in ~strategies to Database.create)"
+           (strategy_name s) (strategy_name s))
+    | _ -> None)
+
+type built =
+  | Built_rootpaths of Family.t
+  | Built_datapaths of Family.t
+  | Built_edge  (** the Edge table is part of every database *)
+  | Built_dataguide of Family.t
+  | Built_index_fabric of { fabric : Family.t; dataguide : Family.t }
+  | Built_asr of Asr.t
+  | Built_ji of Join_index.t
+
+(* The one checked gateway from a strategy to its physical structures:
+   callers destructure the result instead of dereferencing options. *)
+let require t strategy =
+  let need s = function Some x -> x | None -> raise (Index_not_built s) in
+  match strategy with
+  | RP -> Built_rootpaths (need RP t.rootpaths)
+  | DP -> Built_datapaths (need DP t.datapaths)
+  | Edge -> Built_edge
+  | DG_edge -> Built_dataguide (need DG_edge t.dataguide)
+  | IF_edge ->
+    Built_index_fabric
+      { fabric = need IF_edge t.index_fabric; dataguide = need IF_edge t.dataguide }
+  | Asr -> Built_asr (need Asr t.asr_rels)
+  | Ji -> Built_ji (need Ji t.ji)
 
 (** Index space attributable to a strategy, in bytes (Figure 9's
     accounting: Edge-based strategies include the Edge table and its
     indices; RP/DP/ASR/JI are the index structures alone). *)
-let strategy_size_bytes t = function
-  | RP -> Family.size_bytes (rootpaths t)
-  | DP -> Family.size_bytes (datapaths t)
-  | Edge -> Edge_table.size_bytes t.edge
-  | DG_edge -> Edge_table.size_bytes t.edge + Family.size_bytes (dataguide t)
-  | IF_edge -> Edge_table.size_bytes t.edge + Family.size_bytes (index_fabric t)
-  | Asr -> Asr.size_bytes (asr_rels t)
-  | Ji -> Join_index.size_bytes (ji t)
+let strategy_size_bytes t strategy =
+  match require t strategy with
+  | Built_rootpaths f | Built_datapaths f -> Family.size_bytes f
+  | Built_edge -> Edge_table.size_bytes t.edge
+  | Built_dataguide f -> Edge_table.size_bytes t.edge + Family.size_bytes f
+  | Built_index_fabric { fabric; _ } ->
+    Edge_table.size_bytes t.edge + Family.size_bytes fabric
+  | Built_asr a -> Asr.size_bytes a
+  | Built_ji j -> Join_index.size_bytes j
 
 (** Simulate a cold cache (drops every buffered page). *)
 let drop_caches t = Buffer_pool.clear t.pool

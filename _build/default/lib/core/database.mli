@@ -18,8 +18,9 @@ type strategy =
 val all_strategies : strategy list
 val strategy_name : strategy -> string
 
-val strategy_of_string : string -> strategy
-(** @raise Invalid_argument on an unknown name. *)
+val strategy_of_string : string -> (strategy, string) result
+(** Parse a strategy name ([Error] carries a human-readable message
+    listing the accepted spellings). *)
 
 type t = {
   doc : Tm_xml.Xml_tree.document;
@@ -52,14 +53,37 @@ val create :
     [idlist_codec], [schema_compressed] and [head_filter] are the
     Section 4 compression options for ROOTPATHS/DATAPATHS. *)
 
-val rootpaths : t -> Family.t
-(** @raise Failure if not built; likewise below. *)
+(** {1 Index-set access}
 
-val datapaths : t -> Family.t
-val dataguide : t -> Family.t
-val index_fabric : t -> Family.t
-val asr_rels : t -> Asr.t
-val ji : t -> Join_index.t
+    [find_*] return [None] when the corresponding index set was not
+    materialized; {!require} is the single checked gateway from a
+    strategy to the physical structures its plans need. *)
+
+val find_rootpaths : t -> Family.t option
+val find_datapaths : t -> Family.t option
+val find_dataguide : t -> Family.t option
+val find_index_fabric : t -> Family.t option
+val find_asr_rels : t -> Asr.t option
+val find_ji : t -> Join_index.t option
+
+exception Index_not_built of strategy
+(** A strategy was requested whose index set was not materialized at
+    {!create} time. *)
+
+type built =
+  | Built_rootpaths of Family.t
+  | Built_datapaths of Family.t
+  | Built_edge  (** the Edge table is part of every database *)
+  | Built_dataguide of Family.t
+  | Built_index_fabric of { fabric : Family.t; dataguide : Family.t }
+      (** IF+Edge plans fall back to the DataGuide for structure-only
+          branches, so both are materialized together *)
+  | Built_asr of Asr.t
+  | Built_ji of Join_index.t
+
+val require : t -> strategy -> built
+(** The physical structures behind [strategy].
+    @raise Index_not_built when they were not materialized. *)
 
 val strategy_size_bytes : t -> strategy -> int
 (** Index space per strategy, with Figure 9's accounting. *)

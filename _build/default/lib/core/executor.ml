@@ -38,7 +38,23 @@ open Tm_exec
 exception Unknown_tag
 (** A query tag absent from the data; the query answer is empty. *)
 
-type result = { ids : int list; stats : Stats.t }
+type result = {
+  ids : int list;
+  stats : Stats.t;
+  strategy : Database.strategy;  (** the strategy actually executed *)
+  reason : string;  (** why (one line; "as requested" for explicit plans) *)
+  trace : Tm_obs.Obs.span option;  (** recorded when the obs sink is on *)
+}
+
+(* Mirrors of the Stats counters in the obs sink (same handles, by name,
+   as Tm_joins.Engine uses) so span deltas reconcile against Stats. *)
+let c_rows_produced = Tm_obs.Obs.counter "exec.rows_produced"
+let c_join_steps = Tm_obs.Obs.counter "exec.join_steps"
+let row_buckets = [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000. |]
+let h_merge_ms = Tm_obs.Obs.histogram "join.merge.ms"
+let h_hash_ms = Tm_obs.Obs.histogram "join.hash.ms"
+let h_merge_rows = Tm_obs.Obs.histogram ~buckets:row_buckets "join.merge.rows"
+let h_hash_rows = Tm_obs.Obs.histogram ~buckets:row_buckets "join.hash.rows"
 
 (* ------------------------------------------------------------------ *)
 (* Compiled linear paths                                               *)
@@ -102,23 +118,74 @@ let schema_probe_of pattern =
 (* Shared join pipeline                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* One relational join, instrumented: Stats counters always, and — when
+   the obs sink is on — a span plus per-algorithm latency / output-row
+   histograms. Every join in every plan goes through here. *)
+let join_pair ~(stats : Stats.t) ~kind a b =
+  stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+  Tm_obs.Obs.incr c_join_steps;
+  let rows = ref 0 in
+  let on_result () =
+    stats.Stats.rows_produced <- stats.Stats.rows_produced + 1;
+    Tm_obs.Obs.incr c_rows_produced;
+    incr rows
+  in
+  let do_join () =
+    match kind with
+    | `Merge -> Relation.merge_join ~on_result a b
+    | `Hash -> Relation.hash_join ~on_result a b
+  in
+  if not (Tm_obs.Obs.enabled ()) then do_join ()
+  else begin
+    let name, h_ms, h_rows =
+      match kind with
+      | `Merge -> ("join:merge", h_merge_ms, h_merge_rows)
+      | `Hash -> ("join:hash", h_hash_ms, h_hash_rows)
+    in
+    Tm_obs.Obs.with_span name (fun () ->
+        let t0 = Monotonic_clock.now () in
+        let out = do_join () in
+        Tm_obs.Obs.observe h_ms
+          (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6);
+        Tm_obs.Obs.observe h_rows (float_of_int !rows);
+        Tm_obs.Obs.annotate "rows" (string_of_int !rows);
+        out)
+  end
+
 let join_all ~(stats : Stats.t) ~kind relations =
   match relations with
   | [] -> invalid_arg "join_all: no relations"
-  | r :: rest ->
-    List.fold_left
-      (fun acc r ->
-        stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-        let on_result () = stats.Stats.rows_produced <- stats.Stats.rows_produced + 1 in
-        match kind with
-        | `Merge -> Relation.merge_join ~on_result acc r
-        | `Hash -> Relation.hash_join ~on_result acc r)
-      r rest
+  | r :: rest -> List.fold_left (fun acc r -> join_pair ~stats ~kind acc r) r rest
 
 let finish ~stats ~out_uid relations =
   let joined = join_all ~stats ~kind:`Hash relations in
-  let ids = Relation.column_values joined out_uid in
-  { ids; stats }
+  Relation.column_values joined out_uid
+
+(* The rendered form of a compiled path, e.g. [//a/b = "v"] — used by
+   per-path spans and by {!explain}. *)
+let path_label (db : Database.t) cp =
+  let tags =
+    Array.to_list cp.pattern
+    |> List.map (fun (ax, t) ->
+           (match ax with Twig.Child -> "/" | Twig.Descendant -> "//")
+           ^ if t = Decompose.wildcard then "*" else Dictionary.name db.Database.dict t)
+    |> String.concat ""
+  in
+  tags ^ match cp.value with Some v -> Printf.sprintf " = %S" v | None -> ""
+
+(* Evaluate path [i] of the plan under a "path:N" span annotated with
+   the path's pattern and output cardinality. *)
+let eval_spanned (db : Database.t) i cp f =
+  if not (Tm_obs.Obs.enabled ()) then f ()
+  else
+    Tm_obs.Obs.with_span
+      ~meta:[ ("path", path_label db cp) ]
+      (Printf.sprintf "path:%d" (i + 1))
+      (fun () ->
+        let rel = f () in
+        if Tm_obs.Obs.in_trace () then
+          Tm_obs.Obs.annotate "rows" (string_of_int (Relation.cardinality rel));
+        rel)
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity estimation (used by DP and JI to pick the driver path)  *)
@@ -173,20 +240,19 @@ let eval_family_rooted fam ~(stats : Stats.t) ~head cp =
   in
   relation_of_rows cp rows
 
-let eval_rp (db : Database.t) ~stats cp =
-  eval_family_rooted (Database.rootpaths db) ~stats ~head:None cp
-
-let eval_dp_free (db : Database.t) ~stats cp =
-  eval_family_rooted (Database.datapaths db) ~stats ~head:(Some 0) cp
+let eval_rp fam ~stats cp = eval_family_rooted fam ~stats ~head:None cp
+let eval_dp_free fam ~stats cp = eval_family_rooted fam ~stats ~head:(Some 0) cp
 
 (* ------------------------------------------------------------------ *)
 (* RP plan: one lookup per path, merge joins on branch points          *)
 (* ------------------------------------------------------------------ *)
 
-let run_rp (db : Database.t) ~stats ~out_uid cpaths =
-  let relations = List.map (eval_rp db ~stats) cpaths in
+let run_rp (db : Database.t) fam ~stats ~out_uid cpaths =
+  let relations =
+    List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_rp fam ~stats cp)) cpaths
+  in
   let joined = join_all ~stats ~kind:`Merge relations in
-  { ids = Relation.column_values joined out_uid; stats }
+  Relation.column_values joined out_uid
 
 (* ------------------------------------------------------------------ *)
 (* DP plan: FreeIndex for the most selective path, then INLJ probes    *)
@@ -195,8 +261,7 @@ let run_rp (db : Database.t) ~stats ~out_uid cpaths =
 (* Probe DATAPATHS for the part of [cp] at or below step [idx_b],
    rooted at head id [h]. Returns rows over the needed columns at
    steps >= idx_b. *)
-let dp_probe (db : Database.t) ~(stats : Stats.t) cp ~idx_b ~h =
-  let fam = Database.datapaths db in
+let dp_probe fam ~(stats : Stats.t) cp ~idx_b ~h =
   let n = Array.length cp.pattern in
   (* probe pattern: the head's own tag, then the steps below it *)
   let probe_pattern =
@@ -240,17 +305,19 @@ let deepest_shared_idx cp bound_cols =
    path is evaluated as a FreeIndex lookup and stitched with hash
    joins — DATAPATHS reduced to ROOTPATHS-style planning, isolating the
    contribution of index-nested-loop joins to Figure 12(d). *)
-let run_dp ?(use_inlj = true) (db : Database.t) ~stats ~out_uid cpaths =
+let run_dp ?(use_inlj = true) (db : Database.t) fam ~stats ~out_uid cpaths =
   if not use_inlj then
-    finish ~stats ~out_uid (List.map (eval_dp_free db ~stats) cpaths)
+    finish ~stats ~out_uid
+      (List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_dp_free fam ~stats cp)) cpaths)
   else
   let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
   match ordered with
   | [] -> invalid_arg "run_dp: no paths"
   | first :: rest ->
-    let acc = ref (eval_dp_free db ~stats first) in
-    List.iter
-      (fun cp ->
+    let acc = ref (eval_spanned db 0 first (fun () -> eval_dp_free fam ~stats first)) in
+    List.iteri
+      (fun j cp ->
+        let i = j + 1 in
         let idx_b =
           match deepest_shared_idx cp (Relation.columns !acc) with
           | Some i -> i
@@ -259,27 +326,26 @@ let run_dp ?(use_inlj = true) (db : Database.t) ~stats ~out_uid cpaths =
             -1
         in
         if idx_b < 0 then begin
-          let r = eval_dp_free db ~stats cp in
-          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-          acc := Relation.hash_join !acc r
+          let r = eval_spanned db i cp (fun () -> eval_dp_free fam ~stats cp) in
+          acc := join_pair ~stats ~kind:`Hash !acc r
         end
         else begin
           let b_uid = cp.uids.(idx_b) in
           let b_values = Relation.column_values !acc b_uid in
           let probe_rel =
-            List.fold_left
-              (fun rel h ->
-                let r = dp_probe db ~stats cp ~idx_b ~h in
-                Relation.create (Relation.columns r) (r.Relation.rows @ rel.Relation.rows))
-              (Relation.empty (Array.of_list (List.map (fun i -> cp.uids.(i))
-                 (List.filter (fun i -> i >= idx_b) cp.needed_idx))))
-              b_values
+            eval_spanned db i cp (fun () ->
+                List.fold_left
+                  (fun rel h ->
+                    let r = dp_probe fam ~stats cp ~idx_b ~h in
+                    Relation.create (Relation.columns r) (r.Relation.rows @ rel.Relation.rows))
+                  (Relation.empty (Array.of_list (List.map (fun i -> cp.uids.(i))
+                     (List.filter (fun i -> i >= idx_b) cp.needed_idx))))
+                  b_values)
           in
-          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-          acc := Relation.hash_join !acc probe_rel
+          acc := join_pair ~stats ~kind:`Hash !acc probe_rel
         end)
       rest;
-    { ids = Relation.column_values !acc out_uid; stats }
+    Relation.column_values !acc out_uid
 
 (* ------------------------------------------------------------------ *)
 (* Edge plan: per-step joins                                           *)
@@ -427,7 +493,8 @@ let eval_edge_path (db : Database.t) ~(stats : Stats.t) cp =
   relation_of_rows cp (edge_rows_of_bindings cp bindings)
 
 let run_edge db ~stats ~out_uid cpaths =
-  finish ~stats ~out_uid (List.map (eval_edge_path db ~stats) cpaths)
+  finish ~stats ~out_uid
+    (List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_edge_path db ~stats cp)) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* DG+Edge and IF+Edge plans                                           *)
@@ -461,7 +528,8 @@ let climb_known_path (db : Database.t) ~(stats : Stats.t) ~path_len ~needed_sche
    [structure_lookup] returns the instance leaf ids of a concrete
    rooted schema path (DG exact lookup); [value_leaf_ids] when the path
    has a value predicate. *)
-let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
+let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~guide ~fabric cp =
+  let use_fabric = fabric <> None in
   let matches = catalog_matches db.Database.catalog cp.pattern in
   let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
   let value_ids tag =
@@ -493,7 +561,7 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
         let leaf_ids =
           if use_fabric && cp.value <> None then begin
             stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
-            Family.scan (Database.index_fabric db) ~value:cp.value
+            Family.scan (Option.get fabric) ~value:cp.value
               ~schema:(Family.Exact entry.Schema_catalog.path)
               (fun acc (hit : Family.hit) ->
                 stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
@@ -505,7 +573,7 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
                stays contiguous within this concrete path *)
             stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
             let lo, hi = vbounds (Option.get cp.range) in
-            Family.scan_value_range (Database.index_fabric db) ~lo ~hi
+            Family.scan_value_range (Option.get fabric) ~lo ~hi
               ~schema:(Family.Exact entry.Schema_catalog.path)
               (fun acc (hit : Family.hit) ->
                 stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
@@ -515,7 +583,7 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
           else begin
             stats.Stats.index_lookups <- stats.Stats.index_lookups + 1;
             let structural =
-              Family.scan (Database.dataguide db) ~value:None
+              Family.scan guide ~value:None
                 ~schema:(Family.Exact entry.Schema_catalog.path)
                 (fun acc (hit : Family.hit) ->
                   stats.Stats.entries_scanned <- stats.Stats.entries_scanned + 1;
@@ -555,15 +623,17 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~use_fabric cp =
   in
   relation_of_rows cp rows
 
-let run_guide db ~stats ~out_uid ~use_fabric cpaths =
-  finish ~stats ~out_uid (List.map (eval_guide_path db ~stats ~use_fabric) cpaths)
+let run_guide db ~stats ~out_uid ~guide ~fabric cpaths =
+  finish ~stats ~out_uid
+    (List.mapi
+       (fun i cp -> eval_spanned db i cp (fun () -> eval_guide_path db ~stats ~guide ~fabric cp))
+       cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* ASR plan                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let eval_asr_path (db : Database.t) ~(stats : Stats.t) cp =
-  let asrs = Database.asr_rels db in
+let eval_asr_path (db : Database.t) asrs ~(stats : Stats.t) cp =
   let matches = catalog_matches db.Database.catalog cp.pattern in
   let rows =
     List.concat_map
@@ -595,8 +665,11 @@ let eval_asr_path (db : Database.t) ~(stats : Stats.t) cp =
   in
   relation_of_rows cp rows
 
-let run_asr db ~stats ~out_uid cpaths =
-  finish ~stats ~out_uid (List.map (eval_asr_path db ~stats) cpaths)
+let run_asr db asrs ~stats ~out_uid cpaths =
+  finish ~stats ~out_uid
+    (List.mapi
+       (fun i cp -> eval_spanned db i cp (fun () -> eval_asr_path db asrs ~stats cp))
+       cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* JI plan                                                             *)
@@ -605,8 +678,7 @@ let run_asr db ~stats ~out_uid cpaths =
 (* First (driver) path: candidate leaves from the value index (or all
    pairs of the matching rooted subpaths), then one backward lookup per
    needed position per matching rooted path. *)
-let eval_ji_driver (db : Database.t) ~(stats : Stats.t) cp =
-  let ji = Database.ji db in
+let eval_ji_driver (db : Database.t) ji ~(stats : Stats.t) cp =
   let matches = catalog_matches db.Database.catalog cp.pattern in
   let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
   let leaf_candidates =
@@ -722,8 +794,7 @@ let eval_ji_driver (db : Database.t) ~(stats : Stats.t) cp =
 
 (* Subsequent path probed from branch ids: forward lookups along the
    matching materialized subpaths below the branch. *)
-let eval_ji_probe (db : Database.t) ~(stats : Stats.t) cp ~idx_b ~b_values =
-  let ji = Database.ji db in
+let eval_ji_probe (db : Database.t) ji ~(stats : Stats.t) cp ~idx_b ~b_values =
   let n = Array.length cp.pattern in
   let tag_b = snd cp.pattern.(idx_b) in
   let probe_pattern =
@@ -836,52 +907,27 @@ let eval_ji_probe (db : Database.t) ~(stats : Stats.t) cp ~idx_b ~b_values =
   let cols = Array.of_list (List.map (fun i -> cp.uids.(i)) needed_below) in
   Relation.distinct (Relation.create cols rows)
 
-let run_ji (db : Database.t) ~stats ~out_uid cpaths =
+let run_ji (db : Database.t) ji ~stats ~out_uid cpaths =
   let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
   match ordered with
   | [] -> invalid_arg "run_ji: no paths"
   | first :: rest ->
-    let acc = ref (eval_ji_driver db ~stats first) in
-    List.iter
-      (fun cp ->
+    let acc = ref (eval_spanned db 0 first (fun () -> eval_ji_driver db ji ~stats first)) in
+    List.iteri
+      (fun j cp ->
+        let i = j + 1 in
         match deepest_shared_idx cp (Relation.columns !acc) with
         | None ->
-          let r = eval_ji_driver db ~stats cp in
-          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-          acc := Relation.hash_join !acc r
+          let r = eval_spanned db i cp (fun () -> eval_ji_driver db ji ~stats cp) in
+          acc := join_pair ~stats ~kind:`Hash !acc r
         | Some idx_b ->
           let b_values = Relation.column_values !acc cp.uids.(idx_b) in
-          let probe_rel = eval_ji_probe db ~stats cp ~idx_b ~b_values in
-          stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-          acc := Relation.hash_join !acc probe_rel)
+          let probe_rel =
+            eval_spanned db i cp (fun () -> eval_ji_probe db ji ~stats cp ~idx_b ~b_values)
+          in
+          acc := join_pair ~stats ~kind:`Hash !acc probe_rel)
       rest;
-    { ids = Relation.column_values !acc out_uid; stats }
-
-(* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
-(* ------------------------------------------------------------------ *)
-
-(** Evaluate [twig] under [strategy]. Raises {!Family.Unsupported} if
-    the strategy's index cannot answer this query shape (e.g. [//]
-    under Section 4.2 schema-path compression). [dp_use_inlj:false]
-    disables index-nested-loop joins for DP (ablation). *)
-let run ?(dp_use_inlj = true) (db : Database.t) (strategy : Database.strategy) twig =
-  let stats = Stats.create () in
-  match compile db twig with
-  | exception Unknown_tag -> { ids = []; stats }
-  | cpaths ->
-    let out_uid = (Twig.output_node twig).Twig.uid in
-    let result =
-      match strategy with
-      | Database.RP -> run_rp db ~stats ~out_uid cpaths
-      | Database.DP -> run_dp ~use_inlj:dp_use_inlj db ~stats ~out_uid cpaths
-      | Database.Edge -> run_edge db ~stats ~out_uid cpaths
-      | Database.DG_edge -> run_guide db ~stats ~out_uid ~use_fabric:false cpaths
-      | Database.IF_edge -> run_guide db ~stats ~out_uid ~use_fabric:true cpaths
-      | Database.Asr -> run_asr db ~stats ~out_uid cpaths
-      | Database.Ji -> run_ji db ~stats ~out_uid cpaths
-    in
-    { result with ids = List.sort_uniq compare result.ids }
+    Relation.column_values !acc out_uid
 
 (* ------------------------------------------------------------------ *)
 (* Cost-based strategy choice (a Lore-style optimizer, paper Section 6) *)
@@ -924,14 +970,69 @@ let choose_plan (db : Database.t) twig =
     if dp_cost < rp_cost then (Database.DP, "INLJ from the selective branch: " ^ detail)
     else (Database.RP, "merge join over branch scans: " ^ detail)
 
-(** Evaluate under the cost-chosen strategy; returns the result and the
-    choice made. Requires both ROOTPATHS and DATAPATHS to be built. *)
-let run_auto (db : Database.t) twig =
-  let strategy, reason = choose_plan db twig in
-  (run db strategy twig, strategy, reason)
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
 
-(** Human-readable plan description for a (strategy, twig) pair. *)
-let explain (db : Database.t) (strategy : Database.strategy) twig =
+(** Evaluate [twig] under [plan] (an explicit strategy, or [`Auto] for
+    the {!choose_plan} choice — the default). Raises
+    {!Family.Unsupported} if the strategy's index cannot answer this
+    query shape (e.g. [//] under Section 4.2 schema-path compression)
+    and {!Database.Index_not_built} if its index set was not
+    materialized. [dp_use_inlj:false] disables index-nested-loop joins
+    for DP (ablation). When the obs sink is on, the whole evaluation is
+    recorded under a root span returned in [trace]. *)
+let run ?(dp_use_inlj = true) ?(plan = `Auto) (db : Database.t) twig =
+  let strategy, reason =
+    match plan with
+    | `Strategy s -> (s, "as requested")
+    | `Auto -> choose_plan db twig
+  in
+  let stats = Stats.create () in
+  let body () =
+    match compile db twig with
+    | exception Unknown_tag -> []
+    | cpaths ->
+      let out_uid = (Twig.output_node twig).Twig.uid in
+      let ids =
+        match Database.require db strategy with
+        | Database.Built_rootpaths fam -> run_rp db fam ~stats ~out_uid cpaths
+        | Database.Built_datapaths fam ->
+          run_dp ~use_inlj:dp_use_inlj db fam ~stats ~out_uid cpaths
+        | Database.Built_edge -> run_edge db ~stats ~out_uid cpaths
+        | Database.Built_dataguide guide ->
+          run_guide db ~stats ~out_uid ~guide ~fabric:None cpaths
+        | Database.Built_index_fabric { fabric; dataguide } ->
+          run_guide db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
+        | Database.Built_asr asrs -> run_asr db asrs ~stats ~out_uid cpaths
+        | Database.Built_ji ji -> run_ji db ji ~stats ~out_uid cpaths
+      in
+      List.sort_uniq compare ids
+  in
+  let ids, trace =
+    Tm_obs.Obs.trace
+      ~meta:
+        [
+          ("query", Twig.to_string twig);
+          ("strategy", Database.strategy_name strategy);
+          ("reason", reason);
+        ]
+      ("query:" ^ Database.strategy_name strategy)
+      body
+  in
+  { ids; stats; strategy; reason; trace }
+
+(** Evaluate under the cost-chosen strategy; {!run} with [`Auto],
+    re-shaped for compatibility. Requires both ROOTPATHS and DATAPATHS
+    to be built. *)
+let run_auto (db : Database.t) twig =
+  let r = run ~plan:`Auto db twig in
+  (r, r.strategy, r.reason)
+
+(** Human-readable plan description for a (strategy, twig) pair. With
+    [analyze:true], also executes the query with the obs sink on and
+    appends the recorded trace tree — EXPLAIN ANALYZE. *)
+let explain ?(analyze = false) (db : Database.t) (strategy : Database.strategy) twig =
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   add "query: %s" (Twig.to_string twig);
@@ -941,18 +1042,7 @@ let explain (db : Database.t) (strategy : Database.strategy) twig =
   | cpaths ->
     let ests = List.map (estimate db) cpaths in
     List.iteri
-      (fun i (cp, est) ->
-        let tags =
-          Array.to_list cp.pattern
-          |> List.map (fun (ax, t) ->
-                 (match ax with Twig.Child -> "/" | Twig.Descendant -> "//")
-                 ^
-                 if t = Decompose.wildcard then "*" else Dictionary.name db.Database.dict t)
-          |> String.concat ""
-        in
-        add "  path %d: %s%s  (est. %d rows)" (i + 1) tags
-          (match cp.value with Some v -> Printf.sprintf " = %S" v | None -> "")
-          est)
+      (fun i (cp, est) -> add "  path %d: %s  (est. %d rows)" (i + 1) (path_label db cp) est)
       (List.combine cpaths ests);
     match strategy with
     | Database.RP ->
@@ -970,6 +1060,16 @@ let explain (db : Database.t) (strategy : Database.strategy) twig =
       add "  one relation scan per matching rooted schema path; ids taken from tuples"
     | Database.Ji ->
       add "  value-index lookup, then backward/forward join-index probes per matching subpath");
+  if analyze then begin
+    let r = Tm_obs.Obs.with_enabled true (fun () -> run ~plan:(`Strategy strategy) db twig) in
+    add "";
+    add "EXPLAIN ANALYZE: %d result%s" (List.length r.ids)
+      (if List.length r.ids = 1 then "" else "s");
+    (match r.trace with
+    | Some tr -> Buffer.add_string buf (Tm_obs.Export.trace_to_string tr)
+    | None -> ());
+    add "stats: %s" (Fmt.str "%a" Stats.pp r.stats)
+  end;
   Buffer.contents buf
 
 (** Per-branch result size (the paper's Figures 7-8 column), measured
@@ -978,7 +1078,7 @@ let branch_cardinality (db : Database.t) cp =
   (* count matches of the path itself (leaf bindings), not the distinct
      branch-point projection the executor would keep *)
   let cp = { cp with needed_idx = [ Array.length cp.pattern - 1 ] } in
-  match db.Database.rootpaths with
+  match Database.find_rootpaths db with
   | Some fam ->
     let stats = Stats.create () in
     Relation.cardinality (eval_family_rooted fam ~stats ~head:None cp)

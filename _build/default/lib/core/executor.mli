@@ -5,17 +5,34 @@
     relational joins — using exactly the access paths and join
     algorithms the paper attributes to each strategy. *)
 
-type result = { ids : int list; stats : Tm_exec.Stats.t }
+type result = {
+  ids : int list;  (** sorted distinct data-node ids of the output node *)
+  stats : Tm_exec.Stats.t;
+  strategy : Database.strategy;  (** the strategy actually executed *)
+  reason : string;
+      (** one-line justification ("as requested" for explicit plans,
+          the optimizer's cost comparison under [`Auto]) *)
+  trace : Tm_obs.Obs.span option;
+      (** the query's span tree, recorded when the {!Tm_obs.Obs} sink
+          is enabled ([None] otherwise) *)
+}
 
-val run : ?dp_use_inlj:bool -> Database.t -> Database.strategy -> Tm_query.Twig.t -> result
-(** Evaluate a twig. [ids] are the sorted distinct data-node ids bound
-    to the twig's output node. Query tags absent from the data yield an
-    empty result. [dp_use_inlj:false] (default true) disables
-    index-nested-loop joins for the DP strategy — an ablation isolating
-    the Figure 12(d) effect.
+val run :
+  ?dp_use_inlj:bool ->
+  ?plan:[ `Strategy of Database.strategy | `Auto ] ->
+  Database.t ->
+  Tm_query.Twig.t ->
+  result
+(** Evaluate a twig under [plan]: an explicit strategy, or [`Auto]
+    (default) for the cost-based {!choose_plan} choice. Query tags
+    absent from the data yield an empty result. [dp_use_inlj:false]
+    (default true) disables index-nested-loop joins for the DP
+    strategy — an ablation isolating the Figure 12(d) effect.
     @raise Tm_index.Family.Unsupported when the strategy's index cannot
     answer the query shape (e.g. [//] under Section 4.2 schema-path
-    compression). *)
+    compression).
+    @raise Database.Index_not_built when the strategy's index set was
+    not materialized at {!Database.create} time. *)
 
 val path_cardinalities : Database.t -> Tm_query.Twig.t -> int list
 (** Per-branch result sizes (the "Result Size Per Branch" column of
@@ -28,9 +45,14 @@ val choose_plan : Database.t -> Tm_query.Twig.t -> Database.strategy * string
     a one-line justification. *)
 
 val run_auto : Database.t -> Tm_query.Twig.t -> result * Database.strategy * string
-(** {!run} under the {!choose_plan} choice. Requires ROOTPATHS and
-    DATAPATHS to be built. *)
+(** Compatibility alias for [run ~plan:`Auto]; the strategy and reason
+    are duplicated from the {!result}. Requires ROOTPATHS and DATAPATHS
+    to be built. *)
 
-val explain : Database.t -> Database.strategy -> Tm_query.Twig.t -> string
+val explain : ?analyze:bool -> Database.t -> Database.strategy -> Tm_query.Twig.t -> string
 (** Human-readable plan description: the linear paths with selectivity
-    estimates and the strategy's physical plan shape. *)
+    estimates and the strategy's physical plan shape. With
+    [analyze:true] the query is also executed with the obs sink
+    enabled, and the recorded span tree (per-path and per-join timings,
+    buffer-pool hit rates, row counts) plus the executor statistics are
+    appended — EXPLAIN ANALYZE. *)

@@ -1,1 +1,1 @@
-lib/index/family.ml: Bptree Buffer Codec List Path_relation Schema_catalog Schema_path String Tm_storage Tm_xmldb
+lib/index/family.ml: Bptree Buffer Codec List Path_relation Schema_catalog Schema_path String Tm_obs Tm_storage Tm_xmldb

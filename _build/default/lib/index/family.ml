@@ -330,6 +330,16 @@ let bound_ok ~is_lo (b : vbound option) v =
     Fabric); value-first key order makes the scan contiguous up to the
     prefix-extension false positives the post-filter removes.
     @raise Unsupported when the key layout lacks a [Value] component. *)
+(* Observability: one counter increment per probe and per entry
+   touched, and a span per probe so EXPLAIN ANALYZE can attribute
+   B+-tree and buffer-pool work to the index that caused it. *)
+let c_probes = Tm_obs.Obs.counter "family.probes"
+let c_entries = Tm_obs.Obs.counter "family.entries_scanned"
+
+let probed t f =
+  Tm_obs.Obs.incr c_probes;
+  Tm_obs.Obs.with_span ("probe:" ^ t.config.cfg_name) f
+
 let scan_value_range t ?head ~lo ~hi ~schema f acc =
   if not (List.mem Value t.config.key) then
     raise (Unsupported (t.config.cfg_name ^ ": no value component to range-scan"));
@@ -347,6 +357,7 @@ let scan_value_range t ?head ~lo ~hi ~schema f acc =
     | None -> Codec.prefix_successor prefix
   in
   let fold_f acc key payload =
+    Tm_obs.Obs.incr c_entries;
     let v, s = decode_key t key in
     let value_ok =
       match v with
@@ -362,11 +373,12 @@ let scan_value_range t ?head ~lo ~hi ~schema f acc =
     if value_ok && schema_ok then f acc { h_schema = s; h_value = v; h_ids = decode_ids t payload }
     else acc
   in
-  Bptree.fold_range t.tree ~lo:lo_key ~hi:hi_key fold_f acc
+  probed t (fun () -> Bptree.fold_range t.tree ~lo:lo_key ~hi:hi_key fold_f acc)
 
 let scan t ?head ?value ?exact_len ~schema f acc =
   let prefix, was_exact = scan_prefix t ?head ?value schema in
   let fold_f acc key payload =
+    Tm_obs.Obs.incr c_entries;
     let v, s = decode_key t key in
     let len_ok = match exact_len with None -> true | Some n -> Schema_path.length s = n in
     let value_ok =
@@ -386,11 +398,12 @@ let scan t ?head ?value ?exact_len ~schema f acc =
       f acc { h_schema = s; h_value = v; h_ids = decode_ids t payload }
     else acc
   in
-  if was_exact then
-    (* fully-specified key: equality scan (keys have a fixed component
-       count, so nothing real lies in [key, key ^ sep)) *)
-    Bptree.fold_range t.tree ~lo:prefix ~hi:(Some (prefix ^ sep)) fold_f acc
-  else Bptree.fold_prefix t.tree ~prefix fold_f acc
+  probed t (fun () ->
+      if was_exact then
+        (* fully-specified key: equality scan (keys have a fixed component
+           count, so nothing real lies in [key, key ^ sep)) *)
+        Bptree.fold_range t.tree ~lo:prefix ~hi:(Some (prefix ^ sep)) fold_f acc
+      else Bptree.fold_prefix t.tree ~prefix fold_f acc)
 
 (** Entries a probe would touch (selectivity estimation / accounting). *)
 let probe_cost t ?head ?value ~schema () =

@@ -1,1 +1,1 @@
-lib/joins/engine.ml: Array Context Decompose Dictionary Fun Hashtbl List Region Relation Stats String Structural_join Tm_exec Tm_query Tm_xmldb Twig
+lib/joins/engine.ml: Array Context Decompose Dictionary Fun Hashtbl List Printf Region Relation Stats String Structural_join Tm_exec Tm_obs Tm_query Tm_xmldb Twig

@@ -18,6 +18,11 @@ open Tm_exec
 
 type result = { ids : int list; stats : Stats.t }
 
+(* Shared with the executor's pipeline (same counter handle by name):
+   lets traces over either engine reconcile against Stats. *)
+let c_rows_produced = Tm_obs.Obs.counter "exec.rows_produced"
+let c_join_steps = Tm_obs.Obs.counter "exec.join_steps"
+
 let axis_of = function Twig.Child -> Structural_join.Child | Twig.Descendant -> Structural_join.Descendant
 
 (* Stream (start-sorted candidate ids) for one twig node, [] when the
@@ -60,6 +65,7 @@ let run_stj (ctx : Context.t) (twig : Twig.t) =
   let stats = Stats.create () in
   let semijoin ~axis ~ancs ~descs =
     stats.Stats.join_steps <- stats.Stats.join_steps + 1;
+    Tm_obs.Obs.incr c_join_steps;
     Structural_join.semijoin ctx.Context.region ~axis ~ancs ~descs
   in
   (* bottom-up: candidates satisfying each node's subtree pattern *)
@@ -80,7 +86,7 @@ let run_stj (ctx : Context.t) (twig : Twig.t) =
     in
     Hashtbl.replace candidates n.Twig.uid filtered
   in
-  up twig.Twig.root;
+  Tm_obs.Obs.with_span "stj:bottom-up" (fun () -> up twig.Twig.root);
   (* top-down: keep candidates whose ancestor chain also matches *)
   let selected = Hashtbl.create 16 in
   let root_sel =
@@ -102,7 +108,7 @@ let run_stj (ctx : Context.t) (twig : Twig.t) =
         down c)
       n.Twig.branches
   in
-  down twig.Twig.root;
+  Tm_obs.Obs.with_span "stj:top-down" (fun () -> down twig.Twig.root);
   let out = (Twig.output_node twig).Twig.uid in
   { ids = List.sort_uniq compare (Hashtbl.find selected out); stats }
 
@@ -232,9 +238,14 @@ let run_pathstack (ctx : Context.t) (twig : Twig.t) =
            needed_idx)
     in
     stats.Stats.rows_produced <- stats.Stats.rows_produced + List.length !rows;
+    Tm_obs.Obs.add c_rows_produced (List.length !rows);
     Relation.distinct (Relation.create cols (List.map to_row !rows))
   in
-  let relations = List.map eval_path paths in
+  let relations =
+    List.mapi
+      (fun i p -> Tm_obs.Obs.with_span (Printf.sprintf "pathstack:path:%d" (i + 1)) (fun () -> eval_path p))
+      paths
+  in
   let joined =
     match relations with
     | [] -> invalid_arg "run_pathstack: no paths"
@@ -242,7 +253,8 @@ let run_pathstack (ctx : Context.t) (twig : Twig.t) =
       List.fold_left
         (fun acc r ->
           stats.Stats.join_steps <- stats.Stats.join_steps + 1;
-          Relation.hash_join acc r)
+          Tm_obs.Obs.incr c_join_steps;
+          Tm_obs.Obs.with_span "join:hash" (fun () -> Relation.hash_join acc r))
         r rest
   in
   { ids = Relation.column_values joined out_uid; stats }

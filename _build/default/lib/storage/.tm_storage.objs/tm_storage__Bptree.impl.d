@@ -1,1 +1,1 @@
-lib/storage/bptree.ml: Array Buffer Buffer_pool Bytes Codec Hashtbl List Option Pager Printf String
+lib/storage/bptree.ml: Array Buffer Buffer_pool Bytes Codec Hashtbl List Option Pager Printf String Tm_obs

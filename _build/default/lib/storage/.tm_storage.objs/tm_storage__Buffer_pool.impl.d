@@ -1,1 +1,1 @@
-lib/storage/buffer_pool.ml: Bytes Hashtbl Pager
+lib/storage/buffer_pool.ml: Bytes Hashtbl Pager Tm_obs

@@ -1,1 +1,1 @@
-lib/storage/pager.ml: Array Bytes Printf
+lib/storage/pager.ml: Array Bytes Printf Tm_obs

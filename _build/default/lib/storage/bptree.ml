@@ -117,14 +117,19 @@ let decode_node s =
     Internal { keys; children }
   | c -> invalid_arg (Printf.sprintf "Bptree.decode_node: bad tag %C" c)
 
+let c_node_visits = Tm_obs.Obs.counter "bptree.node_visits"
+let c_node_decodes = Tm_obs.Obs.counter "bptree.node_decodes"
+
 let read_node t id =
   (* the buffer-pool read happens unconditionally so that logical reads
      and misses are accounted exactly as without the decode cache *)
   let bytes = Buffer_pool.read t.pool id in
+  Tm_obs.Obs.incr c_node_visits;
   let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
   match Hashtbl.find_opt t.decoded id with
   | Some (v, node) when v = version -> node
   | _ ->
+    Tm_obs.Obs.incr c_node_decodes;
     let node = decode_node (Bytes.to_string bytes) in
     Hashtbl.replace t.decoded id (version, node);
     node

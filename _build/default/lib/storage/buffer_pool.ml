@@ -6,6 +6,12 @@
     (a physical {!Pager.read}); dirty pages are written back on eviction
     and on {!flush_all}. Capacity is a number of frames. *)
 
+(* Observability mirrors of the pool's own stats: gated on the global
+   sink so per-query spans can attribute cache behaviour to operators. *)
+let c_hits = Tm_obs.Obs.counter "buffer_pool.hits"
+let c_misses = Tm_obs.Obs.counter "buffer_pool.misses"
+let c_evictions = Tm_obs.Obs.counter "buffer_pool.evictions"
+
 type frame = { mutable data : bytes; mutable dirty : bool }
 
 type t = {
@@ -61,15 +67,18 @@ let evict_one t =
   | _ -> ());
   Hashtbl.remove t.frames id;
   Hashtbl.remove t.last_used id;
-  t.evictions <- t.evictions + 1
+  t.evictions <- t.evictions + 1;
+  Tm_obs.Obs.incr c_evictions
 
 let find_frame t id =
   match Hashtbl.find_opt t.frames id with
   | Some fr ->
     touch t id;
+    Tm_obs.Obs.incr c_hits;
     fr
   | None ->
     t.misses <- t.misses + 1;
+    Tm_obs.Obs.incr c_misses;
     if Hashtbl.length t.frames >= t.capacity then evict_one t;
     let fr = { data = Pager.read t.pager id; dirty = false } in
     Hashtbl.replace t.frames id fr;

@@ -6,6 +6,13 @@
     caching and counts {e logical} accesses; the gap between the two is
     the simulated I/O that the benchmark harness reports. *)
 
+(* Observability mirrors of the physical I/O counters, plus byte
+   volumes (every transfer moves exactly one page image). *)
+let c_reads = Tm_obs.Obs.counter "pager.physical_reads"
+let c_writes = Tm_obs.Obs.counter "pager.physical_writes"
+let c_read_bytes = Tm_obs.Obs.counter "pager.read_bytes"
+let c_write_bytes = Tm_obs.Obs.counter "pager.write_bytes"
+
 type t = {
   page_size : int;
   mutable pages : bytes array; (* backing store, grown geometrically *)
@@ -48,12 +55,16 @@ let check_id t id =
 let read t id =
   check_id t id;
   t.physical_reads <- t.physical_reads + 1;
+  Tm_obs.Obs.incr c_reads;
+  Tm_obs.Obs.add c_read_bytes t.page_size;
   Bytes.copy t.pages.(id)
 
 (** Physical write: stores a copy of [data] (padded/truncated to page size). *)
 let write t id data =
   check_id t id;
   t.physical_writes <- t.physical_writes + 1;
+  Tm_obs.Obs.incr c_writes;
+  Tm_obs.Obs.add c_write_bytes t.page_size;
   let page = Bytes.make t.page_size '\x00' in
   let len = min (Bytes.length data) t.page_size in
   Bytes.blit data 0 page 0 len;

@@ -1,0 +1,220 @@
+(** Exporters over the {!Obs} sink: a human-readable trace tree, JSON
+    (traces and metrics), and Prometheus-style text metrics. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON writing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+(* %h drops trailing zeros but stays locale-independent; JSON floats
+   must not be "inf"/"nan", which no duration or bucket bound is. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+(* ------------------------------------------------------------------ *)
+(* Trace rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let span_suffix (s : Obs.span) =
+  let parts = ref [] in
+  let push p = parts := p :: !parts in
+  List.iter (fun (k, v) -> if k <> "path" then push (Printf.sprintf "%s=%s" k v)) s.Obs.s_meta;
+  (match Obs.pool_hit_rate s with
+  | Some r ->
+    push
+      (Printf.sprintf "pool=%.1f%% (%d hit/%d miss)" (100.0 *. r)
+         (Obs.span_count "buffer_pool.hits" s)
+         (Obs.span_count "buffer_pool.misses" s))
+  | None -> ());
+  let interesting =
+    List.filter
+      (fun (k, _) -> not (String.length k >= 12 && String.sub k 0 12 = "buffer_pool."))
+      s.Obs.s_counts
+  in
+  if interesting <> [] then
+    push
+      ("["
+      ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) interesting)
+      ^ "]");
+  String.concat "  " (List.rev !parts)
+
+(* Index-nested-loop plans open one probe span per binding; past this
+   many consecutive same-named siblings the tail is folded into one
+   aggregate line so analyze output stays readable. *)
+let sibling_fold_threshold = 8
+let sibling_fold_keep = 3
+
+(* A rendering item: a real span, or a folded run of same-named ones. *)
+type render_item = Span of Obs.span | Folded of string * int * float
+
+let fold_siblings children =
+  let runs =
+    List.fold_left
+      (fun acc (c : Obs.span) ->
+        match acc with
+        | (name, run) :: rest when String.equal name c.Obs.s_name ->
+          (name, c :: run) :: rest
+        | _ -> (c.Obs.s_name, [ c ]) :: acc)
+      [] children
+    |> List.rev_map (fun (name, run) -> (name, List.rev run))
+  in
+  List.concat_map
+    (fun (name, run) ->
+      if List.length run <= sibling_fold_threshold then List.map (fun s -> Span s) run
+      else begin
+        let rec split k = function
+          | rest when k = 0 -> ([], rest)
+          | x :: rest ->
+            let kept, folded = split (k - 1) rest in
+            (x :: kept, folded)
+          | [] -> ([], [])
+        in
+        let kept, folded = split sibling_fold_keep run in
+        let total_ms =
+          List.fold_left (fun acc s -> acc +. Obs.elapsed_ms s) 0.0 folded
+        in
+        List.map (fun s -> Span s) kept @ [ Folded (name, List.length folded, total_ms) ]
+      end)
+    runs
+
+let rec render_span buf prefix connector (s : Obs.span) =
+  let label =
+    match List.assoc_opt "path" s.Obs.s_meta with
+    | Some p -> Printf.sprintf "%s %s" s.Obs.s_name p
+    | None -> s.Obs.s_name
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s%-40s %8.2f ms  %s\n" prefix connector label (Obs.elapsed_ms s)
+       (span_suffix s));
+  let child_prefix =
+    match connector with
+    | "" -> prefix
+    | "└─ " -> prefix ^ "   "
+    | _ -> prefix ^ "│  "
+  in
+  let render_item connector = function
+    | Span c -> render_span buf child_prefix connector c
+    | Folded (name, n, ms) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%-40s %8.2f ms\n" child_prefix connector
+           (Printf.sprintf "… %d more %s" n name)
+           ms)
+  in
+  let rec go = function
+    | [] -> ()
+    | [ last ] -> render_item "└─ " last
+    | c :: rest ->
+      render_item "├─ " c;
+      go rest
+  in
+  go (fold_siblings s.Obs.s_children)
+
+let trace_to_string (s : Obs.span) =
+  let buf = Buffer.create 512 in
+  render_span buf "" "" s;
+  Buffer.contents buf
+
+let pp_trace ppf s = Format.pp_print_string ppf (trace_to_string s)
+
+let rec span_to_json (s : Obs.span) =
+  let fields =
+    [
+      ("name", json_string s.Obs.s_name);
+      ("elapsed_ms", json_float (Obs.elapsed_ms s));
+      ( "meta",
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) s.Obs.s_meta)
+        ^ "}" );
+      ( "counts",
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v) s.Obs.s_counts)
+        ^ "}" );
+      ("children", "[" ^ String.concat "," (List.map span_to_json s.Obs.s_children) ^ "]");
+    ]
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let trace_to_json s = span_to_json s
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_to_json (h : Obs.histogram) =
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i n ->
+           let le =
+             if i < Array.length h.Obs.h_bounds then json_float h.Obs.h_bounds.(i)
+             else "\"+Inf\""
+           in
+           Printf.sprintf "{\"le\":%s,\"count\":%d}" le n)
+         h.Obs.h_counts)
+  in
+  Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}" h.Obs.h_count
+    (json_float h.Obs.h_sum) (String.concat "," buckets)
+
+let metrics_to_json () =
+  let counters =
+    Obs.counters ()
+    |> List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v)
+    |> String.concat ","
+  in
+  let histograms =
+    Obs.histograms ()
+    |> List.map (fun h -> json_string h.Obs.h_name ^ ":" ^ histogram_to_json h)
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}" counters histograms
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* *)
+let prometheus_name s =
+  "twigmatch_"
+  ^ String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') s
+
+let metrics_to_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      let name = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v))
+    (Obs.counters ());
+  List.iter
+    (fun (h : Obs.histogram) ->
+      let name = prometheus_name h.Obs.h_name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i n ->
+          cumulative := !cumulative + n;
+          let le =
+            if i < Array.length h.Obs.h_bounds then Printf.sprintf "%g" h.Obs.h_bounds.(i)
+            else "+Inf"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le !cumulative))
+        h.Obs.h_counts;
+      Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name h.Obs.h_sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.Obs.h_count))
+    (Obs.histograms ());
+  Buffer.contents buf

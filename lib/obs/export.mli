@@ -1,0 +1,21 @@
+(** Exporters over the {!Obs} sink: human-readable trace trees, JSON
+    (traces and metrics), and Prometheus-style text metrics. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (no
+    surrounding quotes). *)
+
+val trace_to_string : Obs.span -> string
+(** Render a span tree with per-operator elapsed time, annotations,
+    buffer-pool hit rates and counter deltas. *)
+
+val pp_trace : Format.formatter -> Obs.span -> unit
+
+val trace_to_json : Obs.span -> string
+
+val metrics_to_json : unit -> string
+(** All registered counters and histograms as one JSON object. *)
+
+val metrics_to_prometheus : unit -> string
+(** Prometheus text exposition format ([# TYPE] lines, cumulative
+    histogram buckets). *)

@@ -1,0 +1,187 @@
+(** Observability substrate: a global metrics sink (counters and
+    histograms) plus monotonic-clock spans recorded into per-query
+    trace trees.
+
+    The sink is {e disabled by default} and every recording entry point
+    is gated on one boolean load, so instrumented hot paths cost a
+    single predictable branch when observability is off — the property
+    the benchmark harness relies on. When enabled, counters accumulate
+    globally (exported by {!Export}) and {!trace} additionally captures
+    a tree of named spans; each span records its wall-clock time and
+    the deltas of every registered counter over its extent, which is
+    how EXPLAIN ANALYZE attributes buffer-pool hits or rows produced to
+    individual plan operators without the operators knowing about each
+    other. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let with_enabled on f =
+  let saved = !enabled_flag in
+  enabled_flag := on;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let counter_order : counter list ref = ref [] (* registration order, reversed *)
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace counter_tbl name c;
+    counter_order := c :: !counter_order;
+    c
+
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let incr c = add c 1
+let value c = c.c_value
+let counters () = List.rev_map (fun c -> (c.c_name, c.c_value)) !counter_order
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (** bucket upper bounds, ascending *)
+  h_counts : int array;  (** per bucket, plus one overflow slot *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+(* Latency-flavoured defaults (milliseconds); row-count histograms pass
+   their own bounds. *)
+let default_buckets = [| 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1000.0 |]
+
+let histogram_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let histogram_order : histogram list ref = ref []
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt histogram_tbl name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_bounds = buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_sum = 0.0;
+        h_count = 0;
+      }
+    in
+    Hashtbl.replace histogram_tbl name h;
+    histogram_order := h :: !histogram_order;
+    h
+
+let observe h v =
+  if !enabled_flag then begin
+    let n = Array.length h.h_bounds in
+    let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histograms () = List.rev !histogram_order
+
+let reset () =
+  List.iter (fun c -> c.c_value <- 0) !counter_order;
+  List.iter
+    (fun h ->
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_sum <- 0.0;
+      h.h_count <- 0)
+    !histogram_order
+
+(* ------------------------------------------------------------------ *)
+(* Spans and traces                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  s_name : string;
+  mutable s_elapsed_ns : int64;
+  mutable s_meta : (string * string) list;  (** free-form annotations *)
+  mutable s_counts : (string * int) list;  (** counter deltas over the span *)
+  mutable s_children : span list;  (** execution order once finished *)
+}
+
+(* The active trace is a stack of open spans, innermost first, each
+   carrying the counter snapshot taken when it opened. Spans outside a
+   {!trace} extent are not recorded (the stack is empty). *)
+let trace_stack : (span * (counter * int) list * int64) list ref = ref []
+
+let snapshot () = List.rev_map (fun c -> (c, c.c_value)) !counter_order
+
+let deltas snap =
+  List.filter_map
+    (fun (c, v0) ->
+      let d = c.c_value - v0 in
+      if d <> 0 then Some (c.c_name, d) else None)
+    snap
+
+let fresh_span ?(meta = []) name =
+  { s_name = name; s_elapsed_ns = 0L; s_meta = meta; s_counts = []; s_children = [] }
+
+let in_trace () = !trace_stack <> []
+
+let annotate k v =
+  match !trace_stack with
+  | (s, _, _) :: _ -> s.s_meta <- s.s_meta @ [ (k, v) ]
+  | [] -> ()
+
+let close_span s snap t0 =
+  s.s_elapsed_ns <- Int64.sub (Monotonic_clock.now ()) t0;
+  s.s_counts <- deltas snap;
+  s.s_children <- List.rev s.s_children
+
+let with_span ?meta name f =
+  if not !enabled_flag || !trace_stack = [] then f ()
+  else begin
+    let s = fresh_span ?meta name in
+    trace_stack := (s, snapshot (), Monotonic_clock.now ()) :: !trace_stack;
+    let finish () =
+      match !trace_stack with
+      | (s', snap, t0) :: rest when s' == s ->
+        close_span s snap t0;
+        trace_stack := rest;
+        (match rest with
+        | (parent, _, _) :: _ -> parent.s_children <- s :: parent.s_children
+        | [] -> ())
+      | _ -> () (* unbalanced finish; drop the span rather than corrupt the tree *)
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let trace ?meta name f =
+  if not !enabled_flag then (f (), None)
+  else begin
+    let root = fresh_span ?meta name in
+    let saved = !trace_stack in
+    trace_stack := [ (root, snapshot (), Monotonic_clock.now ()) ];
+    let finish () =
+      (match !trace_stack with
+      | [ (s, snap, t0) ] when s == root -> close_span root snap t0
+      | _ -> ());
+      trace_stack := saved
+    in
+    let v = Fun.protect ~finally:finish f in
+    (v, Some root)
+  end
+
+let elapsed_ms s = Int64.to_float s.s_elapsed_ns /. 1e6
+
+let span_count name s = match List.assoc_opt name s.s_counts with Some n -> n | None -> 0
+
+let pool_hit_rate s =
+  let hits = span_count "buffer_pool.hits" s and misses = span_count "buffer_pool.misses" s in
+  if hits + misses = 0 then None else Some (float_of_int hits /. float_of_int (hits + misses))

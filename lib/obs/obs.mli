@@ -1,0 +1,88 @@
+(** Observability substrate: a global metrics sink (counters and
+    histograms) plus monotonic-clock spans recorded into per-query
+    trace trees. Disabled by default; every recording entry point costs
+    one boolean branch when off. *)
+
+(** {1 Sink control} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the sink forced on/off, restoring the previous state. *)
+
+(** {1 Counters}
+
+    Counters are registered once by name (handles are memoized, so
+    instrumented modules hold direct references and increments never
+    hash). Values accumulate globally until {!reset}. *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** All registered counters in registration order. *)
+
+(** {1 Histograms} *)
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (** bucket upper bounds, ascending *)
+  h_counts : int array;  (** per bucket, plus one overflow slot *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+val default_buckets : float array
+(** Latency-flavoured bounds in milliseconds. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+val observe : histogram -> float -> unit
+val histograms : unit -> histogram list
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram. *)
+
+(** {1 Spans and traces}
+
+    A trace is a tree of named spans capturing wall-clock time and the
+    deltas of every registered counter over each span's extent — how
+    EXPLAIN ANALYZE attributes buffer-pool traffic and rows to
+    individual plan operators. Spans are only recorded inside a
+    {!trace} extent; {!with_span} outside one just runs its thunk. *)
+
+type span = {
+  s_name : string;
+  mutable s_elapsed_ns : int64;
+  mutable s_meta : (string * string) list;  (** free-form annotations *)
+  mutable s_counts : (string * int) list;  (** counter deltas over the span *)
+  mutable s_children : span list;  (** execution order *)
+}
+
+val trace : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a * span option
+(** Run under a fresh root span; [None] when the sink is disabled. *)
+
+val with_span : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Open a child span under the innermost open span for the duration of
+    the thunk. No-op when disabled or outside a {!trace}. *)
+
+val in_trace : unit -> bool
+(** Whether a trace is being captured right now (lets callers skip
+    building annotation strings that would be discarded). *)
+
+val annotate : string -> string -> unit
+(** Attach a key/value annotation to the innermost open span. *)
+
+val elapsed_ms : span -> float
+
+val span_count : string -> span -> int
+(** Delta of a named counter over the span (0 when absent). *)
+
+val pool_hit_rate : span -> float option
+(** Buffer-pool hit rate over the span, when any pool traffic
+    occurred. *)

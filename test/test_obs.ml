@@ -1,0 +1,209 @@
+(* Tests for the observability substrate (Tm_obs) and its wiring
+   through the storage and execution layers: span nesting, buffer-pool
+   counter fidelity against drop_caches, EXPLAIN ANALYZE / Stats
+   reconciliation, and the disabled sink recording nothing. *)
+
+open Twigmatch
+
+module T = Tm_xml.Xml_tree
+module Obs = Tm_obs.Obs
+module Export = Tm_obs.Export
+
+let check = Alcotest.check
+
+(* The paper's running example (Figure 1). *)
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+          T.elem "chapter"
+            [
+              T.elem_text "title" "XML";
+              T.elem "section" [ T.elem_text "head" "Origins" ];
+            ];
+        ];
+    ]
+
+let query = "/book[year = '2000']//author[fn = 'jane']"
+
+(* ------------------------------------------------------------------ *)
+(* Span trees                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let (), tr =
+    Obs.with_enabled true (fun () ->
+        Obs.trace "root" (fun () ->
+            Obs.with_span "a" (fun () ->
+                Obs.with_span "a1" ignore;
+                Obs.with_span "a2" ignore);
+            Obs.with_span "b" ignore))
+  in
+  let tr = Option.get tr in
+  check Alcotest.string "root name" "root" tr.Obs.s_name;
+  check
+    Alcotest.(list string)
+    "children in execution order" [ "a"; "b" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.s_name) tr.Obs.s_children);
+  let a = List.hd tr.Obs.s_children in
+  check
+    Alcotest.(list string)
+    "grandchildren nested under a" [ "a1"; "a2" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.s_name) a.Obs.s_children);
+  let b = List.nth tr.Obs.s_children 1 in
+  check Alcotest.int "b has no children" 0 (List.length b.Obs.s_children)
+
+let test_span_outside_trace () =
+  (* with_span outside a trace is a transparent no-op *)
+  Obs.with_enabled true (fun () ->
+      check Alcotest.int "value passes through" 7 (Obs.with_span "orphan" (fun () -> 7));
+      check Alcotest.bool "not in a trace" false (Obs.in_trace ()))
+
+let test_query_trace_shape () =
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy Database.RP) db twig) in
+  let tr = Option.get r.Executor.trace in
+  check Alcotest.string "root span is the query" "query:RP" tr.Obs.s_name;
+  (* two linear paths plus one merge join, in execution order *)
+  check
+    Alcotest.(list string)
+    "plan children" [ "path:1"; "path:2"; "join:merge" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.s_name) tr.Obs.s_children);
+  (* the rendering contains every operator *)
+  let rendered = Export.trace_to_string tr in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " rendered") true
+        (let nh = String.length rendered and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub rendered i nn = needle || go (i + 1)) in
+         go 0))
+    [ "query:RP"; "path:1"; "join:merge"; "ms" ]
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-pool counters vs. drop_caches                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_counters_cold_vs_warm () =
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  let hits = Obs.counter "buffer_pool.hits" in
+  let misses = Obs.counter "buffer_pool.misses" in
+  (* the pool's own stats count from creation (sink on or off), so all
+     comparisons are deltas over each run *)
+  let pool () =
+    let s = Tm_storage.Buffer_pool.stats db.Database.pool in
+    (s.Tm_storage.Buffer_pool.logical_reads - s.Tm_storage.Buffer_pool.misses,
+     s.Tm_storage.Buffer_pool.misses)
+  in
+  Obs.with_enabled true (fun () ->
+      (* cold: every page the query touches must miss *)
+      Database.drop_caches db;
+      let h0 = Obs.value hits and m0 = Obs.value misses in
+      let ph0, pm0 = pool () in
+      ignore (Executor.run ~plan:(`Strategy Database.RP) db twig);
+      let ph1, pm1 = pool () in
+      (* first touch of every page must miss (later touches of the same
+         page within the run may hit) *)
+      check Alcotest.bool "cold run misses at least once" true (Obs.value misses > m0);
+      check Alcotest.int "cold obs misses = pool misses" (pm1 - pm0) (Obs.value misses - m0);
+      check Alcotest.int "cold obs hits = pool hits" (ph1 - ph0) (Obs.value hits - h0);
+      (* warm: the same query touches the same pages, now resident *)
+      let h1 = Obs.value hits and m1 = Obs.value misses in
+      ignore (Executor.run ~plan:(`Strategy Database.RP) db twig);
+      let ph2, pm2 = pool () in
+      check Alcotest.int "warm run never misses" m1 (Obs.value misses);
+      check Alcotest.bool "warm run hits at least once" true (Obs.value hits > h1);
+      check Alcotest.int "warm obs hits = pool hits" (ph2 - ph1) (Obs.value hits - h1);
+      check Alcotest.int "warm obs misses = pool misses" (pm2 - pm1) (Obs.value misses - m1))
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE vs. Stats                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_reconciles_with_stats () =
+  let db = Database.create ~strategies:[ Database.RP; Database.DP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  List.iter
+    (fun s ->
+      let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy s) db twig) in
+      let tr = Option.get r.Executor.trace in
+      check Alcotest.int
+        (Database.strategy_name s ^ ": trace rows = Stats.rows_produced")
+        r.Executor.stats.Tm_exec.Stats.rows_produced
+        (Obs.span_count "exec.rows_produced" tr);
+      check Alcotest.int
+        (Database.strategy_name s ^ ": trace joins = Stats.join_steps")
+        r.Executor.stats.Tm_exec.Stats.join_steps
+        (Obs.span_count "exec.join_steps" tr))
+    [ Database.RP; Database.DP ]
+
+let test_explain_analyze_output () =
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  let out = Executor.explain ~analyze:true db Database.RP twig in
+  let contains needle =
+    let nh = String.length out and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "has analyze section" true (contains "EXPLAIN ANALYZE: 2 results");
+  check Alcotest.bool "has span tree" true (contains "query:RP");
+  check Alcotest.bool "has stats line" true (contains "stats:");
+  (* analyze must not leave the global sink enabled *)
+  check Alcotest.bool "sink restored" false (Obs.enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled sink records nothing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_sink_is_silent () =
+  let db = Database.create ~strategies:[ Database.RP; Database.DP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  Obs.with_enabled true (fun () -> Obs.reset ());
+  let before = Obs.with_enabled true (fun () -> Obs.counters ()) in
+  Obs.with_enabled false (fun () ->
+      List.iter
+        (fun s ->
+          let r = Executor.run ~plan:(`Strategy s) db twig in
+          check Alcotest.(option reject) (Database.strategy_name s ^ ": no trace") None
+            (Option.map (fun _ -> ()) r.Executor.trace))
+        [ Database.RP; Database.DP ]);
+  let after = Obs.with_enabled true (fun () -> Obs.counters ()) in
+  check
+    Alcotest.(list (pair string int))
+    "no counter moved while disabled" before after;
+  List.iter
+    (fun (h : Obs.histogram) ->
+      check Alcotest.int (h.Obs.h_name ^ " untouched") 0 h.Obs.h_count)
+    (Obs.histograms ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "outside trace" `Quick test_span_outside_trace;
+          Alcotest.test_case "query trace shape" `Quick test_query_trace_shape;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "pool cold/warm vs drop_caches" `Quick test_pool_counters_cold_vs_warm ]
+      );
+      ( "analyze",
+        [
+          Alcotest.test_case "trace reconciles with Stats" `Quick test_trace_reconciles_with_stats;
+          Alcotest.test_case "explain ~analyze output" `Quick test_explain_analyze_output;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "sink off records nothing" `Quick test_disabled_sink_is_silent ] );
+    ]
