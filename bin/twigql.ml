@@ -6,6 +6,7 @@
      twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
+     twigql fsck    [SOURCE] [--format json]   verify index structure invariants
 
    SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE
    (default: --xmark 0.1). *)
@@ -257,6 +258,49 @@ let snapshot_cmd =
     (Cmd.info "snapshot" ~doc:"Build a database and save it as a snapshot")
     Term.(const run_snapshot $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes: 0 = clean, 1 = violations found; cmdliner's usual 124 on
+   CLI misuse. Internal errors (unreadable snapshot etc.) escape as
+   exceptions -> exit 2 via the top-level handler. *)
+let run_fsck snap file xmark dblp seed strategies fmt =
+  let db =
+    match snap with
+    | Some path -> Persist.load path
+    | None -> (
+      let doc = load_doc file xmark dblp seed in
+      match strategies with
+      | [] -> Database.create doc
+      | ss -> Database.create ~strategies:ss doc)
+  in
+  let report = Tm_check.Check.check_database db in
+  (match fmt with
+  | `Text -> print_endline (Tm_check.Check.report_to_string report)
+  | `Json -> print_endline (Tm_check.Check.report_to_json report));
+  if not (Tm_check.Check.is_clean report) then exit 1
+
+let fsck_strategies_arg =
+  Arg.(
+    value
+    & opt_all strategy_conv []
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Verify only these strategies' structures (repeatable; default: all).")
+
+let fsck_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck" ~doc:"Verify index structure invariants (offline checker)")
+    Term.(
+      const run_fsck $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg
+      $ fsck_strategies_arg $ fsck_format_arg)
+
 let () =
   let info =
     Cmd.info "twigql" ~version:"1.0.0"
@@ -265,4 +309,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; explain_cmd; compare_cmd; metrics_cmd; info_cmd; generate_cmd; snapshot_cmd ]))
+          [
+            query_cmd;
+            explain_cmd;
+            compare_cmd;
+            metrics_cmd;
+            info_cmd;
+            generate_cmd;
+            snapshot_cmd;
+            fsck_cmd;
+          ]))

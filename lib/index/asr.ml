@@ -50,13 +50,16 @@ let build ~pool ~dict ~catalog doc =
     (fun enc bucket ->
       let rel_path = Schema_path.decode enc in
       let name = "asr:" ^ enc in
-      let rel_tree = Bptree.bulk_load ~name pool (List.sort compare !bucket) in
+      let rel_tree = Bptree.bulk_load ~name pool (List.sort Codec.compare_kv !bucket) in
       Hashtbl.replace relations enc { rel_path; rel_tree })
     groups;
   { relations; catalog; pool }
 
 (** Number of materialized relations (the paper's table count). *)
 let relation_count t = Hashtbl.length t.relations
+
+(** All relation trees (fsck support). *)
+let trees t = Hashtbl.fold (fun _ r acc -> r.rel_tree :: acc) t.relations []
 
 let size_bytes t =
   Hashtbl.fold (fun _ r acc -> acc + Bptree.size_bytes r.rel_tree) t.relations 0

@@ -15,6 +15,9 @@ val build :
 val relation_count : t -> int
 (** The paper's "tables" count (902 / 235). *)
 
+val trees : t -> Tm_storage.Bptree.t list
+(** All relation B+-trees (fsck support). *)
+
 val size_bytes : t -> int
 
 val scan_relation :

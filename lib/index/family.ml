@@ -135,7 +135,7 @@ let entry_of_row t (row : Path_relation.row) =
   in
   let keep_row =
     match t.config.paths with
-    | Root_to_leaf_only -> row.Path_relation.value <> None
+    | Root_to_leaf_only -> Option.is_some row.Path_relation.value
     | Root_prefixes | All_subpaths -> true
   in
   if not (keep_head && keep_row) then None
@@ -172,6 +172,18 @@ let remove_node t info =
       | None -> ())
     (rows_of_node t info)
 
+(** The sorted (key, payload) multiset this member must hold for [doc]
+    under its layout and pruning options — [build]'s bulk-load input,
+    recomputable after the fact as the fsck ground truth. *)
+let expected_entries t ~dict doc =
+  let add acc row = match entry_of_row t row with Some entry -> entry :: acc | None -> acc in
+  let entries =
+    match t.config.paths with
+    | Root_prefixes | Root_to_leaf_only -> Path_relation.fold_root_rows doc dict add []
+    | All_subpaths -> Path_relation.fold_all_rows doc dict add []
+  in
+  List.sort Codec.compare_kv entries
+
 let build ?(idlist_codec = `Delta) ?(prefix_compression = true) ?head_filter ?id_keep ~pool
     ~dict ~catalog config doc =
   let t =
@@ -179,21 +191,13 @@ let build ?(idlist_codec = `Delta) ?(prefix_compression = true) ?head_filter ?id
       config;
       tree = Bptree.create ~name:config.cfg_name pool;
       catalog;
-      raw_idlists = idlist_codec = `Raw;
+      raw_idlists = (match idlist_codec with `Raw -> true | `Delta -> false);
       head_filter;
       id_keep;
     }
   in
-  let add acc row =
-    match entry_of_row t row with Some entry -> entry :: acc | None -> acc
-  in
-  let entries =
-    match config.paths with
-    | Root_prefixes | Root_to_leaf_only -> Path_relation.fold_root_rows doc dict add []
-    | All_subpaths -> Path_relation.fold_all_rows doc dict add []
-  in
   let tree =
-    Bptree.bulk_load ~prefix_compression ~name:config.cfg_name pool (List.sort compare entries)
+    Bptree.bulk_load ~prefix_compression ~name:config.cfg_name pool (expected_entries t ~dict doc)
   in
   { t with tree }
 
@@ -217,11 +221,11 @@ exception Unsupported of string
 let decode_ids t payload =
   if t.raw_idlists then Codec.idlist_raw_of_string payload else Codec.idlist_of_string payload
 
-(* Decode a key back into (value, schema) following the layout. The
-   decode is positional — [Head] and [Schema_id] are fixed-width and may
-   contain 0x00 bytes, so keys cannot simply be split on the separator;
-   variable-width components ([Value], designator strings) are 0x00-free
-   by construction and end at the next separator. *)
+(* Decode a key back into (head, value, schema) following the layout.
+   The decode is positional — [Head] and [Schema_id] are fixed-width and
+   may contain 0x00 bytes, so keys cannot simply be split on the
+   separator; variable-width components ([Value], designator strings)
+   are 0x00-free by construction and end at the next separator. *)
 let decode_key t key =
   let n = String.length key in
   let until_sep pos =
@@ -230,21 +234,22 @@ let decode_key t key =
     (String.sub key pos (stop - pos), stop)
   in
   let skip_sep pos = if pos < n && key.[pos] = Codec.key_sep then pos + 1 else pos in
-  let rec go comps pos (value, schema) =
+  let rec go comps pos (head, value, schema) =
     match comps with
-    | [] -> (value, schema)
+    | [] -> (head, value, schema)
     | Head :: cs ->
       if pos + 4 > n then invalid_arg "Family.decode_key: truncated head";
-      go cs (skip_sep (pos + 4)) (value, schema)
+      let h = fst (Codec.read_u32 key pos) in
+      go cs (skip_sep (pos + 4)) (Some h, value, schema)
     | Value :: cs ->
       let p, stop = until_sep pos in
-      go cs (skip_sep stop) (Codec.decode_value p, schema)
+      go cs (skip_sep stop) (head, Codec.decode_value p, schema)
     | Schema_fwd :: cs ->
       let p, stop = until_sep pos in
-      go cs (skip_sep stop) (value, Schema_path.decode p)
+      go cs (skip_sep stop) (head, value, Schema_path.decode p)
     | Schema_rev :: cs ->
       let p, stop = until_sep pos in
-      go cs (skip_sep stop) (value, Schema_path.decode_reversed p)
+      go cs (skip_sep stop) (head, value, Schema_path.decode_reversed p)
     | Schema_id :: cs ->
       let schema =
         match key.[pos] with
@@ -260,9 +265,15 @@ let decode_key t key =
         | '\x03' -> Schema_path.decode (String.sub key (pos + 1) (n - pos - 1))
         | _ -> invalid_arg "Family.decode_key: bad schema-id marker"
       in
-      go cs n (value, schema)
+      go cs n (head, value, schema)
   in
-  go t.config.key 0 (None, Schema_path.empty)
+  go t.config.key 0 (None, None, Schema_path.empty)
+
+let decode_entry_key = decode_key
+let decode_idlist = decode_ids
+
+let encode_idlist t ids =
+  if t.raw_idlists then Codec.idlist_raw_to_string ids else Codec.idlist_to_string ids
 
 (* Build the scan bounds for a probe. Components before the schema
    component must be fully specified; the schema component itself may be
@@ -341,7 +352,7 @@ let probed t f =
   Tm_obs.Obs.with_span ("probe:" ^ t.config.cfg_name) f
 
 let scan_value_range t ?head ~lo ~hi ~schema f acc =
-  if not (List.mem Value t.config.key) then
+  if not (List.exists (function Value -> true | _ -> false) t.config.key) then
     raise (Unsupported (t.config.cfg_name ^ ": no value component to range-scan"));
   (* the prefix up to (excluding) the value component: probe with an
      unconstrained value, which stops emission there *)
@@ -358,7 +369,7 @@ let scan_value_range t ?head ~lo ~hi ~schema f acc =
   in
   let fold_f acc key payload =
     Tm_obs.Obs.incr c_entries;
-    let v, s = decode_key t key in
+    let _, v, s = decode_key t key in
     let value_ok =
       match v with
       | None -> false
@@ -379,12 +390,12 @@ let scan t ?head ?value ?exact_len ~schema f acc =
   let prefix, was_exact = scan_prefix t ?head ?value schema in
   let fold_f acc key payload =
     Tm_obs.Obs.incr c_entries;
-    let v, s = decode_key t key in
+    let _, v, s = decode_key t key in
     let len_ok = match exact_len with None -> true | Some n -> Schema_path.length s = n in
     let value_ok =
       (* When the scan prefix stopped before the Value component, enforce
          the value constraint on decoded hits. *)
-      match value with None -> true | Some v' -> v = v'
+      match value with None -> true | Some v' -> Option.equal String.equal v v'
     in
     let schema_ok =
       (* Scans whose prefix was cut short of the schema component still

@@ -116,3 +116,24 @@ val scan_value_range :
     "complex conditions on values" extension of paper Section 7,
     contiguous thanks to value-first key order.
     @raise Unsupported when the member's key lacks a [Value] component. *)
+
+(** {1 Fsck support}
+
+    Decoders and the recomputable ground truth that let {!Tm_check.Check}
+    verify a member entry by entry without going through the scan API. *)
+
+val decode_entry_key : t -> string -> int option * string option * Tm_xmldb.Schema_path.t
+(** Decode a stored key into (head, value, schema) per the member's
+    layout. @raise Invalid_argument on a malformed key. *)
+
+val decode_idlist : t -> string -> int list
+(** Decode a stored payload under the member's IdList codec. *)
+
+val encode_idlist : t -> int list -> string
+(** Canonical payload encoding (re-encode round-trip checks). *)
+
+val expected_entries :
+  t -> dict:Tm_xmldb.Dictionary.t -> Tm_xml.Xml_tree.document -> (string * string) list
+(** The sorted (key, payload) multiset the member must hold for a
+    document under its layout and pruning options — exactly [build]'s
+    bulk-load input, recomputed. *)

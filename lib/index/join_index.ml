@@ -29,7 +29,7 @@ let build ~pool ~dict ~catalog doc =
   let groups : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 1024 in
   Path_relation.fold_all_rows doc dict
     (fun () (row : Path_relation.row) ->
-      if row.Path_relation.value = None && row.Path_relation.head <> 0 then begin
+      if Option.is_none row.Path_relation.value && row.Path_relation.head <> 0 then begin
         match List.rev row.Path_relation.idlist with
         | [] -> () (* length-1 subpath: the head itself *)
         | tail :: _ ->
@@ -55,14 +55,21 @@ let build ~pool ~dict ~catalog doc =
       let bwd_entries =
         List.map (fun (h, t') -> (Codec.u32_to_string t', Codec.u32_to_string h)) !bucket
       in
-      let forward = Bptree.bulk_load ~name:("ji_fwd:" ^ enc) pool (List.sort compare fwd_entries) in
-      let backward = Bptree.bulk_load ~name:("ji_bwd:" ^ enc) pool (List.sort compare bwd_entries) in
+      let forward =
+        Bptree.bulk_load ~name:("ji_fwd:" ^ enc) pool (List.sort Codec.compare_kv fwd_entries)
+      in
+      let backward =
+        Bptree.bulk_load ~name:("ji_bwd:" ^ enc) pool (List.sort Codec.compare_kv bwd_entries)
+      in
       Hashtbl.replace pairs enc { jp_path; forward; backward })
     groups;
   { pairs; catalog; pool }
 
 (** Number of subpath relations; the structure count is twice this. *)
 let pair_count t = Hashtbl.length t.pairs
+
+(** All forward/backward trees (fsck support). *)
+let trees t = Hashtbl.fold (fun _ p acc -> p.forward :: p.backward :: acc) t.pairs []
 
 let size_bytes t =
   Hashtbl.fold
@@ -100,7 +107,7 @@ let all_pairs t ~path =
 (** Distinct {e subpath} schema paths equal to the tag sequence [tags]
     (there is at most one — subpaths are identified by their tags), if
     materialized. *)
-let has_subpath t tags = find_pair t (Schema_path.of_list tags) <> None
+let has_subpath t tags = Option.is_some (find_pair t (Schema_path.of_list tags))
 
 (** Fold over all materialized subpath schema paths. *)
 let fold_paths t f acc = Hashtbl.fold (fun _ p acc -> f acc p.jp_path) t.pairs acc
@@ -116,7 +123,7 @@ let fold_paths t f acc = Hashtbl.fold (fun _ p acc -> f acc p.jp_path) t.pairs a
 let node_pairs (info : Tm_xmldb.Shred.node_info) =
   Path_relation.node_all_rows info
   |> List.filter_map (fun (row : Path_relation.row) ->
-         if row.Path_relation.value <> None || row.Path_relation.head = 0 then None
+         if Option.is_some row.Path_relation.value || row.Path_relation.head = 0 then None
          else
            match List.rev row.Path_relation.idlist with
            | [] -> None

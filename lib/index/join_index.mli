@@ -16,6 +16,9 @@ val build :
 val pair_count : t -> int
 (** Subpath relations; structure count is twice this. *)
 
+val trees : t -> Tm_storage.Bptree.t list
+(** All forward/backward B+-trees (fsck support). *)
+
 val size_bytes : t -> int
 
 val forward_lookup : t -> path:Tm_xmldb.Schema_path.t -> start:int -> int list

@@ -32,7 +32,7 @@ let build ~pool ~dict ~edge doc =
         (Dictionary.designator info.Shred.tag, Codec.u32_to_string info.Shred.id) :: acc)
       []
   in
-  let tag_index = Bptree.bulk_load ~name:"tag_index" pool (List.sort compare entries) in
+  let tag_index = Bptree.bulk_load ~name:"tag_index" pool (List.sort Codec.compare_kv entries) in
   { region; edge; dict; tag_index }
 
 let size_bytes t = Bptree.size_bytes t.tag_index
@@ -41,16 +41,16 @@ let size_bytes t = Bptree.size_bytes t.tag_index
 let tag_stream t tag =
   Bptree.lookup_all t.tag_index (Dictionary.designator tag)
   |> List.map (fun p -> fst (Codec.read_u32 p 0))
-  |> List.sort compare
+  |> List.sort Int.compare
 
 (** Start-sorted stream of nodes with the tag and leaf value. *)
 let value_stream t tag value =
-  List.sort compare (Edge_table.lookup_value t.edge ~tag ~value)
+  List.sort Int.compare (Edge_table.lookup_value t.edge ~tag ~value)
 
 (** Start-sorted stream of every element/attribute node (wildcard
     steps). *)
 let all_stream t =
-  List.sort compare
+  List.sort Int.compare
     (Bptree.fold_range t.tag_index ~lo:"" ~hi:None
        (fun acc _ p -> fst (Codec.read_u32 p 0) :: acc)
        [])

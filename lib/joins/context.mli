@@ -1,0 +1,34 @@
+(** Shared context for the structural-join engines: region index, tag
+    index (start-sorted node streams) and the Edge table's value index.
+    A context is a snapshot of the document at {!build} time; rebuild it
+    after structural updates. *)
+
+type t = {
+  region : Tm_xmldb.Region.t;
+  edge : Tm_xmldb.Edge_table.t;
+  dict : Tm_xmldb.Dictionary.t;
+  tag_index : Tm_storage.Bptree.t;  (** designator -> u32 node id, start-sorted per tag *)
+}
+
+val build :
+  pool:Tm_storage.Buffer_pool.t ->
+  dict:Tm_xmldb.Dictionary.t ->
+  edge:Tm_xmldb.Edge_table.t ->
+  Tm_xml.Xml_tree.document ->
+  t
+
+val size_bytes : t -> int
+(** Space of the tag index (region index and Edge table are accounted
+    by their owners). *)
+
+val tag_stream : t -> int -> int list
+(** Start-sorted stream of all nodes with the given tag. *)
+
+val value_stream : t -> int -> string -> int list
+(** Start-sorted stream of nodes with the tag and leaf value. *)
+
+val all_stream : t -> int list
+(** Start-sorted stream of every element/attribute node (wildcards). *)
+
+val node_value : t -> int -> string option
+(** Leaf value of a node (one backward-link lookup). *)

@@ -44,7 +44,11 @@ let stream_of (ctx : Context.t) (n : Twig.node) =
     let all = Context.all_stream ctx in
     match n.Twig.value with
     | None -> range_filter all
-    | Some v -> List.filter (fun id -> Context.node_value ctx id = Some v) all
+    | Some v ->
+      List.filter
+        (fun id ->
+          match Context.node_value ctx id with Some v' -> String.equal v' v | None -> false)
+        all
   end
   else
     match Dictionary.find ctx.Context.dict n.Twig.name with
@@ -110,7 +114,7 @@ let run_stj (ctx : Context.t) (twig : Twig.t) =
   in
   Tm_obs.Obs.with_span "stj:top-down" (fun () -> down twig.Twig.root);
   let out = (Twig.output_node twig).Twig.uid in
-  { ids = List.sort_uniq compare (Hashtbl.find selected out); stats }
+  { ids = List.sort_uniq Int.compare (Hashtbl.find selected out); stats }
 
 (* ------------------------------------------------------------------ *)
 (* Holistic PathStack + merge                                          *)
@@ -133,7 +137,7 @@ let run_pathstack (ctx : Context.t) (twig : Twig.t) =
     let needed_idx =
       let all = List.init n Fun.id in
       let chosen = List.filter (fun i -> List.mem steps.(i).Decompose.uid keep) all in
-      if chosen = [] then [ n - 1 ] else chosen
+      match chosen with [] -> [ n - 1 ] | _ :: _ -> chosen
     in
     (* streams as arrays with cursors *)
     let streams =
@@ -193,7 +197,7 @@ let run_pathstack (ctx : Context.t) (twig : Twig.t) =
             qmin := i
           | _ -> ())
         streams;
-      if !qmin < 0 || next_start (n - 1) = None then finished := true
+      if !qmin < 0 || Option.is_none (next_start (n - 1)) then finished := true
       else begin
         let i = !qmin in
         let v = streams.(i).(cursors.(i)) in

@@ -36,12 +36,13 @@ let semijoin region ~axis ~ancs ~descs =
        is not its own ancestor *)
     let open_ancs = List.filter (fun e -> e.anc < d) !stack in
     match axis with
-    | Descendant ->
-      if open_ancs <> [] then begin
+    | Descendant -> (
+      match open_ancs with
+      | [] -> ()
+      | _ :: _ ->
         matched_descs := d :: !matched_descs;
         (* every open ancestor contains d *)
-        List.iter mark_anc open_ancs
-      end
+        List.iter mark_anc open_ancs)
     | Child -> (
       let want = Region.level_of region d - 1 in
       match List.find_opt (fun e -> Region.level_of region e.anc = want) open_ancs with
@@ -72,7 +73,7 @@ let semijoin region ~axis ~ancs ~descs =
       merge ancs' []
   in
   merge ancs descs;
-  (List.sort compare !matched_ancs, List.rev !matched_descs)
+  (List.sort Int.compare !matched_ancs, List.rev !matched_descs)
 
 (** All (anc, desc) pairs — the full structural join (used by tests;
     the engines only need semi-joins). *)

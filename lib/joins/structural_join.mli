@@ -1,0 +1,17 @@
+(** Stack-based structural (containment) semi-join after the Stack-Tree
+    family of Al-Khalifa et al. — reference [34]/[1] of the paper. Both
+    inputs are start-sorted candidate lists; one merge pass with a stack
+    of open ancestors runs in O(|anc| + |desc| + output). *)
+
+type axis = Child | Descendant
+
+val semijoin :
+  Tm_xmldb.Region.t -> axis:axis -> ancs:int list -> descs:int list -> int list * int list
+(** [(ancs with a matching desc, descs with a matching anc)], both
+    start-sorted. [Child] requires adjacent levels; containment is
+    strict (no self-pairs). *)
+
+val join :
+  Tm_xmldb.Region.t -> axis:axis -> ancs:int list -> descs:int list -> (int * int) list
+(** All (anc, desc) pairs — the full structural join (testing aid; the
+    engines only need semi-joins). *)

@@ -398,7 +398,7 @@ let iter_prefix t ~prefix f = fold_prefix t ~prefix (fun () k p -> f k p) ()
     entries are key-ordered in the tree but their payload order across
     leaf boundaries is unspecified, so we sort for determinism.) *)
 let lookup_all t key =
-  List.sort compare
+  List.sort String.compare
     (fold_range t ~lo:key ~hi:(Codec.prefix_successor key)
        (fun acc k p -> if String.equal k key then p :: acc else acc)
        [])
@@ -527,6 +527,41 @@ let bulk_load ?(prefix_compression = true) ?(fill = 0.9) ~name pool entries =
     build_level leaf_pages leaf_keys 1;
     t
   end
+
+(* ------------------------------------------------------------------ *)
+(* Raw page views (fsck support)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type view =
+  | Leaf_view of { entries : (string * string) array; next : int option (* page id *) }
+  | Internal_view of { keys : string array; children : int array }
+
+let root_page t = t.root
+let pool t = t.pool
+
+(** The stored image of [page] (exactly as the pager holds it). *)
+let page_image t page = Bytes.to_string (Buffer_pool.read t.pool page)
+
+(** Decode the stored image of [page] afresh, bypassing the decoded-node
+    cache: an offline checker must see what is actually on the page, not
+    what the tree last parsed from it. *)
+let view_page t page =
+  match Buffer_pool.read t.pool page with
+  | exception Invalid_argument m -> Error m
+  | bytes -> (
+    match decode_node (Bytes.to_string bytes) with
+    | Leaf l ->
+      Ok (Leaf_view { entries = l.entries; next = (if l.next = 0 then None else Some (l.next - 1)) })
+    | Internal n -> Ok (Internal_view { keys = n.keys; children = n.children })
+    | exception Invalid_argument m -> Error m
+    | exception Failure m -> Error m)
+
+(** Re-encode a view with this tree's settings (page tag, front-coding):
+    the canonical image the round-trip invariant compares against. *)
+let encode_view t = function
+  | Leaf_view { entries; next } ->
+    encode_leaf t entries (match next with None -> 0 | Some p -> p + 1)
+  | Internal_view { keys; children } -> encode_internal keys children
 
 (* ------------------------------------------------------------------ *)
 (* Invariant checking (used by tests)                                  *)

@@ -67,4 +67,29 @@ val to_list : t -> (string * string) list
 val check_invariants : t -> int
 (** Walk the tree checking ordering, fanout and balance invariants;
     returns the entry count. @raise Failure on violation. Testing
-    hook. *)
+    hook; {!Tm_check.Check} is the structured offline verifier. *)
+
+(** {1 Raw page views}
+
+    Fsck support: the offline verifier ({!Tm_check.Check}) must read
+    what is actually stored, bypassing the decoded-node cache, and
+    re-encode it to verify the front-coding round-trip. *)
+
+type view =
+  | Leaf_view of { entries : (string * string) array; next : int option (** next leaf page *) }
+  | Internal_view of { keys : string array; children : int array }
+
+val root_page : t -> int
+val pool : t -> Buffer_pool.t
+
+val page_image : t -> int -> string
+(** The stored page image, as the pager holds it (zero-padded to the
+    page size). @raise Invalid_argument on a bad page id. *)
+
+val view_page : t -> int -> (view, string) result
+(** Decode a stored page image afresh (no cache). [Error] carries the
+    decoder's complaint for undecodable images. *)
+
+val encode_view : t -> view -> string
+(** Canonical encoding of a view under this tree's settings — what the
+    page image must equal (up to zero padding) if storage is sound. *)

@@ -164,7 +164,7 @@ let encode_value = function
     Buffer.contents buf
 
 let decode_value s =
-  if s = "" then None
+  if String.equal s "" then None
   else begin
     assert (s.[0] = '\x02');
     let buf = Buffer.create (String.length s) in
@@ -185,6 +185,12 @@ let decode_value s =
   end
 
 let concat_key components = String.concat (String.make 1 key_sep) components
+
+(** Comparator for (key, payload) entries — the bulk-load / B+-tree
+    entry order (key, then payload), stated with typed comparisons. *)
+let compare_kv (k1, p1) (k2, p2) =
+  let c = String.compare k1 k2 in
+  if c <> 0 then c else String.compare p1 p2
 
 let split_key s = String.split_on_char key_sep s
 

@@ -62,6 +62,10 @@ val decode_value : string -> string option
 val concat_key : string list -> string
 (** Join components with {!key_sep}. *)
 
+val compare_kv : string * string -> string * string -> int
+(** Entry order of the B+-tree: key, then payload (typed comparison —
+    the repo lint bans polymorphic [compare] in the storage layer). *)
+
 val split_key : string -> string list
 (** Split on {!key_sep}. Only valid when every component is
     0x00-free (not true of fixed-width integer components). *)

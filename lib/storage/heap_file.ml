@@ -90,6 +90,25 @@ let get t rid =
     invalid_arg (Printf.sprintf "Heap_file.get(%s): bad rid" t.name);
   records.(rid.slot)
 
+(** Pages in allocation order (fsck support). *)
+let pages t = List.rev t.pages
+
+(** Decode one page afresh, refusing rather than masking a bad image:
+    [decode_page] treats a bad header as empty (tolerable for reads
+    after a crash), but an offline checker must report it. *)
+let records_of_page t page =
+  match Buffer_pool.read t.pool page with
+  | exception Invalid_argument m -> Error m
+  | bytes ->
+    let s = Bytes.to_string bytes in
+    if String.length s = 0 || s.[0] <> 'H' then
+      Error (Printf.sprintf "bad heap page header (%s)" t.name)
+    else (
+      match decode_page bytes with
+      | records -> Ok records
+      | exception Invalid_argument m -> Error m
+      | exception Failure m -> Error m)
+
 (** Fold over all records in insertion order. *)
 let fold t f acc =
   List.fold_left

@@ -23,3 +23,13 @@ val fold : t -> ('a -> string -> 'a) -> 'a -> 'a
 (** Fold over all records in insertion order. *)
 
 val iter : t -> (string -> unit) -> unit
+
+(** {1 Raw page access (fsck support)} *)
+
+val pages : t -> int list
+(** Page ids in allocation order. *)
+
+val records_of_page : t -> int -> (string array, string) result
+(** Decode one page afresh; [Error] (rather than an empty page, as the
+    read path tolerates) for a missing/corrupt header or truncated
+    record. *)

@@ -27,7 +27,10 @@ let intern t name =
   match Hashtbl.find_opt t.by_name name with
   | Some id -> id
   | None ->
-    if t.next >= max_tags then failwith "Dictionary: too many distinct tags";
+    if t.next >= max_tags then
+      invalid_arg
+        (Printf.sprintf "Dictionary.intern: cannot intern %S, dictionary full (max %d tags)" name
+           max_tags);
     let id = t.next in
     t.next <- id + 1;
     if id >= Array.length t.by_id then begin

@@ -9,7 +9,8 @@ val tag_count : t -> int
 
 val intern : t -> string -> int
 (** Id for a name, allocating on first sight.
-    @raise Failure past {!max_tags}. *)
+    @raise Invalid_argument (naming the offending tag) past
+    {!max_tags}. *)
 
 val find : t -> string -> int option
 val name : t -> int -> string

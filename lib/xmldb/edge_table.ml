@@ -98,7 +98,7 @@ let build pool dict doc =
       Hashtbl.replace value_stats key
         (1 + Option.value ~default:0 (Hashtbl.find_opt value_stats key)))
     value_entries;
-  let sorted = List.sort compare in
+  let sorted = List.sort Codec.compare_kv in
   {
     heap;
     value_index = Bptree.bulk_load ~name:"edge_value" pool (sorted value_entries);
@@ -241,6 +241,12 @@ let remove_node t (info : Shred.node_info) =
        (backward_payload ~parent_id:info.Shred.parent_id ~parent_tag:info.Shred.parent_tag
           ~tag:info.Shred.tag ~value:info.Shred.value));
   t.n_nodes <- t.n_nodes - 1
+
+(** The three link/value B+-trees (fsck support). *)
+let indices t = [ t.value_index; t.forward; t.backward ]
+
+(** The base heap file (fsck support). *)
+let heap t = t.heap
 
 (** Total space of the Edge strategy: heap + the three indices. *)
 let size_bytes t =

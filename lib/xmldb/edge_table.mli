@@ -50,3 +50,11 @@ val size_bytes : t -> int
 (** Heap + the three indices (the Figure 9 "Edge" column). *)
 
 val heap_size_bytes : t -> int
+
+(** {1 Raw structure access (fsck support)} *)
+
+val indices : t -> Tm_storage.Bptree.t list
+(** The value, forward-link and backward-link B+-trees. *)
+
+val heap : t -> Tm_storage.Heap_file.t
+(** The base-relation heap file. *)

@@ -1,0 +1,178 @@
+(** Repo-specific AST lint, run as a dune rule and CI gate.
+
+    Parses every [.ml] under the given roots with compiler-libs and
+    enforces, on the {e untyped} AST:
+
+    - [poly-compare] (lib/storage, lib/index, lib/joins): no bare
+      polymorphic [compare], and no [=]/[<>]/[List.mem] where an operand
+      is syntactically non-scalar (a constructor, tuple, polymorphic
+      variant or string literal) — key/payload/option comparisons must
+      spell out [String.compare]/[Int.compare]/typed helpers. Being
+      untyped, the check cannot see through variables; it catches the
+      patterns that caused real bugs (byte-string keys compared
+      structurally) without false-flagging int/char comparisons.
+    - [no-failwith] (lib/core): no [failwith] and no raising of
+      [Failure] — the core API reports errors via [result] or typed
+      exceptions.
+    - [catch-all] (all roots): no [try ... with _ ->]; handlers must
+      name the exceptions they mean to swallow.
+    - [mli-coverage] (all roots): every [.ml] needs a sibling [.mli].
+
+    Output: [path:line:col: [rule] message], exit 1 on any finding. *)
+
+let findings = ref 0
+
+let report ~file ~loc ~rule msg =
+  incr findings;
+  let line, col =
+    let p = loc.Location.loc_start in
+    (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+  in
+  Printf.printf "%s:%d:%d: [%s] %s\n" file line col rule msg
+
+(* ------------------------------------------------------------------ *)
+(* Rule predicates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Scope tests are substring-based so they hold whether the tool is
+   handed "lib", "./lib" or an absolute path. *)
+let in_dir dir file =
+  let dn = String.length dir and fn = String.length file in
+  let rec go i = i + dn <= fn && (String.equal (String.sub file i dn) dir || go (i + 1)) in
+  go 0
+
+let is_poly_compare_scope file =
+  List.exists (fun dir -> in_dir dir file) [ "lib/storage/"; "lib/index/"; "lib/joins/" ]
+
+let is_core_scope file = in_dir "lib/core/" file
+
+let is_bare_compare = function
+  | Longident.Lident "compare" -> true
+  | Longident.Ldot (Longident.Lident "Stdlib", "compare") -> true
+  | _ -> false
+
+let is_poly_eq = function
+  | Longident.Lident ("=" | "<>") -> true
+  | Longident.Ldot (Longident.Lident "Stdlib", ("=" | "<>")) -> true
+  | _ -> false
+
+let is_list_mem = function
+  | Longident.Ldot (Longident.Lident "List", "mem") -> true
+  | _ -> false
+
+let is_failwith = function
+  | Longident.Lident "failwith" -> true
+  | Longident.Ldot (Longident.Lident "Stdlib", "failwith") -> true
+  | _ -> false
+
+(* Syntactically non-scalar: a value whose polymorphic comparison is a
+   structural walk. true/false/() are immediate; everything else built
+   from a constructor, tuple, variant or string literal is not. *)
+let rec is_nonscalar (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_construct ({ Asttypes.txt = Longident.Lident ("true" | "false" | "()"); _ }, _)
+    -> false
+  | Parsetree.Pexp_construct _ -> true
+  | Parsetree.Pexp_tuple _ -> true
+  | Parsetree.Pexp_variant _ -> true
+  | Parsetree.Pexp_constant (Parsetree.Pconst_string _) -> true
+  | Parsetree.Pexp_constraint (e', _) -> is_nonscalar e'
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-file AST walk                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lint_structure file structure =
+  let poly_scope = is_poly_compare_scope file in
+  let core_scope = is_core_scope file in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { Asttypes.txt = lid; _ } when poly_scope && is_bare_compare lid ->
+      report ~file ~loc:e.Parsetree.pexp_loc ~rule:"poly-compare"
+        "bare polymorphic compare; use String.compare / Int.compare / a typed comparator"
+    | Parsetree.Pexp_apply
+        ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { Asttypes.txt = lid; _ }; _ }, args)
+      when poly_scope && is_poly_eq lid
+           && List.exists (fun (_, a) -> is_nonscalar a) args ->
+      report ~file ~loc:e.Parsetree.pexp_loc ~rule:"poly-compare"
+        "polymorphic =/<> against a structured value; use a typed equality"
+    | Parsetree.Pexp_apply
+        ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { Asttypes.txt = lid; _ }; _ },
+         (_, first) :: _)
+      when poly_scope && is_list_mem lid && is_nonscalar first ->
+      report ~file ~loc:e.Parsetree.pexp_loc ~rule:"poly-compare"
+        "List.mem on a structured value compares polymorphically; use List.exists with a typed \
+         equality"
+    | Parsetree.Pexp_ident { Asttypes.txt = lid; _ } when core_scope && is_failwith lid ->
+      report ~file ~loc:e.Parsetree.pexp_loc ~rule:"no-failwith"
+        "failwith in lib/core; raise a typed exception or return a result"
+    | Parsetree.Pexp_construct ({ Asttypes.txt = Longident.Lident "Failure"; _ }, Some _)
+      when core_scope ->
+      report ~file ~loc:e.Parsetree.pexp_loc ~rule:"no-failwith"
+        "Failure raised in lib/core; raise a typed exception or return a result"
+    | Parsetree.Pexp_try (_, cases) ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          match (c.Parsetree.pc_lhs.Parsetree.ppat_desc, c.Parsetree.pc_guard) with
+          | Parsetree.Ppat_any, None ->
+            report ~file ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc ~rule:"catch-all"
+              "catch-all `try ... with _ ->`; name the exceptions this handler may swallow"
+          | _ -> ())
+        cases
+    | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it structure
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix name ".ml" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+(* Paths are reported relative to the repo root; when run from a dune
+   sandbox the roots come in as e.g. "../../lib", which we strip back
+   to "lib/..." so the scope rules and messages are stable. *)
+let normalize path =
+  let rec strip p =
+    if String.length p >= 3 && String.sub p 0 3 = "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  strip path
+
+let () =
+  let roots = match Array.to_list Sys.argv with _ :: r :: rest -> r :: rest | _ -> [ "lib" ] in
+  let files = List.concat_map (fun root -> List.sort String.compare (walk root [])) roots in
+  List.iter
+    (fun path ->
+      let file = normalize path in
+      let mli = path ^ "i" in
+      if not (Sys.file_exists mli) then begin
+        incr findings;
+        Printf.printf "%s:1:0: [mli-coverage] module has no interface file (%si expected)\n" file
+          file
+      end;
+      let ic = open_in_bin path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let lexbuf = Lexing.from_string content in
+      Lexing.set_filename lexbuf file;
+      match Parse.implementation lexbuf with
+      | structure -> lint_structure file structure
+      | exception _ -> ())
+    files;
+  if !findings > 0 then begin
+    Printf.printf "lint: %d finding(s)\n" !findings;
+    exit 1
+  end
