@@ -22,6 +22,12 @@ let run_bechamel = ref false
 let metrics_out : string option ref = ref None
 let seed = ref 42
 
+let jobs =
+  ref
+    (match Tm_par.Pool.env_jobs () with
+    | Some j -> j
+    | None -> 4)
+
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
 
@@ -565,6 +571,107 @@ let extension_joins () =
   say "tag-stream index: %.2f MB extra" (mb (Tm_joins.Context.size_bytes ctx))
 
 (* ------------------------------------------------------------------ *)
+(* Parallel execution (lib/par)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Three views of the domain-pool work. (a) Intra-query speedup from
+   fanning one twig's root-to-leaf paths across domains — bounded by
+   the path count and per-path skew, so expect modest gains on 2-3
+   branch twigs. (b) Workload throughput: independent twig queries of
+   the multi-path XMark workload dispatched concurrently against the
+   shared read-only database — the scaling headline, and the ids are
+   verified against the sequential run. (c) Parallel DATAPATHS
+   subpath-closure build vs the sequential build. *)
+let figure_parallel () =
+  let jobs = max 2 !jobs in
+  let cores = Domain.recommended_domain_count () in
+  if cores < jobs then
+    say
+      "NOTE: only %d core(s) available for %d jobs — wall-clock speedup is bounded by the core \
+       count; on >= %d cores this workload scales near-linearly. Identity of results is still \
+       verified."
+      cores jobs jobs;
+  let xdb = Lazy.force xmark_db in
+  let multi_path =
+    List.filter
+      (fun (q : Tm_datasets.Workload.query) ->
+        q.Tm_datasets.Workload.dataset = Tm_datasets.Workload.Xmark
+        && q.Tm_datasets.Workload.branches >= 2)
+      Tm_datasets.Workload.all
+  in
+  Tm_par.Pool.with_pool ~jobs @@ fun pool ->
+  (* (a) per-path fan-out inside one query *)
+  print_header
+    (Printf.sprintf "Parallel (a): per-path fan-out under RP, jobs=1 vs jobs=%d (ms, %d runs)" jobs
+       !runs)
+    [ "query"; "result"; "seq"; "par"; "speedup" ];
+  List.iter
+    (fun (q : Tm_datasets.Workload.query) ->
+      let twig = Tm_datasets.Workload.parse q in
+      let time ?pool () =
+        ignore (Executor.run ?pool ~plan:(`Strategy Database.RP) xdb twig);
+        let t0 = Monotonic_clock.now () in
+        for _ = 1 to !runs do
+          ignore (Executor.run ?pool ~plan:(`Strategy Database.RP) xdb twig)
+        done;
+        Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
+      in
+      let seq = time () in
+      let par = time ~pool () in
+      let ids_seq = (Executor.run ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
+      let ids_par = (Executor.run ~pool ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
+      if ids_seq <> ids_par then
+        failwith ("parallel ids differ on " ^ q.Tm_datasets.Workload.name);
+      say "%s | %s | %s | %s | %s"
+        (fmt_cell q.Tm_datasets.Workload.name)
+        (fmt_cell (string_of_int (List.length ids_seq)))
+        (fmt_cell (Printf.sprintf "%.2f" seq))
+        (fmt_cell (Printf.sprintf "%.2f" par))
+        (fmt_cell (Printf.sprintf "%.2fx" (seq /. par))))
+    multi_path;
+  (* (b) workload throughput: whole queries as pool tasks *)
+  let workload =
+    List.concat_map
+      (fun (q : Tm_datasets.Workload.query) ->
+        let twig = Tm_datasets.Workload.parse q in
+        [ (Database.RP, twig); (Database.DP, twig) ])
+      multi_path
+  in
+  let tasks = List.concat (List.init (max 1 !runs) (fun _ -> workload)) in
+  let eval (s, twig) = (Executor.run ~plan:(`Strategy s) xdb twig).Executor.ids in
+  List.iter (fun t -> ignore (eval t)) workload;
+  (* warm *)
+  let t0 = Monotonic_clock.now () in
+  let seq_ids = List.map eval tasks in
+  let t_seq = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+  let t0 = Monotonic_clock.now () in
+  let par_ids = Tm_par.Pool.map pool eval tasks in
+  let t_par = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+  if seq_ids <> par_ids then failwith "parallel workload ids differ from sequential";
+  say "";
+  say "Parallel (b): multi-path XMark twig workload, %d queries (RP+DP over %d twigs x %d reps)"
+    (List.length tasks) (List.length multi_path) (max 1 !runs);
+  say "  jobs=1: %.1f ms   jobs=%d: %.1f ms   speedup: %.2fx   (identical result ids)" t_seq jobs
+    t_par (t_seq /. t_par);
+  (* (c) parallel DATAPATHS subpath-closure build *)
+  let doc = Lazy.force xmark_doc in
+  let time_build ?par () =
+    let t0 = Monotonic_clock.now () in
+    let db = Database.create ?par ~strategies:Database.[ DP ] doc in
+    let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+    (ms, db)
+  in
+  let seq_ms, seq_db = time_build () in
+  let par_ms, par_db = time_build ~par:pool () in
+  let seq_sz = Database.strategy_size_bytes seq_db Database.DP in
+  let par_sz = Database.strategy_size_bytes par_db Database.DP in
+  if seq_sz <> par_sz then failwith "parallel DATAPATHS build differs from sequential";
+  say "";
+  say "Parallel (c): DATAPATHS build — seq %.0f ms, jobs=%d %.0f ms (%.2fx); identical index \
+       (%d bytes)"
+    seq_ms jobs par_ms (seq_ms /. par_ms) seq_sz
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -619,7 +726,7 @@ let all_figures =
   [
     "9"; "10"; "11"; "12a"; "12b"; "12c"; "12d"; "recursion"; "compression"; "13";
     "ablation-inlj"; "ablation-pc"; "ablation-update"; "ablation-pool"; "extension-joins";
-    "extension-auto"; "extension-ranges";
+    "extension-auto"; "extension-ranges"; "parallel";
   ]
 
 let run_figure = function
@@ -641,6 +748,7 @@ let run_figure = function
   | "extension-joins" -> extension_joins ()
   | "extension-auto" -> extension_auto ()
   | "extension-ranges" -> extension_ranges ()
+  | "parallel" -> figure_parallel ()
   | f -> failwith ("unknown figure: " ^ f)
 
 let () =
@@ -653,6 +761,9 @@ let () =
       ("--xmark-scale", Arg.Set_float xmark_scale, "F XMark scale factor (default 0.5)");
       ("--dblp-scale", Arg.Set_float dblp_scale, "F DBLP scale factor (default 0.5)");
       ("--seed", Arg.Set_int seed, "N dataset PRNG seed (default 42)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N domain-pool size for the 'parallel' figure (default TWIGMATCH_JOBS or 4)" );
       ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-suite");
       ( "--metrics-out",
         Arg.String (fun f -> metrics_out := Some f),

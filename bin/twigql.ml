@@ -1,12 +1,12 @@
 (* twigql — command-line twig query processor.
 
-     twigql query   [SOURCE] [-s RP] [--analyze] 'XPATH'   run a query
+     twigql query   [SOURCE] [-s RP] [--analyze] [--jobs N] 'XPATH'   run a query
      twigql explain [SOURCE] [-s RP] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
      twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
      twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
-     twigql fsck    [SOURCE] [--format json]   verify index structure invariants
+     twigql fsck    [SOURCE] [--jobs N] [--format json]   verify index structure invariants
 
    SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE
    (default: --xmark 0.1). *)
@@ -72,17 +72,32 @@ let strategy_arg =
 
 let xpath_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH")
 
-let load_db snap file xmark dblp seed =
+let load_db ?par snap file xmark dblp seed =
   match snap with
   | Some path -> Persist.load path
-  | None -> Database.create (load_doc file xmark dblp seed)
+  | None -> Database.create ?par (load_doc file xmark dblp seed)
 
-let run_query snap file xmark dblp seed strategy auto analyze xpath =
-  let db = load_db snap file xmark dblp seed in
+(* Scope a domain pool around [f] when more than one job is requested;
+   [None] keeps everything on the calling domain. *)
+let with_par jobs f =
+  if jobs > 1 then Tm_par.Pool.with_pool ~jobs (fun p -> f (Some p)) else f None
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Tm_par.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for parallel index construction and query execution (default: \
+           $(b,TWIGMATCH_JOBS) or 1).")
+
+let run_query snap file xmark dblp seed strategy auto analyze jobs xpath =
+  with_par jobs @@ fun par ->
+  let db = load_db ?par snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
   let plan = if auto then `Auto else `Strategy strategy in
   let t0 = Monotonic_clock.now () in
-  let r = Tm_obs.Obs.with_enabled analyze (fun () -> Executor.run ~plan db twig) in
+  let r = Tm_obs.Obs.with_enabled analyze (fun () -> Executor.run ~plan ?pool:par db twig) in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
   Printf.printf "%d results in %.2f ms under %s (%s)\n" (List.length r.Executor.ids) ms
     (Database.strategy_name r.Executor.strategy) r.Executor.reason;
@@ -109,7 +124,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a twig query under one strategy (or --auto)")
     Term.(
       const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ analyze_arg $ xpath_arg)
+      $ auto_arg $ analyze_arg $ jobs_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -265,15 +280,16 @@ let snapshot_cmd =
 (* Exit codes: 0 = clean, 1 = violations found; cmdliner's usual 124 on
    CLI misuse. Internal errors (unreadable snapshot etc.) escape as
    exceptions -> exit 2 via the top-level handler. *)
-let run_fsck snap file xmark dblp seed strategies fmt =
+let run_fsck snap file xmark dblp seed strategies jobs fmt =
+  with_par jobs @@ fun par ->
   let db =
     match snap with
     | Some path -> Persist.load path
     | None -> (
       let doc = load_doc file xmark dblp seed in
       match strategies with
-      | [] -> Database.create doc
-      | ss -> Database.create ~strategies:ss doc)
+      | [] -> Database.create ?par doc
+      | ss -> Database.create ?par ~strategies:ss doc)
   in
   let report = Tm_check.Check.check_database db in
   (match fmt with
@@ -299,7 +315,7 @@ let fsck_cmd =
     (Cmd.info "fsck" ~doc:"Verify index structure invariants (offline checker)")
     Term.(
       const run_fsck $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg
-      $ fsck_strategies_arg $ fsck_format_arg)
+      $ fsck_strategies_arg $ jobs_arg $ fsck_format_arg)
 
 let () =
   let info =

@@ -70,9 +70,13 @@ type t = {
     @param schema_compressed use the Section 4.2 dictionary-encoded
       schema-path keys for ROOTPATHS/DATAPATHS (disables [//]).
     @param head_filter Section 4.3 HeadId pruning predicate for
-      DATAPATHS. *)
+      DATAPATHS.
+    @param par domain pool for parallel family-index construction
+      (entry generation and sorting fan out; ASR/JI builds stay
+      sequential). The built indices are byte-identical to a
+      sequential build. *)
 let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 8192)
-    ?(idlist_codec = `Delta) ?(schema_compressed = false) ?head_filter doc =
+    ?(idlist_codec = `Delta) ?(schema_compressed = false) ?head_filter ?par doc =
   let pager = Pager.create ~page_size () in
   let pool = Buffer_pool.create ~capacity:pool_capacity pager in
   let dict = Dictionary.create () in
@@ -80,7 +84,7 @@ let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 
   let edge = Edge_table.build pool dict doc in
   let want s = List.mem s strategies in
   let build_family config =
-    Family.build ~idlist_codec ?head_filter ~pool ~dict ~catalog config doc
+    Family.build ~idlist_codec ?head_filter ?par ~pool ~dict ~catalog config doc
   in
   let rp_config = if schema_compressed then Family.rootpaths_schema_compressed else Family.rootpaths in
   let dp_config = if schema_compressed then Family.datapaths_schema_compressed else Family.datapaths in

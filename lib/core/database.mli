@@ -45,13 +45,17 @@ val create :
   ?idlist_codec:[ `Delta | `Raw ] ->
   ?schema_compressed:bool ->
   ?head_filter:(int -> bool) ->
+  ?par:Tm_par.Pool.t ->
   Tm_xml.Xml_tree.document ->
   t
 (** Build a database. [strategies] selects which index sets to
     materialize (default all; the Edge table is always built — it is
     the base storage format and supplies planner statistics).
     [idlist_codec], [schema_compressed] and [head_filter] are the
-    Section 4 compression options for ROOTPATHS/DATAPATHS. *)
+    Section 4 compression options for ROOTPATHS/DATAPATHS. [par]
+    parallelizes ROOTPATHS/DATAPATHS/DataGuide/Index-Fabric
+    construction across a domain pool; the resulting indices are
+    byte-identical to a sequential build. *)
 
 (** {1 Index-set access}
 

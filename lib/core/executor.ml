@@ -187,6 +187,54 @@ let eval_spanned (db : Database.t) i cp f =
           Tm_obs.Obs.annotate "rows" (string_of_int (Relation.cardinality rel));
         rel)
 
+(* Evaluate every compiled path to its binding relation — the Section
+   5.1.2 per-PCsubpath lookups, which share no state and are the plans'
+   natural unit of parallelism. With a pool of more than one job the
+   evaluations fan out across domains: each task gets a private
+   {!Stats.t} (merged back afterwards) and records its spans under a
+   task-local trace whose root the coordinator adopts in path order, so
+   [--analyze] shows the same "path:N" tree annotated with the domain
+   that ran it. Relation order always matches [cpaths] order. *)
+let eval_paths ?par (db : Database.t) ~(stats : Stats.t) eval cpaths =
+  let fan_out pool =
+    let record = Tm_obs.Obs.enabled () in
+    let results =
+      Tm_par.Pool.map pool
+        (fun (i, cp) ->
+          let stats' = Stats.create () in
+          let work () =
+            let rel = eval ~stats:stats' cp in
+            if Tm_obs.Obs.in_trace () then
+              Tm_obs.Obs.annotate "rows" (string_of_int (Relation.cardinality rel));
+            rel
+          in
+          if not record then (work (), None, stats')
+          else begin
+            let rel, span =
+              Tm_obs.Obs.trace
+                ~meta:
+                  [
+                    ("path", path_label db cp);
+                    ("domain", string_of_int (Domain.self () :> int));
+                  ]
+                (Printf.sprintf "path:%d" (i + 1))
+                work
+            in
+            (rel, span, stats')
+          end)
+        (List.mapi (fun i cp -> (i, cp)) cpaths)
+    in
+    List.map
+      (fun (rel, span, stats') ->
+        (match span with Some s -> Tm_obs.Obs.adopt s | None -> ());
+        Stats.merge_into ~into:stats stats';
+        rel)
+      results
+  in
+  match par with
+  | Some pool when Tm_par.Pool.jobs pool > 1 && List.length cpaths > 1 -> fan_out pool
+  | _ -> List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval ~stats cp)) cpaths
+
 (* ------------------------------------------------------------------ *)
 (* Selectivity estimation (used by DP and JI to pick the driver path)  *)
 (* ------------------------------------------------------------------ *)
@@ -247,10 +295,8 @@ let eval_dp_free fam ~stats cp = eval_family_rooted fam ~stats ~head:(Some 0) cp
 (* RP plan: one lookup per path, merge joins on branch points          *)
 (* ------------------------------------------------------------------ *)
 
-let run_rp (db : Database.t) fam ~stats ~out_uid cpaths =
-  let relations =
-    List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_rp fam ~stats cp)) cpaths
-  in
+let run_rp ?par (db : Database.t) fam ~stats ~out_uid cpaths =
+  let relations = eval_paths ?par db ~stats (fun ~stats cp -> eval_rp fam ~stats cp) cpaths in
   let joined = join_all ~stats ~kind:`Merge relations in
   Relation.column_values joined out_uid
 
@@ -301,14 +347,55 @@ let deepest_shared_idx cp bound_cols =
   in
   go None 0
 
+(* Run the INLJ probes of one path, one per branch binding. With a
+   pool, the bindings are fanned out in contiguous chunks: each chunk
+   probes with its own Stats (merged back) and records its probe spans
+   under a "probes" trace the coordinator adopts beneath the open
+   "path:N" span — so analyze output still attributes every probe,
+   now labelled with the domain that ran it. *)
+let dp_probe_all ?par fam ~(stats : Stats.t) cp ~idx_b b_values =
+  let sequential () = List.rev_map (fun h -> dp_probe fam ~stats cp ~idx_b ~h) b_values in
+  let fan_out pool =
+    let record = Tm_obs.Obs.enabled () in
+    let results =
+      Tm_par.Pool.map_chunked pool
+        (fun hs ->
+          let stats' = Stats.create () in
+          let work () = List.rev_map (fun h -> dp_probe fam ~stats:stats' cp ~idx_b ~h) hs in
+          if not record then (work (), None, stats')
+          else begin
+            let rels, span =
+              Tm_obs.Obs.trace
+                ~meta:
+                  [
+                    ("domain", string_of_int (Domain.self () :> int));
+                    ("probes", string_of_int (List.length hs));
+                  ]
+                "probes" work
+            in
+            (rels, span, stats')
+          end)
+        b_values
+    in
+    List.concat_map
+      (fun (rels, span, stats') ->
+        (match span with Some s -> Tm_obs.Obs.adopt s | None -> ());
+        Stats.merge_into ~into:stats stats';
+        rels)
+      results
+  in
+  match par with
+  | Some pool when Tm_par.Pool.jobs pool > 1 && List.length b_values > 1 -> fan_out pool
+  | _ -> sequential ()
+
 (* With [use_inlj = false] (an ablation, not a paper strategy), every
    path is evaluated as a FreeIndex lookup and stitched with hash
    joins — DATAPATHS reduced to ROOTPATHS-style planning, isolating the
    contribution of index-nested-loop joins to Figure 12(d). *)
-let run_dp ?(use_inlj = true) (db : Database.t) fam ~stats ~out_uid cpaths =
+let run_dp ?(use_inlj = true) ?par (db : Database.t) fam ~stats ~out_uid cpaths =
   if not use_inlj then
     finish ~stats ~out_uid
-      (List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_dp_free fam ~stats cp)) cpaths)
+      (eval_paths ?par db ~stats (fun ~stats cp -> eval_dp_free fam ~stats cp) cpaths)
   else
   let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
   match ordered with
@@ -334,13 +421,13 @@ let run_dp ?(use_inlj = true) (db : Database.t) fam ~stats ~out_uid cpaths =
           let b_values = Relation.column_values !acc b_uid in
           let probe_rel =
             eval_spanned db i cp (fun () ->
+                let probes = dp_probe_all ?par fam ~stats cp ~idx_b b_values in
                 List.fold_left
-                  (fun rel h ->
-                    let r = dp_probe fam ~stats cp ~idx_b ~h in
+                  (fun rel r ->
                     Relation.create (Relation.columns r) (r.Relation.rows @ rel.Relation.rows))
                   (Relation.empty (Array.of_list (List.map (fun i -> cp.uids.(i))
                      (List.filter (fun i -> i >= idx_b) cp.needed_idx))))
-                  b_values)
+                  probes)
           in
           acc := join_pair ~stats ~kind:`Hash !acc probe_rel
         end)
@@ -492,9 +579,9 @@ let eval_edge_path (db : Database.t) ~(stats : Stats.t) cp =
   in
   relation_of_rows cp (edge_rows_of_bindings cp bindings)
 
-let run_edge db ~stats ~out_uid cpaths =
+let run_edge ?par db ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval_edge_path db ~stats cp)) cpaths)
+    (eval_paths ?par db ~stats (fun ~stats cp -> eval_edge_path db ~stats cp) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* DG+Edge and IF+Edge plans                                           *)
@@ -623,11 +710,9 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~guide ~fabric cp =
   in
   relation_of_rows cp rows
 
-let run_guide db ~stats ~out_uid ~guide ~fabric cpaths =
+let run_guide ?par db ~stats ~out_uid ~guide ~fabric cpaths =
   finish ~stats ~out_uid
-    (List.mapi
-       (fun i cp -> eval_spanned db i cp (fun () -> eval_guide_path db ~stats ~guide ~fabric cp))
-       cpaths)
+    (eval_paths ?par db ~stats (fun ~stats cp -> eval_guide_path db ~stats ~guide ~fabric cp) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* ASR plan                                                            *)
@@ -665,11 +750,9 @@ let eval_asr_path (db : Database.t) asrs ~(stats : Stats.t) cp =
   in
   relation_of_rows cp rows
 
-let run_asr db asrs ~stats ~out_uid cpaths =
+let run_asr ?par db asrs ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (List.mapi
-       (fun i cp -> eval_spanned db i cp (fun () -> eval_asr_path db asrs ~stats cp))
-       cpaths)
+    (eval_paths ?par db ~stats (fun ~stats cp -> eval_asr_path db asrs ~stats cp) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* JI plan                                                             *)
@@ -981,44 +1064,61 @@ let choose_plan (db : Database.t) twig =
     and {!Database.Index_not_built} if its index set was not
     materialized. [dp_use_inlj:false] disables index-nested-loop joins
     for DP (ablation). When the obs sink is on, the whole evaluation is
-    recorded under a root span returned in [trace]. *)
-let run ?(dp_use_inlj = true) ?(plan = `Auto) (db : Database.t) twig =
+    recorded under a root span returned in [trace].
+
+    [pool] fans the per-path lookups (and DP probe batches) out across
+    the given domain pool; [jobs] (used when [pool] is absent) spins up
+    an ephemeral pool for just this query — convenient, but a domain
+    spawn costs milliseconds, so callers issuing many queries should
+    create one pool and pass it. JI plans always run sequentially
+    (their probe chain threads bindings from path to path). *)
+let run ?(dp_use_inlj = true) ?(plan = `Auto) ?pool ?jobs (db : Database.t) twig =
   let strategy, reason =
     match plan with
     | `Strategy s -> (s, "as requested")
     | `Auto -> choose_plan db twig
   in
   let stats = Stats.create () in
-  let body () =
-    match compile db twig with
-    | exception Unknown_tag -> []
-    | cpaths ->
-      let out_uid = (Twig.output_node twig).Twig.uid in
-      let ids =
-        match Database.require db strategy with
-        | Database.Built_rootpaths fam -> run_rp db fam ~stats ~out_uid cpaths
-        | Database.Built_datapaths fam ->
-          run_dp ~use_inlj:dp_use_inlj db fam ~stats ~out_uid cpaths
-        | Database.Built_edge -> run_edge db ~stats ~out_uid cpaths
-        | Database.Built_dataguide guide ->
-          run_guide db ~stats ~out_uid ~guide ~fabric:None cpaths
-        | Database.Built_index_fabric { fabric; dataguide } ->
-          run_guide db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
-        | Database.Built_asr asrs -> run_asr db asrs ~stats ~out_uid cpaths
-        | Database.Built_ji ji -> run_ji db ji ~stats ~out_uid cpaths
-      in
-      List.sort_uniq compare ids
-  in
-  let ids, trace =
+  let run_with par =
+    let body () =
+      match compile db twig with
+      | exception Unknown_tag -> []
+      | cpaths ->
+        let out_uid = (Twig.output_node twig).Twig.uid in
+        let ids =
+          match Database.require db strategy with
+          | Database.Built_rootpaths fam -> run_rp ?par db fam ~stats ~out_uid cpaths
+          | Database.Built_datapaths fam ->
+            run_dp ~use_inlj:dp_use_inlj ?par db fam ~stats ~out_uid cpaths
+          | Database.Built_edge -> run_edge ?par db ~stats ~out_uid cpaths
+          | Database.Built_dataguide guide ->
+            run_guide ?par db ~stats ~out_uid ~guide ~fabric:None cpaths
+          | Database.Built_index_fabric { fabric; dataguide } ->
+            run_guide ?par db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
+          | Database.Built_asr asrs -> run_asr ?par db asrs ~stats ~out_uid cpaths
+          | Database.Built_ji ji -> run_ji db ji ~stats ~out_uid cpaths
+        in
+        List.sort_uniq compare ids
+    in
     Tm_obs.Obs.trace
       ~meta:
         [
           ("query", Twig.to_string twig);
           ("strategy", Database.strategy_name strategy);
           ("reason", reason);
+          ( "jobs",
+            string_of_int (match par with Some p -> Tm_par.Pool.jobs p | None -> 1) );
         ]
       ("query:" ^ Database.strategy_name strategy)
       body
+  in
+  let ids, trace =
+    match pool with
+    | Some p -> run_with (Some p)
+    | None -> (
+      match jobs with
+      | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
+      | Some _ | None -> run_with None)
   in
   { ids; stats; strategy; reason; trace }
 

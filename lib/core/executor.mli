@@ -20,6 +20,8 @@ type result = {
 val run :
   ?dp_use_inlj:bool ->
   ?plan:[ `Strategy of Database.strategy | `Auto ] ->
+  ?pool:Tm_par.Pool.t ->
+  ?jobs:int ->
   Database.t ->
   Tm_query.Twig.t ->
   result
@@ -28,6 +30,13 @@ val run :
     absent from the data yield an empty result. [dp_use_inlj:false]
     (default true) disables index-nested-loop joins for the DP
     strategy — an ablation isolating the Figure 12(d) effect.
+
+    [pool] fans the independent per-path index lookups (and DP's INLJ
+    probe batches) out across a domain pool, joining the binding
+    relations as they complete; results are identical to a sequential
+    run. [jobs] (only consulted when [pool] is absent) creates an
+    ephemeral pool for this one query — for repeated queries, create a
+    {!Tm_par.Pool.t} once and pass [pool]. JI plans run sequentially.
     @raise Tm_index.Family.Unsupported when the strategy's index cannot
     answer the query shape (e.g. [//] under Section 4.2 schema-path
     compression).

@@ -36,6 +36,17 @@ let add a b =
     structures_accessed = a.structures_accessed + b.structures_accessed;
   }
 
+(* Accumulate a per-task stats record into the query-level one; used
+   when parallel path evaluation gives each task its own [t] and the
+   coordinator folds them back in. *)
+let merge_into ~into b =
+  into.index_lookups <- into.index_lookups + b.index_lookups;
+  into.entries_scanned <- into.entries_scanned + b.entries_scanned;
+  into.rows_produced <- into.rows_produced + b.rows_produced;
+  into.join_steps <- into.join_steps + b.join_steps;
+  into.inlj_probes <- into.inlj_probes + b.inlj_probes;
+  into.structures_accessed <- into.structures_accessed + b.structures_accessed
+
 let pp ppf s =
   Fmt.pf ppf "lookups=%d scanned=%d rows=%d joins=%d probes=%d structures=%d" s.index_lookups
     s.entries_scanned s.rows_produced s.join_steps s.inlj_probes s.structures_accessed

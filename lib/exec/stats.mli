@@ -12,4 +12,9 @@ type t = {
 
 val create : unit -> t
 val add : t -> t -> t
+
+val merge_into : into:t -> t -> unit
+(** Accumulate [b] into [into] in place (for folding per-task stats
+    from parallel path evaluation back into the query's record). *)
+
 val pp : Format.formatter -> t -> unit

@@ -184,7 +184,49 @@ let expected_entries t ~dict doc =
   in
   List.sort Codec.compare_kv entries
 
-let build ?(idlist_codec = `Delta) ?(prefix_compression = true) ?head_filter ?id_keep ~pool
+(* Merge two runs sorted by [Codec.compare_kv]. Hand-rolled because
+   stdlib [List.merge] is not tail-recursive and DATAPATHS runs reach
+   hundreds of thousands of entries. *)
+let merge_kv a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+      if Codec.compare_kv x y <= 0 then go a' b (x :: acc) else go a b' (y :: acc)
+  in
+  go a b []
+
+(* Balanced pairwise rounds: O(n log k) for k runs. *)
+let rec merge_runs = function
+  | [] -> []
+  | [ r ] -> r
+  | runs ->
+    let rec pair acc = function
+      | a :: b :: rest -> pair (merge_kv a b :: acc) rest
+      | [ a ] -> a :: acc
+      | [] -> acc
+    in
+    merge_runs (pair [] runs)
+
+(* Parallel variant of {!expected_entries}: partition the document's
+   nodes (each carrying its root-to-leaf id path) across the pool, have
+   every chunk generate and sort its own entries, then merge the sorted
+   runs. [Codec.compare_kv] is a total order on (key, payload), so the
+   merged result is exactly the sequential sort — bulk-load input and
+   fsck ground truth stay byte-identical. The shred pass itself remains
+   sequential because it interns tags into the dictionary. *)
+let par_entries par t ~dict doc =
+  let nodes = List.rev (Shred.fold_nodes doc dict (fun acc info -> info :: acc) []) in
+  let entries_of_chunk chunk =
+    let add acc row = match entry_of_row t row with Some e -> e :: acc | None -> acc in
+    let entries =
+      List.fold_left (fun acc info -> List.fold_left add acc (rows_of_node t info)) [] chunk
+    in
+    List.sort Codec.compare_kv entries
+  in
+  merge_runs (Tm_par.Pool.map_chunked par entries_of_chunk nodes)
+
+let build ?(idlist_codec = `Delta) ?(prefix_compression = true) ?head_filter ?id_keep ?par ~pool
     ~dict ~catalog config doc =
   let t =
     {
@@ -196,9 +238,12 @@ let build ?(idlist_codec = `Delta) ?(prefix_compression = true) ?head_filter ?id
       id_keep;
     }
   in
-  let tree =
-    Bptree.bulk_load ~prefix_compression ~name:config.cfg_name pool (expected_entries t ~dict doc)
+  let entries =
+    match par with
+    | Some p when Tm_par.Pool.jobs p > 1 -> par_entries p t ~dict doc
+    | Some _ | None -> expected_entries t ~dict doc
   in
+  let tree = Bptree.bulk_load ~prefix_compression ~name:config.cfg_name pool entries in
   { t with tree }
 
 (* ------------------------------------------------------------------ *)

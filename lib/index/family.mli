@@ -40,6 +40,7 @@ val build :
   ?prefix_compression:bool ->
   ?head_filter:(int -> bool) ->
   ?id_keep:(Tm_xmldb.Path_relation.row -> int list -> int list) ->
+  ?par:Tm_par.Pool.t ->
   pool:Tm_storage.Buffer_pool.t ->
   dict:Tm_xmldb.Dictionary.t ->
   catalog:Tm_xmldb.Schema_catalog.t ->
@@ -51,7 +52,10 @@ val build :
     toggles B+-tree leaf front-coding — the DB2 feature the paper
     credits for key-space efficiency; [head_filter] implements Section 4.3
     HeadId pruning (the virtual root is always kept); [id_keep]
-    implements Section 4.1 IdList pruning. *)
+    implements Section 4.1 IdList pruning. [par] parallelizes entry
+    generation and sorting across the pool's domains (node-partitioned
+    sorted runs, merged before the bulk load — the result is
+    byte-identical to the sequential build). *)
 
 val tree : t -> Tm_storage.Bptree.t
 val config : t -> config

@@ -11,40 +11,64 @@
     the deltas of every registered counter over its extent, which is
     how EXPLAIN ANALYZE attributes buffer-pool hits or rows produced to
     individual plan operators without the operators knowing about each
-    other. *)
+    other.
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let enable () = enabled_flag := true
-let disable () = enabled_flag := false
+    Domain-safety: counters are {!Atomic.t}s, histogram updates are
+    guarded by one mutex (both only when the sink is on), and the
+    active trace stack is {e domain-local} — each domain records its
+    own span tree, and a finished tree can be grafted into another
+    domain's open trace with {!adopt} (how the parallel executor shows
+    per-domain path spans under one query trace). Counter deltas on a
+    span are deltas of the {e global} counters over the span's extent:
+    with concurrent domains they include the other domains' traffic,
+    so per-operator attribution is exact only where one domain runs. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
 
 let with_enabled on f =
-  let saved = !enabled_flag in
-  enabled_flag := on;
-  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+  let saved = Atomic.get enabled_flag in
+  Atomic.set enabled_flag on;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f
+
+(* Registration tables are touched from whichever domain first names a
+   metric (usually all at module-init time on the main domain, but a
+   worker may race); one mutex covers both tables. *)
+let registry_lock = Mutex.create ()
+
+let registered lock tbl order name make =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.replace tbl name v;
+      order := v :: !order;
+      v
+  in
+  Mutex.unlock lock;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let counter_order : counter list ref = ref [] (* registration order, reversed *)
 
 let counter name =
-  match Hashtbl.find_opt counter_tbl name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace counter_tbl name c;
-    counter_order := c :: !counter_order;
-    c
+  registered registry_lock counter_tbl counter_order name (fun () ->
+      { c_name = name; c_value = Atomic.make 0 })
 
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
 let incr c = add c 1
-let value c = c.c_value
-let counters () = List.rev_map (fun c -> (c.c_name, c.c_value)) !counter_order
+let value c = Atomic.get c.c_value
+let counters () = List.rev_map (fun c -> (c.c_name, Atomic.get c.c_value)) !counter_order
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
@@ -66,42 +90,44 @@ let histogram_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let histogram_order : histogram list ref = ref []
 
 let histogram ?(buckets = default_buckets) name =
-  match Hashtbl.find_opt histogram_tbl name with
-  | Some h -> h
-  | None ->
-    let h =
+  registered registry_lock histogram_tbl histogram_order name (fun () ->
       {
         h_name = name;
         h_bounds = buckets;
         h_counts = Array.make (Array.length buckets + 1) 0;
         h_sum = 0.0;
         h_count = 0;
-      }
-    in
-    Hashtbl.replace histogram_tbl name h;
-    histogram_order := h :: !histogram_order;
-    h
+      })
+
+(* Histogram observations are rare next to counter bumps (one per join
+   or per parallel task, not per entry), so a single global mutex is
+   enough; it is only ever taken when the sink is on. *)
+let histogram_lock = Mutex.create ()
 
 let observe h v =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let n = Array.length h.h_bounds in
     let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
+    Mutex.lock histogram_lock;
     h.h_counts.(i) <- h.h_counts.(i) + 1;
     h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+    h.h_count <- h.h_count + 1;
+    Mutex.unlock histogram_lock
   end
 
 let histograms () = List.rev !histogram_order
 
 let reset () =
-  List.iter (fun c -> c.c_value <- 0) !counter_order;
+  List.iter (fun c -> Atomic.set c.c_value 0) !counter_order;
+  Mutex.lock histogram_lock;
   List.iter
     (fun h ->
       Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
       h.h_sum <- 0.0;
       h.h_count <- 0)
-    !histogram_order
+    !histogram_order;
+  Mutex.unlock histogram_lock
 
 (* ------------------------------------------------------------------ *)
 (* Spans and traces                                                    *)
@@ -117,26 +143,37 @@ type span = {
 
 (* The active trace is a stack of open spans, innermost first, each
    carrying the counter snapshot taken when it opened. Spans outside a
-   {!trace} extent are not recorded (the stack is empty). *)
-let trace_stack : (span * (counter * int) list * int64) list ref = ref []
+   {!trace} extent are not recorded (the stack is empty). The stack is
+   domain-local: concurrent domains each build their own tree and never
+   see each other's open spans. *)
+let trace_stack_key :
+    (span * (counter * int) list * int64) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let snapshot () = List.rev_map (fun c -> (c, c.c_value)) !counter_order
+let trace_stack () = Domain.DLS.get trace_stack_key
+
+let snapshot () = List.rev_map (fun c -> (c, Atomic.get c.c_value)) !counter_order
 
 let deltas snap =
   List.filter_map
     (fun (c, v0) ->
-      let d = c.c_value - v0 in
+      let d = Atomic.get c.c_value - v0 in
       if d <> 0 then Some (c.c_name, d) else None)
     snap
 
 let fresh_span ?(meta = []) name =
   { s_name = name; s_elapsed_ns = 0L; s_meta = meta; s_counts = []; s_children = [] }
 
-let in_trace () = !trace_stack <> []
+let in_trace () = !(trace_stack ()) <> []
 
 let annotate k v =
-  match !trace_stack with
+  match !(trace_stack ()) with
   | (s, _, _) :: _ -> s.s_meta <- s.s_meta @ [ (k, v) ]
+  | [] -> ()
+
+let adopt child =
+  match !(trace_stack ()) with
+  | (s, _, _) :: _ -> s.s_children <- child :: s.s_children
   | [] -> ()
 
 let close_span s snap t0 =
@@ -145,15 +182,16 @@ let close_span s snap t0 =
   s.s_children <- List.rev s.s_children
 
 let with_span ?meta name f =
-  if not !enabled_flag || !trace_stack = [] then f ()
+  let stack = trace_stack () in
+  if (not (Atomic.get enabled_flag)) || !stack = [] then f ()
   else begin
     let s = fresh_span ?meta name in
-    trace_stack := (s, snapshot (), Monotonic_clock.now ()) :: !trace_stack;
+    stack := (s, snapshot (), Monotonic_clock.now ()) :: !stack;
     let finish () =
-      match !trace_stack with
+      match !stack with
       | (s', snap, t0) :: rest when s' == s ->
         close_span s snap t0;
-        trace_stack := rest;
+        stack := rest;
         (match rest with
         | (parent, _, _) :: _ -> parent.s_children <- s :: parent.s_children
         | [] -> ())
@@ -163,16 +201,17 @@ let with_span ?meta name f =
   end
 
 let trace ?meta name f =
-  if not !enabled_flag then (f (), None)
+  if not (Atomic.get enabled_flag) then (f (), None)
   else begin
+    let stack = trace_stack () in
     let root = fresh_span ?meta name in
-    let saved = !trace_stack in
-    trace_stack := [ (root, snapshot (), Monotonic_clock.now ()) ];
+    let saved = !stack in
+    stack := [ (root, snapshot (), Monotonic_clock.now ()) ];
     let finish () =
-      (match !trace_stack with
+      (match !stack with
       | [ (s, snap, t0) ] when s == root -> close_span root snap t0
       | _ -> ());
-      trace_stack := saved
+      stack := saved
     in
     let v = Fun.protect ~finally:finish f in
     (v, Some root)

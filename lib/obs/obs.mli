@@ -1,7 +1,11 @@
 (** Observability substrate: a global metrics sink (counters and
     histograms) plus monotonic-clock spans recorded into per-query
     trace trees. Disabled by default; every recording entry point costs
-    one boolean branch when off. *)
+    one boolean branch when off.
+
+    Domain-safe: counters are atomic, histograms are mutex-guarded, and
+    the active trace stack is domain-local (worker-domain trees are
+    grafted into the coordinator's trace with {!adopt}). *)
 
 (** {1 Sink control} *)
 
@@ -77,6 +81,11 @@ val in_trace : unit -> bool
 
 val annotate : string -> string -> unit
 (** Attach a key/value annotation to the innermost open span. *)
+
+val adopt : span -> unit
+(** Graft a finished span (typically a trace root captured on a worker
+    domain) as a child of the innermost open span on this domain, in
+    call order. No-op outside a {!trace}. *)
 
 val elapsed_ms : span -> float
 

@@ -1,0 +1,203 @@
+(** Fixed domain pool for fanning independent read-only work — per-path
+    index lookups, index-nested-loop probe batches, index-build entry
+    generation — across OCaml 5 domains.
+
+    Design:
+
+    - a pool of [jobs - 1] worker domains plus the {e submitting} domain
+      share one FIFO task queue; the submitter helps drain the queue
+      while it waits ({!await}, {!map}), so a pool of [jobs] executes up
+      to [jobs] tasks at once and never idles the caller;
+    - tasks are plain closures; results travel through {!future}s, which
+      capture exceptions (with their backtraces) and re-raise them at
+      the {!await} point;
+    - [jobs = 1] degrades to inline execution — no domains are spawned
+      and {!map} is [List.map] — so sequential call sites pay nothing;
+    - pools are cheap but not free (a domain spawn is ~ms): create one
+      per process or benchmark run and reuse it ({!with_pool} for
+      scoped use).
+
+    The pool makes no attempt to make the {e work} thread-safe: callers
+    hand it closures that must only touch concurrency-safe state (the
+    striped {!Tm_storage.Buffer_pool}, locked {!Tm_storage.Bptree}
+    decode caches, read-only relations). Observability counters
+    ([par.tasks], [par.helped]) are recorded through {!Tm_obs.Obs}. *)
+
+let c_tasks = Tm_obs.Obs.counter "par.tasks"
+let c_helped = Tm_obs.Obs.counter "par.helped"
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  mutable state : 'a state;
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_available t.lock
+  done;
+  if t.stopping && Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    task ();
+    Tm_obs.Obs.incr c_tasks;
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Futures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fulfil fut outcome =
+  Mutex.lock fut.f_lock;
+  fut.state <- outcome;
+  Condition.broadcast fut.f_done;
+  Mutex.unlock fut.f_lock
+
+let spawn t f =
+  let fut = { state = Pending; f_lock = Mutex.create (); f_done = Condition.create () } in
+  let task () =
+    match f () with
+    | v -> fulfil fut (Done v)
+    | exception e -> fulfil fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  if t.jobs = 1 then task ()
+  else begin
+    Mutex.lock t.lock;
+    Queue.push task t.queue;
+    Condition.signal t.work_available;
+    Mutex.unlock t.lock
+  end;
+  fut
+
+(* Pop one queued task if any; used by the submitter to help while it
+   waits, so the caller's domain is a full member of the pool. *)
+let try_help t =
+  Mutex.lock t.lock;
+  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.lock;
+  match task with
+  | Some task ->
+    task ();
+    Tm_obs.Obs.incr c_tasks;
+    Tm_obs.Obs.incr c_helped;
+    true
+  | None -> false
+
+let await t fut =
+  let rec wait () =
+    match fut.state with
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending ->
+      if try_help t then wait ()
+      else begin
+        (* Nothing to steal: block until this future is fulfilled. The
+           state re-check under the future's lock avoids a lost wakeup
+           between the Pending read and the wait. *)
+        Mutex.lock fut.f_lock;
+        while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+          Condition.wait fut.f_done fut.f_lock
+        done;
+        Mutex.unlock fut.f_lock;
+        wait ()
+      end
+  in
+  wait ()
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.jobs = 1 -> List.map f xs
+  | xs ->
+    let futures = List.map (fun x -> spawn t (fun () -> f x)) xs in
+    List.map (await t) futures
+
+(* ------------------------------------------------------------------ *)
+(* Chunking helpers (for batch fan-out of many small work items)        *)
+(* ------------------------------------------------------------------ *)
+
+let chunk ~pieces xs =
+  if pieces < 1 then invalid_arg "Pool.chunk: pieces must be >= 1";
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let pieces = min pieces n in
+    let base = n / pieces and extra = n mod pieces in
+    (* contiguous slices, sizes differing by at most one *)
+    let rec take k xs acc = if k = 0 then (List.rev acc, xs) else
+      match xs with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    let rec go i xs acc =
+      if i >= pieces then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let piece, rest = take size xs [] in
+        go (i + 1) rest (piece :: acc)
+      end
+    in
+    go 0 xs []
+  end
+
+let map_chunked t ?(chunks_per_job = 2) f xs =
+  if t.jobs = 1 then [ f xs ]
+  else map t f (chunk ~pieces:(t.jobs * chunks_per_job) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let env_jobs () =
+  match Sys.getenv_opt "TWIGMATCH_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () = match env_jobs () with Some n -> n | None -> 1

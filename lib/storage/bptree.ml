@@ -35,7 +35,11 @@ type t = {
      buffer pool on every access; this only memoizes the *parse* of a
      page image into a node, the way a real engine operates directly on
      the buffered page rather than re-deserializing it. Entries are
-     validated by a per-page version bumped on every write. *)
+     validated by a per-page version bumped on every write. The lock
+     covers only table lookups and stores (decoding happens outside it),
+     making concurrent READERS safe; writers must still be external to
+     any concurrent reads, as inserts mutate cached nodes in place. *)
+  cache_lock : Lock.t;
   decoded : (int, int * node) Hashtbl.t;
   versions : (int, int) Hashtbl.t;
 }
@@ -125,21 +129,35 @@ let read_node t id =
      and misses are accounted exactly as without the decode cache *)
   let bytes = Buffer_pool.read t.pool id in
   Tm_obs.Obs.incr c_node_visits;
+  Lock.acquire t.cache_lock;
   let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
-  match Hashtbl.find_opt t.decoded id with
-  | Some (v, node) when v = version -> node
-  | _ ->
+  let cached =
+    match Hashtbl.find_opt t.decoded id with
+    | Some (v, node) when v = version -> Some node
+    | _ -> None
+  in
+  Lock.release t.cache_lock;
+  match cached with
+  | Some node -> node
+  | None ->
     Tm_obs.Obs.incr c_node_decodes;
+    (* Decode outside the lock: concurrent readers missing on different
+       pages parse in parallel; racing decoders of the same page just
+       store the same node twice. *)
     let node = decode_node (Bytes.to_string bytes) in
+    Lock.acquire t.cache_lock;
     Hashtbl.replace t.decoded id (version, node);
+    Lock.release t.cache_lock;
     node
 
 (* Store an already-encoded node image and refresh the decode cache. *)
 let commit_node t id node encoded =
   Buffer_pool.write t.pool id (Bytes.of_string encoded);
+  Lock.acquire t.cache_lock;
   let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
   Hashtbl.replace t.versions id v;
-  Hashtbl.replace t.decoded id (v, node)
+  Hashtbl.replace t.decoded id (v, node);
+  Lock.release t.cache_lock
 
 let write_node t id node = commit_node t id node (encode_node t node)
 
@@ -163,6 +181,7 @@ let create ?(prefix_compression = true) ~name pool =
       n_pages = 0;
       height = 1;
       name;
+      cache_lock = Lock.create Lock.Outer;
       decoded = Hashtbl.create 256;
       versions = Hashtbl.create 256;
     }

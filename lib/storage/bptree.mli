@@ -10,7 +10,11 @@
     - Leaves optionally front-code keys (prefix compression), the
       feature the paper credits for B+-tree space efficiency on path
       keys.
-    - Deletion is lazy (no rebalancing). *)
+    - Deletion is lazy (no rebalancing).
+    - Concurrent {e readers} are safe (the decode cache is locked and
+      page reads go through the striped buffer pool); writes must not
+      overlap any other access, as inserts mutate cached nodes in
+      place. *)
 
 type t
 

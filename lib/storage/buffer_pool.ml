@@ -4,7 +4,16 @@
     buffer pool with the OS cache disabled): every page access is a
     logical read; accesses that miss the pool cost a simulated I/O
     (a physical {!Pager.read}); dirty pages are written back on eviction
-    and on {!flush_all}. Capacity is a number of frames. *)
+    and on {!flush_all}. Capacity is a number of frames.
+
+    The pool is striped for domain-safety: frames are partitioned over
+    [page id mod stripes] sub-pools, each with its own mutex, LRU state
+    and slice of the total capacity. Concurrent readers on different
+    pages almost always hit different stripes and proceed in parallel;
+    readers of the same page serialise briefly on one stripe lock.
+    Eviction is per-stripe (each stripe evicts its own LRU victim), so
+    replacement is approximately-global LRU — the same behaviour a
+    hash-partitioned buffer pool exhibits in a real engine. *)
 
 (* Observability mirrors of the pool's own stats: gated on the global
    sink so per-query spans can attribute cache behaviour to operators. *)
@@ -14,15 +23,15 @@ let c_evictions = Tm_obs.Obs.counter "buffer_pool.evictions"
 
 type frame = { mutable data : bytes; mutable dirty : bool }
 
-type t = {
-  pager : Pager.t;
-  capacity : int;
+type stripe = {
+  lock : Lock.t;
+  s_capacity : int; (* this stripe's share of the frame budget *)
   frames : (int, frame) Hashtbl.t; (* page id -> frame *)
-  (* LRU order: most-recently-used at the front of [order]; we keep a
-     sequence number per page and scan for the minimum on eviction, which
-     is O(capacity) but capacity is small and eviction infrequent at our
-     scales. A doubly-linked list would be the production choice; the
-     simple scheme keeps the invariants obvious. *)
+  (* LRU order: we keep a sequence number per page and scan for the
+     minimum on eviction, which is O(stripe capacity) but stripes are
+     small and eviction infrequent at our scales. A doubly-linked list
+     would be the production choice; the simple scheme keeps the
+     invariants obvious. *)
   last_used : (int, int) Hashtbl.t;
   mutable clock : int;
   mutable logical_reads : int;
@@ -30,28 +39,44 @@ type t = {
   mutable evictions : int;
 }
 
+type t = { pager : Pager.t; capacity : int; stripes : stripe array }
+
+let default_stripes = 16
+
 let create ?(capacity = 1024) pager =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
-  {
-    pager;
-    capacity;
-    frames = Hashtbl.create (2 * capacity);
-    last_used = Hashtbl.create (2 * capacity);
-    clock = 0;
-    logical_reads = 0;
-    misses = 0;
-    evictions = 0;
-  }
+  (* Never more stripes than frames, so every stripe can hold a page. *)
+  let n = min default_stripes capacity in
+  let stripes =
+    Array.init n (fun i ->
+        let cap = (capacity / n) + if i < capacity mod n then 1 else 0 in
+        {
+          lock = Lock.create Lock.Outer;
+          s_capacity = cap;
+          frames = Hashtbl.create (2 * cap);
+          last_used = Hashtbl.create (2 * cap);
+          clock = 0;
+          logical_reads = 0;
+          misses = 0;
+          evictions = 0;
+        })
+  in
+  { pager; capacity; stripes }
 
 let pager t = t.pager
 let capacity t = t.capacity
+let stripe_of t id = t.stripes.(id mod Array.length t.stripes)
 
-let touch t id =
-  t.clock <- t.clock + 1;
-  Hashtbl.replace t.last_used id t.clock
+let locked st f = Lock.with_lock st.lock f
 
-let evict_one t =
-  (* Find the least-recently-used resident page and write it back if dirty. *)
+let touch st id =
+  st.clock <- st.clock + 1;
+  Hashtbl.replace st.last_used id st.clock
+
+(* Called with the stripe lock held. *)
+let evict_one pager st =
+  (* Find the stripe's least-recently-used resident page and write it
+     back if dirty. *)
   let victim = ref (-1) and best = ref max_int in
   Hashtbl.iter
     (fun id seq ->
@@ -59,51 +84,61 @@ let evict_one t =
         best := seq;
         victim := id
       end)
-    t.last_used;
+    st.last_used;
   let id = !victim in
   assert (id >= 0);
-  (match Hashtbl.find_opt t.frames id with
-  | Some fr when fr.dirty -> Pager.write t.pager id fr.data
+  (match Hashtbl.find_opt st.frames id with
+  | Some fr when fr.dirty -> Pager.write pager id fr.data
   | _ -> ());
-  Hashtbl.remove t.frames id;
-  Hashtbl.remove t.last_used id;
-  t.evictions <- t.evictions + 1;
+  Hashtbl.remove st.frames id;
+  Hashtbl.remove st.last_used id;
+  st.evictions <- st.evictions + 1;
   Tm_obs.Obs.incr c_evictions
 
-let find_frame t id =
-  match Hashtbl.find_opt t.frames id with
+(* Called with the stripe lock held. The miss path performs the
+   physical read inside the critical section, which also prevents two
+   domains racing to fault the same page in twice. Stripe locks never
+   nest and the pager's own lock sits strictly below them, so the
+   ordering is acyclic. *)
+let find_frame pager st id =
+  match Hashtbl.find_opt st.frames id with
   | Some fr ->
-    touch t id;
+    touch st id;
     Tm_obs.Obs.incr c_hits;
     fr
   | None ->
-    t.misses <- t.misses + 1;
+    st.misses <- st.misses + 1;
     Tm_obs.Obs.incr c_misses;
-    if Hashtbl.length t.frames >= t.capacity then evict_one t;
-    let fr = { data = Pager.read t.pager id; dirty = false } in
-    Hashtbl.replace t.frames id fr;
-    touch t id;
+    if Hashtbl.length st.frames >= st.s_capacity then evict_one pager st;
+    let fr = { data = Pager.read pager id; dirty = false } in
+    Hashtbl.replace st.frames id fr;
+    touch st id;
     fr
 
 (** Read a page through the pool. The returned bytes must not be mutated;
     use {!write} to modify a page. *)
 let read t id =
-  t.logical_reads <- t.logical_reads + 1;
-  (find_frame t id).data
+  let st = stripe_of t id in
+  locked st (fun () ->
+      st.logical_reads <- st.logical_reads + 1;
+      (find_frame t.pager st id).data)
 
 (** Replace a page's contents through the pool (write-back caching). *)
 let write t id data =
-  t.logical_reads <- t.logical_reads + 1;
-  (* Avoid a pointless physical read when overwriting a non-resident page. *)
-  (match Hashtbl.find_opt t.frames id with
-  | Some fr ->
-    touch t id;
-    fr.data <- data;
-    fr.dirty <- true
-  | None ->
-    if Hashtbl.length t.frames >= t.capacity then evict_one t;
-    Hashtbl.replace t.frames id { data; dirty = true };
-    touch t id)
+  let st = stripe_of t id in
+  locked st (fun () ->
+      st.logical_reads <- st.logical_reads + 1;
+      (* Avoid a pointless physical read when overwriting a non-resident
+         page. *)
+      match Hashtbl.find_opt st.frames id with
+      | Some fr ->
+        touch st id;
+        fr.data <- data;
+        fr.dirty <- true
+      | None ->
+        if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st;
+        Hashtbl.replace st.frames id { data; dirty = true };
+        touch st id)
 
 (** Allocate a fresh page (through the pager) and cache it as dirty. *)
 let alloc t =
@@ -112,27 +147,48 @@ let alloc t =
   id
 
 let flush_all t =
-  Hashtbl.iter
-    (fun id fr ->
-      if fr.dirty then begin
-        Pager.write t.pager id fr.data;
-        fr.dirty <- false
-      end)
-    t.frames
+  Array.iter
+    (fun st ->
+      locked st (fun () ->
+          Hashtbl.iter
+            (fun id fr ->
+              if fr.dirty then begin
+                Pager.write t.pager id fr.data;
+                fr.dirty <- false
+              end)
+            st.frames))
+    t.stripes
 
 (** Drop every cached frame (after writing dirty ones back), simulating a
     cold cache for benchmark runs. *)
 let clear t =
   flush_all t;
-  Hashtbl.reset t.frames;
-  Hashtbl.reset t.last_used
+  Array.iter
+    (fun st ->
+      locked st (fun () ->
+          Hashtbl.reset st.frames;
+          Hashtbl.reset st.last_used))
+    t.stripes
 
 type stats = { logical_reads : int; misses : int; evictions : int }
 
 let stats (t : t) : stats =
-  { logical_reads = t.logical_reads; misses = t.misses; evictions = t.evictions }
+  Array.fold_left
+    (fun acc st ->
+      locked st (fun () ->
+          {
+            logical_reads = acc.logical_reads + st.logical_reads;
+            misses = acc.misses + st.misses;
+            evictions = acc.evictions + st.evictions;
+          }))
+    { logical_reads = 0; misses = 0; evictions = 0 }
+    t.stripes
 
 let reset_stats (t : t) =
-  t.logical_reads <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Array.iter
+    (fun st ->
+      locked st (fun () ->
+          st.logical_reads <- 0;
+          st.misses <- 0;
+          st.evictions <- 0))
+    t.stripes

@@ -1,6 +1,11 @@
 (** LRU buffer pool over a {!Pager}: the paper's fixed-size DB2 buffer
     pool analogue. Logical reads, misses (simulated I/O) and evictions
-    are counted; dirty pages are written back on eviction and flush. *)
+    are counted; dirty pages are written back on eviction and flush.
+
+    Domain-safe via striped locks: frames are partitioned by
+    [page id mod stripes], each stripe with its own mutex, LRU order and
+    capacity share, so concurrent readers on different pages proceed in
+    parallel and replacement is approximately-global LRU. *)
 
 type t
 

@@ -1,0 +1,68 @@
+type cls = Outer | Inner
+type t = int (* even = Outer, odd = Inner *)
+
+(* The registry maps ticket -> mutex. Cells are [Atomic.t] so the
+   lock-free fast path of [mutex_of] can read them from any domain;
+   growth copies the cells themselves (not their contents) into a
+   larger array, so a cell filled concurrently with a resize is never
+   lost. [registry_lock] serializes allocation, growth and fills. *)
+let registry : Mutex.t option Atomic.t array Atomic.t = Atomic.make [||]
+let registry_lock = Mutex.create ()
+let next_outer = ref 0
+let next_inner = ref 1
+
+(* Caller holds [registry_lock]. *)
+let ensure_capacity id =
+  let arr = Atomic.get registry in
+  if id >= Array.length arr then begin
+    let cap = max 64 (max (id + 1) (2 * Array.length arr)) in
+    let bigger =
+      Array.init cap (fun i -> if i < Array.length arr then arr.(i) else Atomic.make None)
+    in
+    Atomic.set registry bigger
+  end
+
+(* Caller holds [registry_lock]. *)
+let fill_slot id =
+  let cell = (Atomic.get registry).(id) in
+  (match Atomic.get cell with
+  | None -> Atomic.set cell (Some (Mutex.create ()))
+  | Some _ -> ());
+  cell
+
+let rec mutex_of id =
+  let arr = Atomic.get registry in
+  let cell = if id < Array.length arr then Some arr.(id) else None in
+  match Option.map Atomic.get cell with
+  | Some (Some m) -> m
+  | Some None | None ->
+    (* Unregistered ticket (loaded from a snapshot) or a stale read:
+       materialize the slot under the registry lock and retry. *)
+    Mutex.lock registry_lock;
+    ensure_capacity id;
+    ignore (fill_slot id);
+    Mutex.unlock registry_lock;
+    mutex_of id
+
+let create cls =
+  Mutex.lock registry_lock;
+  let counter = match cls with Outer -> next_outer | Inner -> next_inner in
+  let id = !counter in
+  counter := id + 2;
+  ensure_capacity id;
+  ignore (fill_slot id);
+  Mutex.unlock registry_lock;
+  id
+
+let acquire t = Mutex.lock (mutex_of t)
+let release t = Mutex.unlock (mutex_of t)
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e

@@ -4,7 +4,13 @@
     stores raw page images, and counts {e physical} reads and writes.
     All structured access should go through {!Buffer_pool}, which adds
     caching and counts {e logical} accesses; the gap between the two is
-    the simulated I/O that the benchmark harness reports. *)
+    the simulated I/O that the benchmark harness reports.
+
+    A single mutex serialises every operation, making the pager safe to
+    share across domains. The lock covers little work (an array slot
+    swap plus a [Bytes.copy]), and the buffer pool absorbs most traffic
+    before it reaches the pager, so contention here is not the
+    bottleneck it would be on a real disk. *)
 
 (* Observability mirrors of the physical I/O counters, plus byte
    volumes (every transfer moves exactly one page image). *)
@@ -15,6 +21,7 @@ let c_write_bytes = Tm_obs.Obs.counter "pager.write_bytes"
 
 type t = {
   page_size : int;
+  lock : Lock.t;
   mutable pages : bytes array; (* backing store, grown geometrically *)
   mutable n_pages : int;
   mutable physical_reads : int;
@@ -24,13 +31,22 @@ type t = {
 let default_page_size = 8192
 
 let create ?(page_size = default_page_size) () =
-  { page_size; pages = Array.make 64 Bytes.empty; n_pages = 0; physical_reads = 0; physical_writes = 0 }
+  {
+    page_size;
+    lock = Lock.create Lock.Inner;
+    pages = Array.make 64 Bytes.empty;
+    n_pages = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+  }
+
+let locked t f = Lock.with_lock t.lock f
 
 let page_size t = t.page_size
-let page_count t = t.n_pages
+let page_count t = locked t (fun () -> t.n_pages)
 
 (** Total bytes occupied on the simulated disk. *)
-let size_bytes t = t.n_pages * t.page_size
+let size_bytes t = page_count t * t.page_size
 
 let grow t needed =
   if needed > Array.length t.pages then begin
@@ -42,37 +58,44 @@ let grow t needed =
 
 (** Allocate a fresh zeroed page; returns its id. *)
 let alloc t =
-  grow t (t.n_pages + 1);
-  let id = t.n_pages in
-  t.pages.(id) <- Bytes.make t.page_size '\x00';
-  t.n_pages <- id + 1;
-  id
+  locked t (fun () ->
+      grow t (t.n_pages + 1);
+      let id = t.n_pages in
+      t.pages.(id) <- Bytes.make t.page_size '\x00';
+      t.n_pages <- id + 1;
+      id)
 
 let check_id t id =
   if id < 0 || id >= t.n_pages then invalid_arg (Printf.sprintf "Pager: bad page id %d" id)
 
 (** Physical read: returns a copy of the page image. *)
 let read t id =
-  check_id t id;
-  t.physical_reads <- t.physical_reads + 1;
+  let data =
+    locked t (fun () ->
+        check_id t id;
+        t.physical_reads <- t.physical_reads + 1;
+        Bytes.copy t.pages.(id))
+  in
   Tm_obs.Obs.incr c_reads;
   Tm_obs.Obs.add c_read_bytes t.page_size;
-  Bytes.copy t.pages.(id)
+  data
 
 (** Physical write: stores a copy of [data] (padded/truncated to page size). *)
 let write t id data =
-  check_id t id;
-  t.physical_writes <- t.physical_writes + 1;
-  Tm_obs.Obs.incr c_writes;
-  Tm_obs.Obs.add c_write_bytes t.page_size;
   let page = Bytes.make t.page_size '\x00' in
   let len = min (Bytes.length data) t.page_size in
   Bytes.blit data 0 page 0 len;
-  t.pages.(id) <- page
+  locked t (fun () ->
+      check_id t id;
+      t.physical_writes <- t.physical_writes + 1;
+      t.pages.(id) <- page);
+  Tm_obs.Obs.incr c_writes;
+  Tm_obs.Obs.add c_write_bytes t.page_size
 
 let reset_stats t =
-  t.physical_reads <- 0;
-  t.physical_writes <- 0
+  locked t (fun () ->
+      t.physical_reads <- 0;
+      t.physical_writes <- 0)
 
-let physical_reads t = t.physical_reads
-let physical_writes t = t.physical_writes
+let physical_reads t = locked t (fun () -> t.physical_reads)
+let physical_writes t = locked t (fun () -> t.physical_writes)

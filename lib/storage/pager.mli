@@ -1,6 +1,6 @@
 (** Simulated disk: a growable array of fixed-size pages with physical
-    I/O accounting. Structured access should go through
-    {!Buffer_pool}. *)
+    I/O accounting. Structured access should go through {!Buffer_pool}.
+    A single internal mutex makes every operation domain-safe. *)
 
 type t
 

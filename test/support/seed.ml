@@ -1,0 +1,15 @@
+let value =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 42
+
+let announced = ref false
+
+let rand () =
+  if not !announced then begin
+    announced := true;
+    Printf.eprintf "[tm_testsupport] qcheck seed = %d (replay with QCHECK_SEED=%d)\n%!" value value
+  end;
+  Random.State.make [| value |]
+
+let to_alcotest ?verbose ?long t = QCheck_alcotest.to_alcotest ?verbose ?long ~rand:(rand ()) t

@@ -1,0 +1,21 @@
+(** Deterministic seeding for the qcheck suites.
+
+    [QCHECK_SEED] is honored when set (the same contract as
+    {!QCheck_alcotest}); otherwise the seed defaults to 42 so plain
+    [dune runtest] is reproducible — upstream's fallback is
+    [Random.self_init], which makes a CI failure unreplayable after
+    the fact. The effective seed is announced once on stderr so any
+    failing run can be replayed with [QCHECK_SEED=<seed> dune
+    runtest]. *)
+
+val value : int
+(** The effective seed. *)
+
+val rand : unit -> Random.State.t
+(** A fresh generator state seeded with {!value}, announcing the seed
+    on first use. Each call restarts the sequence, so one test's
+    failure reproduces regardless of which other tests ran before
+    it. *)
+
+val to_alcotest : ?verbose:bool -> ?long:bool -> QCheck2.Test.t -> unit Alcotest.test_case
+(** {!QCheck_alcotest.to_alcotest} pinned to {!rand}. *)

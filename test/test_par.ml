@@ -1,0 +1,179 @@
+(* Parallel-execution tests: the Tm_par pool itself, four domains
+   hammering one shared read-only database, pool-backed execution vs
+   sequential, and the parallel DATAPATHS build — each cross-checked
+   with the offline verifier (fsck) where stored structures are
+   involved. *)
+
+open Twigmatch
+
+(* Small but non-trivial XMark instance shared by the stress tests. *)
+let xdoc =
+  lazy (Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 42; scale = 0.05 })
+
+let xdb = lazy (Database.create (Lazy.force xdoc))
+
+let xmark_twigs =
+  lazy
+    (List.filter_map
+       (fun (q : Tm_datasets.Workload.query) ->
+         if q.Tm_datasets.Workload.dataset = Tm_datasets.Workload.Xmark then
+           Some (q.Tm_datasets.Workload.name, Tm_datasets.Workload.parse q)
+         else None)
+       Tm_datasets.Workload.all)
+
+let mixed_strategies = Database.[ RP; DP; Edge ]
+
+let eval_all db =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (_, twig) -> (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+        (Lazy.force xmark_twigs))
+    mixed_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "map preserves input order" (List.map (fun x -> x * x) xs)
+    (Tm_par.Pool.map pool (fun x -> x * x) xs)
+
+let test_map_inline () =
+  Tm_par.Pool.with_pool ~jobs:1 @@ fun pool ->
+  Alcotest.(check int) "jobs=1 pool reports 1" 1 (Tm_par.Pool.jobs pool);
+  Alcotest.(check (list int))
+    "jobs=1 is List.map" [ 2; 4; 6 ]
+    (Tm_par.Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_exception_propagation () =
+  Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  (match Tm_par.Pool.map pool (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "expected the task's exception to reach the caller"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg);
+  (* the pool survives a failed batch *)
+  Alcotest.(check (list int)) "pool usable after failure" [ 2; 4 ]
+    (Tm_par.Pool.map pool (fun x -> 2 * x) [ 1; 2 ])
+
+let test_chunk () =
+  let xs = List.init 10 Fun.id in
+  let cs = Tm_par.Pool.chunk ~pieces:3 xs in
+  Alcotest.(check int) "3 pieces" 3 (List.length cs);
+  Alcotest.(check (list int)) "concat restores the list" xs (List.concat cs);
+  List.iter
+    (fun c ->
+      let n = List.length c in
+      Alcotest.(check bool) "piece sizes differ by at most one" true (n = 3 || n = 4))
+    cs;
+  Alcotest.(check (list (list int)))
+    "never more pieces than elements"
+    [ [ 1 ]; [ 2 ] ]
+    (Tm_par.Pool.chunk ~pieces:5 [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "empty input" [] (Tm_par.Pool.chunk ~pieces:4 [])
+
+(* ------------------------------------------------------------------ *)
+(* Shared-database stress                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Four domains run the full mixed workload (3 strategies x every XMark
+   twig) for a fixed iteration budget against ONE database; every
+   domain must observe exactly the sequential results on every
+   iteration, and the stored structures must verify clean afterwards
+   (the striped buffer pool and locked decode caches may not tear). *)
+let test_hammer_shared_db () =
+  let db = Lazy.force xdb in
+  let baseline = eval_all db in
+  let iterations = 10 in
+  let hammer () =
+    let ok = ref true in
+    for _ = 1 to iterations do
+      if eval_all db <> baseline then ok := false
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn hammer) in
+  let oks = List.map Domain.join domains in
+  Alcotest.(check (list bool))
+    "every domain observed the sequential results"
+    [ true; true; true; true ]
+    oks;
+  let report = Tm_check.Check.check_database db in
+  Alcotest.(check string) "fsck clean after concurrent reads" ""
+    (if Tm_check.Check.is_clean report then "" else Tm_check.Check.report_to_string report)
+
+(* Pool-backed execution (per-path fan-out inside the executor) returns
+   the same ids as the sequential plan for every strategy and twig. *)
+let test_pool_matches_sequential () =
+  let db = Lazy.force xdb in
+  Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, twig) ->
+          let seq = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
+          let par = (Executor.run ~pool ~plan:(`Strategy s) db twig).Executor.ids in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s under %s, jobs=4" name (Database.strategy_name s))
+            seq par)
+        (Lazy.force xmark_twigs))
+    Database.all_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Parallel index build                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Partition-and-merge DATAPATHS/ROOTPATHS construction must be
+   indistinguishable from the sequential build: same stored size, same
+   query answers, and fsck (which recomputes the expected entry
+   multiset from the document) must pass on the parallel product. *)
+let test_parallel_build_equals_sequential () =
+  let doc = Lazy.force xdoc in
+  let strategies = Database.[ RP; DP ] in
+  Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let seq_db = Database.create ~strategies doc in
+  let par_db = Database.create ~par:pool ~strategies doc in
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s stored size identical" (Database.strategy_name s))
+        (Database.strategy_size_bytes seq_db s)
+        (Database.strategy_size_bytes par_db s))
+    strategies;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, twig) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s under %s: parallel build answers" name (Database.strategy_name s))
+            (Executor.run ~plan:(`Strategy s) seq_db twig).Executor.ids
+            (Executor.run ~plan:(`Strategy s) par_db twig).Executor.ids)
+        (Lazy.force xmark_twigs))
+    strategies;
+  let report = Tm_check.Check.check_database par_db in
+  Alcotest.(check string) "fsck clean after parallel build" ""
+    (if Tm_check.Check.is_clean report then "" else Tm_check.Check.report_to_string report)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "jobs=1 inline" `Quick test_map_inline;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "chunking" `Quick test_chunk;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "4 domains hammer one database" `Quick test_hammer_shared_db;
+          Alcotest.test_case "pool execution = sequential" `Quick test_pool_matches_sequential;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "parallel build = sequential build" `Quick
+            test_parallel_build_equals_sequential;
+        ] );
+    ]

@@ -58,7 +58,8 @@ let gen_twig =
     in
     (* value predicates only make sense at leaves of the data, but the
        engine must also handle them on internal twig nodes *)
-    let v = if branches = [] || Random.bool () then v else None in
+    let* keep_internal_value = bool in
+    let v = if branches = [] || keep_internal_value then v else None in
     let r = if branches = [] || v = None then r else None in
     return (Twig.spec ?value:v ?range:r t branches)
   in
@@ -127,7 +128,7 @@ let () =
     [
       ( "differential",
         [
-          QCheck_alcotest.to_alcotest ~long:true prop_all_strategies_match_oracle;
-          QCheck_alcotest.to_alcotest ~long:true prop_compressed_variants_match_oracle;
+          Tm_testsupport.Seed.to_alcotest ~long:true prop_all_strategies_match_oracle;
+          Tm_testsupport.Seed.to_alcotest ~long:true prop_compressed_variants_match_oracle;
         ] );
     ]

@@ -164,20 +164,25 @@ let test_buffer_pool_eviction_writeback () =
   check Alcotest.string "a content" "AAA" (Bytes.sub_string (Buffer_pool.read pool a) 0 3);
   check Alcotest.int "one miss" 1 (Buffer_pool.stats pool).Buffer_pool.misses
 
+(* The pool is striped for concurrent readers (16 stripes, page id mod
+   16), and LRU order is maintained per stripe. Exercise it with three
+   pages of the same stripe: ids 0, 16 and 32, in a stripe holding two
+   frames (capacity 32 over 16 stripes). *)
 let test_buffer_pool_lru_order () =
   let pager = Pager.create ~page_size:128 () in
-  let pool = Buffer_pool.create ~capacity:2 pager in
-  let a = Buffer_pool.alloc pool and b = Buffer_pool.alloc pool in
-  Buffer_pool.write pool a (Bytes.of_string "A");
-  Buffer_pool.write pool b (Bytes.of_string "B");
-  ignore (Buffer_pool.read pool a);
-  (* a is now MRU; alloc a third page evicts b, not a. *)
-  let _c = Buffer_pool.alloc pool in
+  let pool = Buffer_pool.create ~capacity:32 pager in
+  let pages = List.init 33 (fun _ -> Buffer_pool.alloc pool) in
+  let page n = List.nth pages n in
+  Buffer_pool.write pool (page 0) (Bytes.of_string "A");
+  Buffer_pool.write pool (page 16) (Bytes.of_string "B");
+  ignore (Buffer_pool.read pool (page 0));
+  (* page 0 is now the stripe's MRU; touching page 32 evicts 16, not 0. *)
+  ignore (Buffer_pool.read pool (page 32));
   Buffer_pool.reset_stats pool;
-  ignore (Buffer_pool.read pool a);
-  check Alcotest.int "a still resident" 0 (Buffer_pool.stats pool).Buffer_pool.misses;
-  ignore (Buffer_pool.read pool b);
-  check Alcotest.int "b was evicted" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+  ignore (Buffer_pool.read pool (page 0));
+  check Alcotest.int "page 0 still resident" 0 (Buffer_pool.stats pool).Buffer_pool.misses;
+  ignore (Buffer_pool.read pool (page 16));
+  check Alcotest.int "page 16 was evicted" 1 (Buffer_pool.stats pool).Buffer_pool.misses
 
 let test_buffer_pool_clear () =
   let pager = Pager.create ~page_size:128 () in
