@@ -470,6 +470,98 @@ let ablation_pool () =
     Database.[ RP; DP; Edge; DG_edge ]
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: integrity and degradation cost                          *)
+(* ------------------------------------------------------------------ *)
+
+(* What the robustness features cost when nothing is wrong, and what
+   degradation costs when something is. (a) per-page CRC32 verification
+   on cold-cache reads (checksums on vs off); (b) latency of answering
+   a DP-planned query through the RP fallback when DP is unusable — a
+   Section 4.3 head-pruned build whose DATAPATHS rejects branch probes
+   — against running RP directly; (c) bounded buffer-pool retries
+   under injected probabilistic read faults. The obs counters these
+   paths bump (fault.*.hits, buffer_pool.retries, executor.fallbacks)
+   land in --metrics-out. *)
+let figure_robustness () =
+  let doc = Lazy.force xmark_doc in
+  let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find "Q9x") in
+  let cold_run db strategy twig =
+    ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+    Database.drop_caches db;
+    Tm_storage.Buffer_pool.reset_stats db.Database.pool;
+    let t0 = Monotonic_clock.now () in
+    ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
+  in
+  (* (a) checksum overhead: every cold read re-hashes the page *)
+  print_header "Robustness (a): page-checksum overhead, cold cache on Q9x (per run)"
+    [ "strategy"; "crc on ms"; "crc off ms"; "overhead" ];
+  List.iter
+    (fun strategy ->
+      let cold checksums =
+        let db = Database.create ~checksums ~strategies:[ strategy ] ~pool_capacity:4096 doc in
+        cold_run db strategy twig
+      in
+      let on = cold true and off = cold false in
+      say "%s | %s | %s | %s"
+        (fmt_cell (Database.strategy_name strategy))
+        (fmt_cell (Printf.sprintf "%.2f" on))
+        (fmt_cell (Printf.sprintf "%.2f" off))
+        (fmt_cell (Printf.sprintf "%+.1f%%" ((on -. off) /. off *. 100.0))))
+    Database.[ RP; DP; Edge ];
+  (* (b) fallback latency: head-pruning keeps ROOTPATHS intact (its rows
+     all head at the root) but makes DATAPATHS reject nonzero-head
+     branch probes, so requesting DP degrades to RP every time. *)
+  print_header
+    (Printf.sprintf "Robustness (b): DP->RP fallback latency, head-pruned DP (ms, %d runs)" !runs)
+    [ "query"; "RP direct"; "DP degraded"; "penalty" ];
+  let pruned = Database.create ~strategies:Database.[ RP; DP ] ~head_filter:(fun _ -> false) doc in
+  List.iter
+    (fun name ->
+      let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find name) in
+      let direct, n, _ = time_query pruned Database.RP twig in
+      let r = Executor.run ~plan:(`Strategy Database.DP) pruned twig in
+      if r.Executor.fallbacks = [] || r.Executor.strategy <> Database.RP then
+        failwith (name ^ ": expected a DP->RP fallback on the pruned build");
+      if List.length r.Executor.ids <> n then failwith (name ^ ": degraded ids differ from RP");
+      let degraded, _, _ = time_query pruned Database.DP twig in
+      say "%s | %s | %s | %s" (fmt_cell name)
+        (fmt_cell (Printf.sprintf "%.2f" direct))
+        (fmt_cell (Printf.sprintf "%.2f" degraded))
+        (fmt_cell (Printf.sprintf "%+.1f%%" ((degraded -. direct) /. direct *. 100.0))))
+    [ "Q10x"; "Q11x" ];
+  (* (c) retry cost: cold runs so reads reach the pager (a warm pool
+     never calls Pager.read), injected read failures absorbed by the
+     buffer pool's bounded retries *)
+  print_header
+    (Printf.sprintf "Robustness (c): bounded retries under pager.read=prob:0.1 (%d cold runs)"
+       !runs)
+    [ "condition"; "total ms"; "faults"; "retries" ];
+  let db = Database.create ~strategies:Database.[ RP ] ~pool_capacity:4096 doc in
+  (* cold_run resets pool stats before its timed run, so reading them
+     after it returns yields that run's retries alone *)
+  let cold_total () =
+    let t = ref 0.0 and retries = ref 0 in
+    for _ = 1 to !runs do
+      t := !t +. cold_run db Database.RP twig;
+      retries := !retries + (Tm_storage.Buffer_pool.stats db.Database.pool).Tm_storage.Buffer_pool.retries
+    done;
+    (!t, !retries)
+  in
+  let clean_ms, _ = cold_total () in
+  Tm_fault.Fault.inject ~site:"pager.read" (Tm_fault.Fault.Prob 0.1);
+  let faulty_ms, retries = cold_total () in
+  let hits = Tm_fault.Fault.hits "pager.read" in
+  Tm_fault.Fault.clear ();
+  say "%s | %s | %s | %s" (fmt_cell "clean")
+    (fmt_cell (Printf.sprintf "%.2f" clean_ms))
+    (fmt_cell "0") (fmt_cell "0");
+  say "%s | %s | %s | %s" (fmt_cell "10% faults")
+    (fmt_cell (Printf.sprintf "%.2f" faulty_ms))
+    (fmt_cell (string_of_int hits))
+    (fmt_cell (string_of_int retries))
+
+(* ------------------------------------------------------------------ *)
 (* Extension: cost-based plan choice                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -725,8 +817,8 @@ let bechamel_suite () =
 let all_figures =
   [
     "9"; "10"; "11"; "12a"; "12b"; "12c"; "12d"; "recursion"; "compression"; "13";
-    "ablation-inlj"; "ablation-pc"; "ablation-update"; "ablation-pool"; "extension-joins";
-    "extension-auto"; "extension-ranges"; "parallel";
+    "ablation-inlj"; "ablation-pc"; "ablation-update"; "ablation-pool"; "robustness";
+    "extension-joins"; "extension-auto"; "extension-ranges"; "parallel";
   ]
 
 let run_figure = function
@@ -745,6 +837,7 @@ let run_figure = function
   | "ablation-pc" -> ablation_prefix_compression ()
   | "ablation-update" -> ablation_update_cost ()
   | "ablation-pool" -> ablation_pool ()
+  | "robustness" -> figure_robustness ()
   | "extension-joins" -> extension_joins ()
   | "extension-auto" -> extension_auto ()
   | "extension-ranges" -> extension_ranges ()

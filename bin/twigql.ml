@@ -1,15 +1,21 @@
 (* twigql — command-line twig query processor.
 
-     twigql query   [SOURCE] [-s RP] [--analyze] [--jobs N] 'XPATH'   run a query
+     twigql query   [SOURCE] [-s RP] [--analyze] [--jobs N]
+                    [--timeout-ms MS] [--strict] 'XPATH'   run a query
      twigql explain [SOURCE] [-s RP] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
      twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
      twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
+     twigql snapshot [save] [SOURCE] -o FILE   build a database, save atomically
+     twigql snapshot verify FILE               frame + checksum check, no unmarshal
      twigql fsck    [SOURCE] [--jobs N] [--format json]   verify index structure invariants
 
    SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE
-   (default: --xmark 0.1). *)
+   (default: --xmark 0.1).
+
+   Exit codes: 0 ok, 1 fsck violations, 2 corruption detected
+   (checksum mismatch or bad snapshot), 3 query deadline expired. *)
 
 open Twigmatch
 open Cmdliner
@@ -91,16 +97,24 @@ let jobs_arg =
           "Domains for parallel index construction and query execution (default: \
            $(b,TWIGMATCH_JOBS) or 1).")
 
-let run_query snap file xmark dblp seed strategy auto analyze jobs xpath =
+let run_query snap file xmark dblp seed strategy auto analyze strict timeout_ms jobs xpath =
   with_par jobs @@ fun par ->
   let db = load_db ?par snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
   let plan = if auto then `Auto else `Strategy strategy in
   let t0 = Monotonic_clock.now () in
-  let r = Tm_obs.Obs.with_enabled analyze (fun () -> Executor.run ~plan ?pool:par db twig) in
+  let r =
+    Tm_obs.Obs.with_enabled analyze (fun () ->
+        Executor.run ~plan ~strict ?deadline_ms:timeout_ms ?pool:par db twig)
+  in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
   Printf.printf "%d results in %.2f ms under %s (%s)\n" (List.length r.Executor.ids) ms
     (Database.strategy_name r.Executor.strategy) r.Executor.reason;
+  List.iter
+    (fun (s, why) ->
+      Printf.printf "fallback: %s was unusable: %s\n" (Database.strategy_name s) why)
+    r.Executor.fallbacks;
+  if r.Executor.via_naive then print_endline "degraded to the naive in-memory matcher";
   Printf.printf "node ids: %s\n"
     (String.concat ", " (List.map string_of_int r.Executor.ids));
   Format.printf "stats: %a@." Tm_exec.Stats.pp r.Executor.stats;
@@ -110,6 +124,21 @@ let run_query snap file xmark dblp seed strategy auto analyze jobs xpath =
 
 let auto_arg =
   Arg.(value & flag & info [ "auto" ] ~doc:"Let the cost-based optimizer choose RP vs DP.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Disable graceful degradation: an unusable index (missing, corrupt, lossy) aborts the \
+           query instead of falling back to the next strategy.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-query deadline in milliseconds. Expiry exits with code 3.")
 
 let analyze_arg =
   Arg.(
@@ -124,7 +153,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a twig query under one strategy (or --auto)")
     Term.(
       const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ analyze_arg $ jobs_arg $ xpath_arg)
+      $ auto_arg $ analyze_arg $ strict_arg $ timeout_arg $ jobs_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -268,18 +297,43 @@ let run_snapshot file xmark dblp seed out =
   Persist.save db out;
   Printf.printf "snapshot written to %s\n" out
 
-let snapshot_cmd =
+(* Frame-level verification: magic, section lengths, CRCs, footer —
+   without unmarshalling. Damage raises Bad_snapshot -> exit 2. *)
+let run_snapshot_verify path =
+  let { Persist.sections } = Persist.verify path in
+  Printf.printf "%s: snapshot format v%d, %d sections, frame and checksums ok\n" path
+    Persist.version (List.length sections);
+  List.iter
+    (fun { Persist.name; length; crc } ->
+      Printf.printf "  %-10s %10d bytes  crc32 0x%08x\n" name length crc)
+    sections
+
+let snapshot_save_term =
+  Term.(const run_snapshot $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ out_arg)
+
+let snapshot_save_cmd =
+  Cmd.v (Cmd.info "save" ~doc:"Build a database and save it as a snapshot (atomic rename)")
+    snapshot_save_term
+
+let snapshot_verify_cmd =
   Cmd.v
-    (Cmd.info "snapshot" ~doc:"Build a database and save it as a snapshot")
-    Term.(const run_snapshot $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ out_arg)
+    (Cmd.info "verify" ~doc:"Check a snapshot's framing and checksums without loading it")
+    Term.(
+      const run_snapshot_verify
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"))
+
+let snapshot_cmd =
+  Cmd.group ~default:snapshot_save_term
+    (Cmd.info "snapshot" ~doc:"Save or verify database snapshots")
+    [ snapshot_save_cmd; snapshot_verify_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* fsck                                                                *)
 (* ------------------------------------------------------------------ *)
 
 (* Exit codes: 0 = clean, 1 = violations found; cmdliner's usual 124 on
-   CLI misuse. Internal errors (unreadable snapshot etc.) escape as
-   exceptions -> exit 2 via the top-level handler. *)
+   CLI misuse. Corruption (Corrupt_page, Bad_snapshot) exits 2 via the
+   top-level handler. *)
 let run_fsck snap file xmark dblp seed strategies jobs fmt =
   with_par jobs @@ fun par ->
   let db =
@@ -322,16 +376,34 @@ let () =
     Cmd.info "twigql" ~version:"1.0.0"
       ~doc:"XML twig matching with relational index structures (Chen et al., ICDE 2005)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            query_cmd;
-            explain_cmd;
-            compare_cmd;
-            metrics_cmd;
-            info_cmd;
-            generate_cmd;
-            snapshot_cmd;
-            fsck_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        query_cmd;
+        explain_cmd;
+        compare_cmd;
+        metrics_cmd;
+        info_cmd;
+        generate_cmd;
+        snapshot_cmd;
+        fsck_cmd;
+      ]
+  in
+  (* Typed failure -> distinct exit codes, so scripts and CI can tell
+     "corrupt data" (2) and "deadline expired" (3) from CLI misuse. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Persist.Bad_snapshot msg ->
+    Printf.eprintf "twigql: bad snapshot: %s\n" msg;
+    exit 2
+  | exception Tm_storage.Pager.Corrupt_page { page; detail } ->
+    Printf.eprintf "twigql: corrupt page %d: %s\n" page detail;
+    exit 2
+  | exception Executor.Timeout { ms; stats } ->
+    Format.eprintf "twigql: query deadline of %.0f ms expired (partial stats: %a)@." ms
+      Tm_exec.Stats.pp stats;
+    exit 3
+  | exception e ->
+    Printf.eprintf "twigql: internal error: %s\n" (Printexc.to_string e);
+    Printexc.print_backtrace stderr;
+    exit 125

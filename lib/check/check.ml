@@ -11,6 +11,7 @@ open Tm_xmldb
 open Tm_index
 
 type code =
+  | Checksum
   | Page_bounds
   | Page_cycle
   | Page_decode
@@ -30,6 +31,7 @@ type code =
   | Heap_corrupt
 
 let code_name = function
+  | Checksum -> "checksum"
   | Page_bounds -> "page_bounds"
   | Page_cycle -> "page_cycle"
   | Page_decode -> "page_decode"
@@ -108,6 +110,11 @@ let walk_tree acc tree =
       incr pages_walked;
       Tm_obs.Obs.incr c_pages;
       match Bptree.view_page tree page with
+      | exception Pager.Corrupt_page { detail; _ } ->
+        (* The page failed its CRC on the fault-in read. Report it and
+           prune the walk here: its bytes are untrustworthy, and the
+           checksum pass already covers the rest of the pager. *)
+        add acc Checksum ~structure ~page detail
       | Error m -> add acc Page_decode ~structure ~page m
       | Ok view ->
         (* front-coding round-trip: the canonical re-encoding must equal
@@ -227,6 +234,7 @@ let walk_heap acc heap =
     (fun page ->
       Tm_obs.Obs.incr c_pages;
       match Heap_file.records_of_page heap page with
+      | exception Pager.Corrupt_page { detail; _ } -> add acc Checksum ~structure ~page detail
       | Error m -> add acc Heap_corrupt ~structure ~page m
       | Ok records ->
         Tm_obs.Obs.add c_entries (Array.length records);
@@ -241,6 +249,28 @@ let walk_heap acc heap =
 let check_heap heap =
   let acc = { vs = [] } in
   ignore (walk_heap acc heap);
+  List.rev acc.vs
+
+(* ------------------------------------------------------------------ *)
+(* Checksum pass                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify every stored page image against its sidecar CRC32, directly
+   in the pager — below the buffer pool, so a page corrupted on "disk"
+   behind a clean cached frame is still found. Read-only and no-op for
+   a pager created with [checksums:false]. *)
+let walk_pager acc pager =
+  let structure = "pager" in
+  let n = Pager.page_count pager in
+  for page = 0 to n - 1 do
+    if not (Pager.verify_page pager page) then
+      add acc Checksum ~structure ~page "stored page image does not match its checksum"
+  done;
+  n
+
+let check_pager pager =
+  let acc = { vs = [] } in
+  ignore (walk_pager acc pager);
   List.rev acc.vs
 
 (* ------------------------------------------------------------------ *)
@@ -411,6 +441,9 @@ let check_database (db : Twigmatch.Database.t) =
         pages := !pages + ps;
         entries := !entries + List.length es
       in
+      (* checksum pass first: it points at damaged pages even when the
+         structural walks above them cannot proceed *)
+      ignore (walk_pager acc db.Twigmatch.Database.pager);
       let region = Region.build db.Twigmatch.Database.doc in
       let edge = db.Twigmatch.Database.edge in
       let dict = db.Twigmatch.Database.dict in

@@ -29,6 +29,7 @@
 
 (** Violation classes. *)
 type code =
+  | Checksum  (** stored page image fails its CRC32, or reading it raised [Corrupt_page] *)
   | Page_bounds  (** page id outside the pager's allocated range *)
   | Page_cycle  (** a page reachable twice in one tree walk *)
   | Page_decode  (** stored page image does not decode *)
@@ -65,6 +66,12 @@ type summary = { structures : int; pages : int; entries : int }
 type report = { violations : violation list; summary : summary }
 
 val is_clean : report -> bool
+
+val check_pager : Tm_storage.Pager.t -> violation list
+(** Page-image checksum verification only: every allocated page is
+    re-read below the buffer pool and compared against its stored
+    CRC32 ({!Tm_storage.Pager.verify_page}). Read-only — dirty frames
+    still in the buffer pool are not flushed. *)
 
 val check_tree : Tm_storage.Bptree.t -> violation list
 (** Structural B+-tree checks only (raw page walk). *)

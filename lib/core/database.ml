@@ -76,8 +76,9 @@ type t = {
       sequential). The built indices are byte-identical to a
       sequential build. *)
 let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 8192)
-    ?(idlist_codec = `Delta) ?(schema_compressed = false) ?head_filter ?par doc =
-  let pager = Pager.create ~page_size () in
+    ?(checksums = true) ?(idlist_codec = `Delta) ?(schema_compressed = false) ?head_filter ?par
+    doc =
+  let pager = Pager.create ~page_size ~checksums () in
   let pool = Buffer_pool.create ~capacity:pool_capacity pager in
   let dict = Dictionary.create () in
   let catalog = Schema_catalog.build dict doc in
@@ -107,6 +108,20 @@ let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 
     ji = (if want Ji then Some (Join_index.build ~pool ~dict ~catalog doc) else None);
     next_id = doc.Tm_xml.Xml_tree.node_count;
   }
+
+(** The strategies whose index sets are materialized in [t]. *)
+let built_strategies t =
+  List.filter
+    (fun s ->
+      match s with
+      | RP -> Option.is_some t.rootpaths
+      | DP -> Option.is_some t.datapaths
+      | Edge -> true
+      | DG_edge -> Option.is_some t.dataguide
+      | IF_edge -> Option.is_some t.index_fabric
+      | Asr -> Option.is_some t.asr_rels
+      | Ji -> Option.is_some t.ji)
+    all_strategies
 
 let find_rootpaths t = t.rootpaths
 let find_datapaths t = t.datapaths

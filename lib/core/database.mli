@@ -42,6 +42,7 @@ val create :
   ?strategies:strategy list ->
   ?pool_capacity:int ->
   ?page_size:int ->
+  ?checksums:bool ->
   ?idlist_codec:[ `Delta | `Raw ] ->
   ?schema_compressed:bool ->
   ?head_filter:(int -> bool) ->
@@ -51,11 +52,17 @@ val create :
 (** Build a database. [strategies] selects which index sets to
     materialize (default all; the Edge table is always built — it is
     the base storage format and supplies planner statistics).
+    [checksums] (default true) controls per-page CRC32 verification in
+    the underlying {!Pager}; disable only to measure its overhead.
     [idlist_codec], [schema_compressed] and [head_filter] are the
     Section 4 compression options for ROOTPATHS/DATAPATHS. [par]
     parallelizes ROOTPATHS/DATAPATHS/DataGuide/Index-Fabric
     construction across a domain pool; the resulting indices are
     byte-identical to a sequential build. *)
+
+val built_strategies : t -> strategy list
+(** The strategies whose index sets are materialized, in
+    {!all_strategies} order (always includes [Edge]). *)
 
 (** {1 Index-set access}
 

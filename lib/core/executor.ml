@@ -35,14 +35,29 @@ open Tm_index
 open Tm_query
 open Tm_exec
 
+module Cancel = Tm_par.Cancel
+
 exception Unknown_tag
 (** A query tag absent from the data; the query answer is empty. *)
+
+exception Timeout of { ms : float; stats : Stats.t }
+(** The query's deadline expired; [stats] is the work done so far. *)
+
+let () =
+  Printexc.register_printer (function
+    | Timeout { ms; _ } -> Some (Printf.sprintf "Executor.Timeout(deadline %.0f ms)" ms)
+    | _ -> None)
 
 type result = {
   ids : int list;
   stats : Stats.t;
   strategy : Database.strategy;  (** the strategy actually executed *)
   reason : string;  (** why (one line; "as requested" for explicit plans) *)
+  fallbacks : (Database.strategy * string) list;
+      (** strategies abandoned before [strategy], oldest first, each
+          with why its index was unusable *)
+  via_naive : bool;  (** true when every indexed strategy was unusable
+                         and the naive matcher produced the answer *)
   trace : Tm_obs.Obs.span option;  (** recorded when the obs sink is on *)
 }
 
@@ -50,6 +65,7 @@ type result = {
    as Tm_joins.Engine uses) so span deltas reconcile against Stats. *)
 let c_rows_produced = Tm_obs.Obs.counter "exec.rows_produced"
 let c_join_steps = Tm_obs.Obs.counter "exec.join_steps"
+let c_fallbacks = Tm_obs.Obs.counter "executor.fallbacks"
 let row_buckets = [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000. |]
 let h_merge_ms = Tm_obs.Obs.histogram "join.merge.ms"
 let h_hash_ms = Tm_obs.Obs.histogram "join.hash.ms"
@@ -195,12 +211,16 @@ let eval_spanned (db : Database.t) i cp f =
    task-local trace whose root the coordinator adopts in path order, so
    [--analyze] shows the same "path:N" tree annotated with the domain
    that ran it. Relation order always matches [cpaths] order. *)
-let eval_paths ?par (db : Database.t) ~(stats : Stats.t) eval cpaths =
+let eval_paths ?par ?(cancel = Cancel.never) (db : Database.t) ~(stats : Stats.t) eval cpaths =
   let fan_out pool =
     let record = Tm_obs.Obs.enabled () in
     let results =
       Tm_par.Pool.map pool
         (fun (i, cp) ->
+          (* Deadline check at task start: a task that begins after the
+             deadline does no work; Pool.await carries the Cancelled
+             exception back to the coordinator. *)
+          Cancel.check cancel;
           let stats' = Stats.create () in
           let work () =
             let rel = eval ~stats:stats' cp in
@@ -233,7 +253,12 @@ let eval_paths ?par (db : Database.t) ~(stats : Stats.t) eval cpaths =
   in
   match par with
   | Some pool when Tm_par.Pool.jobs pool > 1 && List.length cpaths > 1 -> fan_out pool
-  | _ -> List.mapi (fun i cp -> eval_spanned db i cp (fun () -> eval ~stats cp)) cpaths
+  | _ ->
+    List.mapi
+      (fun i cp ->
+        Cancel.check cancel;
+        eval_spanned db i cp (fun () -> eval ~stats cp))
+      cpaths
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity estimation (used by DP and JI to pick the driver path)  *)
@@ -295,8 +320,10 @@ let eval_dp_free fam ~stats cp = eval_family_rooted fam ~stats ~head:(Some 0) cp
 (* RP plan: one lookup per path, merge joins on branch points          *)
 (* ------------------------------------------------------------------ *)
 
-let run_rp ?par (db : Database.t) fam ~stats ~out_uid cpaths =
-  let relations = eval_paths ?par db ~stats (fun ~stats cp -> eval_rp fam ~stats cp) cpaths in
+let run_rp ?par ?cancel (db : Database.t) fam ~stats ~out_uid cpaths =
+  let relations =
+    eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_rp fam ~stats cp) cpaths
+  in
   let joined = join_all ~stats ~kind:`Merge relations in
   Relation.column_values joined out_uid
 
@@ -353,13 +380,22 @@ let deepest_shared_idx cp bound_cols =
    under a "probes" trace the coordinator adopts beneath the open
    "path:N" span — so analyze output still attributes every probe,
    now labelled with the domain that ran it. *)
-let dp_probe_all ?par fam ~(stats : Stats.t) cp ~idx_b b_values =
-  let sequential () = List.rev_map (fun h -> dp_probe fam ~stats cp ~idx_b ~h) b_values in
+let dp_probe_all ?par ?(cancel = Cancel.never) fam ~(stats : Stats.t) cp ~idx_b b_values =
+  let sequential () =
+    List.rev_map
+      (fun h ->
+        Cancel.check cancel;
+        dp_probe fam ~stats cp ~idx_b ~h)
+      b_values
+  in
   let fan_out pool =
     let record = Tm_obs.Obs.enabled () in
     let results =
       Tm_par.Pool.map_chunked pool
         (fun hs ->
+          (* One deadline check per probe chunk: cancellation latency is
+             bounded by a chunk of probes, not the whole binding list. *)
+          Cancel.check cancel;
           let stats' = Stats.create () in
           let work () = List.rev_map (fun h -> dp_probe fam ~stats:stats' cp ~idx_b ~h) hs in
           if not record then (work (), None, stats')
@@ -392,18 +428,21 @@ let dp_probe_all ?par fam ~(stats : Stats.t) cp ~idx_b b_values =
    path is evaluated as a FreeIndex lookup and stitched with hash
    joins — DATAPATHS reduced to ROOTPATHS-style planning, isolating the
    contribution of index-nested-loop joins to Figure 12(d). *)
-let run_dp ?(use_inlj = true) ?par (db : Database.t) fam ~stats ~out_uid cpaths =
+let run_dp ?(use_inlj = true) ?par ?(cancel = Cancel.never) (db : Database.t) fam ~stats
+    ~out_uid cpaths =
   if not use_inlj then
     finish ~stats ~out_uid
-      (eval_paths ?par db ~stats (fun ~stats cp -> eval_dp_free fam ~stats cp) cpaths)
+      (eval_paths ?par ~cancel db ~stats (fun ~stats cp -> eval_dp_free fam ~stats cp) cpaths)
   else
   let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
   match ordered with
   | [] -> invalid_arg "run_dp: no paths"
   | first :: rest ->
+    Cancel.check cancel;
     let acc = ref (eval_spanned db 0 first (fun () -> eval_dp_free fam ~stats first)) in
     List.iteri
       (fun j cp ->
+        Cancel.check cancel;
         let i = j + 1 in
         let idx_b =
           match deepest_shared_idx cp (Relation.columns !acc) with
@@ -421,7 +460,7 @@ let run_dp ?(use_inlj = true) ?par (db : Database.t) fam ~stats ~out_uid cpaths 
           let b_values = Relation.column_values !acc b_uid in
           let probe_rel =
             eval_spanned db i cp (fun () ->
-                let probes = dp_probe_all ?par fam ~stats cp ~idx_b b_values in
+                let probes = dp_probe_all ?par ~cancel fam ~stats cp ~idx_b b_values in
                 List.fold_left
                   (fun rel r ->
                     Relation.create (Relation.columns r) (r.Relation.rows @ rel.Relation.rows))
@@ -579,9 +618,9 @@ let eval_edge_path (db : Database.t) ~(stats : Stats.t) cp =
   in
   relation_of_rows cp (edge_rows_of_bindings cp bindings)
 
-let run_edge ?par db ~stats ~out_uid cpaths =
+let run_edge ?par ?cancel db ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par db ~stats (fun ~stats cp -> eval_edge_path db ~stats cp) cpaths)
+    (eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_edge_path db ~stats cp) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* DG+Edge and IF+Edge plans                                           *)
@@ -710,9 +749,11 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~guide ~fabric cp =
   in
   relation_of_rows cp rows
 
-let run_guide ?par db ~stats ~out_uid ~guide ~fabric cpaths =
+let run_guide ?par ?cancel db ~stats ~out_uid ~guide ~fabric cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par db ~stats (fun ~stats cp -> eval_guide_path db ~stats ~guide ~fabric cp) cpaths)
+    (eval_paths ?par ?cancel db ~stats
+       (fun ~stats cp -> eval_guide_path db ~stats ~guide ~fabric cp)
+       cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* ASR plan                                                            *)
@@ -750,9 +791,9 @@ let eval_asr_path (db : Database.t) asrs ~(stats : Stats.t) cp =
   in
   relation_of_rows cp rows
 
-let run_asr ?par db asrs ~stats ~out_uid cpaths =
+let run_asr ?par ?cancel db asrs ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par db ~stats (fun ~stats cp -> eval_asr_path db asrs ~stats cp) cpaths)
+    (eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_asr_path db asrs ~stats cp) cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* JI plan                                                             *)
@@ -990,14 +1031,16 @@ let eval_ji_probe (db : Database.t) ji ~(stats : Stats.t) cp ~idx_b ~b_values =
   let cols = Array.of_list (List.map (fun i -> cp.uids.(i)) needed_below) in
   Relation.distinct (Relation.create cols rows)
 
-let run_ji (db : Database.t) ji ~stats ~out_uid cpaths =
+let run_ji ?(cancel = Cancel.never) (db : Database.t) ji ~stats ~out_uid cpaths =
   let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
   match ordered with
   | [] -> invalid_arg "run_ji: no paths"
   | first :: rest ->
+    Cancel.check cancel;
     let acc = ref (eval_spanned db 0 first (fun () -> eval_ji_driver db ji ~stats first)) in
     List.iteri
       (fun j cp ->
+        Cancel.check cancel;
         let i = j + 1 in
         match deepest_shared_idx cp (Relation.columns !acc) with
         | None ->
@@ -1057,14 +1100,43 @@ let choose_plan (db : Database.t) twig =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Why an index-based strategy cannot answer this query — the typed
+   [Index_unusable] classification behind graceful degradation. Any
+   exception outside these classes (a genuine bug) propagates. *)
+let classify_unusable = function
+  | Database.Index_not_built s ->
+    Some (Printf.sprintf "%s index not materialized" (Database.strategy_name s))
+  | Tm_storage.Pager.Corrupt_page { page; detail } ->
+    Some (Printf.sprintf "corrupt page %d (%s)" page detail)
+  | Family.Unsupported msg -> Some ("lossy index variant: " ^ msg)
+  | Tm_fault.Fault.Io_error { site; detail } ->
+    Some (Printf.sprintf "I/O error at %s after retries (%s)" site detail)
+  | _ -> None
+
 (** Evaluate [twig] under [plan] (an explicit strategy, or [`Auto] for
-    the {!choose_plan} choice — the default). Raises
-    {!Family.Unsupported} if the strategy's index cannot answer this
-    query shape (e.g. [//] under Section 4.2 schema-path compression)
-    and {!Database.Index_not_built} if its index set was not
-    materialized. [dp_use_inlj:false] disables index-nested-loop joins
-    for DP (ablation). When the obs sink is on, the whole evaluation is
-    recorded under a root span returned in [trace].
+    the {!choose_plan} choice — the default). [dp_use_inlj:false]
+    disables index-nested-loop joins for DP (ablation). When the obs
+    sink is on, the whole evaluation is recorded under a root span
+    returned in [trace].
+
+    {b Graceful degradation} (default): when the planned strategy's
+    index is unusable — not materialized, a page fails its checksum
+    ({!Pager.Corrupt_page}) or I/O keeps failing after the buffer
+    pool's retries, or a lossy index variant rejects the query shape
+    ({!Family.Unsupported}: [//] under Section 4.2 schema compression,
+    or a Section 4.3-pruned head id) — the executor falls back through
+    DP, RP and JI, and finally to the naive in-memory matcher, which
+    depends on no index at all. Abandoned attempts are recorded in
+    [fallbacks] (and in [reason] and the trace); the answer is always
+    oracle-correct. [strict:true] disables all fallback and lets the
+    first failure propagate typed.
+
+    {b Deadlines}: [deadline_ms] arms a cancellation token checked
+    between per-path evaluations and between INLJ probe chunks — on
+    the coordinating domain and inside pool tasks alike. Expiry raises
+    {!Timeout} carrying the stats of the work already done. Timeouts
+    are never caught by fallback (a slow query is slow under every
+    strategy).
 
     [pool] fans the per-path lookups (and DP probe batches) out across
     the given domain pool; [jobs] (used when [pool] is absent) spins up
@@ -1072,55 +1144,124 @@ let choose_plan (db : Database.t) twig =
     spawn costs milliseconds, so callers issuing many queries should
     create one pool and pass it. JI plans always run sequentially
     (their probe chain threads bindings from path to path). *)
-let run ?(dp_use_inlj = true) ?(plan = `Auto) ?pool ?jobs (db : Database.t) twig =
-  let strategy, reason =
+let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?pool ?jobs
+    (db : Database.t) twig =
+  let requested, reason =
     match plan with
     | `Strategy s -> (s, "as requested")
-    | `Auto -> choose_plan db twig
+    | `Auto -> (
+      match choose_plan db twig with
+      | choice -> choice
+      | exception e -> (
+        (* Cost estimation reads Edge-table statistics pages; if those
+           are unusable, degrade to the RP default rather than dying in
+           the planner (the chain below still covers execution). *)
+        match classify_unusable e with
+        | Some why when not strict -> (Database.RP, "planner statistics unusable: " ^ why)
+        | Some _ | None -> raise e))
   in
   let stats = Stats.create () in
+  let cancel =
+    match deadline_ms with Some ms -> Cancel.with_deadline_ms ms | None -> Cancel.never
+  in
+  let fallbacks = ref [] in
+  let run_strategy par strategy ~out_uid cpaths =
+    match Database.require db strategy with
+    | Database.Built_rootpaths fam -> run_rp ?par ~cancel db fam ~stats ~out_uid cpaths
+    | Database.Built_datapaths fam ->
+      run_dp ~use_inlj:dp_use_inlj ?par ~cancel db fam ~stats ~out_uid cpaths
+    | Database.Built_edge -> run_edge ?par ~cancel db ~stats ~out_uid cpaths
+    | Database.Built_dataguide guide ->
+      run_guide ?par ~cancel db ~stats ~out_uid ~guide ~fabric:None cpaths
+    | Database.Built_index_fabric { fabric; dataguide } ->
+      run_guide ?par ~cancel db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
+    | Database.Built_asr asrs -> run_asr ?par ~cancel db asrs ~stats ~out_uid cpaths
+    | Database.Built_ji ji -> run_ji ~cancel db ji ~stats ~out_uid cpaths
+  in
+  (* The fallback chain: the planned strategy, then the paper's two
+     primary plans and JI (complete indices with independent physical
+     structures), then the index-free oracle. Every chain member that
+     fails for a classified reason is recorded and skipped; anything
+     else — including Timeout/Cancelled — propagates immediately. *)
+  let note_fallback strategy why =
+    fallbacks := (strategy, why) :: !fallbacks;
+    Tm_obs.Obs.incr c_fallbacks;
+    if Tm_obs.Obs.in_trace () then
+      Tm_obs.Obs.annotate
+        (Printf.sprintf "fallback:%s" (Database.strategy_name strategy))
+        why
+  in
+  let attempt_chain par ~out_uid cpaths =
+    let chain =
+      requested
+      :: List.filter (fun s -> s <> requested) [ Database.DP; Database.RP; Database.Ji ]
+    in
+    let rec go = function
+      | [] ->
+        (* Every indexed strategy was unusable: answer from the naive
+           in-memory matcher, which touches no index pages at all. *)
+        Cancel.check cancel;
+        (Tm_query.Naive.query db.Database.doc twig, requested, true)
+      | strategy :: rest -> (
+        match run_strategy par strategy ~out_uid cpaths with
+        | ids -> (ids, strategy, false)
+        | exception e -> (
+          match classify_unusable e with
+          | Some why when not strict ->
+            note_fallback strategy why;
+            go rest
+          | Some _ | None -> raise e))
+    in
+    go chain
+  in
   let run_with par =
     let body () =
+      Cancel.check cancel;
       match compile db twig with
-      | exception Unknown_tag -> []
+      | exception Unknown_tag -> ([], requested, false)
       | cpaths ->
         let out_uid = (Twig.output_node twig).Twig.uid in
-        let ids =
-          match Database.require db strategy with
-          | Database.Built_rootpaths fam -> run_rp ?par db fam ~stats ~out_uid cpaths
-          | Database.Built_datapaths fam ->
-            run_dp ~use_inlj:dp_use_inlj ?par db fam ~stats ~out_uid cpaths
-          | Database.Built_edge -> run_edge ?par db ~stats ~out_uid cpaths
-          | Database.Built_dataguide guide ->
-            run_guide ?par db ~stats ~out_uid ~guide ~fabric:None cpaths
-          | Database.Built_index_fabric { fabric; dataguide } ->
-            run_guide ?par db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
-          | Database.Built_asr asrs -> run_asr ?par db asrs ~stats ~out_uid cpaths
-          | Database.Built_ji ji -> run_ji db ji ~stats ~out_uid cpaths
-        in
-        List.sort_uniq compare ids
+        let ids, strategy, via_naive = attempt_chain par ~out_uid cpaths in
+        (List.sort_uniq compare ids, strategy, via_naive)
     in
     Tm_obs.Obs.trace
       ~meta:
         [
           ("query", Twig.to_string twig);
-          ("strategy", Database.strategy_name strategy);
+          ("strategy", Database.strategy_name requested);
           ("reason", reason);
           ( "jobs",
             string_of_int (match par with Some p -> Tm_par.Pool.jobs p | None -> 1) );
         ]
-      ("query:" ^ Database.strategy_name strategy)
+      ("query:" ^ Database.strategy_name requested)
       body
   in
-  let ids, trace =
+  match
     match pool with
     | Some p -> run_with (Some p)
     | None -> (
       match jobs with
       | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
       | Some _ | None -> run_with None)
-  in
-  { ids; stats; strategy; reason; trace }
+  with
+  | (ids, strategy, via_naive), trace ->
+    let fallbacks = List.rev !fallbacks in
+    let reason =
+      match fallbacks with
+      | [] -> reason
+      | fs ->
+        let steps =
+          List.map
+            (fun (s, why) -> Printf.sprintf "%s unusable (%s)" (Database.strategy_name s) why)
+            fs
+        in
+        Printf.sprintf "%s; fell back to %s after: %s" reason
+          (if via_naive then "naive matcher" else Database.strategy_name strategy)
+          (String.concat "; " steps)
+    in
+    { ids; stats; strategy; reason; fallbacks; via_naive; trace }
+  | exception Cancel.Cancelled ->
+    raise (Timeout { ms = Option.value deadline_ms ~default:0.0; stats })
 
 (** Evaluate under the cost-chosen strategy; {!run} with [`Auto],
     re-shaped for compatibility. Requires both ROOTPATHS and DATAPATHS

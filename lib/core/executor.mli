@@ -5,13 +5,26 @@
     relational joins — using exactly the access paths and join
     algorithms the paper attributes to each strategy. *)
 
+exception Timeout of { ms : float; stats : Tm_exec.Stats.t }
+(** Raised by {!run} when its [deadline_ms] expires: [ms] is the
+    deadline that was set, [stats] the work completed before expiry. *)
+
 type result = {
   ids : int list;  (** sorted distinct data-node ids of the output node *)
   stats : Tm_exec.Stats.t;
   strategy : Database.strategy;  (** the strategy actually executed *)
   reason : string;
       (** one-line justification ("as requested" for explicit plans,
-          the optimizer's cost comparison under [`Auto]) *)
+          the optimizer's cost comparison under [`Auto]; extended with
+          the fallback story when degradation occurred) *)
+  fallbacks : (Database.strategy * string) list;
+      (** strategies abandoned before [strategy] answered, oldest
+          first, each with why its index was unusable (empty on the
+          healthy path) *)
+  via_naive : bool;
+      (** [true] when every indexed strategy was unusable and the
+          answer came from the naive in-memory matcher; [strategy] then
+          holds the originally planned strategy *)
   trace : Tm_obs.Obs.span option;
       (** the query's span tree, recorded when the {!Tm_obs.Obs} sink
           is enabled ([None] otherwise) *)
@@ -20,6 +33,8 @@ type result = {
 val run :
   ?dp_use_inlj:bool ->
   ?plan:[ `Strategy of Database.strategy | `Auto ] ->
+  ?strict:bool ->
+  ?deadline_ms:float ->
   ?pool:Tm_par.Pool.t ->
   ?jobs:int ->
   Database.t ->
@@ -31,17 +46,35 @@ val run :
     (default true) disables index-nested-loop joins for the DP
     strategy — an ablation isolating the Figure 12(d) effect.
 
+    {b Graceful degradation} (default, [strict:false]): when the
+    planned strategy's index is unusable — not materialized, corrupt
+    ({!Tm_storage.Pager.Corrupt_page} from a checksum failure), failing
+    I/O after the buffer pool's retries, or a lossy variant rejecting
+    the query shape ({!Tm_index.Family.Unsupported}: [//] under Section
+    4.2 schema compression, a Section 4.3-pruned head id) — execution
+    falls back through DP, RP and JI to the naive in-memory matcher.
+    Abandoned attempts are listed in [fallbacks] and narrated in
+    [reason]; answers remain oracle-identical. With [strict:true] the
+    first such failure propagates typed instead.
+
+    [deadline_ms] arms a per-query deadline, checked between per-path
+    evaluations and INLJ probe chunks (including inside pool tasks);
+    expiry raises {!Timeout} with partial stats. Timeouts are never
+    absorbed by fallback.
+
     [pool] fans the independent per-path index lookups (and DP's INLJ
     probe batches) out across a domain pool, joining the binding
     relations as they complete; results are identical to a sequential
     run. [jobs] (only consulted when [pool] is absent) creates an
     ephemeral pool for this one query — for repeated queries, create a
     {!Tm_par.Pool.t} once and pass [pool]. JI plans run sequentially.
-    @raise Tm_index.Family.Unsupported when the strategy's index cannot
-    answer the query shape (e.g. [//] under Section 4.2 schema-path
-    compression).
-    @raise Database.Index_not_built when the strategy's index set was
-    not materialized at {!Database.create} time. *)
+    @raise Timeout when [deadline_ms] expires.
+    @raise Tm_index.Family.Unsupported ([strict] only) when the
+    strategy's index cannot answer the query shape.
+    @raise Database.Index_not_built ([strict] only) when the strategy's
+    index set was not materialized at {!Database.create} time.
+    @raise Tm_storage.Pager.Corrupt_page ([strict] only) when an index
+    page fails its checksum. *)
 
 val path_cardinalities : Database.t -> Tm_query.Twig.t -> int list
 (** Per-branch result sizes (the "Result Size Per Branch" column of

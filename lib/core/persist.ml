@@ -2,43 +2,210 @@
     catalog, every index's pages and metadata) to a file and reload it
     without re-shredding or re-bulk-loading.
 
-    Format: a magic header, a format version, then the OCaml [Marshal]
-    image of the {!Database.t}. This is a {e snapshot}, not a
-    write-ahead-logged store: it is only readable by the same library
-    version that wrote it (the header encodes a format version checked
-    on load), and a crash between [save] calls loses the delta — the
-    appropriate scope for a reproduction whose substrate "disk" is
-    simulated. Databases built with a [head_filter] or [id_keep]
-    closure cannot be snapshotted (closures do not survive
-    serialization meaningfully); {!save} rejects them. *)
+    Format v2 is framed so a damaged file is {e detected}, never fed to
+    [Marshal] (which aborts the process on garbage):
+
+    {v
+      magic   "TWIGMATCH-SNAPSHOT"
+      version u32 = 2
+      count   u32                          number of sections
+      section (repeated)
+        name-len  u32
+        name      bytes
+        data-len  u32
+        data-crc  u32      CRC32 of the payload bytes
+        data      bytes
+      footer
+        end-magic "TWIGEND!"
+        table-crc u32      CRC32 over every section's (name, len, crc)
+    v}
+
+    Sections today: ["meta"] (small, textual — creation parameters for
+    humans and tooling) and ["database"] (the [Marshal] image of the
+    {!Database.t}; one section, because the pager, pools and families
+    share structure that per-structure marshalling would duplicate and
+    un-share). Every payload CRC is verified {e before} any
+    unmarshalling, so truncation or a bit flip anywhere yields
+    {!Bad_snapshot} naming the failing section. {!verify} runs the
+    same frame checks without allocating a database.
+
+    [save] writes to a temp file in the same directory and atomically
+    renames it over the target, so a crash mid-save leaves the previous
+    snapshot intact — the torn-write crash model at file granularity.
+
+    This is a {e snapshot}, not a write-ahead-logged store: it is only
+    readable by the same library version that wrote it, and a crash
+    between [save] calls loses the delta — the appropriate scope for a
+    reproduction whose substrate "disk" is simulated. Databases built
+    with a [head_filter] or [id_keep] closure cannot be snapshotted
+    (closures do not survive serialization meaningfully); {!save}
+    rejects them. *)
+
+open Tm_storage
 
 let magic = "TWIGMATCH-SNAPSHOT"
-let version = 1
+let end_magic = "TWIGEND!"
+let version = 2
 
 exception Bad_snapshot of string
 
+let () =
+  Printexc.register_printer (function
+    | Bad_snapshot s -> Some (Printf.sprintf "Bad_snapshot(%s)" s)
+    | _ -> None)
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_snapshot s)) fmt
+
+(* [output_binary_int] moves 4 bytes but treats them as signed; mask so
+   CRCs (and lengths, defensively) round-trip as unsigned 32-bit. *)
+let out_u32 oc n = output_binary_int oc (n land 0xFFFFFFFF)
+
+let in_u32 ic ~what =
+  match input_binary_int ic with
+  | n -> n land 0xFFFFFFFF
+  | exception End_of_file -> bad "truncated while reading %s" what
+
+let in_string ic len ~what =
+  match really_input_string ic len with
+  | s -> s
+  | exception End_of_file -> bad "truncated while reading %s" what
+
+(* CRC over a section table entry, accumulated into the footer CRC. *)
+let table_crc_step crc (name, len, data_crc) =
+  let buf = Buffer.create 32 in
+  Codec.add_lstring buf name;
+  Codec.add_u32 buf (len land 0xFFFFFFFF);
+  Codec.add_u32 buf (data_crc land 0xFFFFFFFF);
+  let s = Buffer.contents buf in
+  Codec.crc32_update crc (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let write_frame oc sections =
+  output_string oc magic;
+  out_u32 oc version;
+  out_u32 oc (List.length sections);
+  let table_crc =
+    List.fold_left
+      (fun crc (name, data) ->
+        out_u32 oc (String.length name);
+        output_string oc name;
+        out_u32 oc (String.length data);
+        let data_crc = Codec.crc32_string data in
+        out_u32 oc data_crc;
+        output_string oc data;
+        table_crc_step crc (name, String.length data, data_crc))
+      0 sections
+  in
+  output_string oc end_magic;
+  out_u32 oc table_crc
+
+(* Walk the frame, handing each section's (name, len, crc, read_payload)
+   to [f]; [f] decides whether to consume the payload bytes or skip
+   them. Verifies the footer after the last section. *)
+let read_frame ic f =
+  let m =
+    match really_input_string ic (String.length magic) with
+    | m -> m
+    | exception End_of_file -> bad "not a twigmatch snapshot (file shorter than the magic)"
+  in
+  if not (String.equal m magic) then bad "not a twigmatch snapshot";
+  let v = in_u32 ic ~what:"version" in
+  if v <> version then bad "snapshot version %d, expected %d" v version;
+  let count = in_u32 ic ~what:"section count" in
+  if count > 0xFFFF then bad "implausible section count %d (corrupt header)" count;
+  let table_crc = ref 0 in
+  for _ = 1 to count do
+    let name_len = in_u32 ic ~what:"section name length" in
+    if name_len > 0xFFFF then bad "implausible section name length %d (corrupt header)" name_len;
+    let name = in_string ic name_len ~what:"section name" in
+    let len = in_u32 ic ~what:(Printf.sprintf "section %S length" name) in
+    let crc = in_u32 ic ~what:(Printf.sprintf "section %S checksum" name) in
+    table_crc := table_crc_step !table_crc (name, len, crc);
+    f ~name ~len ~crc ic
+  done;
+  let em = in_string ic (String.length end_magic) ~what:"footer magic" in
+  if not (String.equal em end_magic) then bad "bad footer magic (truncated or overwritten tail)";
+  let fc = in_u32 ic ~what:"footer checksum" in
+  if fc <> !table_crc land 0xFFFFFFFF then bad "footer checksum mismatch (section table damaged)"
+
+let read_section_checked ic ~name ~len ~crc =
+  let data = in_string ic len ~what:(Printf.sprintf "section %S payload" name) in
+  if Codec.crc32_string data <> crc then
+    bad "section %S failed its checksum (corrupt payload)" name;
+  data
+
+let skip_section_checked ic ~name ~len ~crc =
+  (* Stream the CRC in page-sized chunks: verify without holding the
+     payload (the [verify] path must not need section-sized memory). *)
+  let chunk = Bytes.create 8192 in
+  let rec go remaining acc =
+    if remaining = 0 then acc
+    else begin
+      let n = min remaining (Bytes.length chunk) in
+      (try really_input ic chunk 0 n
+       with End_of_file -> bad "truncated inside section %S payload" name);
+      go (remaining - n) (Codec.crc32_update acc chunk 0 n)
+    end
+  in
+  if go len 0 <> crc then bad "section %S failed its checksum (corrupt payload)" name
+
+let meta_of (db : Database.t) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "format=twigmatch-snapshot v%d\n" version;
+  Printf.bprintf b "strategies=%s\n"
+    (String.concat "," (List.map Database.strategy_name (Database.built_strategies db)));
+  Buffer.contents b
+
 let save (db : Database.t) path =
-  let oc = open_out_bin path in
+  let image =
+    try Marshal.to_string db []
+    with Invalid_argument _ ->
+      raise
+        (Bad_snapshot
+           "database contains closures (head_filter / id_keep); pruned databases cannot be \
+            snapshotted")
+  in
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".twigmatch-snapshot" ".tmp" in
+  let ok = ref false in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> if not !ok then Sys.remove tmp)
     (fun () ->
-      output_string oc magic;
-      output_binary_int oc version;
-      try Marshal.to_channel oc db []
-      with Invalid_argument _ ->
-        raise
-          (Bad_snapshot
-             "database contains closures (head_filter / id_keep); pruned databases cannot be \
-              snapshotted"))
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> write_frame oc [ ("meta", meta_of db); ("database", image) ]);
+      (* The write is durable only as a whole: rename is atomic, so the
+         target path always holds either the old snapshot or the
+         complete new one, never a prefix. *)
+      Sys.rename tmp path;
+      ok := true)
+
+let with_snapshot path f =
+  let ic =
+    try open_in_bin path with Sys_error e -> bad "cannot open snapshot: %s" e
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
 
 let load path : Database.t =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then raise (Bad_snapshot "not a twigmatch snapshot");
-      let v = input_binary_int ic in
-      if v <> version then
-        raise (Bad_snapshot (Printf.sprintf "snapshot version %d, expected %d" v version));
-      (Marshal.from_channel ic : Database.t))
+  with_snapshot path (fun ic ->
+      let image = ref None in
+      read_frame ic (fun ~name ~len ~crc ic ->
+          let data = read_section_checked ic ~name ~len ~crc in
+          if String.equal name "database" then image := Some data);
+      match !image with
+      | None -> bad "no %S section in snapshot" "database"
+      | Some data ->
+        (* The frame walk above has verified length and CRC of every
+           byte we are about to unmarshal; Marshal never sees a
+           damaged image. *)
+        (Marshal.from_string data 0 : Database.t))
+
+type section = { name : string; length : int; crc : int }
+type summary = { sections : section list }
+
+let verify path =
+  with_snapshot path (fun ic ->
+      let acc = ref [] in
+      read_frame ic (fun ~name ~len ~crc ic ->
+          skip_section_checked ic ~name ~len ~crc;
+          acc := { name; length = len; crc } :: !acc);
+      { sections = List.rev !acc })

@@ -1,13 +1,37 @@
 (** Database snapshots: save/load a built database (document,
     dictionary, catalog, and every index) without re-shredding or
-    re-bulk-loading. Snapshots are version-checked and same-library
-    only; databases built with pruning closures ([head_filter] /
-    [id_keep]) are rejected. *)
+    re-bulk-loading.
+
+    Format v2 frames the file — magic, version, per-section length +
+    CRC32, and a checksummed footer — and [save] writes via a temp file
+    plus atomic rename. A truncated, torn or bit-flipped snapshot
+    raises {!Bad_snapshot} naming the damaged section; the [Marshal]
+    payload is only unmarshalled after its checksum verifies, so a bad
+    file can never abort the process or yield a garbage database.
+
+    Snapshots are same-library-version only; databases built with
+    pruning closures ([head_filter] / [id_keep]) are rejected. *)
 
 exception Bad_snapshot of string
 
+val version : int
+(** Current snapshot format version (2). *)
+
 val save : Database.t -> string -> unit
-(** @raise Bad_snapshot for databases containing pruning closures. *)
+(** Write atomically (temp file + rename): the target path always holds
+    either the previous snapshot or the complete new one.
+    @raise Bad_snapshot for databases containing pruning closures. *)
 
 val load : string -> Database.t
-(** @raise Bad_snapshot on a wrong magic header or format version. *)
+(** @raise Bad_snapshot on a wrong magic header or format version, a
+    truncated file, or any section whose payload fails its checksum —
+    checked before unmarshalling. *)
+
+type section = { name : string; length : int; crc : int }
+type summary = { sections : section list }
+
+val verify : string -> summary
+(** Run the frame checks of {!load} — magic, version, every section's
+    length and checksum, footer — without unmarshalling or retaining
+    payloads (constant memory). Returns the section table.
+    @raise Bad_snapshot with the failing section on any damage. *)

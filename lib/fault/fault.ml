@@ -1,0 +1,253 @@
+(** Process-global failpoint registry (see the interface for the model).
+
+    Design notes:
+
+    - The registry is a snapshot array behind one [Atomic.t]; arming or
+      clearing swaps a new array in (arming is rare, firing is hot).
+      Sites scan the current snapshot linearly — registries hold a
+      handful of entries, so a scan is cheaper than hashing, and the
+      un-armed fast path is one atomic load of an empty array.
+    - Per-site trigger state (call counter) is an [Atomic.t] shared by
+      every domain, so an [every:N] schedule is global: under [jobs=4]
+      exactly one of each N concurrent calls fires, the property the
+      retry tests rely on.
+    - The probability trigger uses a splitmix64 PRNG behind its own
+      [Atomic.t] so concurrent draws never repeat; it is deliberately
+      {e not} seeded from the clock — a fixed seed keeps CI fault legs
+      reproducible run to run. *)
+
+exception Io_error of { site : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { site; detail } -> Some (Printf.sprintf "Io_error(%s: %s)" site detail)
+    | _ -> None)
+
+type action = Fail | Torn | Bitflip | Delay_ms of int
+type trigger = Every of int | Prob of float | After of int
+type spec = { site : string; trigger : trigger; action : action }
+
+type armed = {
+  a_spec : spec;
+  a_calls : int Atomic.t;
+  a_hits : int Atomic.t;
+  a_counter : Tm_obs.Obs.counter;  (** [fault.<site>.hits] mirror in the obs sink *)
+}
+
+let registry : armed array Atomic.t = Atomic.make [||]
+let registry_lock = Mutex.create ()
+
+(* splitmix-style mixer on the 63-bit native int (constants truncated
+   to fit); fixed seed for reproducible CI fault legs. *)
+let prng_state = Atomic.make 0x1E3779B97F4A7C15
+
+let prng_unit () =
+  let rec next () =
+    let old = Atomic.get prng_state in
+    let s = old + 0x1E3779B97F4A7C15 in
+    if not (Atomic.compare_and_set prng_state old s) then next ()
+    else begin
+      let z = (s lxor (s lsr 30)) * 0x2F58476D1CE4E5B9 in
+      let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+      z lxor (z lsr 31)
+    end
+  in
+  float_of_int (next () land max_int) /. float_of_int max_int
+
+let validate = function
+  | Every n when n < 1 -> invalid_arg "Fault.inject: every:N requires N >= 1"
+  | After k when k < 0 -> invalid_arg "Fault.inject: after:K requires K >= 0"
+  | Prob p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Fault.inject: prob:P requires 0 <= P <= 1"
+  | Every _ | After _ | Prob _ -> ()
+
+let arm spec =
+  {
+    a_spec = spec;
+    a_calls = Atomic.make 0;
+    a_hits = Atomic.make 0;
+    a_counter = Tm_obs.Obs.counter (Printf.sprintf "fault.%s.hits" spec.site);
+  }
+
+let swap f =
+  Mutex.lock registry_lock;
+  Atomic.set registry (f (Atomic.get registry));
+  Mutex.unlock registry_lock
+
+let inject ?(action = Fail) ~site trigger =
+  validate trigger;
+  let entry = arm { site; trigger; action } in
+  swap (fun arr ->
+      let kept = Array.to_list arr |> List.filter (fun a -> not (String.equal a.a_spec.site site)) in
+      Array.of_list (kept @ [ entry ]))
+
+let clear ?site () =
+  swap (fun arr ->
+      match site with
+      | None -> [||]
+      | Some s ->
+        Array.of_list
+          (Array.to_list arr |> List.filter (fun a -> not (String.equal a.a_spec.site s))))
+
+let find site =
+  let arr = Atomic.get registry in
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then None
+    else if String.equal arr.(i).a_spec.site site then Some arr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let active () = Array.to_list (Atomic.get registry) |> List.map (fun a -> a.a_spec)
+let calls site = match find site with Some a -> Atomic.get a.a_calls | None -> 0
+let hits site = match find site with Some a -> Atomic.get a.a_hits | None -> 0
+
+let fire site =
+  match find site with
+  | None -> None
+  | Some a ->
+    let call = Atomic.fetch_and_add a.a_calls 1 + 1 in
+    let fired =
+      match a.a_spec.trigger with
+      | Every n -> call mod n = 0
+      | After k -> call > k
+      | Prob p -> prng_unit () < p
+    in
+    if not fired then None
+    else begin
+      Atomic.incr a.a_hits;
+      Tm_obs.Obs.incr a.a_counter;
+      Some a.a_spec.action
+    end
+
+(* Busy-wait: storage sits below any scheduler, so a sleep syscall is
+   out of place here; a calibration-free relax loop approximates the
+   requested delay well enough for injection purposes. *)
+let busy_wait_ms ms =
+  let spins_per_ms = 200_000 in
+  for _ = 1 to ms * spins_per_ms do
+    Domain.cpu_relax ()
+  done
+
+let io_error site detail = raise (Io_error { site; detail })
+
+let apply ~site data =
+  match fire site with
+  | None -> data
+  | Some Fail -> io_error site "injected failure"
+  | Some Torn ->
+    (* A torn transfer: the first half made it, the rest reads back as
+       zeroes — exactly the page state after a crash mid-write. *)
+    let copy = Bytes.copy data in
+    let half = Bytes.length copy / 2 in
+    Bytes.fill copy half (Bytes.length copy - half) '\x00';
+    copy
+  | Some Bitflip ->
+    if Bytes.length data = 0 then data
+    else begin
+      let copy = Bytes.copy data in
+      let off = Bytes.length copy / 3 in
+      Bytes.set copy off (Char.chr (Char.code (Bytes.get copy off) lxor 0x10));
+      copy
+    end
+  | Some (Delay_ms ms) ->
+    busy_wait_ms ms;
+    data
+
+let guard site =
+  match fire site with
+  | None -> ()
+  | Some (Fail | Torn | Bitflip) -> io_error site "injected failure"
+  | Some (Delay_ms ms) -> busy_wait_ms ms
+
+(* ------------------------------------------------------------------ *)
+(* Spec syntax                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let env_var = "TWIGMATCH_FAILPOINTS"
+
+let parse_action = function
+  | "fail" -> Ok Fail
+  | "torn" -> Ok Torn
+  | "bitflip" -> Ok Bitflip
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.equal (String.sub s 0 i) "delay" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some ms when ms >= 0 -> Ok (Delay_ms ms)
+      | Some _ | None -> Error (Printf.sprintf "bad delay %S (want delay:MS)" s))
+    | _ -> Error (Printf.sprintf "unknown action %S (want fail, torn, bitflip or delay:MS)" s))
+
+let parse_trigger s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad trigger %S (want every:N, prob:P or after:K)" s)
+  | Some i -> (
+    let mode = String.sub s 0 i and arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match mode with
+    | "every" -> (
+      match int_of_string_opt arg with
+      | Some n when n >= 1 -> Ok (Every n)
+      | Some _ | None -> Error (Printf.sprintf "bad every:N count %S" arg))
+    | "after" -> (
+      match int_of_string_opt arg with
+      | Some k when k >= 0 -> Ok (After k)
+      | Some _ | None -> Error (Printf.sprintf "bad after:K count %S" arg))
+    | "prob" -> (
+      match float_of_string_opt arg with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+      | Some _ | None -> Error (Printf.sprintf "bad prob:P probability %S" arg))
+    | m -> Error (Printf.sprintf "unknown trigger mode %S (want every, prob or after)" m))
+
+let parse_one s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad failpoint %S (want site=trigger[,action])" s)
+  | Some i -> (
+    let site = String.trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.equal site "" then Error (Printf.sprintf "empty site in %S" s)
+    else
+      let trigger_s, action_s =
+        (* the action is the last ','-component that is not part of a
+           delay:MS trigger argument; triggers never contain ',' *)
+        match String.index_opt rest ',' with
+        | None -> (rest, None)
+        | Some j ->
+          (String.sub rest 0 j, Some (String.sub rest (j + 1) (String.length rest - j - 1)))
+      in
+      match parse_trigger (String.trim trigger_s) with
+      | Error e -> Error e
+      | Ok trigger -> (
+        match action_s with
+        | None -> Ok { site; trigger; action = Fail }
+        | Some a -> (
+          match parse_action (String.trim a) with
+          | Error e -> Error e
+          | Ok action -> Ok { site; trigger; action })))
+
+let parse s =
+  let parts =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun p -> not (String.equal p ""))
+  in
+  List.fold_left
+    (fun acc part ->
+      match (acc, parse_one part) with
+      | Error e, _ -> Error e
+      | Ok specs, Ok spec -> Ok (specs @ [ spec ])
+      | Ok _, Error e -> Error e)
+    (Ok []) parts
+
+let install_env () =
+  match Sys.getenv_opt env_var with
+  | None -> clear ()
+  | Some s -> (
+    match parse s with
+    | Ok specs ->
+      clear ();
+      List.iter (fun { site; trigger; action } -> inject ~action ~site trigger) specs
+    | Error e ->
+      Printf.eprintf "warning: ignoring %s: %s\n%!" env_var e;
+      clear ())
+
+let () = install_env ()

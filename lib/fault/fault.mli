@@ -1,0 +1,91 @@
+(** Process-global failpoint registry for fault injection.
+
+    A {e failpoint} is a named site in the code ("pager.read",
+    "buffer_pool.evict", ...) that consults this registry on every
+    execution. An injected fault arms the site with a {!trigger}
+    (fire every Nth call, with probability p, or on every call after
+    the first k) and an {!action} (raise {!Io_error}, hand back torn
+    or bit-flipped bytes, or delay). Un-armed sites cost one atomic
+    load and a short scan of the (tiny) registry.
+
+    The registry is domain-safe: trigger state lives in [Atomic.t]
+    counters, so concurrent domains hitting the same site see a single
+    shared every-N/after-K schedule. Hit counts are exported both
+    directly ({!hits}) and as [fault.<site>.hits] counters through
+    {!Tm_obs.Obs} (visible in [twigql metrics] / [--metrics-out] when
+    the sink is on).
+
+    Failpoints can also be armed from the environment: the variable
+    {!env_var} holds a [;]-separated list of specs, e.g.
+
+    {v TWIGMATCH_FAILPOINTS='pager.read=prob:0.01;buffer_pool.evict=every:50,torn' v}
+
+    parsed at module initialization (so every binary linking this
+    library honours it) and re-parseable with {!parse} /
+    {!install_env}. *)
+
+exception Io_error of { site : string; detail : string }
+(** The typed I/O failure an armed [Fail] site raises. *)
+
+type action =
+  | Fail  (** raise {!Io_error} at the site *)
+  | Torn  (** byte sites: return a torn (half-zeroed) copy; other sites: {!Io_error} *)
+  | Bitflip  (** byte sites: flip one bit of the copy; other sites: {!Io_error} *)
+  | Delay_ms of int  (** busy-wait approximately this many milliseconds, then proceed *)
+
+type trigger =
+  | Every of int  (** fire on calls N, 2N, 3N, ... *)
+  | Prob of float  (** fire each call with this probability *)
+  | After of int  (** fire on every call after the first K *)
+
+type spec = { site : string; trigger : trigger; action : action }
+
+val inject : ?action:action -> site:string -> trigger -> unit
+(** Arm [site]. Default action is [Fail]. Re-arming a site replaces its
+    previous spec and resets its counters.
+    @raise Invalid_argument on a non-positive [Every], negative [After]
+    or a probability outside [0, 1]. *)
+
+val clear : ?site:string -> unit -> unit
+(** Disarm one site, or every site when [site] is omitted. *)
+
+val active : unit -> spec list
+(** Currently armed failpoints, in arming order. *)
+
+val calls : string -> int
+(** Times the site was consulted since arming (0 when un-armed). *)
+
+val hits : string -> int
+(** Times the site actually fired since arming (0 when un-armed). *)
+
+val fire : string -> action option
+(** The per-call decision: [Some action] when the armed trigger fires
+    on this call, [None] otherwise (including un-armed sites). Counts
+    the call and, on firing, the hit. *)
+
+val apply : site:string -> bytes -> bytes
+(** Hook for byte-producing sites: {!fire}, then apply the action —
+    [Fail] raises {!Io_error}; [Torn] returns a copy with the second
+    half zeroed; [Bitflip] returns a copy with one bit flipped;
+    [Delay_ms] busy-waits and returns the input unchanged. Returns the
+    input unchanged when the site does not fire. Never mutates its
+    argument. *)
+
+val guard : string -> unit
+(** Hook for sites with no bytes to corrupt (alloc, eviction, write
+    intents): [Fail]/[Torn]/[Bitflip] raise {!Io_error}; [Delay_ms]
+    busy-waits. *)
+
+val parse : string -> (spec list, string) result
+(** Parse a failpoint list:
+    [site=MODE:ARG(,ACTION)?(;site=...)*] with MODE one of [every]/
+    [prob]/[after] and ACTION one of [fail] (default), [torn],
+    [bitflip], [delay:MS]. *)
+
+val env_var : string
+(** ["TWIGMATCH_FAILPOINTS"]. *)
+
+val install_env : unit -> unit
+(** Replace the registry with the specs parsed from {!env_var}
+    (clearing it when unset or empty). Malformed specs are reported on
+    stderr and ignored. Runs automatically at module initialization. *)

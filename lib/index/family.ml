@@ -324,6 +324,17 @@ let encode_idlist t ids =
    component must be fully specified; the schema component itself may be
    a prefix (Suffix probes on Schema_rev). *)
 let scan_prefix t ?head ?(value : string option option) schema =
+  (* A member built with HeadId pruning (Section 4.3) silently dropped
+     every row whose head the filter rejected: probing it with such a
+     head would return an empty — and wrong — answer. Refuse instead,
+     so the executor can fall back to a complete member. Head 0 (the
+     virtual root) is never pruned at build time. *)
+  (match (head, t.head_filter) with
+  | Some h, Some f when h <> 0 && not (f h) ->
+    raise
+      (Unsupported
+         (t.config.cfg_name ^ ": head id pruned at build time (Section 4.3), index is lossy here"))
+  | _ -> ());
   let comp_prefix = Buffer.create 32 in
   let exact = ref true in
   let emit s = if !exact then Buffer.add_string comp_prefix s in

@@ -1,0 +1,38 @@
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function Cancelled -> Some "Tm_par.Cancel.Cancelled" | _ -> None)
+
+type t = {
+  tripped : bool Atomic.t;
+  deadline_ns : int64 option; (* absolute, monotonic; None = explicit-only *)
+  budget_ms : float option; (* the relative deadline, kept for reporting *)
+}
+
+(* [never] is shared, so [cancel] must not be able to trip it for
+   everyone; [cancel] special-cases it below. *)
+let never = { tripped = Atomic.make false; deadline_ns = None; budget_ms = None }
+
+let with_deadline_ms ms =
+  let now = Monotonic_clock.now () in
+  let deadline = Int64.add now (Int64.of_float (ms *. 1e6)) in
+  { tripped = Atomic.make (ms <= 0.0); deadline_ns = Some deadline; budget_ms = Some ms }
+
+let cancel t = if t != never then Atomic.set t.tripped true
+
+let cancelled t =
+  Atomic.get t.tripped
+  ||
+  match t.deadline_ns with
+  | None -> false
+  | Some d ->
+    (* Latch, so a tripped deadline stays tripped even if the clock
+       comparison were to flap. *)
+    Int64.compare (Monotonic_clock.now ()) d >= 0
+    && begin
+         Atomic.set t.tripped true;
+         true
+       end
+
+let check t = if cancelled t then raise Cancelled
+let deadline_ms t = t.budget_ms

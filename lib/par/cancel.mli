@@ -1,0 +1,39 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    A token is shared between a query driver and the {!Pool} tasks it
+    fans out: any party can {!cancel} it, and a token created with
+    {!with_deadline_ms} trips itself once the monotonic clock passes
+    the deadline. Work loops call {!check} at natural yield points
+    (between probe chunks, per path) — cancellation is cooperative, so
+    latency to stop is bounded by the longest stretch between checks.
+
+    Tokens are domain-safe ([Atomic.t] inside) and cheap to poll: an
+    un-tripped {!check} is one atomic load plus, for deadline tokens,
+    one clock read. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check} once the token is tripped. Pool futures carry it
+    back to the caller like any other task exception. *)
+
+val never : t
+(** A token that never trips — the default when no deadline is set. *)
+
+val with_deadline_ms : float -> t
+(** A fresh token that trips once the given number of milliseconds has
+    elapsed from now (monotonic clock). Non-positive values trip
+    immediately. *)
+
+val cancel : t -> unit
+(** Trip the token explicitly. Idempotent; no effect on {!never}. *)
+
+val cancelled : t -> bool
+(** Has the token tripped (explicitly or by deadline)? Checking a
+    deadline token latches it, so later calls stay [true]. *)
+
+val check : t -> unit
+(** @raise Cancelled once the token has tripped. *)
+
+val deadline_ms : t -> float option
+(** The deadline this token was created with, if any (for reporting). *)

@@ -20,6 +20,7 @@
 let c_hits = Tm_obs.Obs.counter "buffer_pool.hits"
 let c_misses = Tm_obs.Obs.counter "buffer_pool.misses"
 let c_evictions = Tm_obs.Obs.counter "buffer_pool.evictions"
+let c_retries = Tm_obs.Obs.counter "buffer_pool.retries"
 
 type frame = { mutable data : bytes; mutable dirty : bool }
 
@@ -37,6 +38,7 @@ type stripe = {
   mutable logical_reads : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable retries : int;
 }
 
 type t = { pager : Pager.t; capacity : int; stripes : stripe array }
@@ -59,6 +61,7 @@ let create ?(capacity = 1024) pager =
           logical_reads = 0;
           misses = 0;
           evictions = 0;
+          retries = 0;
         })
   in
   { pager; capacity; stripes }
@@ -73,8 +76,35 @@ let touch st id =
   st.clock <- st.clock + 1;
   Hashtbl.replace st.last_used id st.clock
 
+(* Bounded retry for transient pager faults. An injected failure
+   (Io_error from a failpoint, or a Corrupt_page from torn/bit-flipped
+   injected bytes) is usually transient — the fault fires on one call
+   and the retry sees clean bytes — so retrying with a short exponential
+   relax-loop backoff rides it out. Genuine stored corruption fails
+   every attempt and the last error propagates, typed, to the executor's
+   fallback logic. Called with the stripe lock held; the backoff spins
+   rather than sleeps so the stripe is held for microseconds, not
+   scheduler quanta. *)
+let max_attempts = 4
+
+let with_retry st f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception (Tm_fault.Fault.Io_error _ | Pager.Corrupt_page _) when attempt < max_attempts
+      ->
+      st.retries <- st.retries + 1;
+      Tm_obs.Obs.incr c_retries;
+      for _ = 1 to 1 lsl (4 + attempt) do
+        Domain.cpu_relax ()
+      done;
+      go (attempt + 1)
+  in
+  go 1
+
 (* Called with the stripe lock held. *)
 let evict_one pager st =
+  Tm_fault.Fault.guard "buffer_pool.evict";
   (* Find the stripe's least-recently-used resident page and write it
      back if dirty. *)
   let victim = ref (-1) and best = ref max_int in
@@ -109,8 +139,16 @@ let find_frame pager st id =
   | None ->
     st.misses <- st.misses + 1;
     Tm_obs.Obs.incr c_misses;
-    if Hashtbl.length st.frames >= st.s_capacity then evict_one pager st;
-    let fr = { data = Pager.read pager id; dirty = false } in
+    (* Retry covers both the eviction (its failpoint and write-back)
+       and the fault-in read. Eviction mutates nothing until its
+       write-back succeeds, so re-running it after a partial failure is
+       safe: the same victim is picked again. *)
+    let data =
+      with_retry st (fun () ->
+          if Hashtbl.length st.frames >= st.s_capacity then evict_one pager st;
+          Pager.read pager id)
+    in
+    let fr = { data; dirty = false } in
     Hashtbl.replace st.frames id fr;
     touch st id;
     fr
@@ -136,13 +174,17 @@ let write t id data =
         fr.data <- data;
         fr.dirty <- true
       | None ->
-        if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st;
+        with_retry st (fun () ->
+            if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st);
         Hashtbl.replace st.frames id { data; dirty = true };
         touch st id)
 
 (** Allocate a fresh page (through the pager) and cache it as dirty. *)
 let alloc t =
-  let id = Pager.alloc t.pager in
+  (* No page id yet, so no stripe to charge: book alloc retries to
+     stripe 0 — stats are only ever read folded over all stripes. *)
+  let st0 = t.stripes.(0) in
+  let id = locked st0 (fun () -> with_retry st0 (fun () -> Pager.alloc t.pager)) in
   write t id (Bytes.make (Pager.page_size t.pager) '\x00');
   id
 
@@ -153,7 +195,7 @@ let flush_all t =
           Hashtbl.iter
             (fun id fr ->
               if fr.dirty then begin
-                Pager.write t.pager id fr.data;
+                with_retry st (fun () -> Pager.write t.pager id fr.data);
                 fr.dirty <- false
               end)
             st.frames))
@@ -170,7 +212,7 @@ let clear t =
           Hashtbl.reset st.last_used))
     t.stripes
 
-type stats = { logical_reads : int; misses : int; evictions : int }
+type stats = { logical_reads : int; misses : int; evictions : int; retries : int }
 
 let stats (t : t) : stats =
   Array.fold_left
@@ -180,8 +222,9 @@ let stats (t : t) : stats =
             logical_reads = acc.logical_reads + st.logical_reads;
             misses = acc.misses + st.misses;
             evictions = acc.evictions + st.evictions;
+            retries = acc.retries + st.retries;
           }))
-    { logical_reads = 0; misses = 0; evictions = 0 }
+    { logical_reads = 0; misses = 0; evictions = 0; retries = 0 }
     t.stripes
 
 let reset_stats (t : t) =
@@ -190,5 +233,6 @@ let reset_stats (t : t) =
       locked st (fun () ->
           st.logical_reads <- 0;
           st.misses <- 0;
-          st.evictions <- 0))
+          st.evictions <- 0;
+          st.retries <- 0))
     t.stripes

@@ -9,6 +9,15 @@
 
 type t
 
+val max_attempts : int
+(** Bound on attempts per pager operation: transient faults (an
+    injected {!Tm_fault.Fault.Io_error} or a {!Pager.Corrupt_page} from
+    torn injected bytes) are retried with exponential relax-loop
+    backoff up to this many times; the last error then propagates.
+    Retries are counted in {!stats} and as [buffer_pool.retries].
+    The [buffer_pool.evict] failpoint fires at the head of each
+    eviction and is covered by the same retry. *)
+
 val create : ?capacity:int -> Pager.t -> t
 (** [capacity] is a number of frames (default 1024).
     @raise Invalid_argument if capacity < 1. *)
@@ -32,7 +41,7 @@ val flush_all : t -> unit
 val clear : t -> unit
 (** Flush, then drop every frame — simulates a cold cache. *)
 
-type stats = { logical_reads : int; misses : int; evictions : int }
+type stats = { logical_reads : int; misses : int; evictions : int; retries : int }
 
 val stats : t -> stats
 val reset_stats : t -> unit

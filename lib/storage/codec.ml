@@ -184,6 +184,32 @@ let decode_value s =
     Some (Buffer.contents buf)
   end
 
+(** {1 CRC32 (IEEE 802.3, polynomial 0xEDB88320)}
+
+    Table-driven, byte at a time — fast enough that checksumming an 8 KiB
+    page is small next to decoding it. Used for per-page checksums in
+    {!Pager} and the snapshot frame format in [Persist]. *)
+
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc data pos len =
+  let table = Lazy.force crc32_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get data i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 data = crc32_update 0 data 0 (Bytes.length data)
+let crc32_string s = crc32 (Bytes.unsafe_of_string s)
+
 let concat_key components = String.concat (String.make 1 key_sep) components
 
 (** Comparator for (key, payload) entries — the bulk-load / B+-tree

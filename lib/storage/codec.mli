@@ -47,6 +47,23 @@ val read_idlist_raw : string -> int -> int list * int
 val idlist_raw_to_string : int list -> string
 val idlist_raw_of_string : string -> int list
 
+(** {1 CRC32}
+
+    IEEE 802.3 CRC (polynomial 0xEDB88320, reflected, table-driven),
+    the checksum behind per-page verification in {!Pager} and the
+    snapshot frame format. Results fit in 32 bits (always
+    non-negative). *)
+
+val crc32 : bytes -> int
+(** Checksum of the whole buffer. Does not mutate it. *)
+
+val crc32_string : string -> int
+
+val crc32_update : int -> bytes -> int -> int -> int
+(** [crc32_update crc data pos len] extends [crc] with
+    [data[pos..pos+len-1]], so checksums can be computed incrementally:
+    [crc32 b = crc32_update 0 b 0 (Bytes.length b)]. *)
+
 (** {1 Composite keys} *)
 
 val key_sep : char

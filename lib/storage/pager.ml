@@ -6,11 +6,28 @@
     caching and counts {e logical} accesses; the gap between the two is
     the simulated I/O that the benchmark harness reports.
 
+    Every page carries a CRC32 (unless checksums are disabled at
+    creation), recomputed on write and verified on read, so corruption —
+    whether injected through a [pager.read]/[pager.write] failpoint or
+    planted by a test — surfaces as a typed {!Corrupt_page} naming the
+    page rather than as garbage decoded downstream. The checksum lives
+    in a sidecar array, not inside the page image, mirroring the
+    out-of-band page headers real engines use; page payloads keep the
+    full page to themselves.
+
     A single mutex serialises every operation, making the pager safe to
     share across domains. The lock covers little work (an array slot
     swap plus a [Bytes.copy]), and the buffer pool absorbs most traffic
     before it reaches the pager, so contention here is not the
     bottleneck it would be on a real disk. *)
+
+exception Corrupt_page of { page : int; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_page { page; detail } ->
+      Some (Printf.sprintf "Corrupt_page(page %d: %s)" page detail)
+    | _ -> None)
 
 (* Observability mirrors of the physical I/O counters, plus byte
    volumes (every transfer moves exactly one page image). *)
@@ -19,10 +36,20 @@ let c_writes = Tm_obs.Obs.counter "pager.physical_writes"
 let c_read_bytes = Tm_obs.Obs.counter "pager.read_bytes"
 let c_write_bytes = Tm_obs.Obs.counter "pager.write_bytes"
 
+(* Failpoint sites (see {!Tm_fault.Fault}). Hooks fire before the
+   physical counters move, so a failed call is not a counted transfer
+   and a retried success counts exactly once — tests asserting exact
+   physical-read counts stay deterministic under an injected fault leg. *)
+let site_read = "pager.read"
+let site_write = "pager.write"
+let site_alloc = "pager.alloc"
+
 type t = {
   page_size : int;
+  checksums : bool;
   lock : Lock.t;
   mutable pages : bytes array; (* backing store, grown geometrically *)
+  mutable crcs : int array; (* sidecar CRC32 per page (unused when checksums off) *)
   mutable n_pages : int;
   mutable physical_reads : int;
   mutable physical_writes : int;
@@ -30,11 +57,13 @@ type t = {
 
 let default_page_size = 8192
 
-let create ?(page_size = default_page_size) () =
+let create ?(page_size = default_page_size) ?(checksums = true) () =
   {
     page_size;
+    checksums;
     lock = Lock.create Lock.Inner;
     pages = Array.make 64 Bytes.empty;
+    crcs = Array.make 64 0;
     n_pages = 0;
     physical_reads = 0;
     physical_writes = 0;
@@ -43,6 +72,7 @@ let create ?(page_size = default_page_size) () =
 let locked t f = Lock.with_lock t.lock f
 
 let page_size t = t.page_size
+let checksums t = t.checksums
 let page_count t = locked t (fun () -> t.n_pages)
 
 (** Total bytes occupied on the simulated disk. *)
@@ -52,45 +82,95 @@ let grow t needed =
   if needed > Array.length t.pages then begin
     let cap = max needed (2 * Array.length t.pages) in
     let pages = Array.make cap Bytes.empty in
+    let crcs = Array.make cap 0 in
     Array.blit t.pages 0 pages 0 t.n_pages;
-    t.pages <- pages
+    Array.blit t.crcs 0 crcs 0 t.n_pages;
+    t.pages <- pages;
+    t.crcs <- crcs
   end
+
+let crc_of_zero_page = lazy (Codec.crc32 (Bytes.make default_page_size '\x00'))
 
 (** Allocate a fresh zeroed page; returns its id. *)
 let alloc t =
+  Tm_fault.Fault.guard site_alloc;
   locked t (fun () ->
       grow t (t.n_pages + 1);
       let id = t.n_pages in
       t.pages.(id) <- Bytes.make t.page_size '\x00';
+      if t.checksums then
+        t.crcs.(id) <-
+          (if t.page_size = default_page_size then Lazy.force crc_of_zero_page
+           else Codec.crc32 t.pages.(id));
       t.n_pages <- id + 1;
       id)
 
 let check_id t id =
-  if id < 0 || id >= t.n_pages then invalid_arg (Printf.sprintf "Pager: bad page id %d" id)
+  if id < 0 || id >= t.n_pages then
+    raise (Corrupt_page { page = id; detail = "unallocated page id" })
 
-(** Physical read: returns a copy of the page image. *)
+(** Physical read: returns a copy of the page image, verified against the
+    stored checksum. Only successful reads are counted. *)
 let read t id =
-  let data =
+  let data, crc =
     locked t (fun () ->
         check_id t id;
-        t.physical_reads <- t.physical_reads + 1;
-        Bytes.copy t.pages.(id))
+        (Bytes.copy t.pages.(id), t.crcs.(id)))
   in
+  (* The failpoint may raise (Fail) or corrupt the copy (Torn/Bitflip);
+     a corrupted copy then fails the checksum below, exactly as a bad
+     sector would. *)
+  let data = Tm_fault.Fault.apply ~site:site_read data in
+  if t.checksums && Codec.crc32 data <> crc then
+    raise (Corrupt_page { page = id; detail = "checksum mismatch on read" });
+  locked t (fun () -> t.physical_reads <- t.physical_reads + 1);
   Tm_obs.Obs.incr c_reads;
   Tm_obs.Obs.add c_read_bytes t.page_size;
   data
 
-(** Physical write: stores a copy of [data] (padded/truncated to page size). *)
+(** Physical write: stores a copy of [data] (padded/truncated to page
+    size). The stored checksum is always that of the {e intended} image:
+    a torn/bit-flipped injected write therefore persists bytes that no
+    longer match their CRC, and the damage is detected on the next
+    read — the torn-write crash model. *)
 let write t id data =
   let page = Bytes.make t.page_size '\x00' in
   let len = min (Bytes.length data) t.page_size in
   Bytes.blit data 0 page 0 len;
+  let crc = if t.checksums then Codec.crc32 page else 0 in
+  let page = Tm_fault.Fault.apply ~site:site_write page in
   locked t (fun () ->
       check_id t id;
       t.physical_writes <- t.physical_writes + 1;
-      t.pages.(id) <- page);
+      t.pages.(id) <- page;
+      t.crcs.(id) <- crc);
   Tm_obs.Obs.incr c_writes;
   Tm_obs.Obs.add c_write_bytes t.page_size
+
+(** Offline integrity check: does the stored image still match its
+    checksum? Bypasses failpoints and I/O accounting (it is the fsck
+    path, not a query path). Always true when checksums are disabled;
+    false for unallocated ids. *)
+let verify_page t id =
+  locked t (fun () ->
+      if id < 0 || id >= t.n_pages then false
+      else if not t.checksums then true
+      else Codec.crc32 t.pages.(id) = t.crcs.(id))
+
+(** Test hooks: plant corruption directly in the backing store, without
+    touching the sidecar checksum — the states fsck and the read path
+    must detect. *)
+let unsafe_flip_bit t ~page ~bit =
+  locked t (fun () ->
+      check_id t page;
+      let img = t.pages.(page) in
+      let byte = bit / 8 mod Bytes.length img in
+      Bytes.set img byte (Char.chr (Char.code (Bytes.get img byte) lxor (1 lsl (bit mod 8)))))
+
+let unsafe_flip_crc_bit t ~page ~bit =
+  locked t (fun () ->
+      check_id t page;
+      t.crcs.(page) <- t.crcs.(page) lxor (1 lsl (bit mod 32)))
 
 let reset_stats t =
   locked t (fun () ->

@@ -1,14 +1,30 @@
 (** Simulated disk: a growable array of fixed-size pages with physical
-    I/O accounting. Structured access should go through {!Buffer_pool}.
-    A single internal mutex makes every operation domain-safe. *)
+    I/O accounting and per-page CRC32 checksums. Structured access
+    should go through {!Buffer_pool}. A single internal mutex makes
+    every operation domain-safe.
+
+    Failpoint sites (see {!Tm_fault.Fault}): [pager.read],
+    [pager.write], [pager.alloc]. Hooks fire before the physical
+    counters move, so failed calls are not counted transfers. *)
+
+exception Corrupt_page of { page : int; detail : string }
+(** Raised when a page image fails its checksum on read, or when a read
+    or write names an unallocated page id. *)
 
 type t
 
 val default_page_size : int
 (** 8 KiB. *)
 
-val create : ?page_size:int -> unit -> t
+val create : ?page_size:int -> ?checksums:bool -> unit -> t
+(** [checksums] (default [true]) controls per-page CRC32 maintenance
+    and verification; disable it only to measure its overhead. *)
+
 val page_size : t -> int
+
+val checksums : t -> bool
+(** Whether this pager maintains per-page checksums. *)
+
 val page_count : t -> int
 
 val size_bytes : t -> int
@@ -18,11 +34,30 @@ val alloc : t -> int
 (** Allocate a fresh zeroed page; returns its id. *)
 
 val read : t -> int -> bytes
-(** Physical read (counted); returns a copy of the page image.
-    @raise Invalid_argument on an unallocated page id. *)
+(** Physical read (counted on success); returns a copy of the page
+    image, verified against the stored checksum.
+    @raise Corrupt_page on an unallocated page id or checksum mismatch.
+    @raise Tm_fault.Fault.Io_error when the [pager.read] failpoint
+    fires with the [Fail] action. *)
 
 val write : t -> int -> bytes -> unit
-(** Physical write (counted); pads or truncates to the page size. *)
+(** Physical write (counted); pads or truncates to the page size and
+    records the checksum of the intended image (so an injected torn
+    write is detected on the next read).
+    @raise Corrupt_page on an unallocated page id. *)
+
+val verify_page : t -> int -> bool
+(** Offline integrity check: does the stored image match its checksum?
+    Bypasses failpoints and I/O accounting. [true] when checksums are
+    disabled; [false] for unallocated ids. *)
+
+val unsafe_flip_bit : t -> page:int -> bit:int -> unit
+(** Test hook: flip one bit of the stored page image in place, leaving
+    the sidecar checksum stale — the corruption reads and fsck must
+    detect. *)
+
+val unsafe_flip_crc_bit : t -> page:int -> bit:int -> unit
+(** Test hook: flip one bit of the stored checksum itself. *)
 
 val reset_stats : t -> unit
 val physical_reads : t -> int

@@ -248,6 +248,49 @@ let test_dangling_next_detected () =
          v.Check.code = Check.Page_bounds && v.Check.loc.Check.page = Some page)
        violations)
 
+(* Flip one stored bit behind every cache (pager-level, after the pool
+   is dropped): each read of the page now fails its CRC32. fsck must
+   name the page — via the dedicated pager pass and via the tree walk's
+   Corrupt_page guard — instead of crashing. *)
+let test_bitflip_checksum_detected () =
+  let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
+  let tree = Tm_index.Family.tree (Option.get db.Db.rootpaths) in
+  let page =
+    match find_leaves tree with
+    | (page, _, _) :: _ -> page
+    | [] -> Alcotest.fail "no leaves"
+  in
+  Db.drop_caches db;
+  Pager.unsafe_flip_bit db.Db.pager ~page ~bit:100;
+  let report = Check.check_database db in
+  assert_detected report Check.Checksum ~structure:"pager" ~page ();
+  assert_detected report Check.Checksum ~structure:"rootpaths" ~page ()
+
+(* Flip a bit of the stored checksum itself (the page bytes stay good):
+   the mismatch must be reported all the same. *)
+let test_crc_bitflip_detected () =
+  let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
+  let tree = Tm_index.Family.tree (Option.get db.Db.rootpaths) in
+  let page = Bptree.root_page tree in
+  Db.drop_caches db;
+  Pager.unsafe_flip_crc_bit db.Db.pager ~page ~bit:7;
+  let report = Check.check_database db in
+  assert_detected report Check.Checksum ~structure:"pager" ~page ()
+
+(* check_pager alone: clean pager -> no violations; corrupt one page ->
+   exactly that page is named. *)
+let test_check_pager_direct () =
+  let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
+  Db.drop_caches db;
+  check Alcotest.int "clean pager" 0 (List.length (Check.check_pager db.Db.pager));
+  let page = Bptree.root_page (Tm_index.Family.tree (Option.get db.Db.rootpaths)) in
+  Pager.unsafe_flip_bit db.Db.pager ~page ~bit:9;
+  match Check.check_pager db.Db.pager with
+  | [ v ] ->
+    check Alcotest.string "code" "checksum" (Check.code_name v.Check.code);
+    check (Alcotest.option Alcotest.int) "page" (Some page) v.Check.loc.Check.page
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
 (* Clobber an Edge heap page header. *)
 let test_heap_corruption_detected () =
   let db = Db.create ~strategies:[ Db.Edge ] (xmark ()) in
@@ -277,6 +320,9 @@ let suite =
         Alcotest.test_case "dropped datapaths subpath" `Quick test_dropped_subpath_detected;
         Alcotest.test_case "non-canonical front coding" `Quick test_roundtrip_detected;
         Alcotest.test_case "dangling next pointer" `Quick test_dangling_next_detected;
+        Alcotest.test_case "bit-flipped leaf page" `Quick test_bitflip_checksum_detected;
+        Alcotest.test_case "bit-flipped stored crc" `Quick test_crc_bitflip_detected;
+        Alcotest.test_case "check_pager direct" `Quick test_check_pager_direct;
         Alcotest.test_case "clobbered heap page" `Quick test_heap_corruption_detected;
       ] );
   ]

@@ -219,8 +219,12 @@ let test_head_pruning () =
     scan_ids fam ~head ~value:(Some "doe") ~schema:(Family.Suffix (tags ctx [ "ln" ]))
   in
   check Alcotest.(list (list int)) "head 1 kept" (probe full 1) (probe pruned 1);
-  (* probes at pruned heads return nothing (INLJ disabled there) *)
-  check Alcotest.(list (list int)) "head 3 pruned" [] (probe pruned 3);
+  (* probes at pruned heads are refused — a silent empty answer would
+     be wrong, and the typed rejection is what triggers executor
+     fallback (INLJ disabled there) *)
+  (match probe pruned 3 with
+  | _ -> Alcotest.fail "probe at a pruned head must raise Unsupported"
+  | exception Family.Unsupported _ -> ());
   (* FreeIndex (virtual root) is always preserved *)
   check Alcotest.(list (list int)) "head 0 kept" (probe full 0) (probe pruned 0)
 

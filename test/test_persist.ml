@@ -1,0 +1,178 @@
+(* Tests for the framed v2 snapshot format: round-trips, atomicity of
+   the save path (no stray temp files), frame verification, and
+   rejection of truncated or bit-flipped files with a typed
+   Bad_snapshot naming the damage — never a crash, hang, or a database
+   silently built from garbage. *)
+
+module Db = Twigmatch.Database
+module Persist = Twigmatch.Persist
+module Executor = Twigmatch.Executor
+
+let check = Alcotest.check
+
+let xmark ?(scale = 0.02) () =
+  Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 11; scale }
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "twigmatch-test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let file_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let expect_bad_snapshot what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Bad_snapshot" what
+  | exception Persist.Bad_snapshot _ -> ()
+
+let leftover_tmp_files dir =
+  List.filter (fun e -> Filename.check_suffix e ".tmp") (Array.to_list (Sys.readdir dir))
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "db.snap" in
+  let db = Db.create (xmark ()) in
+  Persist.save db path;
+  check (Alcotest.list Alcotest.string) "no temp files left" [] (leftover_tmp_files dir);
+  let db' = Persist.load path in
+  let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']/name" in
+  List.iter
+    (fun s ->
+      let a = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
+      let b = (Executor.run ~plan:(`Strategy s) db' twig).Executor.ids in
+      check (Alcotest.list Alcotest.int) (Db.strategy_name s ^ " ids survive reload") a b)
+    (Db.built_strategies db)
+
+let test_verify_reports_sections () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "db.snap" in
+  Persist.save (Db.create ~strategies:[ Db.RP ] (xmark ())) path;
+  let { Persist.sections } = Persist.verify path in
+  check
+    (Alcotest.list Alcotest.string)
+    "section table" [ "meta"; "database" ]
+    (List.map (fun s -> s.Persist.name) sections);
+  List.iter
+    (fun s -> check Alcotest.bool (s.Persist.name ^ " non-empty") true (s.Persist.length > 0))
+    sections
+
+(* Chop the file at every 1/8 boundary: whatever frame element the cut
+   lands in, load and verify must reject with Bad_snapshot. *)
+let test_truncation_rejected_everywhere () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "db.snap" in
+  Persist.save (Db.create ~strategies:[ Db.RP ] (xmark ())) path;
+  let whole = file_bytes path in
+  let n = String.length whole in
+  let cut = Filename.concat dir "cut.snap" in
+  for i = 0 to 7 do
+    let len = i * n / 8 in
+    write_bytes cut (String.sub whole 0 len);
+    expect_bad_snapshot (Printf.sprintf "load at %d/%d bytes" len n) (fun () ->
+        Persist.load cut);
+    expect_bad_snapshot (Printf.sprintf "verify at %d/%d bytes" len n) (fun () ->
+        Persist.verify cut)
+  done
+
+(* One flipped bit anywhere in a section payload must fail that
+   section's CRC before any unmarshalling. Spread the probes across the
+   file (skipping the final byte-exact positions the frame fields
+   occupy is unnecessary — damage there is caught by the magic/footer
+   checks instead). *)
+let test_bitflip_rejected () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "db.snap" in
+  Persist.save (Db.create ~strategies:[ Db.RP ] (xmark ())) path;
+  let whole = file_bytes path in
+  let n = String.length whole in
+  let flipped = Filename.concat dir "flip.snap" in
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string whole in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x08));
+      write_bytes flipped (Bytes.to_string b);
+      expect_bad_snapshot (Printf.sprintf "bit flip at offset %d" pos) (fun () ->
+          Persist.verify flipped);
+      expect_bad_snapshot (Printf.sprintf "load with bit flip at offset %d" pos) (fun () ->
+          ignore (Persist.load flipped)))
+    [ 0; 3; n / 4; n / 2; (3 * n) / 4; n - 2 ]
+
+let test_bad_snapshot_names_section () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "db.snap" in
+  Persist.save (Db.create ~strategies:[ Db.RP ] (xmark ())) path;
+  let whole = file_bytes path in
+  (* flip a bit in the middle of the (large) database section payload *)
+  let b = Bytes.of_string whole in
+  let pos = String.length whole / 2 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  write_bytes path (Bytes.to_string b);
+  match Persist.verify path with
+  | _ -> Alcotest.fail "expected Bad_snapshot"
+  | exception Persist.Bad_snapshot msg ->
+    check Alcotest.bool
+      (Printf.sprintf "message %S names the database section" msg)
+      true
+      (let re = "database" in
+       let lr = String.length re and lm = String.length msg in
+       let rec find i = i + lr <= lm && (String.equal (String.sub msg i lr) re || find (i + 1)) in
+       find 0)
+
+let test_not_a_snapshot_rejected () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "not.snap" in
+  write_bytes path "<?xml version=\"1.0\"?><site></site>";
+  expect_bad_snapshot "xml file" (fun () -> Persist.load path);
+  write_bytes path "";
+  expect_bad_snapshot "empty file" (fun () -> Persist.load path)
+
+(* A failed save must not leave the target or a temp file behind. The
+   temp file is created in the target's own directory (so the final
+   rename is same-filesystem); pointing at a missing directory makes
+   that creation fail before anything is written. *)
+let test_failed_save_leaves_no_tmp () =
+  with_tmp_dir @@ fun dir ->
+  let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
+  let target = Filename.concat (Filename.concat dir "no-such-dir") "db.snap" in
+  (match Persist.save db target with
+  | () -> Alcotest.fail "save into a missing directory must fail"
+  | exception Sys_error _ -> ());
+  check Alcotest.bool "target not created" false (Sys.file_exists target);
+  check (Alcotest.list Alcotest.string) "no temp files left" [] (leftover_tmp_files dir)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "round trip" `Quick test_roundtrip;
+          Alcotest.test_case "verify reports sections" `Quick test_verify_reports_sections;
+          Alcotest.test_case "truncation rejected at 1/8 steps" `Quick
+            test_truncation_rejected_everywhere;
+          Alcotest.test_case "bit flips rejected" `Quick test_bitflip_rejected;
+          Alcotest.test_case "bad snapshot names the section" `Quick
+            test_bad_snapshot_names_section;
+          Alcotest.test_case "non-snapshot files rejected" `Quick test_not_a_snapshot_rejected;
+          Alcotest.test_case "failed save leaves no temp file" `Quick
+            test_failed_save_leaves_no_tmp;
+        ] );
+    ]

@@ -130,8 +130,11 @@ let test_pager_roundtrip () =
 
 let test_pager_bad_id () =
   let pager = Pager.create () in
-  Alcotest.check_raises "bad id" (Invalid_argument "Pager: bad page id 7") (fun () ->
-      ignore (Pager.read pager 7))
+  (* Unallocated ids surface as the typed Corrupt_page, not a bare
+     Invalid_argument, so the executor's fallback can classify them. *)
+  Alcotest.check_raises "bad id"
+    (Pager.Corrupt_page { page = 7; detail = "unallocated page id" })
+    (fun () -> ignore (Pager.read pager 7))
 
 let test_buffer_pool_caching () =
   let pager = Pager.create ~page_size:128 () in
