@@ -821,6 +821,51 @@ let all_figures =
     "extension-joins"; "extension-auto"; "extension-ranges"; "parallel";
   ]
 
+(* Per-figure tail latency for --metrics-out: bucket counts of every
+   registered histogram are snapshotted before each figure, and
+   p50/p95/p99 are estimated from the deltas — so BENCH_*.json tracks
+   the tail of each figure's join/query/task latencies, not just the
+   whole-run means. *)
+let figure_percentiles : (string * (string * (string * float) list) list) list ref = ref []
+
+let histogram_counts () =
+  Tm_obs.Obs.histograms ()
+  |> List.map (fun (h : Tm_obs.Obs.histogram) ->
+         (h.Tm_obs.Obs.h_name, Array.copy h.Tm_obs.Obs.h_counts))
+
+let record_figure_percentiles fig before =
+  let deltas =
+    Tm_obs.Obs.histograms ()
+    |> List.filter_map (fun (h : Tm_obs.Obs.histogram) ->
+           let counts =
+             match List.assoc_opt h.Tm_obs.Obs.h_name before with
+             | Some old when Array.length old = Array.length h.Tm_obs.Obs.h_counts ->
+               Array.mapi (fun i n -> n - old.(i)) h.Tm_obs.Obs.h_counts
+             | Some _ | None -> Array.copy h.Tm_obs.Obs.h_counts
+           in
+           let quantiles =
+             List.filter_map
+               (fun (q, label) ->
+                 Option.map
+                   (fun v -> (label, v))
+                   (Tm_obs.Export.quantile_of_counts ~bounds:h.Tm_obs.Obs.h_bounds ~counts q))
+               [ (0.5, "p50"); (0.95, "p95"); (0.99, "p99") ]
+           in
+           if quantiles = [] then None else Some (h.Tm_obs.Obs.h_name, quantiles))
+  in
+  if deltas <> [] then figure_percentiles := (fig, deltas) :: !figure_percentiles
+
+let figures_percentiles_json () =
+  let quantile (l, v) = Tm_obs.Export.json_string l ^ ":" ^ Tm_obs.Export.json_float v in
+  let histogram (name, qs) =
+    Tm_obs.Export.json_string name ^ ":{" ^ String.concat "," (List.map quantile qs) ^ "}"
+  in
+  let figure (fig, hs) =
+    Tm_obs.Export.json_string fig ^ ":{" ^ String.concat "," (List.map histogram hs) ^ "}"
+  in
+  (* prepended during the run, so rev_map restores figure order *)
+  "{" ^ String.concat "," (List.rev_map figure !figure_percentiles) ^ "}"
+
 let run_figure = function
   | "9" -> figure_9 ()
   | "10" -> figure_10 ()
@@ -872,7 +917,15 @@ let () =
   if !run_bechamel then bechamel_suite ()
   else begin
     let figs = if !figures = [] then all_figures else List.rev !figures in
-    List.iter run_figure figs;
+    List.iter
+      (fun fig ->
+        if !metrics_out = None then run_figure fig
+        else begin
+          let before = histogram_counts () in
+          run_figure fig;
+          record_figure_percentiles fig before
+        end)
+      figs;
     say "";
     say "done. See EXPERIMENTS.md for paper-vs-measured discussion."
   end;
@@ -880,7 +933,8 @@ let () =
   | None -> ()
   | Some path ->
     let oc = open_out path in
-    output_string oc (Tm_obs.Export.metrics_to_json ());
+    output_string oc
+      (Tm_obs.Export.metrics_to_json ~extra:[ ("figures", figures_percentiles_json ()) ] ());
     output_char oc '\n';
     close_out oc;
     say "observability metrics written to %s" path

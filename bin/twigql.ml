@@ -5,14 +5,17 @@
      twigql explain [SOURCE] [-s RP] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
      twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
      twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
+     twigql trace   [SOURCE] [-s RP] [--chrome] [-o F] 'XPATH'   span tree / Chrome JSON
+     twigql slow    [SOURCE] [--threshold-ms N] 'XPATH'...   run queries, print slow log
+     twigql serve   [SOURCE] [--port N]        HTTP metrics/health/query endpoint
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
      twigql snapshot [save] [SOURCE] -o FILE   build a database, save atomically
      twigql snapshot verify FILE               frame + checksum check, no unmarshal
      twigql fsck    [SOURCE] [--jobs N] [--format json]   verify index structure invariants
 
-   SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE
-   (default: --xmark 0.1).
+   SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE,
+   --snapshot FILE (default: --xmark 0.1).
 
    Exit codes: 0 ok, 1 fsck violations, 2 corruption detected
    (checksum mismatch or bad snapshot), 3 query deadline expired. *)
@@ -108,8 +111,9 @@ let run_query snap file xmark dblp seed strategy auto analyze strict timeout_ms 
         Executor.run ~plan ~strict ?deadline_ms:timeout_ms ?pool:par db twig)
   in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
-  Printf.printf "%d results in %.2f ms under %s (%s)\n" (List.length r.Executor.ids) ms
-    (Database.strategy_name r.Executor.strategy) r.Executor.reason;
+  Printf.printf "%d results in %.2f ms under %s (%s) [trace #%d]\n"
+    (List.length r.Executor.ids) ms
+    (Database.strategy_name r.Executor.strategy) r.Executor.reason r.Executor.trace_id;
   List.iter
     (fun (s, why) ->
       Printf.printf "fallback: %s was unusable: %s\n" (Database.strategy_name s) why)
@@ -252,6 +256,150 @@ let metrics_cmd =
       $ auto_arg $ format_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_arg =
+  Arg.(
+    value & flag
+    & info [ "chrome" ]
+        ~doc:
+          "Emit Chrome trace-event JSON (an array of complete events with microsecond \
+           timestamps) instead of the text tree; open it in chrome://tracing or Perfetto.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to FILE instead of stdout.")
+
+let run_trace snap file xmark dblp seed strategy auto jobs chrome out xpath =
+  with_par jobs @@ fun par ->
+  let db = load_db ?par snap file xmark dblp seed in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  let plan = if auto then `Auto else `Strategy strategy in
+  let r = Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~plan ?pool:par db twig) in
+  match r.Executor.trace with
+  | None -> prerr_endline "twigql: no trace was recorded"
+  | Some tr ->
+    let rendered =
+      if chrome then Tm_obs.Export.trace_to_chrome tr ^ "\n"
+      else Tm_obs.Export.trace_to_string tr
+    in
+    (match out with
+    | None -> print_string rendered
+    | Some f ->
+      let oc = open_out_bin f in
+      output_string oc rendered;
+      close_out oc);
+    Printf.eprintf "trace #%d: %d results under %s\n" r.Executor.trace_id
+      (List.length r.Executor.ids)
+      (Database.strategy_name r.Executor.strategy)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a query with the observability sink enabled and export its span tree (text, or \
+          Chrome trace-event JSON with --chrome)")
+    Term.(
+      const run_trace $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
+      $ auto_arg $ jobs_arg $ chrome_arg $ trace_out_arg $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* slow                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "threshold-ms" ] ~docv:"MS"
+        ~doc:"Latency threshold for the slow log (default 10; timeouts always qualify).")
+
+let slow_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+
+let xpaths_arg = Arg.(non_empty & pos_all string [] & info [] ~docv:"XPATH")
+
+let run_slow snap file xmark dblp seed jobs threshold fmt xpaths =
+  with_par jobs @@ fun par ->
+  let db = load_db ?par snap file xmark dblp seed in
+  Tm_obs.Journal.with_enabled true @@ fun () ->
+  List.iter
+    (fun x ->
+      let twig = Tm_query.Xpath_parser.parse x in
+      match Executor.run ~plan:`Auto ?pool:par db twig with
+      | _ -> ()
+      | exception Executor.Timeout _ -> () (* journaled as a timeout; keep going *))
+    xpaths;
+  let slow = Tm_obs.Journal.slow ?threshold_ms:threshold () in
+  match fmt with
+  | `Json -> print_endline (Tm_obs.Journal.to_json slow)
+  | `Text ->
+    if slow = [] then
+      Printf.printf "no queries at or above %.0f ms (of %d journaled)\n"
+        (match threshold with Some t -> t | None -> Tm_obs.Journal.slow_threshold_ms ())
+        (Tm_obs.Journal.length ())
+    else List.iter (fun e -> print_endline (Tm_obs.Journal.entry_to_string e)) slow
+
+let slow_cmd =
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:
+         "Run queries with the journal enabled and print the slow-query log (latency, winning \
+          and losing plans, fallback chain)")
+    Term.(
+      const run_slow $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ jobs_arg
+      $ threshold_arg $ slow_format_arg $ xpaths_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let port_arg =
+  Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Listening port (0 = ephemeral).")
+
+let journal_cap_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "journal-capacity" ] ~docv:"N" ~doc:"Query journal ring capacity.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "slow-ms" ] ~docv:"MS" ~doc:"Slow-query threshold for the /slow endpoint.")
+
+let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms =
+  with_par jobs @@ fun par ->
+  let db = load_db ?par snap file xmark dblp seed in
+  (* A long-running process is what the telemetry exists for: metrics
+     sink and journal are on for the server's lifetime. *)
+  Tm_obs.Obs.enable ();
+  Tm_obs.Journal.enable ~capacity:journal_cap ();
+  Tm_obs.Journal.set_slow_threshold_ms slow_ms;
+  let server = Tm_serve.Server.create ~port db in
+  Printf.printf
+    "twigql serve: listening on http://127.0.0.1:%d (/metrics /healthz /journal /slow /query)\n%!"
+    (Tm_serve.Server.port server);
+  Tm_serve.Server.run server
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve /metrics (Prometheus), /healthz, /journal, /slow and /query over HTTP from a \
+          loaded database (Ctrl-C to stop)")
+    Term.(
+      const run_serve $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ jobs_arg
+      $ port_arg $ journal_cap_arg $ slow_ms_arg)
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -383,6 +531,9 @@ let () =
         explain_cmd;
         compare_cmd;
         metrics_cmd;
+        trace_cmd;
+        slow_cmd;
+        serve_cmd;
         info_cmd;
         generate_cmd;
         snapshot_cmd;

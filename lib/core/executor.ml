@@ -59,6 +59,7 @@ type result = {
   via_naive : bool;  (** true when every indexed strategy was unusable
                          and the naive matcher produced the answer *)
   trace : Tm_obs.Obs.span option;  (** recorded when the obs sink is on *)
+  trace_id : int;  (** process-unique query id (journal / log correlation) *)
 }
 
 (* Mirrors of the Stats counters in the obs sink (same handles, by name,
@@ -66,6 +67,7 @@ type result = {
 let c_rows_produced = Tm_obs.Obs.counter "exec.rows_produced"
 let c_join_steps = Tm_obs.Obs.counter "exec.join_steps"
 let c_fallbacks = Tm_obs.Obs.counter "executor.fallbacks"
+let h_query_ms = Tm_obs.Obs.histogram "query.ms"
 let row_buckets = [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000. |]
 let h_merge_ms = Tm_obs.Obs.histogram "join.merge.ms"
 let h_hash_ms = Tm_obs.Obs.histogram "join.hash.ms"
@@ -1146,6 +1148,28 @@ let classify_unusable = function
     (their probe chain threads bindings from path to path). *)
 let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?pool ?jobs
     (db : Database.t) twig =
+  let trace_id = Tm_obs.Journal.next_id () in
+  (* The journal branch: when disabled, nothing below allocates or
+     measures on its behalf — the lifecycle telemetry costs one atomic
+     load per query. *)
+  let journal_on = Tm_obs.Journal.enabled () in
+  let t_start =
+    if journal_on || Tm_obs.Obs.enabled () then Monotonic_clock.now () else 0L
+  in
+  let latency_ms () =
+    if Int64.equal t_start 0L then 0.0
+    else Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_start) /. 1e6
+  in
+  let jstart =
+    if journal_on then
+      Some (Tm_obs.Obs.gc_snapshot (), Tm_storage.Buffer_pool.stats db.Database.pool)
+    else None
+  in
+  let jobs_used =
+    match pool with
+    | Some p -> Tm_par.Pool.jobs p
+    | None -> ( match jobs with Some j when j > 1 -> j | Some _ | None -> 1)
+  in
   let requested, reason =
     match plan with
     | `Strategy s -> (s, "as requested")
@@ -1230,19 +1254,51 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
           ("query", Twig.to_string twig);
           ("strategy", Database.strategy_name requested);
           ("reason", reason);
+          ("trace", string_of_int trace_id);
           ( "jobs",
             string_of_int (match par with Some p -> Tm_par.Pool.jobs p | None -> 1) );
         ]
       ("query:" ^ Database.strategy_name requested)
       body
   in
+  let record_journal ~strategy ~reason ~fallbacks ~via_naive ~rows ~ms outcome =
+    match jstart with
+    | None -> ()
+    | Some (gc0, pool0) ->
+      let p1 = Tm_storage.Buffer_pool.stats db.Database.pool in
+      let reads = p1.Tm_storage.Buffer_pool.logical_reads - pool0.Tm_storage.Buffer_pool.logical_reads in
+      let misses = p1.Tm_storage.Buffer_pool.misses - pool0.Tm_storage.Buffer_pool.misses in
+      let hit_rate =
+        if reads = 0 then None
+        else Some (float_of_int (reads - misses) /. float_of_int reads)
+      in
+      Tm_obs.Journal.record
+        {
+          Tm_obs.Journal.j_id = trace_id;
+          j_time = Unix.gettimeofday ();
+          j_query = Twig.to_string twig;
+          j_requested = Database.strategy_name requested;
+          j_strategy = Database.strategy_name strategy;
+          j_reason = reason;
+          j_fallbacks =
+            List.map (fun (s, why) -> (Database.strategy_name s, why)) fallbacks;
+          j_via_naive = via_naive;
+          j_rows = rows;
+          j_latency_ms = ms;
+          j_pool_hit_rate = hit_rate;
+          j_jobs = jobs_used;
+          j_outcome = outcome;
+          j_gc = Tm_obs.Obs.gc_since gc0;
+        }
+  in
   match
-    match pool with
-    | Some p -> run_with (Some p)
-    | None -> (
-      match jobs with
-      | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
-      | Some _ | None -> run_with None)
+    Tm_obs.Obs.with_context trace_id (fun () ->
+        match pool with
+        | Some p -> run_with (Some p)
+        | None -> (
+          match jobs with
+          | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
+          | Some _ | None -> run_with None))
   with
   | (ids, strategy, via_naive), trace ->
     let fallbacks = List.rev !fallbacks in
@@ -1259,9 +1315,23 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
           (if via_naive then "naive matcher" else Database.strategy_name strategy)
           (String.concat "; " steps)
     in
-    { ids; stats; strategy; reason; fallbacks; via_naive; trace }
+    let ms = latency_ms () in
+    Tm_obs.Obs.observe h_query_ms ms;
+    record_journal ~strategy ~reason ~fallbacks ~via_naive ~rows:(List.length ids) ~ms
+      Tm_obs.Journal.Completed;
+    { ids; stats; strategy; reason; fallbacks; via_naive; trace; trace_id }
   | exception Cancel.Cancelled ->
-    raise (Timeout { ms = Option.value deadline_ms ~default:0.0; stats })
+    let deadline = Option.value deadline_ms ~default:0.0 in
+    record_journal ~strategy:requested ~reason ~fallbacks:(List.rev !fallbacks)
+      ~via_naive:false ~rows:0 ~ms:(latency_ms ())
+      (Tm_obs.Journal.Timed_out deadline);
+    raise (Timeout { ms = deadline; stats })
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    record_journal ~strategy:requested ~reason ~fallbacks:(List.rev !fallbacks)
+      ~via_naive:false ~rows:0 ~ms:(latency_ms ())
+      (Tm_obs.Journal.Failed (Printexc.to_string e));
+    Printexc.raise_with_backtrace e bt
 
 (** Evaluate under the cost-chosen strategy; {!run} with [`Auto],
     re-shaped for compatibility. Requires both ROOTPATHS and DATAPATHS

@@ -28,6 +28,11 @@ type result = {
   trace : Tm_obs.Obs.span option;
       (** the query's span tree, recorded when the {!Tm_obs.Obs} sink
           is enabled ([None] otherwise) *)
+  trace_id : int;
+      (** process-unique query id, assigned unconditionally; the
+          {!Tm_obs.Journal} entry (when journaling is on), the root
+          span's [trace] meta, and warnings raised during execution
+          all carry it *)
 }
 
 val run :

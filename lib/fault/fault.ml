@@ -247,7 +247,10 @@ let install_env () =
       clear ();
       List.iter (fun { site; trigger; action } -> inject ~action ~site trigger) specs
     | Error e ->
-      Printf.eprintf "warning: ignoring %s: %s\n%!" env_var e;
+      (* Through the structured hook (stderr by default) so a serve
+         process can surface the misconfiguration instead of losing it
+         in a log nobody tails. *)
+      Tm_obs.Obs.warn ~site:"fault.env" (Printf.sprintf "ignoring %s: %s" env_var e);
       clear ())
 
 let () = install_env ()

@@ -26,7 +26,7 @@ let json_string s = "\"" ^ json_escape s ^ "\""
    must not be "inf"/"nan", which no duration or bucket bound is. *)
 let json_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
+  else Printf.sprintf "%.12g" f
 
 (* ------------------------------------------------------------------ *)
 (* Trace rendering                                                     *)
@@ -43,6 +43,19 @@ let span_suffix (s : Obs.span) =
          (Obs.span_count "buffer_pool.hits" s)
          (Obs.span_count "buffer_pool.misses" s))
   | None -> ());
+  (match s.Obs.s_gc with
+  | Some g when g.Obs.g_minor_words > 0.0 || g.Obs.g_major_words > 0.0 ->
+    let words w =
+      if w >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+      else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+      else Printf.sprintf "%.0fw" w
+    in
+    push
+      (Printf.sprintf "alloc=%s%s" (words g.Obs.g_minor_words)
+         (if g.Obs.g_minor_gcs + g.Obs.g_major_gcs > 0 then
+            Printf.sprintf " gc=%d+%d" g.Obs.g_minor_gcs g.Obs.g_major_gcs
+          else ""))
+  | Some _ | None -> ());
   let interesting =
     List.filter
       (fun (k, _) -> not (String.length k >= 12 && String.sub k 0 12 = "buffer_pool."))
@@ -148,12 +161,128 @@ let rec span_to_json (s : Obs.span) =
         ^ String.concat ","
             (List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v) s.Obs.s_counts)
         ^ "}" );
+      ( "gc",
+        match s.Obs.s_gc with
+        | None -> "null"
+        | Some g ->
+          Printf.sprintf
+            "{\"minor_words\":%s,\"major_words\":%s,\"minor_gcs\":%d,\"major_gcs\":%d}"
+            (json_float g.Obs.g_minor_words) (json_float g.Obs.g_major_words) g.Obs.g_minor_gcs
+            g.Obs.g_major_gcs );
       ("children", "[" ^ String.concat "," (List.map span_to_json s.Obs.s_children) ^ "]");
     ]
   in
   "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
 
 let trace_to_json s = span_to_json s
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The "complete" ("ph":"X") flavour of the Chrome trace-event format:
+   one event per span with ts/dur in microseconds, ts relative to the
+   root span's open time. Worker-domain spans grafted via [Obs.adopt]
+   were stamped by the same monotonic clock, so their relative offsets
+   line up on the Perfetto timeline. *)
+let trace_to_chrome (root : Obs.span) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let us_of_ns ns = Int64.to_float ns /. 1e3 in
+  let rec emit (s : Obs.span) =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    let args =
+      List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) s.Obs.s_meta
+      @ List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v) s.Obs.s_counts
+      @ (match s.Obs.s_gc with
+        | Some g ->
+          [
+            "\"gc_minor_words\":" ^ json_float g.Obs.g_minor_words;
+            "\"gc_major_words\":" ^ json_float g.Obs.g_major_words;
+            "\"gc_minor_gcs\":" ^ string_of_int g.Obs.g_minor_gcs;
+            "\"gc_major_gcs\":" ^ string_of_int g.Obs.g_major_gcs;
+          ]
+        | None -> [])
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":{%s}}"
+         (json_string s.Obs.s_name)
+         (json_float (us_of_ns (Int64.sub s.Obs.s_start_ns root.Obs.s_start_ns)))
+         (json_float (us_of_ns s.Obs.s_elapsed_ns))
+         (String.concat "," args));
+    List.iter emit s.Obs.s_children
+  in
+  emit root;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus histogram_quantile estimation: find the bucket where the
+   cumulative count crosses q*total and interpolate linearly inside it.
+   The overflow bucket has no upper bound, so it reports its lower
+   bound (the largest finite bound) — an underestimate, like
+   Prometheus, which is why the bench buckets extend well past
+   expected tails. *)
+let quantile_of_counts ~(bounds : float array) ~(counts : int array) q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Export.quantile_of_counts: q outside [0,1]";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    let rec find i cumulative =
+      if i >= Array.length counts - 1 then
+        (* overflow bucket: clamp to the largest finite bound *)
+        Some (if Array.length bounds = 0 then 0.0 else bounds.(Array.length bounds - 1))
+      else begin
+        let cumulative' = cumulative + counts.(i) in
+        if float_of_int cumulative' >= rank then begin
+          let lower = if i = 0 then 0.0 else bounds.(i - 1) in
+          let upper = bounds.(i) in
+          if counts.(i) = 0 then Some upper
+          else
+            let frac = (rank -. float_of_int cumulative) /. float_of_int counts.(i) in
+            Some (lower +. ((upper -. lower) *. frac))
+        end
+        else find (i + 1) cumulative'
+      end
+    in
+    find 0 0
+  end
+
+let quantile (h : Obs.histogram) q = quantile_of_counts ~bounds:h.Obs.h_bounds ~counts:h.Obs.h_counts q
+
+let summary_quantiles = [ (0.5, "p50"); (0.95, "p95"); (0.99, "p99") ]
+
+let summary h =
+  List.filter_map (fun (q, label) -> Option.map (fun v -> (label, v)) (quantile h q)) summary_quantiles
+
+(* ------------------------------------------------------------------ *)
+(* Derived gauges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The buffer pool counts hits/misses per stripe but accumulates them
+   into the two global counters; the pool-wide hit rate is derived here
+   once at export time rather than maintained on the hot path. *)
+let pool_hit_rate () =
+  let counters = Obs.counters () in
+  let get k = match List.assoc_opt k counters with Some v -> v | None -> 0 in
+  let hits = get "buffer_pool.hits" and misses = get "buffer_pool.misses" in
+  if hits + misses = 0 then None
+  else Some (float_of_int hits /. float_of_int (hits + misses))
+
+(* Every gauge an exporter should surface: registered gauges plus the
+   derived pool-wide hit rate. *)
+let all_gauges () =
+  let derived =
+    match pool_hit_rate () with Some r -> [ ("buffer_pool.hit_rate", r) ] | None -> []
+  in
+  Obs.gauges () @ derived
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                      *)
@@ -174,7 +303,7 @@ let histogram_to_json (h : Obs.histogram) =
   Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}" h.Obs.h_count
     (json_float h.Obs.h_sum) (String.concat "," buckets)
 
-let metrics_to_json () =
+let metrics_to_json ?(extra = []) () =
   let counters =
     Obs.counters ()
     |> List.map (fun (k, v) -> json_string k ^ ":" ^ string_of_int v)
@@ -182,15 +311,48 @@ let metrics_to_json () =
   in
   let histograms =
     Obs.histograms ()
-    |> List.map (fun h -> json_string h.Obs.h_name ^ ":" ^ histogram_to_json h)
+    |> List.map (fun h ->
+           let q =
+             summary h
+             |> List.map (fun (label, v) -> json_string label ^ ":" ^ json_float v)
+             |> String.concat ","
+           in
+           let body = histogram_to_json h in
+           (* graft the quantile summary into the histogram object *)
+           let body = String.sub body 0 (String.length body - 1) in
+           json_string h.Obs.h_name ^ ":" ^ body
+           ^ (if q = "" then "}" else Printf.sprintf ",\"quantiles\":{%s}}" q))
     |> String.concat ","
   in
-  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}" counters histograms
+  let gauges =
+    all_gauges ()
+    |> List.map (fun (k, v) ->
+           json_string k ^ ":" ^ if Float.is_nan v then "null" else json_float v)
+    |> String.concat ","
+  in
+  let extra = List.map (fun (k, v) -> "," ^ json_string k ^ ":" ^ v) extra in
+  Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}%s}" counters gauges
+    histograms
+    (String.concat "" extra)
 
 (* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* *)
 let prometheus_name s =
   "twigmatch_"
   ^ String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') s
+
+(* Prometheus label values: backslash, double-quote and newline must be
+   backslash-escaped inside the quoted value. *)
+let prometheus_label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let metrics_to_prometheus () =
   let buf = Buffer.create 1024 in
@@ -199,6 +361,13 @@ let metrics_to_prometheus () =
       let name = prometheus_name k in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v))
     (Obs.counters ());
+  List.iter
+    (fun (k, v) ->
+      if not (Float.is_nan v) then begin
+        let name = prometheus_name k in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (json_float v))
+      end)
+    (all_gauges ());
   List.iter
     (fun (h : Obs.histogram) ->
       let name = prometheus_name h.Obs.h_name in

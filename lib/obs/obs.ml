@@ -53,6 +53,26 @@ let registered lock tbl order name make =
   v
 
 (* ------------------------------------------------------------------ *)
+(* Trace context                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The ambient trace id: set by the executor for the extent of one
+   query and carried across domain boundaries by {!Tm_par.Pool} (tasks
+   inherit the submitter's context), so events recorded on a worker
+   domain — warnings, journal entries — can be attributed to the query
+   that caused them. Independent of the enabled flag: context is
+   identification, not measurement. *)
+let context_key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let context () = !(Domain.DLS.get context_key)
+
+let with_context id f =
+  let r = Domain.DLS.get context_key in
+  let saved = !r in
+  r := Some id;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -118,6 +138,70 @@ let observe h v =
 
 let histograms () = List.rev !histogram_order
 
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A gauge is a registered thunk sampled at export time (journal depth,
+   pool occupancy, ...): nothing is recorded on the hot path, so gauges
+   are not gated on the enabled flag. *)
+type gauge = { g_name : string; g_read : unit -> float }
+
+let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 8
+let gauge_order : gauge list ref = ref []
+
+let gauge name read =
+  ignore (registered registry_lock gauge_tbl gauge_order name (fun () -> { g_name = name; g_read = read }))
+
+let gauges () =
+  List.rev_map
+    (fun g -> (g.g_name, try g.g_read () with _exn -> Float.nan))
+    !gauge_order
+
+(* ------------------------------------------------------------------ *)
+(* Warnings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type warning = { w_time : float; w_ctx : int option; w_site : string; w_msg : string }
+
+(* Warnings are rare and operationally important, so they are recorded
+   regardless of the enabled flag into a small bounded ring (oldest
+   overwritten) and additionally passed to the handler — stderr by
+   default, replaced by [serve] with its own collector. *)
+let warn_capacity = 256
+let warn_lock = Mutex.create ()
+let warn_ring : warning option array = Array.make warn_capacity None
+let warn_written = ref 0
+let warn_handler : (warning -> unit) option ref = ref None
+
+let default_warn_handler w = Printf.eprintf "warning: [%s] %s\n%!" w.w_site w.w_msg
+
+let set_warn_handler h =
+  Mutex.lock warn_lock;
+  warn_handler := h;
+  Mutex.unlock warn_lock
+
+let warn ~site msg =
+  let w = { w_time = Unix.gettimeofday (); w_ctx = context (); w_site = site; w_msg = msg } in
+  Mutex.lock warn_lock;
+  warn_ring.(!warn_written mod warn_capacity) <- Some w;
+  warn_written := !warn_written + 1;
+  let h = !warn_handler in
+  Mutex.unlock warn_lock;
+  match h with None -> default_warn_handler w | Some f -> f w
+
+let warnings () =
+  Mutex.lock warn_lock;
+  let n = !warn_written in
+  let first = max 0 (n - warn_capacity) in
+  let ws =
+    List.filter_map
+      (fun i -> warn_ring.(i mod warn_capacity))
+      (List.init (n - first) (fun k -> first + k))
+  in
+  Mutex.unlock warn_lock;
+  ws
+
 let reset () =
   List.iter (fun c -> Atomic.set c.c_value 0) !counter_order;
   Mutex.lock histogram_lock;
@@ -133,13 +217,49 @@ let reset () =
 (* Spans and traces                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* GC activity over a span's extent, from {!Gc.quick_stat} deltas. On
+   OCaml 5 the allocation counters are per-domain, which matches the
+   domain-local trace stack: a span's numbers describe the domain that
+   recorded it. *)
+type gc_delta = {
+  g_minor_words : float;  (** words allocated in the minor heap *)
+  g_major_words : float;  (** words allocated in / promoted to the major heap *)
+  g_minor_gcs : int;  (** minor collections *)
+  g_major_gcs : int;  (** major collection cycles *)
+}
+
 type span = {
   s_name : string;
+  mutable s_start_ns : int64;  (** monotonic-clock open time *)
   mutable s_elapsed_ns : int64;
   mutable s_meta : (string * string) list;  (** free-form annotations *)
   mutable s_counts : (string * int) list;  (** counter deltas over the span *)
+  mutable s_gc : gc_delta option;  (** GC/allocation deltas over the span *)
   mutable s_children : span list;  (** execution order once finished *)
 }
+
+(* [Gc.quick_stat]'s word counters are only refreshed at collection
+   boundaries on OCaml 5, which would read as zero across most spans;
+   [Gc.minor_words ()] reads the live allocation pointer, so minor
+   words are exact. Major words stay quick_stat-grained (promotions
+   are counted at the collections that do them). *)
+let gc_snapshot () =
+  let s = Gc.quick_stat () in
+  {
+    g_minor_words = Gc.minor_words ();
+    g_major_words = s.Gc.major_words;
+    g_minor_gcs = s.Gc.minor_collections;
+    g_major_gcs = s.Gc.major_collections;
+  }
+
+let gc_since g0 =
+  let g1 = gc_snapshot () in
+  {
+    g_minor_words = g1.g_minor_words -. g0.g_minor_words;
+    g_major_words = g1.g_major_words -. g0.g_major_words;
+    g_minor_gcs = g1.g_minor_gcs - g0.g_minor_gcs;
+    g_major_gcs = g1.g_major_gcs - g0.g_major_gcs;
+  }
 
 (* The active trace is a stack of open spans, innermost first, each
    carrying the counter snapshot taken when it opened. Spans outside a
@@ -147,7 +267,7 @@ type span = {
    domain-local: concurrent domains each build their own tree and never
    see each other's open spans. *)
 let trace_stack_key :
-    (span * (counter * int) list * int64) list ref Domain.DLS.key =
+    (span * (counter * int) list * int64 * gc_delta) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let trace_stack () = Domain.DLS.get trace_stack_key
@@ -162,38 +282,52 @@ let deltas snap =
     snap
 
 let fresh_span ?(meta = []) name =
-  { s_name = name; s_elapsed_ns = 0L; s_meta = meta; s_counts = []; s_children = [] }
+  {
+    s_name = name;
+    s_start_ns = 0L;
+    s_elapsed_ns = 0L;
+    s_meta = meta;
+    s_counts = [];
+    s_gc = None;
+    s_children = [];
+  }
 
 let in_trace () = !(trace_stack ()) <> []
 
 let annotate k v =
   match !(trace_stack ()) with
-  | (s, _, _) :: _ -> s.s_meta <- s.s_meta @ [ (k, v) ]
+  | (s, _, _, _) :: _ -> s.s_meta <- s.s_meta @ [ (k, v) ]
   | [] -> ()
 
 let adopt child =
   match !(trace_stack ()) with
-  | (s, _, _) :: _ -> s.s_children <- child :: s.s_children
+  | (s, _, _, _) :: _ -> s.s_children <- child :: s.s_children
   | [] -> ()
 
-let close_span s snap t0 =
+let close_span s snap t0 gc0 =
   s.s_elapsed_ns <- Int64.sub (Monotonic_clock.now ()) t0;
   s.s_counts <- deltas snap;
+  s.s_gc <- Some (gc_since gc0);
   s.s_children <- List.rev s.s_children
+
+let open_entry s =
+  let t0 = Monotonic_clock.now () in
+  s.s_start_ns <- t0;
+  (s, snapshot (), t0, gc_snapshot ())
 
 let with_span ?meta name f =
   let stack = trace_stack () in
   if (not (Atomic.get enabled_flag)) || !stack = [] then f ()
   else begin
     let s = fresh_span ?meta name in
-    stack := (s, snapshot (), Monotonic_clock.now ()) :: !stack;
+    stack := open_entry s :: !stack;
     let finish () =
       match !stack with
-      | (s', snap, t0) :: rest when s' == s ->
-        close_span s snap t0;
+      | (s', snap, t0, gc0) :: rest when s' == s ->
+        close_span s snap t0 gc0;
         stack := rest;
         (match rest with
-        | (parent, _, _) :: _ -> parent.s_children <- s :: parent.s_children
+        | (parent, _, _, _) :: _ -> parent.s_children <- s :: parent.s_children
         | [] -> ())
       | _ -> () (* unbalanced finish; drop the span rather than corrupt the tree *)
     in
@@ -206,10 +340,10 @@ let trace ?meta name f =
     let stack = trace_stack () in
     let root = fresh_span ?meta name in
     let saved = !stack in
-    stack := [ (root, snapshot (), Monotonic_clock.now ()) ];
+    stack := [ open_entry root ];
     let finish () =
       (match !stack with
-      | [ (s, snap, t0) ] when s == root -> close_span root snap t0
+      | [ (s, snap, t0, gc0) ] when s == root -> close_span root snap t0 gc0
       | _ -> ());
       stack := saved
     in

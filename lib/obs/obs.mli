@@ -52,6 +52,56 @@ val histograms : unit -> histogram list
 val reset : unit -> unit
 (** Zero every registered counter and histogram. *)
 
+(** {1 Gauges}
+
+    A gauge is a registered thunk sampled at export time (journal
+    depth, pool occupancy); nothing is recorded on the hot path, so
+    gauges ignore the enabled flag. *)
+
+val gauge : string -> (unit -> float) -> unit
+(** Register a gauge (first registration of a name wins). *)
+
+val gauges : unit -> (string * float) list
+(** Sample every registered gauge, in registration order. A gauge whose
+    thunk raises reads as [nan]. *)
+
+(** {1 Trace context}
+
+    The ambient trace id of the query being executed on this domain,
+    carried across domain boundaries by {!Tm_par.Pool} so events
+    recorded on worker domains are attributed to the right query.
+    Independent of the enabled flag. *)
+
+val with_context : int -> (unit -> 'a) -> 'a
+(** Run with the ambient trace id set, restoring the previous value. *)
+
+val context : unit -> int option
+(** The ambient trace id, if any. *)
+
+(** {1 Warnings}
+
+    Structured warnings (rare, operationally important events such as a
+    malformed [TWIGMATCH_FAILPOINTS] spec). Always recorded into a
+    small bounded ring regardless of the enabled flag, and passed to
+    the handler — stderr by default, replaceable so a server can
+    surface them. *)
+
+type warning = {
+  w_time : float;  (** wall-clock seconds (Unix epoch) *)
+  w_ctx : int option;  (** ambient trace id when the warning fired *)
+  w_site : string;  (** emitting subsystem, e.g. ["fault.env"] *)
+  w_msg : string;
+}
+
+val warn : site:string -> string -> unit
+
+val warnings : unit -> warning list
+(** The most recent warnings (bounded ring), oldest first. *)
+
+val set_warn_handler : (warning -> unit) option -> unit
+(** Replace the warning handler ([None] restores the stderr default).
+    The handler runs outside the ring's lock on the warning domain. *)
+
 (** {1 Spans and traces}
 
     A trace is a tree of named spans capturing wall-clock time and the
@@ -60,11 +110,30 @@ val reset : unit -> unit
     individual plan operators. Spans are only recorded inside a
     {!trace} extent; {!with_span} outside one just runs its thunk. *)
 
+(** GC activity over a span's extent ({!Gc.quick_stat} deltas; on
+    OCaml 5 the allocation counters are per-domain, matching the
+    domain-local trace stack). *)
+type gc_delta = {
+  g_minor_words : float;  (** words allocated in the minor heap *)
+  g_major_words : float;  (** words allocated in / promoted to the major heap *)
+  g_minor_gcs : int;  (** minor collections *)
+  g_major_gcs : int;  (** major collection cycles *)
+}
+
+val gc_snapshot : unit -> gc_delta
+(** The current cumulative GC counters (for callers computing their own
+    extents, e.g. the journal's per-query deltas). *)
+
+val gc_since : gc_delta -> gc_delta
+(** Deltas of the GC counters since a {!gc_snapshot}. *)
+
 type span = {
   s_name : string;
+  mutable s_start_ns : int64;  (** monotonic-clock open time *)
   mutable s_elapsed_ns : int64;
   mutable s_meta : (string * string) list;  (** free-form annotations *)
   mutable s_counts : (string * int) list;  (** counter deltas over the span *)
+  mutable s_gc : gc_delta option;  (** GC/allocation deltas over the span *)
   mutable s_children : span list;  (** execution order *)
 }
 

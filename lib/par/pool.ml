@@ -25,6 +25,7 @@
 
 let c_tasks = Tm_obs.Obs.counter "par.tasks"
 let c_helped = Tm_obs.Obs.counter "par.helped"
+let h_task_ms = Tm_obs.Obs.histogram "par.task.ms"
 
 type task = unit -> unit
 
@@ -100,10 +101,22 @@ let fulfil fut outcome =
 
 let spawn t f =
   let fut = { state = Pending; f_lock = Mutex.create (); f_done = Condition.create () } in
+  (* Capture the submitter's ambient trace context so events recorded
+     inside the task — which may run on any worker domain — are
+     attributed to the query that submitted it. *)
+  let ctx = Tm_obs.Obs.context () in
+  let body () =
+    match ctx with None -> f () | Some id -> Tm_obs.Obs.with_context id f
+  in
   let task () =
-    match f () with
+    let record = Tm_obs.Obs.enabled () in
+    let t0 = if record then Monotonic_clock.now () else 0L in
+    (match body () with
     | v -> fulfil fut (Done v)
-    | exception e -> fulfil fut (Failed (e, Printexc.get_raw_backtrace ()))
+    | exception e -> fulfil fut (Failed (e, Printexc.get_raw_backtrace ())));
+    if record then
+      Tm_obs.Obs.observe h_task_ms
+        (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6)
   in
   if t.jobs = 1 then task ()
   else begin

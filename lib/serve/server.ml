@@ -1,0 +1,312 @@
+(** A minimal HTTP/1.1 scrape-and-query endpoint over a loaded
+    database, built on stdlib [Unix] sockets only — the long-running
+    process the telemetry pipeline exists to observe.
+
+    Request handling is separated from socket handling: {!handle} maps
+    a (method, target) pair to a response with no I/O at all, so the
+    endpoint surface is unit-testable without binding a port; {!create}
+    / {!run} / {!stop} wrap it in a loopback listener. Connections are
+    served one at a time on the calling domain — a scrape target, not a
+    web server. *)
+
+open Twigmatch
+
+type response = { status : int; content_type : string; body : string }
+
+let c_requests = Tm_obs.Obs.counter "serve.requests"
+let h_request_ms = Tm_obs.Obs.histogram "serve.request.ms"
+
+(* ------------------------------------------------------------------ *)
+(* Target parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' -> Buffer.add_char buf ' '
+      | '%' when i + 2 < n -> (
+        match (hex_value s.[i + 1], hex_value s.[i + 2]) with
+        | Some h, Some l -> Buffer.add_char buf (Char.chr ((h * 16) + l))
+        | _ ->
+          Buffer.add_char buf '%';
+          Buffer.add_char buf s.[i + 1];
+          Buffer.add_char buf s.[i + 2])
+      | c -> Buffer.add_char buf c);
+      go (i + if s.[i] = '%' && i + 2 < n && Option.is_some (hex_value s.[i + 1]) && Option.is_some (hex_value s.[i + 2]) then 3 else 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* "/slow?threshold_ms=5&x=1" -> ("/slow", [("threshold_ms","5"); ("x","1")]) *)
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let rest = String.sub target (q + 1) (String.length target - q - 1) in
+    let params =
+      String.split_on_char '&' rest
+      |> List.filter_map (fun kv ->
+             if String.equal kv "" then None
+             else
+               match String.index_opt kv '=' with
+               | None -> Some (url_decode kv, "")
+               | Some e ->
+                 Some
+                   ( url_decode (String.sub kv 0 e),
+                     url_decode (String.sub kv (e + 1) (String.length kv - e - 1)) ))
+    in
+    (path, params)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json = "application/json"
+let text = "text/plain; charset=utf-8"
+let respond status content_type body = { status; content_type; body }
+let json_string = Tm_obs.Export.json_string
+let json_float = Tm_obs.Export.json_float
+
+(* A canary twig for /healthz: the root tag of the first catalogued
+   rooted path, so the lookup touches the live index structures but
+   stays O(document roots). *)
+let default_canary (db : Database.t) =
+  match Tm_xmldb.Schema_catalog.entries db.Database.catalog with
+  | [] -> None
+  | e :: _ -> (
+    match Tm_xmldb.Schema_path.to_list e.Tm_xmldb.Schema_catalog.path with
+    | t :: _ ->
+      Some (Tm_query.Xpath_parser.parse ("/" ^ Tm_xmldb.Dictionary.name db.Database.dict t))
+    | [] -> None)
+
+let healthz ?canary (db : Database.t) =
+  (* fsck-lite: pager-level page checks only (checksums, bounds,
+     decodability) — milliseconds, unlike the full structural fsck *)
+  let violations = Tm_check.Check.check_pager db.Database.pager in
+  let canary = match canary with Some _ as c -> c | None -> default_canary db in
+  let canary_outcome =
+    match canary with
+    | None -> Ok 0
+    | Some twig -> (
+      match Executor.run db twig with
+      | r -> Ok (List.length r.Executor.ids)
+      | exception e -> Error (Printexc.to_string e))
+  in
+  match (violations, canary_outcome) with
+  | [], Ok rows ->
+    respond 200 json
+      (Printf.sprintf "{\"status\":\"ok\",\"canary_rows\":%d,\"pager_violations\":0}" rows)
+  | vs, outcome ->
+    let canary_field =
+      match outcome with
+      | Ok rows -> Printf.sprintf "\"canary_rows\":%d" rows
+      | Error msg -> Printf.sprintf "\"canary_error\":%s" (json_string msg)
+    in
+    respond 500 json
+      (Printf.sprintf "{\"status\":\"unhealthy\",%s,\"pager_violations\":%d}" canary_field
+         (List.length vs))
+
+let warnings_json () =
+  let one (w : Tm_obs.Obs.warning) =
+    Printf.sprintf "{\"time\":%s,\"trace\":%s,\"site\":%s,\"msg\":%s}" (json_float w.Tm_obs.Obs.w_time)
+      (match w.Tm_obs.Obs.w_ctx with Some id -> string_of_int id | None -> "null")
+      (json_string w.Tm_obs.Obs.w_site) (json_string w.Tm_obs.Obs.w_msg)
+  in
+  "[" ^ String.concat "," (List.map one (Tm_obs.Obs.warnings ())) ^ "]"
+
+let run_query (db : Database.t) params =
+  match List.assoc_opt "q" params with
+  | None | Some "" -> respond 400 json "{\"error\":\"missing q parameter\"}"
+  | Some q -> (
+    match Tm_query.Xpath_parser.parse q with
+    | exception e ->
+      respond 400 json
+        (Printf.sprintf "{\"error\":%s}" (json_string ("parse: " ^ Printexc.to_string e)))
+    | twig -> (
+      let plan =
+        match List.assoc_opt "s" params with
+        | None -> Ok `Auto
+        | Some s ->
+          Result.map (fun s -> `Strategy s) (Database.strategy_of_string s)
+      in
+      let deadline_ms =
+        Option.bind (List.assoc_opt "timeout_ms" params) float_of_string_opt
+      in
+      match plan with
+      | Error msg -> respond 400 json (Printf.sprintf "{\"error\":%s}" (json_string msg))
+      | Ok plan -> (
+        match Executor.run ~plan ?deadline_ms db twig with
+        | r ->
+          respond 200 json
+            (Printf.sprintf
+               "{\"trace_id\":%d,\"strategy\":%s,\"reason\":%s,\"rows\":%d,\"ids\":[%s]}"
+               r.Executor.trace_id
+               (json_string (Database.strategy_name r.Executor.strategy))
+               (json_string r.Executor.reason)
+               (List.length r.Executor.ids)
+               (String.concat "," (List.map string_of_int r.Executor.ids)))
+        | exception Executor.Timeout { ms; _ } ->
+          respond 503 json (Printf.sprintf "{\"error\":\"deadline of %s ms expired\"}" (json_float ms))
+        | exception Tm_storage.Pager.Corrupt_page { page; detail } ->
+          respond 500 json
+            (Printf.sprintf "{\"error\":%s}"
+               (json_string (Printf.sprintf "corrupt page %d: %s" page detail))))))
+
+let index_body =
+  String.concat "\n"
+    [
+      "twigql serve endpoints:";
+      "  /metrics              Prometheus text metrics";
+      "  /healthz              canary lookup + pager fsck-lite";
+      "  /journal              query-lifecycle journal (JSON)";
+      "  /slow[?threshold_ms=N]  slow-query log (JSON, slowest first)";
+      "  /warnings             structured warnings (JSON)";
+      "  /query?q=XPATH[&s=STRATEGY][&timeout_ms=N]  run a twig query";
+      "";
+    ]
+
+let handle ?canary (db : Database.t) ~meth ~target =
+  Tm_obs.Obs.incr c_requests;
+  let t0 = if Tm_obs.Obs.enabled () then Unix.gettimeofday () else 0.0 in
+  let path, params = split_target target in
+  let dispatch () =
+    if not (String.equal meth "GET") then
+      respond 405 text "method not allowed\n"
+    else
+      match path with
+      | "/" -> respond 200 text index_body
+      | "/metrics" -> respond 200 text (Tm_obs.Export.metrics_to_prometheus ())
+      | "/healthz" -> healthz ?canary db
+      | "/journal" -> respond 200 json (Tm_obs.Journal.to_json (Tm_obs.Journal.entries ()))
+      | "/slow" ->
+        let threshold_ms =
+          Option.bind (List.assoc_opt "threshold_ms" params) float_of_string_opt
+        in
+        respond 200 json (Tm_obs.Journal.to_json (Tm_obs.Journal.slow ?threshold_ms ()))
+      | "/warnings" -> respond 200 json (warnings_json ())
+      | "/query" -> run_query db params
+      | _ -> respond 404 text "not found\n"
+  in
+  let response =
+    try dispatch ()
+    with e ->
+      respond 500 json (Printf.sprintf "{\"error\":%s}" (json_string (Printexc.to_string e)))
+  in
+  if t0 > 0.0 then Tm_obs.Obs.observe h_request_ms ((Unix.gettimeofday () -. t0) *. 1e3);
+  response
+
+(* ------------------------------------------------------------------ *)
+(* The socket server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  db : Database.t;
+  canary : Tm_query.Twig.t option;
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+}
+
+let port t = t.port
+
+let create ?port:(want_port = 0) ?canary db =
+  let canary = match canary with Some c -> Some c | None -> default_canary db in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, want_port));
+     Unix.listen sock 16
+   with e ->
+     Unix.close sock;
+     raise e);
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> want_port
+  in
+  { db; canary; sock; port; stopping = Atomic.make false }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+(* Read until the end of the request headers (or EOF / a size cap —
+   requests here are one GET line plus a few headers). *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf < 16384 then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* header terminator seen? *)
+        let rec find i =
+          if i + 3 >= String.length s then false
+          else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+            true
+          else find (i + 1)
+        in
+        if not (find 0) then go ()
+      end
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let serve_connection t fd =
+  let request = read_request fd in
+  let request_line =
+    match String.index_opt request '\r' with
+    | Some i -> String.sub request 0 i
+    | None -> request
+  in
+  let response =
+    match String.split_on_char ' ' request_line with
+    | meth :: target :: _ -> handle ?canary:t.canary t.db ~meth ~target
+    | _ -> { status = 400; content_type = text; body = "bad request\n" }
+  in
+  write_all fd
+    (Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       response.status (reason_phrase response.status) response.content_type
+       (String.length response.body) response.body)
+
+let run t =
+  let rec loop () =
+    match Unix.accept t.sock with
+    | client, _ ->
+      (try Fun.protect ~finally:(fun () -> Unix.close client) (fun () -> serve_connection t client)
+       with e ->
+         if not (Atomic.get t.stopping) then
+           Tm_obs.Obs.warn ~site:"serve.connection" (Printexc.to_string e));
+      if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error (_, _, _) when Atomic.get t.stopping -> ()
+  in
+  loop ()
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* Closing the listening socket makes a blocked [accept] fail, which
+     the loop reads as shutdown. *)
+  try Unix.close t.sock with Unix.Unix_error (_, _, _) -> ()

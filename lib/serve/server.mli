@@ -1,0 +1,48 @@
+(** A minimal HTTP/1.1 scrape-and-query endpoint over a loaded
+    database, built on stdlib [Unix] sockets only.
+
+    Endpoints (all GET): [/metrics] (Prometheus text), [/healthz]
+    (canary lookup + pager fsck-lite), [/journal] and
+    [/slow?threshold_ms=N] (query-lifecycle journal, JSON),
+    [/warnings] (structured warnings, JSON), and
+    [/query?q=XPATH&s=STRATEGY&timeout_ms=N].
+
+    {!handle} is pure request dispatch (no sockets), so the endpoint
+    surface is unit-testable; {!create}/{!run}/{!stop} wrap it in a
+    loopback listener serving one connection at a time. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val handle :
+  ?canary:Tm_query.Twig.t ->
+  Twigmatch.Database.t ->
+  meth:string ->
+  target:string ->
+  response
+(** Dispatch one request. [target] is the raw request target, e.g.
+    ["/slow?threshold_ms=5"]; parameters are percent-decoded. [canary]
+    overrides the /healthz lookup (default: the root tag of the first
+    catalogued path). Never raises: errors become 4xx/5xx responses. *)
+
+val url_decode : string -> string
+(** Percent-decoding (plus [+] for space), as applied to query
+    parameters. *)
+
+(** {1 The socket server} *)
+
+type t
+
+val create : ?port:int -> ?canary:Tm_query.Twig.t -> Twigmatch.Database.t -> t
+(** Bind a loopback listener. [port] 0 (the default) picks an ephemeral
+    port — read it back with {!port}. *)
+
+val port : t -> int
+
+val run : t -> unit
+(** Accept and serve connections sequentially on the calling domain
+    until {!stop} is called (from another domain or a signal
+    handler). *)
+
+val stop : t -> unit
+(** Stop {!run}: closes the listening socket, unblocking the accept
+    loop. Idempotent. *)

@@ -1,15 +1,32 @@
 (* Tests for the observability substrate (Tm_obs) and its wiring
    through the storage and execution layers: span nesting, buffer-pool
    counter fidelity against drop_caches, EXPLAIN ANALYZE / Stats
-   reconciliation, and the disabled sink recording nothing. *)
+   reconciliation, the disabled sink recording nothing, the exporters
+   (Prometheus text, quantiles, Chrome trace events), the
+   query-lifecycle journal, and warning routing. *)
 
 open Twigmatch
 
 module T = Tm_xml.Xml_tree
 module Obs = Tm_obs.Obs
 module Export = Tm_obs.Export
+module Journal = Tm_obs.Journal
 
 let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_occ hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
 
 (* The paper's running example (Figure 1). *)
 let book_doc () =
@@ -187,6 +204,242 @@ let test_disabled_sink_is_silent () =
       check Alcotest.int (h.Obs.h_name ^ " untouched") 0 h.Obs.h_count)
     (Obs.histograms ())
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus exporter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_name_mangling () =
+  check Alcotest.string "dots become underscores" "twigmatch_buffer_pool_hits"
+    (Export.prometheus_name "buffer_pool.hits");
+  check Alcotest.string "arbitrary punctuation" "twigmatch_a_b_c_d"
+    (Export.prometheus_name "a-b/c d")
+
+let test_prometheus_label_escape () =
+  check Alcotest.string "backslash, quote, newline" "a\\\\b\\\"c\\nd"
+    (Export.prometheus_label_escape "a\\b\"c\nd");
+  check Alcotest.string "clean value untouched" "plain" (Export.prometheus_label_escape "plain")
+
+let test_prometheus_output () =
+  Obs.with_enabled true (fun () ->
+      Obs.reset ();
+      Obs.add (Obs.counter "test.prom.counter") 5;
+      (* make the derived pool-wide hit-rate gauge well-defined *)
+      Obs.add (Obs.counter "buffer_pool.hits") 3;
+      Obs.add (Obs.counter "buffer_pool.misses") 1;
+      let h = Obs.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test.prom.ms" in
+      List.iter (Obs.observe h) [ 0.5; 1.5; 3.0; 9.0 ]);
+  let out = Export.metrics_to_prometheus () in
+  check Alcotest.bool "typed counter with value" true
+    (contains out "# TYPE twigmatch_test_prom_counter counter\ntwigmatch_test_prom_counter 5\n");
+  check Alcotest.bool "derived hit-rate gauge" true
+    (contains out "# TYPE twigmatch_buffer_pool_hit_rate gauge\ntwigmatch_buffer_pool_hit_rate 0.75\n");
+  (* buckets are cumulative and end at le="+Inf" = the total count *)
+  check Alcotest.bool "cumulative buckets" true
+    (contains out
+       ("twigmatch_test_prom_ms_bucket{le=\"1\"} 1\n"
+      ^ "twigmatch_test_prom_ms_bucket{le=\"2\"} 2\n"
+      ^ "twigmatch_test_prom_ms_bucket{le=\"4\"} 3\n"
+      ^ "twigmatch_test_prom_ms_bucket{le=\"+Inf\"} 4\n"
+      ^ "twigmatch_test_prom_ms_sum 14\n" ^ "twigmatch_test_prom_ms_count 4\n"));
+  (* registration order is stable, so back-to-back exports are
+     byte-identical (nothing recorded in between) *)
+  check Alcotest.string "stable across exports" out (Export.metrics_to_prometheus ())
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_estimation () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  let near label expected got =
+    match got with
+    | None -> Alcotest.fail (label ^ ": expected a quantile")
+    | Some v -> check (Alcotest.float 1e-9) label expected v
+  in
+  (* all mass in the (1,2] bucket: the median interpolates to its middle *)
+  near "p50 interpolates" 1.5 (Export.quantile_of_counts ~bounds ~counts:[| 0; 10; 0; 0 |] 0.5);
+  (* the overflow bucket clamps to the largest finite bound *)
+  near "overflow clamps" 4.0 (Export.quantile_of_counts ~bounds ~counts:[| 0; 0; 0; 5 |] 0.5);
+  check Alcotest.bool "empty counts yield None" true
+    (Export.quantile_of_counts ~bounds ~counts:[| 0; 0; 0; 0 |] 0.5 = None);
+  (match Export.quantile_of_counts ~bounds ~counts:[| 1; 0; 0; 0 |] 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q outside [0,1] accepted")
+
+let test_summary_labels () =
+  let h = Obs.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "test.summary.ms" in
+  check Alcotest.(list (pair string (float 1.0))) "no observations, no summary" []
+    (Export.summary h);
+  Obs.with_enabled true (fun () -> List.iter (Obs.observe h) [ 0.5; 0.6; 0.7; 50.0 ]);
+  check
+    Alcotest.(list string)
+    "p50/p95/p99 in order" [ "p50"; "p95"; "p99" ]
+    (List.map fst (Export.summary h))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_shape () =
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy Database.RP) db twig) in
+  let tr = Option.get r.Executor.trace in
+  let out = Export.trace_to_chrome tr in
+  check Alcotest.bool "JSON array" true
+    (String.length out > 2 && out.[0] = '[' && out.[String.length out - 1] = ']');
+  let rec spans (s : Obs.span) =
+    1 + List.fold_left (fun acc c -> acc + spans c) 0 s.Obs.s_children
+  in
+  check Alcotest.int "one complete event per span" (spans tr) (count_occ out "\"ph\":\"X\"");
+  check Alcotest.bool "microsecond timestamps" true
+    (contains out "\"ts\":" && contains out "\"dur\":");
+  check Alcotest.bool "trace id rides in args" true
+    (contains out (Printf.sprintf "\"trace\":\"%d\"" r.Executor.trace_id))
+
+(* ------------------------------------------------------------------ *)
+(* GC attribution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_gc_delta () =
+  let (), tr =
+    Obs.with_enabled true (fun () ->
+        Obs.trace "root" (fun () ->
+            Obs.with_span "alloc" (fun () ->
+                ignore (Sys.opaque_identity (List.init 10_000 (fun i -> i + 1))))))
+  in
+  let tr = Option.get tr in
+  let alloc = List.hd tr.Obs.s_children in
+  match alloc.Obs.s_gc with
+  | None -> Alcotest.fail "no GC delta on span"
+  | Some g ->
+    (* 10k 3-word cons cells: the per-domain minor counter must see them *)
+    check Alcotest.bool "minor allocation attributed" true (g.Obs.g_minor_words >= 10_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Query-lifecycle journal                                             *)
+(* ------------------------------------------------------------------ *)
+
+let zero_gc = { Obs.g_minor_words = 0.0; g_major_words = 0.0; g_minor_gcs = 0; g_major_gcs = 0 }
+
+let mk_entry ?(latency = 1.0) ?(outcome = Journal.Completed) ?(fallbacks = []) () =
+  {
+    Journal.j_id = Journal.next_id ();
+    j_time = 0.0;
+    j_query = "//synthetic";
+    j_requested = "RP";
+    j_strategy = "RP";
+    j_reason = "test";
+    j_fallbacks = fallbacks;
+    j_via_naive = false;
+    j_rows = 0;
+    j_latency_ms = latency;
+    j_pool_hit_rate = None;
+    j_jobs = 0;
+    j_outcome = outcome;
+    j_gc = zero_gc;
+  }
+
+(* The acceptance property: with the journal off, Executor.run leaves
+   no trace in it (the recording path is a single atomic load). Forced
+   off explicitly so the test also holds under TWIGMATCH_JOURNAL=N. *)
+let test_journal_disabled_stays_empty () =
+  let db = Database.create ~strategies:[ Database.RP; Database.DP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  Journal.with_enabled false (fun () ->
+      Journal.clear ();
+      check Alcotest.bool "journal off" false (Journal.enabled ());
+      List.iter
+        (fun s -> ignore (Executor.run ~plan:(`Strategy s) db twig))
+        [ Database.RP; Database.DP ];
+      check Alcotest.int "no entries" 0 (Journal.length ());
+      check Alcotest.int "entries list empty" 0 (List.length (Journal.entries ())))
+
+let test_journal_records_completion () =
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let twig = Tm_query.Xpath_parser.parse query in
+  Journal.with_enabled true (fun () ->
+      Journal.clear ();
+      let r = Executor.run ~plan:(`Strategy Database.RP) db twig in
+      check Alcotest.int "one entry" 1 (Journal.length ());
+      match Journal.entries () with
+      | [ e ] ->
+        check Alcotest.int "entry id is the trace id" r.Executor.trace_id e.Journal.j_id;
+        check Alcotest.string "strategy" (Database.strategy_name Database.RP) e.Journal.j_strategy;
+        check Alcotest.int "rows" (List.length r.Executor.ids) e.Journal.j_rows;
+        check Alcotest.bool "completed" true (e.Journal.j_outcome = Journal.Completed);
+        check Alcotest.bool "latency non-negative" true (e.Journal.j_latency_ms >= 0.0);
+        check Alcotest.bool "not via naive" false e.Journal.j_via_naive
+      | es -> Alcotest.failf "expected exactly one entry, got %d" (List.length es))
+
+let test_journal_wraps_and_orders () =
+  Journal.with_enabled true (fun () ->
+      let saved = Journal.capacity () in
+      (match Journal.enable ~capacity:0 () with
+      | () -> Alcotest.fail "capacity 0 accepted"
+      | exception Invalid_argument _ -> ());
+      Journal.enable ~capacity:8 ();
+      for _ = 1 to 100 do
+        Journal.record (mk_entry ())
+      done;
+      check Alcotest.int "full ring" (Journal.capacity ()) (Journal.length ());
+      check Alcotest.int "overwrites counted" (100 - Journal.capacity ()) (Journal.dropped ());
+      let ids = List.map (fun e -> e.Journal.j_id) (Journal.entries ()) in
+      check Alcotest.bool "entries ordered by id" true (List.sort compare ids = ids);
+      Journal.enable ~capacity:saved ())
+
+let test_journal_slow_view () =
+  Journal.with_enabled true (fun () ->
+      Journal.clear ();
+      Journal.record (mk_entry ~latency:1.0 ());
+      Journal.record (mk_entry ~latency:25.0 ());
+      Journal.record (mk_entry ~latency:0.5 ~outcome:(Journal.Timed_out 50.0) ());
+      Journal.record (mk_entry ~latency:12.0 ());
+      let s = Journal.slow ~threshold_ms:10.0 () in
+      check Alcotest.int "two slow + the timeout" 3 (List.length s);
+      check Alcotest.bool "timeout qualifies despite low latency" true
+        (List.exists
+           (fun e -> match e.Journal.j_outcome with Journal.Timed_out _ -> true | _ -> false)
+           s);
+      (match s with
+      | a :: b :: _ ->
+        check Alcotest.bool "slowest first" true (a.Journal.j_latency_ms >= b.Journal.j_latency_ms)
+      | _ -> ());
+      Journal.clear ())
+
+let test_journal_rendering () =
+  let e = mk_entry ~latency:3.25 ~fallbacks:[ ("DP", "index corrupt") ] () in
+  let s = Journal.entry_to_string e in
+  check Alcotest.bool "query shown" true (contains s "//synthetic");
+  check Alcotest.bool "losing plan narrated" true (contains s "DP");
+  check Alcotest.bool "losing reason narrated" true (contains s "index corrupt");
+  let j = Journal.entry_to_json e in
+  check Alcotest.bool "json query field" true (contains j "\"query\":\"//synthetic\"");
+  check Alcotest.string "empty journal is an empty array" "[]" (Journal.to_json [])
+
+(* ------------------------------------------------------------------ *)
+(* Warning routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_warn_routing_from_fault_env () =
+  let captured = ref [] in
+  Obs.set_warn_handler (Some (fun w -> captured := w :: !captured));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_warn_handler None;
+      Unix.putenv Tm_fault.Fault.env_var "";
+      Tm_fault.Fault.install_env ())
+    (fun () ->
+      Unix.putenv Tm_fault.Fault.env_var "definitely not a failpoint spec";
+      Tm_fault.Fault.install_env ());
+  match !captured with
+  | [] -> Alcotest.fail "malformed failpoint spec produced no warning"
+  | w :: _ ->
+    check Alcotest.string "site" "fault.env" w.Obs.w_site;
+    check Alcotest.bool "names the env var" true (contains w.Obs.w_msg Tm_fault.Fault.env_var);
+    check Alcotest.bool "ring retains it" true
+      (List.exists (fun (r : Obs.warning) -> r.Obs.w_site = "fault.env") (Obs.warnings ()))
+
 let () =
   Alcotest.run "obs"
     [
@@ -206,4 +459,29 @@ let () =
         ] );
       ( "disabled",
         [ Alcotest.test_case "sink off records nothing" `Quick test_disabled_sink_is_silent ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "name mangling" `Quick test_prometheus_name_mangling;
+          Alcotest.test_case "label escaping" `Quick test_prometheus_label_escape;
+          Alcotest.test_case "text exposition" `Quick test_prometheus_output;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "estimation" `Quick test_quantile_estimation;
+          Alcotest.test_case "summary labels" `Quick test_summary_labels;
+        ] );
+      ( "chrome",
+        [ Alcotest.test_case "trace event shape" `Quick test_chrome_trace_shape ] );
+      ("gc", [ Alcotest.test_case "span allocation delta" `Quick test_span_gc_delta ]);
+      ( "journal",
+        [
+          Alcotest.test_case "disabled stays empty" `Quick test_journal_disabled_stays_empty;
+          Alcotest.test_case "records completions" `Quick test_journal_records_completion;
+          Alcotest.test_case "ring wraps in id order" `Quick test_journal_wraps_and_orders;
+          Alcotest.test_case "slow view" `Quick test_journal_slow_view;
+          Alcotest.test_case "rendering" `Quick test_journal_rendering;
+        ] );
+      ( "warnings",
+        [ Alcotest.test_case "fault env routes through warn" `Quick test_warn_routing_from_fault_env ]
+      );
     ]

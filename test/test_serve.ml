@@ -1,0 +1,162 @@
+(* Tests for the twigql serve endpoint surface. [Server.handle] is
+   pure request dispatch, so most of the surface is exercised without
+   a socket; one test binds a real loopback listener and drives it
+   from a second domain. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+module Server = Tm_serve.Server
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+(* /healthz and s-less /query plan under `Auto, which needs RP and DP *)
+let mk_db () = Database.create ~strategies:[ Database.RP; Database.DP ] (book_doc ())
+
+(* ------------------------------------------------------------------ *)
+(* Pure dispatch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_url_decode () =
+  check Alcotest.string "percent and plus" "a b/c d" (Server.url_decode "a%20b%2Fc+d");
+  check Alcotest.string "untouched" "/book//author" (Server.url_decode "/book//author");
+  check Alcotest.string "stray percent passes through" "100%" (Server.url_decode "100%")
+
+let test_metrics_endpoint () =
+  let db = mk_db () in
+  let r = Server.handle db ~meth:"GET" ~target:"/metrics" in
+  check Alcotest.int "status" 200 r.Server.status;
+  check Alcotest.bool "text content type" true (contains r.Server.content_type "text/plain");
+  check Alcotest.bool "prometheus types" true (contains r.Server.body "# TYPE ");
+  check Alcotest.bool "request counter present" true
+    (contains r.Server.body "twigmatch_serve_requests")
+
+let test_healthz_endpoint () =
+  let db = mk_db () in
+  let r = Server.handle db ~meth:"GET" ~target:"/healthz" in
+  check Alcotest.int "status" 200 r.Server.status;
+  check Alcotest.bool "healthy" true (contains r.Server.body "\"status\":\"ok\"");
+  check Alcotest.bool "pager checked" true (contains r.Server.body "\"pager_violations\":0");
+  check Alcotest.bool "canary ran" true (contains r.Server.body "\"canary_rows\":1")
+
+let test_query_endpoint () =
+  let db = mk_db () in
+  let r = Server.handle db ~meth:"GET" ~target:"/query?q=%2Fbook%2F%2Fauthor&s=RP" in
+  check Alcotest.int "status" 200 r.Server.status;
+  check Alcotest.bool "row count" true (contains r.Server.body "\"rows\":3");
+  check Alcotest.bool "strategy echoed" true (contains r.Server.body "\"strategy\":\"RP\"");
+  check Alcotest.bool "ids listed" true (contains r.Server.body "\"ids\":[");
+  check Alcotest.bool "trace id assigned" true (contains r.Server.body "\"trace_id\":")
+
+let test_query_errors () =
+  let db = mk_db () in
+  let missing = Server.handle db ~meth:"GET" ~target:"/query" in
+  check Alcotest.int "missing q" 400 missing.Server.status;
+  let bad = Server.handle db ~meth:"GET" ~target:"/query?q=%5B%5Bnot-xpath" in
+  check Alcotest.int "unparsable q" 400 bad.Server.status;
+  check Alcotest.bool "parse error named" true (contains bad.Server.body "parse");
+  let strat = Server.handle db ~meth:"GET" ~target:"/query?q=%2Fbook&s=NOPE" in
+  check Alcotest.int "unknown strategy" 400 strat.Server.status
+
+let test_journal_endpoints () =
+  let db = mk_db () in
+  Tm_obs.Journal.with_enabled true (fun () ->
+      Tm_obs.Journal.clear ();
+      ignore (Server.handle db ~meth:"GET" ~target:"/query?q=%2Fbook&s=RP");
+      let j = Server.handle db ~meth:"GET" ~target:"/journal" in
+      check Alcotest.int "journal status" 200 j.Server.status;
+      check Alcotest.bool "journal has the query" true (contains j.Server.body "/book");
+      let s = Server.handle db ~meth:"GET" ~target:"/slow?threshold_ms=0" in
+      check Alcotest.int "slow status" 200 s.Server.status;
+      check Alcotest.bool "slow is a JSON array" true
+        (String.length s.Server.body >= 2 && s.Server.body.[0] = '[');
+      Tm_obs.Journal.clear ())
+
+let test_routing_errors () =
+  let db = mk_db () in
+  check Alcotest.int "unknown path" 404 (Server.handle db ~meth:"GET" ~target:"/nope").Server.status;
+  check Alcotest.int "non-GET" 405 (Server.handle db ~meth:"POST" ~target:"/metrics").Server.status;
+  let warnings = Server.handle db ~meth:"GET" ~target:"/warnings" in
+  check Alcotest.int "warnings status" 200 warnings.Server.status;
+  let index = Server.handle db ~meth:"GET" ~target:"/" in
+  check Alcotest.int "index status" 200 index.Server.status;
+  check Alcotest.bool "index lists endpoints" true (contains index.Server.body "/metrics")
+
+(* ------------------------------------------------------------------ *)
+(* The socket server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fetch port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n" target
+      in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec loop () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        end
+      in
+      loop ();
+      Buffer.contents buf)
+
+let test_socket_roundtrip () =
+  let db = mk_db () in
+  let t = Server.create ~port:0 db in
+  check Alcotest.bool "ephemeral port picked" true (Server.port t > 0);
+  let d = Domain.spawn (fun () -> Server.run t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join d)
+    (fun () ->
+      let health = fetch (Server.port t) "/healthz" in
+      check Alcotest.bool "HTTP 200" true (contains health "HTTP/1.1 200");
+      check Alcotest.bool "healthy over the wire" true (contains health "\"status\":\"ok\"");
+      let metrics = fetch (Server.port t) "/metrics" in
+      check Alcotest.bool "metrics over the wire" true
+        (contains metrics "twigmatch_serve_requests"))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "url decoding" `Quick test_url_decode;
+          Alcotest.test_case "/metrics" `Quick test_metrics_endpoint;
+          Alcotest.test_case "/healthz" `Quick test_healthz_endpoint;
+          Alcotest.test_case "/query" `Quick test_query_endpoint;
+          Alcotest.test_case "/query errors" `Quick test_query_errors;
+          Alcotest.test_case "/journal and /slow" `Quick test_journal_endpoints;
+          Alcotest.test_case "routing errors" `Quick test_routing_errors;
+        ] );
+      ("socket", [ Alcotest.test_case "loopback round-trip" `Quick test_socket_roundtrip ]);
+    ]
