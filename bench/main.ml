@@ -21,6 +21,7 @@ let figures = ref []
 let run_bechamel = ref false
 let metrics_out : string option ref = ref None
 let seed = ref 42
+let gate_regret : float option ref = ref None
 
 let jobs =
   ref
@@ -67,13 +68,13 @@ let db_of = function
 (* Total wall-clock of [!runs] warm executions, in ms; also returns the
    result cardinality and last-run stats. *)
 let time_query db strategy twig =
-  ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+  ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig);
   (* warm-up *)
   let t0 = Monotonic_clock.now () in
   for _ = 2 to !runs do
-    ignore (Executor.run ~plan:(`Strategy strategy) db twig)
+    ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig)
   done;
-  let r = Executor.run ~plan:(`Strategy strategy) db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig in
   let t1 = Monotonic_clock.now () in
   let ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
   (ms, List.length r.Executor.ids, r.Executor.stats)
@@ -300,7 +301,7 @@ let figure_compression () =
      the schema-compressed index must be rejected. *)
   let db = Database.create ~strategies ~schema_compressed:true xdoc in
   let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']" in
-  match Executor.run ~plan:(`Strategy Database.RP) db twig with
+  match Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig with
   | exception Tm_index.Family.Unsupported msg ->
     say "schema-compressed RP correctly rejects '//' queries: %s" msg
   | _ -> say "WARNING: schema-compressed RP unexpectedly answered a '//' query"
@@ -342,7 +343,7 @@ let figure_13 () =
   let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find "Q12x") in
   List.iter
     (fun s ->
-      let r = Executor.run ~plan:(`Strategy s) xdb twig in
+      let r = Executor.run ~hint:(Tm_plan.Hint.Force s) xdb twig in
       say "%s on Q12x: %d structures accessed, %d index lookups" (Database.strategy_name s)
         r.Executor.stats.Tm_exec.Stats.structures_accessed
         r.Executor.stats.Tm_exec.Stats.index_lookups)
@@ -361,10 +362,10 @@ let ablation_inlj () =
     [ "query"; "RP"; "DP"; "DP(noINLJ)" ];
   let xdb = Lazy.force xmark_db in
   let time ?dp_use_inlj strategy twig =
-    ignore (Executor.run ?dp_use_inlj ~plan:(`Strategy strategy) xdb twig);
+    ignore (Executor.run ?dp_use_inlj ~hint:(Tm_plan.Hint.Force strategy) xdb twig);
     let t0 = Monotonic_clock.now () in
     for _ = 1 to !runs do
-      ignore (Executor.run ?dp_use_inlj ~plan:(`Strategy strategy) xdb twig)
+      ignore (Executor.run ?dp_use_inlj ~hint:(Tm_plan.Hint.Force strategy) xdb twig)
     done;
     Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
   in
@@ -455,11 +456,11 @@ let ablation_pool () =
   List.iter
     (fun strategy ->
       let db = Database.create ~strategies:[ strategy ] ~pool_capacity:4096 doc in
-      ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+      ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig);
       Database.drop_caches db;
       Tm_storage.Buffer_pool.reset_stats db.Database.pool;
       let t0 = Monotonic_clock.now () in
-      ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+      ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig);
       let cold = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
       let s = Tm_storage.Buffer_pool.stats db.Database.pool in
       say "%s | %s | %s | %s"
@@ -486,11 +487,11 @@ let figure_robustness () =
   let doc = Lazy.force xmark_doc in
   let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find "Q9x") in
   let cold_run db strategy twig =
-    ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+    ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig);
     Database.drop_caches db;
     Tm_storage.Buffer_pool.reset_stats db.Database.pool;
     let t0 = Monotonic_clock.now () in
-    ignore (Executor.run ~plan:(`Strategy strategy) db twig);
+    ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig);
     Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
   in
   (* (a) checksum overhead: every cold read re-hashes the page *)
@@ -520,7 +521,7 @@ let figure_robustness () =
     (fun name ->
       let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find name) in
       let direct, n, _ = time_query pruned Database.RP twig in
-      let r = Executor.run ~plan:(`Strategy Database.DP) pruned twig in
+      let r = Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) pruned twig in
       if r.Executor.fallbacks = [] || r.Executor.strategy <> Database.RP then
         failwith (name ^ ": expected a DP->RP fallback on the pruned build");
       if List.length r.Executor.ids <> n then failwith (name ^ ": degraded ids differ from RP");
@@ -589,6 +590,144 @@ let extension_auto () =
     [ "Q3x"; "Q5x"; "Q8x"; "Q9x"; "Q10x"; "Q11x"; "Q12x"; "Q15x" ]
 
 (* ------------------------------------------------------------------ *)
+(* Planner: regret vs the best-of-all-strategies oracle                *)
+(* ------------------------------------------------------------------ *)
+
+(* The full planner (Tm_plan behind Hint.Auto): every workload query is
+   timed under each costed strategy (the exhaustive oracle keeps the
+   best) and end-to-end under Auto — planning, cache and adaptivity
+   included. The aggregate regret (total auto time vs total oracle
+   time) is the CI gate (--gate-regret): per-query percentages are
+   noisy at smoke scales, the workload total is not.
+
+   Closes with the mid-query replan demonstration: the plan.estimate
+   failpoint skews every estimate three orders of magnitude low, the
+   blind executor runs the resulting mis-plan to completion, and the
+   adaptive executor must abandon it once a path blows the >10x
+   trigger and recover toward the oracle. *)
+
+let planner_regret : float option ref = ref None
+
+let time_hint db hint twig =
+  ignore (Executor.run ~hint db twig);
+  let t0 = Monotonic_clock.now () in
+  for _ = 2 to !runs do
+    ignore (Executor.run ~hint db twig)
+  done;
+  let r = Executor.run ~hint db twig in
+  let t1 = Monotonic_clock.now () in
+  (Int64.to_float (Int64.sub t1 t0) /. 1e6, r)
+
+let figure_planner () =
+  print_header
+    (Printf.sprintf "Planner: auto vs best-of-all-strategies oracle (ms, %d runs)" !runs)
+    [ "query"; "dataset"; "oracle"; "best"; "auto"; "chose"; "regret%" ];
+  let total_best = ref 0.0 and total_auto = ref 0.0 in
+  let within = ref 0 and n = ref 0 in
+  List.iter
+    (fun (q : Tm_datasets.Workload.query) ->
+      let db = db_of q.Tm_datasets.Workload.dataset in
+      let twig = Tm_datasets.Workload.parse q in
+      let timed =
+        List.map (fun s -> (s, (fun (ms, _, _) -> ms) (time_query db s twig))) Tm_plan.Cost.costed
+      in
+      let best_s, best_ms =
+        List.fold_left
+          (fun (bs, bm) (s, m) -> if m < bm then (s, m) else (bs, bm))
+          (List.hd timed) (List.tl timed)
+      in
+      let auto_ms, r = time_hint db Tm_plan.Hint.Auto twig in
+      (* the +0.05 ms absolute slack keeps sub-millisecond smoke runs
+         from flagging timer noise as regret *)
+      let regret = (auto_ms -. best_ms) /. Float.max best_ms 0.01 *. 100.0 in
+      total_best := !total_best +. best_ms;
+      total_auto := !total_auto +. auto_ms;
+      incr n;
+      if auto_ms <= (best_ms *. 1.10) +. 0.05 then incr within;
+      say "%s | %s | %s | %s | %s | %s | %s" (fmt_cell q.Tm_datasets.Workload.name)
+        (fmt_cell
+           (match q.Tm_datasets.Workload.dataset with
+           | Tm_datasets.Workload.Xmark -> "XMark"
+           | Tm_datasets.Workload.Dblp -> "DBLP"))
+        (fmt_cell (Database.strategy_name best_s))
+        (fmt_cell (Printf.sprintf "%.2f" best_ms))
+        (fmt_cell (Printf.sprintf "%.2f" auto_ms))
+        (fmt_cell (Database.strategy_name r.Executor.strategy))
+        (fmt_cell (Printf.sprintf "%+.1f" regret)))
+    Tm_datasets.Workload.all;
+  let aggregate = (!total_auto -. !total_best) /. Float.max !total_best 0.01 *. 100.0 in
+  planner_regret := Some aggregate;
+  say "";
+  say "aggregate regret: %+.1f%% (auto %.1f ms vs oracle %.1f ms); within 10%% on %d/%d queries"
+    aggregate !total_auto !total_best !within !n;
+  (* -- mid-query replan demonstration ------------------------------ *)
+  say "";
+  say "-- mid-query replan (plan.estimate failpoint: every estimate /1024) --";
+  say "%s"
+    (String.concat " | "
+       (List.map fmt_cell [ "query"; "blind"; "blind ms"; "adaptive"; "replans"; "final" ]));
+  let xdb = Lazy.force xmark_db in
+  (* the queries where a mis-planned driver hurts most: highest
+     path-cardinality skew among the multi-path XMark workload *)
+  (* the skewed estimate bottoms out at the replan floor, so a path can
+     only blow the >10x trigger when its true cardinality clears
+     factor * floor rows; rank the eligible queries by driver skew,
+     where a mis-planned driver hurts most *)
+  let trigger_rows = Tm_plan.Planner.replan_factor * Tm_plan.Planner.replan_floor in
+  let skew q =
+    match Executor.path_cardinalities xdb (Tm_datasets.Workload.parse q) with
+    | [] | [ _ ] -> 0.0
+    | cards ->
+      let mx = List.fold_left max 1 cards and mn = List.fold_left min max_int cards in
+      if mx <= trigger_rows then 0.0 else float_of_int mx /. float_of_int (max 1 mn)
+  in
+  let candidates =
+    Tm_datasets.Workload.xmark_queries
+    |> List.filter_map (fun q -> match skew q with 0.0 -> None | s -> Some (s, q))
+    |> List.sort (fun (a, _) (b, _) -> Float.compare b a)
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map snd
+  in
+  if candidates = [] then
+    say "(no workload query clears the %d-row trigger at this scale; raise --xmark-scale)"
+      trigger_rows;
+  let best_recovery = ref None in
+  List.iter
+    (fun (q : Tm_datasets.Workload.query) ->
+      let twig = Tm_datasets.Workload.parse q in
+      Tm_fault.Fault.inject ~site:Tm_plan.Estimate.failpoint (Tm_fault.Fault.Every 1);
+      Fun.protect
+        ~finally:(fun () ->
+          Tm_fault.Fault.clear ~site:Tm_plan.Estimate.failpoint ();
+          Tm_plan.Cache.clear ())
+        (fun () ->
+          Tm_plan.Cache.clear ();
+          (* what the skewed statistics make the planner pick, executed
+             without adaptivity (forced plans never replan) *)
+          let blind_s, _ = Executor.choose_plan xdb twig in
+          let blind_ms, r_blind = time_hint xdb (Tm_plan.Hint.Force blind_s) twig in
+          let auto_ms, r = time_hint xdb Tm_plan.Hint.Auto twig in
+          assert (r.Executor.ids = r_blind.Executor.ids);
+          if r.Executor.replans > 0 && auto_ms < blind_ms then begin
+            let gain = (blind_ms -. auto_ms) /. blind_ms *. 100.0 in
+            match !best_recovery with
+            | Some (g, _) when g >= gain -> ()
+            | _ -> best_recovery := Some (gain, q.Tm_datasets.Workload.name)
+          end;
+          say "%s | %s | %s | %s | %s | %s" (fmt_cell q.Tm_datasets.Workload.name)
+            (fmt_cell (Database.strategy_name blind_s))
+            (fmt_cell (Printf.sprintf "%.2f" blind_ms))
+            (fmt_cell (Printf.sprintf "%.2f" auto_ms))
+            (fmt_cell (string_of_int r.Executor.replans))
+            (fmt_cell (Database.strategy_name r.Executor.strategy))))
+    candidates;
+  match !best_recovery with
+  | Some (gain, name) ->
+    say "beneficial replan: %s recovered %.1f%% of the mis-planned time by abandoning mid-query"
+      name gain
+  | None -> say "no recovery on this workload/scale (replans fired, but the mis-plan was benign)"
+
+(* ------------------------------------------------------------------ *)
 (* Extension: range predicates                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -651,11 +790,17 @@ let extension_joins () =
   List.iter
     (fun name ->
       let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find name) in
-      let card = List.length (Executor.run ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
+      let card =
+        List.length (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig).Executor.ids
+      in
       say "%s | %s | %s | %s | %s | %s" (fmt_cell name)
         (fmt_cell (string_of_int card))
-        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run ~plan:(`Strategy Database.RP) xdb twig))))
-        (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Executor.run ~plan:(`Strategy Database.DP) xdb twig))))
+        (fmt_cell
+           (Printf.sprintf "%.2f"
+              (time (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig))))
+        (fmt_cell
+           (Printf.sprintf "%.2f"
+              (time (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) xdb twig))))
         (fmt_cell (Printf.sprintf "%.2f" (time (fun () -> Tm_joins.Engine.run_stj ctx twig))))
         (fmt_cell
            (Printf.sprintf "%.2f" (time (fun () -> Tm_joins.Engine.run_pathstack ctx twig)))))
@@ -701,17 +846,19 @@ let figure_parallel () =
     (fun (q : Tm_datasets.Workload.query) ->
       let twig = Tm_datasets.Workload.parse q in
       let time ?pool () =
-        ignore (Executor.run ?pool ~plan:(`Strategy Database.RP) xdb twig);
+        ignore (Executor.run ?pool ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig);
         let t0 = Monotonic_clock.now () in
         for _ = 1 to !runs do
-          ignore (Executor.run ?pool ~plan:(`Strategy Database.RP) xdb twig)
+          ignore (Executor.run ?pool ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig)
         done;
         Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
       in
       let seq = time () in
       let par = time ~pool () in
-      let ids_seq = (Executor.run ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
-      let ids_par = (Executor.run ~pool ~plan:(`Strategy Database.RP) xdb twig).Executor.ids in
+      let ids_seq = (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig).Executor.ids in
+      let ids_par =
+        (Executor.run ~pool ~hint:(Tm_plan.Hint.Force Database.RP) xdb twig).Executor.ids
+      in
       if ids_seq <> ids_par then
         failwith ("parallel ids differ on " ^ q.Tm_datasets.Workload.name);
       say "%s | %s | %s | %s | %s"
@@ -730,7 +877,7 @@ let figure_parallel () =
       multi_path
   in
   let tasks = List.concat (List.init (max 1 !runs) (fun _ -> workload)) in
-  let eval (s, twig) = (Executor.run ~plan:(`Strategy s) xdb twig).Executor.ids in
+  let eval (s, twig) = (Executor.run ~hint:(Tm_plan.Hint.Force s) xdb twig).Executor.ids in
   List.iter (fun t -> ignore (eval t)) workload;
   (* warm *)
   let t0 = Monotonic_clock.now () in
@@ -772,7 +919,8 @@ let bechamel_suite () =
   let xdb = Lazy.force xmark_db in
   let bench_query name strategy qname =
     let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find qname) in
-    Test.make ~name (Staged.stage (fun () -> ignore (Executor.run ~plan:(`Strategy strategy) xdb twig)))
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Executor.run ~hint:(Tm_plan.Hint.Force strategy) xdb twig)))
   in
   let test =
     Test.make_grouped ~name:"twig-queries"
@@ -818,7 +966,7 @@ let all_figures =
   [
     "9"; "10"; "11"; "12a"; "12b"; "12c"; "12d"; "recursion"; "compression"; "13";
     "ablation-inlj"; "ablation-pc"; "ablation-update"; "ablation-pool"; "robustness";
-    "extension-joins"; "extension-auto"; "extension-ranges"; "parallel";
+    "extension-joins"; "extension-auto"; "planner"; "extension-ranges"; "parallel";
   ]
 
 (* Per-figure tail latency for --metrics-out: bucket counts of every
@@ -885,6 +1033,7 @@ let run_figure = function
   | "robustness" -> figure_robustness ()
   | "extension-joins" -> extension_joins ()
   | "extension-auto" -> extension_auto ()
+  | "planner" -> figure_planner ()
   | "extension-ranges" -> extension_ranges ()
   | "parallel" -> figure_parallel ()
   | f -> failwith ("unknown figure: " ^ f)
@@ -907,6 +1056,10 @@ let () =
         Arg.String (fun f -> metrics_out := Some f),
         "FILE record observability counters/histograms over the whole run and write them as \
          JSON to FILE" );
+      ( "--gate-regret",
+        Arg.Float (fun p -> gate_regret := Some p),
+        "PCT exit 1 when the 'planner' figure's aggregate regret against the strategy oracle \
+         exceeds PCT percent (the CI gate)" );
     ]
   in
   Arg.parse spec (fun a -> failwith ("unexpected argument " ^ a)) "twig index benchmarks";
@@ -929,6 +1082,17 @@ let () =
     say "";
     say "done. See EXPERIMENTS.md for paper-vs-measured discussion."
   end;
+  (match !gate_regret with
+  | None -> ()
+  | Some limit -> (
+    match !planner_regret with
+    | None ->
+      prerr_endline "bench: --gate-regret set but the 'planner' figure did not run";
+      exit 1
+    | Some r when r > limit ->
+      Printf.eprintf "bench: planner aggregate regret %.1f%% exceeds the %.1f%% gate\n" r limit;
+      exit 1
+    | Some r -> progress "[bench] planner regret gate passed: %.1f%% <= %.1f%%" r limit));
   match !metrics_out with
   | None -> ()
   | Some path ->

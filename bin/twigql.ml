@@ -1,8 +1,9 @@
 (* twigql — command-line twig query processor.
 
-     twigql query   [SOURCE] [-s RP] [--analyze] [--jobs N]
+     twigql query   [SOURCE] [--hint auto|force:RP] [--analyze] [--jobs N]
                     [--timeout-ms MS] [--strict] 'XPATH'   run a query
-     twigql explain [SOURCE] [-s RP] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
+     twigql explain [SOURCE] [--hint H] [--analyze] 'XPATH'   plan (+ EXPLAIN ANALYZE)
+     twigql plan    [SOURCE] [--hint H] 'XPATH'   cost-based plan, no execution
      twigql compare [SOURCE] 'XPATH'           run under every strategy + oracle
      twigql metrics [SOURCE] [--format json] 'XPATH'   counters and histograms
      twigql trace   [SOURCE] [-s RP] [--chrome] [-o F] 'XPATH'   span tree / Chrome JSON
@@ -72,12 +73,49 @@ let strategy_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Database.strategy_of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Database.strategy_name s))
 
-let strategy_arg =
+let hint_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Tm_plan.Hint.of_string s) in
+  Arg.conv (parse, fun ppf h -> Format.pp_print_string ppf (Tm_plan.Hint.to_string h))
+
+let hint_arg =
   Arg.(
     value
-    & opt strategy_conv Database.RP
+    & opt (some hint_conv) None
+    & info [ "hint" ] ~docv:"HINT"
+        ~doc:
+          "Plan hint: $(b,auto) lets the cost-based planner choose (and adapt mid-query); \
+           $(b,force:STRATEGY) (or a bare strategy name) pins one of RP, DP, Edge, DG+Edge, \
+           IF+Edge, ASR, JI.")
+
+(* Legacy surface, kept as a shim: parsed through
+   [Tm_plan.Hint.of_string_compat], which warns that the
+   strategy-string round-trip is deprecated. *)
+let strategy_compat_arg =
+  Arg.(
+    value
+    & opt (some string) None
     & info [ "strategy"; "s" ] ~docv:"STRATEGY"
-        ~doc:"Indexing strategy: RP, DP, Edge, DG+Edge, IF+Edge, ASR, JI.")
+        ~doc:"Deprecated alias for $(b,--hint force:STRATEGY).")
+
+let auto_arg =
+  Arg.(
+    value & flag
+    & info [ "auto" ] ~doc:"Deprecated alias for $(b,--hint auto): let the planner choose.")
+
+(* --hint wins; --auto and -s fall through the compat shim so their
+   deprecation shows up in telemetry; the historical default is a
+   forced RP plan. *)
+let resolve_hint ~site hint strategy auto =
+  match (hint, auto, strategy) with
+  | Some h, _, _ -> h
+  | None, true, _ -> Tm_plan.Hint.Auto
+  | None, false, Some s -> (
+    match Tm_plan.Hint.of_string_compat ~site s with
+    | Ok h -> h
+    | Error m ->
+      Printf.eprintf "twigql: %s\n" m;
+      exit 124)
+  | None, false, None -> Tm_plan.Hint.Force Database.RP
 
 let xpath_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH")
 
@@ -100,20 +138,23 @@ let jobs_arg =
           "Domains for parallel index construction and query execution (default: \
            $(b,TWIGMATCH_JOBS) or 1).")
 
-let run_query snap file xmark dblp seed strategy auto analyze strict timeout_ms jobs xpath =
+let run_query snap file xmark dblp seed hint strategy auto analyze strict timeout_ms jobs xpath =
   with_par jobs @@ fun par ->
   let db = load_db ?par snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
-  let plan = if auto then `Auto else `Strategy strategy in
+  let hint = resolve_hint ~site:"twigql query -s" hint strategy auto in
   let t0 = Monotonic_clock.now () in
   let r =
     Tm_obs.Obs.with_enabled analyze (fun () ->
-        Executor.run ~plan ~strict ?deadline_ms:timeout_ms ?pool:par db twig)
+        Executor.run ~hint ~strict ?deadline_ms:timeout_ms ?pool:par db twig)
   in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
   Printf.printf "%d results in %.2f ms under %s (%s) [trace #%d]\n"
     (List.length r.Executor.ids) ms
     (Database.strategy_name r.Executor.strategy) r.Executor.reason r.Executor.trace_id;
+  if r.Executor.replans > 0 then
+    Printf.printf "replans: %d (estimates blown mid-query; final plan shown above)\n"
+      r.Executor.replans;
   List.iter
     (fun (s, why) ->
       Printf.printf "fallback: %s was unusable: %s\n" (Database.strategy_name s) why)
@@ -125,9 +166,6 @@ let run_query snap file xmark dblp seed strategy auto analyze strict timeout_ms 
   match r.Executor.trace with
   | Some tr when analyze -> print_string (Tm_obs.Export.trace_to_string tr)
   | _ -> ()
-
-let auto_arg =
-  Arg.(value & flag & info [ "auto" ] ~doc:"Let the cost-based optimizer choose RP vs DP.")
 
 let strict_arg =
   Arg.(
@@ -154,39 +192,63 @@ let analyze_arg =
 
 let query_cmd =
   Cmd.v
-    (Cmd.info "query" ~doc:"Run a twig query under one strategy (or --auto)")
+    (Cmd.info "query" ~doc:"Run a twig query under a plan hint (--hint auto|force:STRATEGY)")
     Term.(
-      const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ analyze_arg $ strict_arg $ timeout_arg $ jobs_arg $ xpath_arg)
+      const run_query $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ hint_arg
+      $ strategy_compat_arg $ auto_arg $ analyze_arg $ strict_arg $ timeout_arg $ jobs_arg
+      $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain snap file xmark dblp seed strategy auto analyze xpath =
-  let db =
-    match snap with
-    | Some path -> Persist.load path
-    | None ->
-      (* Materialize only the index sets this explain can touch (the
-         Edge table is always built and carries the planner statistics)
-         instead of all seven. *)
-      let strategies = if auto then [ Database.RP; Database.DP ] else [ strategy ] in
-      Database.create ~strategies (load_doc file xmark dblp seed)
-  in
+(* Materialize only the index sets this explain can touch (the Edge
+   table is always built and carries the planner statistics) instead of
+   all seven; under [Auto] that is the planner's candidate set. *)
+let explain_db snap file xmark dblp seed hint =
+  match snap with
+  | Some path -> Persist.load path
+  | None ->
+    let strategies =
+      match hint with
+      | Tm_plan.Hint.Auto -> [ Database.RP; Database.DP; Database.Ji ]
+      | Tm_plan.Hint.Force s -> [ s ]
+      | Tm_plan.Hint.Pin p -> [ p.Tm_plan.Plan.strategy ]
+    in
+    Database.create ~strategies (load_doc file xmark dblp seed)
+
+let run_explain snap file xmark dblp seed hint strategy auto analyze xpath =
+  let hint = resolve_hint ~site:"twigql explain -s" hint strategy auto in
+  let db = explain_db snap file xmark dblp seed hint in
   let twig = Tm_query.Xpath_parser.parse xpath in
-  let strategy, reason =
-    if auto then Executor.choose_plan db twig else (strategy, "as requested")
-  in
-  print_string (Executor.explain ~analyze db strategy twig);
-  Printf.printf "chosen: %s\n" reason
+  print_string (Executor.explain ~analyze ~hint db twig)
 
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Describe the physical plan for a query (EXPLAIN ANALYZE with --analyze)")
     Term.(
-      const run_explain $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ analyze_arg $ xpath_arg)
+      const run_explain $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ hint_arg
+      $ strategy_compat_arg $ auto_arg $ analyze_arg $ xpath_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_plan snap file xmark dblp seed hint xpath =
+  let hint = match hint with Some h -> h | None -> Tm_plan.Hint.Auto in
+  let db = explain_db snap file xmark dblp seed hint in
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  print_string (Executor.explain ~hint db twig)
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Show the cost-based planner's choice for a query without executing it: PCsubpath \
+          cover, per-path estimates, join order, cost comparison (--hint defaults to auto)")
+    Term.(
+      const run_plan $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ hint_arg
+      $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -201,7 +263,7 @@ let run_compare snap file xmark dblp seed xpath =
   List.iter
     (fun strategy ->
       let t0 = Monotonic_clock.now () in
-      match Executor.run ~plan:(`Strategy strategy) db twig with
+      match Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig with
       | r ->
         let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
         let ok = if r.Executor.ids = expected then "ok" else "MISMATCH" in
@@ -226,11 +288,11 @@ let format_arg =
     & opt (enum [ ("text", `Text); ("json", `Json); ("prometheus", `Prometheus) ]) `Text
     & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text), $(b,json) or $(b,prometheus).")
 
-let run_metrics snap file xmark dblp seed strategy auto fmt xpath =
+let run_metrics snap file xmark dblp seed hint strategy auto fmt xpath =
   let db = load_db snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
-  let plan = if auto then `Auto else `Strategy strategy in
-  ignore (Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~plan db twig));
+  let hint = resolve_hint ~site:"twigql metrics -s" hint strategy auto in
+  ignore (Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~hint db twig));
   match fmt with
   | `Json -> print_endline (Tm_obs.Export.metrics_to_json ())
   | `Prometheus -> print_string (Tm_obs.Export.metrics_to_prometheus ())
@@ -252,8 +314,8 @@ let metrics_cmd =
          "Run a query with the observability sink enabled and dump the accumulated counters and \
           histograms (buffer-pool traffic, B+-tree node visits, pager I/O, join latencies)")
     Term.(
-      const run_metrics $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ format_arg $ xpath_arg)
+      const run_metrics $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ hint_arg
+      $ strategy_compat_arg $ auto_arg $ format_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -273,12 +335,12 @@ let trace_out_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to FILE instead of stdout.")
 
-let run_trace snap file xmark dblp seed strategy auto jobs chrome out xpath =
+let run_trace snap file xmark dblp seed hint strategy auto jobs chrome out xpath =
   with_par jobs @@ fun par ->
   let db = load_db ?par snap file xmark dblp seed in
   let twig = Tm_query.Xpath_parser.parse xpath in
-  let plan = if auto then `Auto else `Strategy strategy in
-  let r = Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~plan ?pool:par db twig) in
+  let hint = resolve_hint ~site:"twigql trace -s" hint strategy auto in
+  let r = Tm_obs.Obs.with_enabled true (fun () -> Executor.run ~hint ?pool:par db twig) in
   match r.Executor.trace with
   | None -> prerr_endline "twigql: no trace was recorded"
   | Some tr ->
@@ -303,8 +365,8 @@ let trace_cmd =
          "Run a query with the observability sink enabled and export its span tree (text, or \
           Chrome trace-event JSON with --chrome)")
     Term.(
-      const run_trace $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ strategy_arg
-      $ auto_arg $ jobs_arg $ chrome_arg $ trace_out_arg $ xpath_arg)
+      const run_trace $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ hint_arg
+      $ strategy_compat_arg $ auto_arg $ jobs_arg $ chrome_arg $ trace_out_arg $ xpath_arg)
 
 (* ------------------------------------------------------------------ *)
 (* slow                                                                *)
@@ -332,7 +394,7 @@ let run_slow snap file xmark dblp seed jobs threshold fmt xpaths =
   List.iter
     (fun x ->
       let twig = Tm_query.Xpath_parser.parse x in
-      match Executor.run ~plan:`Auto ?pool:par db twig with
+      match Executor.run ~hint:Tm_plan.Hint.Auto ?pool:par db twig with
       | _ -> ()
       | exception Executor.Timeout _ -> () (* journaled as a timeout; keep going *))
     xpaths;
@@ -529,6 +591,7 @@ let () =
       [
         query_cmd;
         explain_cmd;
+        plan_cmd;
         compare_cmd;
         metrics_cmd;
         trace_cmd;

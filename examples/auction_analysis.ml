@@ -45,7 +45,7 @@ let () =
       let twig = Tm_query.Xpath_parser.parse xpath in
       List.iter
         (fun strategy ->
-          let r, ms = time_ns (fun () -> Executor.run ~plan:(`Strategy strategy) db twig) in
+          let r, ms = time_ns (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig) in
           Printf.printf "   %-8s %4d results in %7.2f ms  (%d lookups, %d entries, %d joins)\n"
             (Database.strategy_name strategy)
             (List.length r.Executor.ids)

@@ -47,7 +47,7 @@ let () =
   let search label xpath =
     Printf.printf "\n-- %s\n   %s\n" label xpath;
     let twig = Tm_query.Xpath_parser.parse xpath in
-    let r = Executor.run ~plan:(`Strategy Database.RP) db twig in
+    let r = Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig in
     Printf.printf "   %d matches (ROOTPATHS: %d index lookups)\n"
       (List.length r.Executor.ids)
       r.Executor.stats.Tm_exec.Stats.index_lookups;

@@ -15,7 +15,7 @@ open Twigmatch
 
 let check_recursive db =
   let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']" in
-  match Executor.run ~plan:(`Strategy Database.RP) db twig with
+  match Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig with
   | r -> Printf.sprintf "'//' ok (%d results)" (List.length r.Executor.ids)
   | exception Tm_index.Family.Unsupported _ -> "'//' REJECTED"
 
@@ -64,7 +64,7 @@ let () =
     Tm_query.Xpath_parser.parse
       "/site/open_auctions/open_auction[annotation/author/@person = 'person22082']/time"
   in
-  let r = Executor.run ~plan:(`Strategy Database.DP) db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) db twig in
   Printf.printf
     "\npruned DATAPATHS, Q10x-style query: %d results, %d INLJ probes (branch point retained)\n"
     (List.length r.Executor.ids)

@@ -34,7 +34,7 @@ let () =
   let db = Database.create doc in
   let twig = Tm_query.Xpath_parser.parse query_str in
 
-  Printf.printf "== plan ==\n%s\n" (Executor.explain db Database.RP twig);
+  Printf.printf "== plan ==\n%s\n" (Executor.explain ~hint:(Tm_plan.Hint.Force Database.RP) db twig);
 
   (* 1. No jane doe yet. *)
   ignore (show db twig "before insert");
@@ -60,13 +60,13 @@ let () =
   List.iter
     (fun s ->
       Printf.printf "  %-8s -> [%s]\n" (Database.strategy_name s)
-        (String.concat ";" (List.map string_of_int (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)))
+        (String.concat ";" (List.map string_of_int (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)))
     Database.all_strategies;
 
   (* 4. Range query over the updated data. *)
   let range = Tm_query.Xpath_parser.parse "//fn[. >= 'jane'][. <= 'john']" in
   Printf.printf "\n//fn in ['jane','john']: %d matches\n"
-    (List.length (Executor.run ~plan:(`Strategy Database.RP) db range).Executor.ids);
+    (List.length (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db range).Executor.ids);
 
   (* 5. Delete and verify we are back to the initial answers. *)
   let removed = Updates.delete_subtree db new_id in

@@ -44,7 +44,7 @@ let () =
 
   List.iter
     (fun strategy ->
-      let r = Executor.run ~plan:(`Strategy strategy) db twig in
+      let r = Executor.run ~hint:(Tm_plan.Hint.Force strategy) db twig in
       Printf.printf "%-8s -> author ids %s  (%s)\n"
         (Database.strategy_name strategy)
         (String.concat ", " (List.map string_of_int r.Executor.ids))

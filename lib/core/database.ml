@@ -15,31 +15,18 @@ open Tm_storage
 open Tm_xmldb
 open Tm_index
 
-type strategy = RP | DP | Edge | DG_edge | IF_edge | Asr | Ji
+(* The planner layer owns the strategy enum; this transparent
+   re-export keeps [Database.RP] et al. valid for every existing
+   caller while letting [Tm_plan] talk about strategies without
+   depending on the core. *)
+type strategy = Tm_plan.Strategy.t = RP | DP | Edge | DG_edge | IF_edge | Asr | Ji
 
-let all_strategies = [ RP; DP; Edge; DG_edge; IF_edge; Asr; Ji ]
+let all_strategies = Tm_plan.Strategy.all
+let strategy_name = Tm_plan.Strategy.name
 
-let strategy_name = function
-  | RP -> "RP"
-  | DP -> "DP"
-  | Edge -> "Edge"
-  | DG_edge -> "DG+Edge"
-  | IF_edge -> "IF+Edge"
-  | Asr -> "ASR"
-  | Ji -> "JI"
-
-let strategy_of_string = function
-  | "RP" | "rp" | "rootpaths" -> Ok RP
-  | "DP" | "dp" | "datapaths" -> Ok DP
-  | "Edge" | "edge" -> Ok Edge
-  | "DG+Edge" | "dg" | "dataguide" -> Ok DG_edge
-  | "IF+Edge" | "if" | "index-fabric" -> Ok IF_edge
-  | "ASR" | "asr" -> Ok Asr
-  | "JI" | "ji" -> Ok Ji
-  | s ->
-    Error
-      (Printf.sprintf "unknown strategy %S (expected one of %s)" s
-         (String.concat ", " (List.map strategy_name all_strategies)))
+(* Deprecated in favor of [Tm_plan.Hint.of_string]; kept for callers
+   that need a strategy rather than a hint (sizing, ablations). *)
+let strategy_of_string = Tm_plan.Strategy.of_string
 
 type t = {
   doc : Tm_xml.Xml_tree.document;
@@ -55,7 +42,13 @@ type t = {
   asr_rels : Asr.t option;
   ji : Join_index.t option;
   mutable next_id : int;  (** next node id for subtree insertion *)
+  mutable generation : int;  (** index generation (plan-cache invalidation key) *)
 }
+
+(* Generations are process-unique across databases, so the shared plan
+   cache can never serve one database's plan to another. *)
+let generation_counter = Atomic.make 1
+let fresh_generation () = Atomic.fetch_and_add generation_counter 1
 
 (** Build a database over [doc].
 
@@ -107,6 +100,7 @@ let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 
     asr_rels = (if want Asr then Some (Asr.build ~pool ~dict ~catalog doc) else None);
     ji = (if want Ji then Some (Join_index.build ~pool ~dict ~catalog doc) else None);
     next_id = doc.Tm_xml.Xml_tree.node_count;
+    generation = fresh_generation ();
   }
 
 (** The strategies whose index sets are materialized in [t]. *)
@@ -181,6 +175,15 @@ let strategy_size_bytes t strategy =
 
 (** Simulate a cold cache (drops every buffered page). *)
 let drop_caches t = Buffer_pool.clear t.pool
+
+let generation t = t.generation
+
+(** The indexes changed (incremental update, rebuild): drop this
+    database's cached plans and mint a fresh generation so stale plans
+    cannot be served. *)
+let note_index_change t =
+  Tm_plan.Cache.invalidate ~generation:t.generation;
+  t.generation <- fresh_generation ()
 
 let document_stats t =
   let module T = Tm_xml.Xml_tree in

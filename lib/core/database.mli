@@ -6,7 +6,7 @@ open Tm_storage
 open Tm_xmldb
 open Tm_index
 
-type strategy =
+type strategy = Tm_plan.Strategy.t =
   | RP  (** ROOTPATHS: merge/hash-join plans *)
   | DP  (** DATAPATHS: index-nested-loop-join plans *)
   | Edge  (** Edge table with value / forward / backward link indices *)
@@ -14,13 +14,19 @@ type strategy =
   | IF_edge  (** simulated Index Fabric + Edge *)
   | Asr  (** Access Support Relations *)
   | Ji  (** Join Indices *)
+(** Transparent re-export of {!Tm_plan.Strategy.t}: the planner owns
+    the enum, and [Database.RP] and [Tm_plan.Strategy.RP] are the same
+    constructor. *)
 
 val all_strategies : strategy list
 val strategy_name : strategy -> string
 
 val strategy_of_string : string -> (strategy, string) result
 (** Parse a strategy name ([Error] carries a human-readable message
-    listing the accepted spellings). *)
+    listing the accepted spellings).
+    @deprecated use {!Tm_plan.Hint.of_string} — plan hints subsume bare
+    strategy strings; this remains for callers that genuinely need a
+    strategy (index sizing, ablations). *)
 
 type t = {
   doc : Tm_xml.Xml_tree.document;
@@ -36,6 +42,9 @@ type t = {
   asr_rels : Asr.t option;
   ji : Join_index.t option;
   mutable next_id : int;  (** next fresh node id (see {!Updates}) *)
+  mutable generation : int;
+      (** process-unique index generation: minted at {!create}, bumped
+          by {!note_index_change} — the plan cache's invalidation key *)
 }
 
 val create :
@@ -101,6 +110,15 @@ val strategy_size_bytes : t -> strategy -> int
 
 val drop_caches : t -> unit
 (** Simulate a cold cache. *)
+
+val generation : t -> int
+(** The database's current index generation (see {!note_index_change}). *)
+
+val note_index_change : t -> unit
+(** Record that the physical indexes changed (incremental update,
+    rebuild): drops this database's cached plans from the
+    {!Tm_plan.Cache} and mints a fresh generation, so stale plans can
+    never be served. *)
 
 val document_stats : t -> int * int * int * int
 (** (elements, values, depth, distinct schema paths). *)

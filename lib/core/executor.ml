@@ -48,6 +48,13 @@ let () =
     | Timeout { ms; _ } -> Some (Printf.sprintf "Executor.Timeout(deadline %.0f ms)" ms)
     | _ -> None)
 
+exception Replan_abandoned
+(** Internal: a path's actual cardinality blew its estimate past the
+    {!Tm_plan.Planner.should_replan} threshold; the coordinator
+    abandons the attempt (cancelling in-flight pool tasks through the
+    attempt's cancellation token) and re-plans with the observed
+    numbers. Never escapes {!run}. *)
+
 type result = {
   ids : int list;
   stats : Stats.t;
@@ -58,6 +65,11 @@ type result = {
           with why its index was unusable *)
   via_naive : bool;  (** true when every indexed strategy was unusable
                          and the naive matcher produced the answer *)
+  plan : Tm_plan.Plan.t;
+      (** the plan in effect when the answer was produced: cover with
+          estimated rows, join order, cost comparison; after a
+          mid-query replan this is the {e final} plan *)
+  replans : int;  (** mid-query plan abandonments before the answer *)
   trace : Tm_obs.Obs.span option;  (** recorded when the obs sink is on *)
   trace_id : int;  (** process-unique query id (journal / log correlation) *)
 }
@@ -212,8 +224,15 @@ let eval_spanned (db : Database.t) i cp f =
    {!Stats.t} (merged back afterwards) and records its spans under a
    task-local trace whose root the coordinator adopts in path order, so
    [--analyze] shows the same "path:N" tree annotated with the domain
-   that ran it. Relation order always matches [cpaths] order. *)
-let eval_paths ?par ?(cancel = Cancel.never) (db : Database.t) ~(stats : Stats.t) eval cpaths =
+   that ran it. Relation order always matches [cpaths] order.
+
+   [watch i rel] is invoked with each path's index and finished binding
+   relation — the mid-query adaptivity probe. It may raise (abandoning
+   the attempt); in pool mode the raise propagates out of the task and
+   back through [Pool.map]. *)
+let eval_paths ?par ?(cancel = Cancel.never) ?watch (db : Database.t) ~(stats : Stats.t) eval
+    cpaths =
+  let observe i rel = match watch with Some w -> w i rel | None -> () in
   let fan_out pool =
     let record = Tm_obs.Obs.enabled () in
     let results =
@@ -230,7 +249,11 @@ let eval_paths ?par ?(cancel = Cancel.never) (db : Database.t) ~(stats : Stats.t
               Tm_obs.Obs.annotate "rows" (string_of_int (Relation.cardinality rel));
             rel
           in
-          if not record then (work (), None, stats')
+          if not record then begin
+            let rel = work () in
+            observe i rel;
+            (rel, None, stats')
+          end
           else begin
             let rel, span =
               Tm_obs.Obs.trace
@@ -242,6 +265,7 @@ let eval_paths ?par ?(cancel = Cancel.never) (db : Database.t) ~(stats : Stats.t
                 (Printf.sprintf "path:%d" (i + 1))
                 work
             in
+            observe i rel;
             (rel, span, stats')
           end)
         (List.mapi (fun i cp -> (i, cp)) cpaths)
@@ -259,33 +283,22 @@ let eval_paths ?par ?(cancel = Cancel.never) (db : Database.t) ~(stats : Stats.t
     List.mapi
       (fun i cp ->
         Cancel.check cancel;
-        eval_spanned db i cp (fun () -> eval ~stats cp))
+        let rel = eval_spanned db i cp (fun () -> eval ~stats cp) in
+        observe i rel;
+        rel)
       cpaths
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity estimation (used by DP and JI to pick the driver path)  *)
 (* ------------------------------------------------------------------ *)
 
-let catalog_matches catalog (pattern : Decompose.tag_pattern) =
-  Schema_catalog.entries catalog
-  |> List.filter_map (fun (e : Schema_catalog.entry) ->
-         match Decompose.match_all pattern (Array.of_list (Schema_path.to_list e.Schema_catalog.path)) with
-         | [] -> None
-         | positions -> Some (e, positions))
+(* Both now live in the planner layer (Tm_plan.Estimate) so the cost
+   model and the physical operators read the same statistics. *)
+let catalog_matches catalog pattern = Tm_plan.Estimate.catalog_matches catalog pattern
 
 let estimate (db : Database.t) cp =
-  let leaf_tag = snd cp.pattern.(Array.length cp.pattern - 1) in
-  match (cp.value, cp.range) with
-  | Some v, _ when leaf_tag <> Decompose.wildcard ->
-    Edge_table.value_cardinality db.Database.edge ~tag:leaf_tag ~value:v
-  | None, Some r when leaf_tag <> Decompose.wildcard ->
-    let lo, hi = vbounds r in
-    Edge_table.range_cardinality db.Database.edge ~tag:leaf_tag ~lo ~hi
-  | _ ->
-    List.fold_left
-      (fun acc ((e : Schema_catalog.entry), _) -> acc + e.Schema_catalog.instance_count)
-      0
-      (catalog_matches db.Database.catalog cp.pattern)
+  Tm_plan.Estimate.path_cardinality ~catalog:db.Database.catalog ~edge:db.Database.edge
+    ~pattern:cp.pattern ~value:cp.value ~range:cp.range
 
 (* ------------------------------------------------------------------ *)
 (* ROOTPATHS / DATAPATHS free evaluation of a rooted linear path       *)
@@ -322,9 +335,9 @@ let eval_dp_free fam ~stats cp = eval_family_rooted fam ~stats ~head:(Some 0) cp
 (* RP plan: one lookup per path, merge joins on branch points          *)
 (* ------------------------------------------------------------------ *)
 
-let run_rp ?par ?cancel (db : Database.t) fam ~stats ~out_uid cpaths =
+let run_rp ?par ?cancel ?watch (db : Database.t) fam ~stats ~out_uid cpaths =
   let relations =
-    eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_rp fam ~stats cp) cpaths
+    eval_paths ?par ?cancel ?watch db ~stats (fun ~stats cp -> eval_rp fam ~stats cp) cpaths
   in
   let joined = join_all ~stats ~kind:`Merge relations in
   Relation.column_values joined out_uid
@@ -426,24 +439,43 @@ let dp_probe_all ?par ?(cancel = Cancel.never) fam ~(stats : Stats.t) cp ~idx_b 
   | Some pool when Tm_par.Pool.jobs pool > 1 && List.length b_values > 1 -> fan_out pool
   | _ -> sequential ()
 
+(* The join order of an INLJ-style plan: the plan's order when it
+   covers exactly these paths (Force/Pin plans may carry none), else
+   the estimate sort the executor always used. Elements are (original
+   path index, cpath) so adaptivity watches can name the path the plan
+   talks about. *)
+let indexed_order (db : Database.t) ?order cpaths =
+  let arr = Array.of_list cpaths in
+  match order with
+  | Some o when Array.length o = Array.length arr ->
+    Array.to_list (Array.map (fun i -> (i, arr.(i))) o)
+  | _ ->
+    List.stable_sort
+      (fun (_, a) (_, b) -> Int.compare (estimate db a) (estimate db b))
+      (List.mapi (fun i cp -> (i, cp)) cpaths)
+
 (* With [use_inlj = false] (an ablation, not a paper strategy), every
    path is evaluated as a FreeIndex lookup and stitched with hash
    joins — DATAPATHS reduced to ROOTPATHS-style planning, isolating the
    contribution of index-nested-loop joins to Figure 12(d). *)
-let run_dp ?(use_inlj = true) ?par ?(cancel = Cancel.never) (db : Database.t) fam ~stats
-    ~out_uid cpaths =
+let run_dp ?(use_inlj = true) ?par ?(cancel = Cancel.never) ?watch ?order (db : Database.t)
+    fam ~stats ~out_uid cpaths =
   if not use_inlj then
     finish ~stats ~out_uid
-      (eval_paths ?par ~cancel db ~stats (fun ~stats cp -> eval_dp_free fam ~stats cp) cpaths)
+      (eval_paths ?par ~cancel ?watch db ~stats
+         (fun ~stats cp -> eval_dp_free fam ~stats cp)
+         cpaths)
   else
-  let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
-  match ordered with
+  let observe i rel = match watch with Some w -> w i rel | None -> () in
+  match indexed_order db ?order cpaths with
   | [] -> invalid_arg "run_dp: no paths"
-  | first :: rest ->
+  | (oi, first) :: rest ->
     Cancel.check cancel;
-    let acc = ref (eval_spanned db 0 first (fun () -> eval_dp_free fam ~stats first)) in
+    let first_rel = eval_spanned db 0 first (fun () -> eval_dp_free fam ~stats first) in
+    observe oi first_rel;
+    let acc = ref first_rel in
     List.iteri
-      (fun j cp ->
+      (fun j (oi, cp) ->
         Cancel.check cancel;
         let i = j + 1 in
         let idx_b =
@@ -455,6 +487,7 @@ let run_dp ?(use_inlj = true) ?par ?(cancel = Cancel.never) (db : Database.t) fa
         in
         if idx_b < 0 then begin
           let r = eval_spanned db i cp (fun () -> eval_dp_free fam ~stats cp) in
+          observe oi r;
           acc := join_pair ~stats ~kind:`Hash !acc r
         end
         else begin
@@ -620,9 +653,11 @@ let eval_edge_path (db : Database.t) ~(stats : Stats.t) cp =
   in
   relation_of_rows cp (edge_rows_of_bindings cp bindings)
 
-let run_edge ?par ?cancel db ~stats ~out_uid cpaths =
+let run_edge ?par ?cancel ?watch db ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_edge_path db ~stats cp) cpaths)
+    (eval_paths ?par ?cancel ?watch db ~stats
+       (fun ~stats cp -> eval_edge_path db ~stats cp)
+       cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* DG+Edge and IF+Edge plans                                           *)
@@ -751,9 +786,9 @@ let eval_guide_path (db : Database.t) ~(stats : Stats.t) ~guide ~fabric cp =
   in
   relation_of_rows cp rows
 
-let run_guide ?par ?cancel db ~stats ~out_uid ~guide ~fabric cpaths =
+let run_guide ?par ?cancel ?watch db ~stats ~out_uid ~guide ~fabric cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par ?cancel db ~stats
+    (eval_paths ?par ?cancel ?watch db ~stats
        (fun ~stats cp -> eval_guide_path db ~stats ~guide ~fabric cp)
        cpaths)
 
@@ -793,9 +828,11 @@ let eval_asr_path (db : Database.t) asrs ~(stats : Stats.t) cp =
   in
   relation_of_rows cp rows
 
-let run_asr ?par ?cancel db asrs ~stats ~out_uid cpaths =
+let run_asr ?par ?cancel ?watch db asrs ~stats ~out_uid cpaths =
   finish ~stats ~out_uid
-    (eval_paths ?par ?cancel db ~stats (fun ~stats cp -> eval_asr_path db asrs ~stats cp) cpaths)
+    (eval_paths ?par ?cancel ?watch db ~stats
+       (fun ~stats cp -> eval_asr_path db asrs ~stats cp)
+       cpaths)
 
 (* ------------------------------------------------------------------ *)
 (* JI plan                                                             *)
@@ -1033,20 +1070,23 @@ let eval_ji_probe (db : Database.t) ji ~(stats : Stats.t) cp ~idx_b ~b_values =
   let cols = Array.of_list (List.map (fun i -> cp.uids.(i)) needed_below) in
   Relation.distinct (Relation.create cols rows)
 
-let run_ji ?(cancel = Cancel.never) (db : Database.t) ji ~stats ~out_uid cpaths =
-  let ordered = List.sort (fun a b -> compare (estimate db a) (estimate db b)) cpaths in
-  match ordered with
+let run_ji ?(cancel = Cancel.never) ?watch ?order (db : Database.t) ji ~stats ~out_uid cpaths =
+  let observe i rel = match watch with Some w -> w i rel | None -> () in
+  match indexed_order db ?order cpaths with
   | [] -> invalid_arg "run_ji: no paths"
-  | first :: rest ->
+  | (oi, first) :: rest ->
     Cancel.check cancel;
-    let acc = ref (eval_spanned db 0 first (fun () -> eval_ji_driver db ji ~stats first)) in
+    let first_rel = eval_spanned db 0 first (fun () -> eval_ji_driver db ji ~stats first) in
+    observe oi first_rel;
+    let acc = ref first_rel in
     List.iteri
-      (fun j cp ->
+      (fun j (oi, cp) ->
         Cancel.check cancel;
         let i = j + 1 in
         match deepest_shared_idx cp (Relation.columns !acc) with
         | None ->
           let r = eval_spanned db i cp (fun () -> eval_ji_driver db ji ~stats cp) in
+          observe oi r;
           acc := join_pair ~stats ~kind:`Hash !acc r
         | Some idx_b ->
           let b_values = Relation.column_values !acc cp.uids.(idx_b) in
@@ -1061,42 +1101,39 @@ let run_ji ?(cancel = Cancel.never) (db : Database.t) ji ~stats ~out_uid cpaths 
 (* Cost-based strategy choice (a Lore-style optimizer, paper Section 6) *)
 (* ------------------------------------------------------------------ *)
 
-(* Rough plan costs in "entries touched" units. An RP plan scans and
-   materializes every branch; a DP plan scans the most selective branch
-   and probes the BoundIndex once per binding and remaining branch,
-   each probe costing about one root-to-leaf descent. The constant is
-   calibrated against the benchmark harness (a warm descent of a
-   three-to-four-level tree costs about as much as scanning half a
-   dozen contiguous entries); raising it biases toward merge joins. *)
-let probe_cost_entries = 6
+(* The planner's view of the compiled cover — the bridge from physical
+   cpaths to [Tm_plan.Planner] inputs. *)
+let planner_paths (db : Database.t) cpaths =
+  List.map
+    (fun cp ->
+      {
+        Tm_plan.Planner.i_label = path_label db cp;
+        i_est = estimate db cp;
+        i_len = Array.length cp.pattern;
+      })
+    cpaths
 
-let plan_costs (db : Database.t) cpaths =
-  let ests = List.map (estimate db) cpaths in
-  let total = List.fold_left ( + ) 0 ests in
-  let emin = List.fold_left min max_int ests in
-  let k = List.length ests in
-  let rp_cost = total in
-  let dp_cost = emin + (emin * (k - 1) * probe_cost_entries) in
-  (ests, rp_cost, dp_cost)
+(* Plan a compiled twig through the cost model, the journal calibration
+   and the (generation, shape) plan cache. [overrides] carries observed
+   per-path cardinalities during a mid-query replan (bypasses the
+   cache). *)
+let plan_twig ?(overrides = []) (db : Database.t) ~shape cpaths =
+  Tm_plan.Planner.plan ~overrides ~generation:(Database.generation db) ~shape
+    ~built:(Database.built_strategies db)
+    ~paths:(fun () -> planner_paths db cpaths)
+    ()
 
-(** Pick between the ROOTPATHS (merge join) and DATAPATHS
-    (index-nested-loop join) plans from selectivity estimates — the
+(** Pick a strategy for [twig] from selectivity estimates — the
     optimizer integration the paper points at ("can thus be used with a
     Lore-style optimizer", Section 6). Returns the chosen strategy and
-    a one-line justification. *)
+    a one-line justification; the full {!Tm_plan.Plan.t} comes back on
+    every {!run} result. *)
 let choose_plan (db : Database.t) twig =
   match compile db twig with
   | exception Unknown_tag -> (Database.RP, "unknown tag: empty result either way")
-  | [ _ ] -> (Database.RP, "single path: one ROOTPATHS lookup")
   | cpaths ->
-    let ests, rp_cost, dp_cost = plan_costs db cpaths in
-    let detail =
-      Printf.sprintf "branch estimates [%s]; RP~%d DP~%d entries"
-        (String.concat ";" (List.map string_of_int ests))
-        rp_cost dp_cost
-    in
-    if dp_cost < rp_cost then (Database.DP, "INLJ from the selective branch: " ^ detail)
-    else (Database.RP, "merge join over branch scans: " ^ detail)
+    let p = plan_twig db ~shape:(Twig.shape twig) cpaths in
+    (p.Tm_plan.Plan.strategy, p.Tm_plan.Plan.reason)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -1115,11 +1152,21 @@ let classify_unusable = function
     Some (Printf.sprintf "I/O error at %s after retries (%s)" site detail)
   | _ -> None
 
-(** Evaluate [twig] under [plan] (an explicit strategy, or [`Auto] for
-    the {!choose_plan} choice — the default). [dp_use_inlj:false]
+(** Evaluate [twig] under [hint] ({!Tm_plan.Hint.Auto} — the cost-based
+    planner, the default; [Force s] — one strategy, no adaptivity;
+    [Pin p] — a previously obtained plan verbatim). [dp_use_inlj:false]
     disables index-nested-loop joins for DP (ablation). When the obs
     sink is on, the whole evaluation is recorded under a root span
-    returned in [trace].
+    returned in [trace]. The result carries the {!Tm_plan.Plan.t} that
+    produced the answer.
+
+    {b Mid-query adaptivity} (Auto only): each path's finished binding
+    relation is checked against the plan's estimate; a path blowing it
+    past {!Tm_plan.Planner.should_replan} trips the attempt's
+    cancellation token (stopping in-flight pool tasks), and the query
+    is re-planned with the observed cardinality — at most
+    {!Tm_plan.Planner.max_replans} times, counted in [replans] and the
+    journal.
 
     {b Graceful degradation} (default): when the planned strategy's
     index is unusable — not materialized, a page fails its checksum
@@ -1137,8 +1184,8 @@ let classify_unusable = function
     between per-path evaluations and between INLJ probe chunks — on
     the coordinating domain and inside pool tasks alike. Expiry raises
     {!Timeout} carrying the stats of the work already done. Timeouts
-    are never caught by fallback (a slow query is slow under every
-    strategy).
+    are never caught by fallback or replanning (a slow query is slow
+    under every strategy).
 
     [pool] fans the per-path lookups (and DP probe batches) out across
     the given domain pool; [jobs] (used when [pool] is absent) spins up
@@ -1146,19 +1193,13 @@ let classify_unusable = function
     spawn costs milliseconds, so callers issuing many queries should
     create one pool and pass it. JI plans always run sequentially
     (their probe chain threads bindings from path to path). *)
-let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?pool ?jobs
-    (db : Database.t) twig =
+let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?deadline_ms
+    ?pool ?jobs (db : Database.t) twig =
   let trace_id = Tm_obs.Journal.next_id () in
-  (* The journal branch: when disabled, nothing below allocates or
-     measures on its behalf — the lifecycle telemetry costs one atomic
-     load per query. *)
   let journal_on = Tm_obs.Journal.enabled () in
-  let t_start =
-    if journal_on || Tm_obs.Obs.enabled () then Monotonic_clock.now () else 0L
-  in
+  let t_start = Monotonic_clock.now () in
   let latency_ms () =
-    if Int64.equal t_start 0L then 0.0
-    else Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_start) /. 1e6
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_start) /. 1e6
   in
   let jstart =
     if journal_on then
@@ -1170,43 +1211,48 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
     | Some p -> Tm_par.Pool.jobs p
     | None -> ( match jobs with Some j when j > 1 -> j | Some _ | None -> 1)
   in
-  let requested, reason =
-    match plan with
-    | `Strategy s -> (s, "as requested")
-    | `Auto -> (
-      match choose_plan db twig with
-      | choice -> choice
-      | exception e -> (
-        (* Cost estimation reads Edge-table statistics pages; if those
-           are unusable, degrade to the RP default rather than dying in
-           the planner (the chain below still covers execution). *)
-        match classify_unusable e with
-        | Some why when not strict -> (Database.RP, "planner statistics unusable: " ^ why)
-        | Some _ | None -> raise e))
+  let shape = Twig.shape twig in
+  (* Compile once; planning and every (re)plan attempt share the paths. *)
+  let compiled = match compile db twig with
+    | cpaths -> Some cpaths
+    | exception Unknown_tag -> None
+  in
+  let initial_plan =
+    match compiled with
+    | None -> (
+      match hint with
+      | Tm_plan.Hint.Pin p -> p
+      | Tm_plan.Hint.Force s -> Tm_plan.Plan.trivial ~shape ~strategy:s "as requested"
+      | Tm_plan.Hint.Auto ->
+        Tm_plan.Plan.trivial ~shape ~strategy:Database.RP
+          "unknown tag: empty result either way")
+    | Some cpaths -> (
+      match hint with
+      | Tm_plan.Hint.Pin p -> p
+      | Tm_plan.Hint.Force s -> (
+        match Tm_plan.Planner.forced ~shape ~paths:(planner_paths db cpaths) s with
+        | p -> p
+        | exception e -> (
+          (* Estimation reads Edge-table statistics pages; a forced
+             strategy can still run without them. *)
+          match classify_unusable e with
+          | Some _ when not strict -> Tm_plan.Plan.trivial ~shape ~strategy:s "as requested"
+          | Some _ | None -> raise e))
+      | Tm_plan.Hint.Auto -> (
+        match plan_twig db ~shape cpaths with
+        | p -> p
+        | exception e -> (
+          (* If the statistics pages are unusable, degrade to the RP
+             default rather than dying in the planner (the fallback
+             chain below still covers execution). *)
+          match classify_unusable e with
+          | Some why when not strict ->
+            Tm_plan.Plan.trivial ~shape ~strategy:Database.RP
+              ("planner statistics unusable: " ^ why)
+          | Some _ | None -> raise e)))
   in
   let stats = Stats.create () in
-  let cancel =
-    match deadline_ms with Some ms -> Cancel.with_deadline_ms ms | None -> Cancel.never
-  in
   let fallbacks = ref [] in
-  let run_strategy par strategy ~out_uid cpaths =
-    match Database.require db strategy with
-    | Database.Built_rootpaths fam -> run_rp ?par ~cancel db fam ~stats ~out_uid cpaths
-    | Database.Built_datapaths fam ->
-      run_dp ~use_inlj:dp_use_inlj ?par ~cancel db fam ~stats ~out_uid cpaths
-    | Database.Built_edge -> run_edge ?par ~cancel db ~stats ~out_uid cpaths
-    | Database.Built_dataguide guide ->
-      run_guide ?par ~cancel db ~stats ~out_uid ~guide ~fabric:None cpaths
-    | Database.Built_index_fabric { fabric; dataguide } ->
-      run_guide ?par ~cancel db ~stats ~out_uid ~guide:dataguide ~fabric:(Some fabric) cpaths
-    | Database.Built_asr asrs -> run_asr ?par ~cancel db asrs ~stats ~out_uid cpaths
-    | Database.Built_ji ji -> run_ji ~cancel db ji ~stats ~out_uid cpaths
-  in
-  (* The fallback chain: the planned strategy, then the paper's two
-     primary plans and JI (complete indices with independent physical
-     structures), then the index-free oracle. Every chain member that
-     fails for a classified reason is recorded and skipped; anything
-     else — including Timeout/Cancelled — propagates immediately. *)
   let note_fallback strategy why =
     fallbacks := (strategy, why) :: !fallbacks;
     Tm_obs.Obs.incr c_fallbacks;
@@ -1215,10 +1261,60 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
         (Printf.sprintf "fallback:%s" (Database.strategy_name strategy))
         why
   in
-  let attempt_chain par ~out_uid cpaths =
+  (* --- Mid-query adaptivity state (Auto hints only) --------------- *)
+  let adaptive = match hint with Tm_plan.Hint.Auto -> true | _ -> false in
+  let replans = ref 0 in
+  let replan_notes = ref [] in
+  (* Observed (path index, actual rows) pairs accumulated across
+     replans; each replanning round feeds them back as overrides. *)
+  let observed = ref [] in
+  (* The blow-up that tripped the current attempt. Watches run inside
+     pool tasks on other domains, and the abandonment may surface at
+     the coordinator as [Cancelled] from a sibling task rather than
+     [Replan_abandoned] itself — so this atomic, not the exception
+     identity, is what distinguishes a replan from a deadline. *)
+  let blown = Atomic.make None in
+  let watch_for (plan : Tm_plan.Plan.t) cancel i rel =
+    let cover = plan.Tm_plan.Plan.cover in
+    if i < Array.length cover then begin
+      let est = cover.(i).Tm_plan.Plan.p_est in
+      let actual = Relation.cardinality rel in
+      if Tm_plan.Planner.should_replan ~est ~actual then begin
+        ignore (Atomic.compare_and_set blown None (Some (i, est, actual)));
+        Cancel.cancel cancel;
+        raise Replan_abandoned
+      end
+    end
+  in
+  (* The fallback chain: the planned strategy, then the paper's two
+     primary plans and JI (complete indices with independent physical
+     structures), then the index-free oracle. Every chain member that
+     fails for a classified reason is recorded and skipped; anything
+     else — including Timeout/Cancelled/Replan_abandoned — propagates
+     immediately. *)
+  let run_strategy par ~cancel ~watch ~order strategy ~out_uid cpaths =
+    match Database.require db strategy with
+    | Database.Built_rootpaths fam ->
+      run_rp ?par ~cancel ?watch db fam ~stats ~out_uid cpaths
+    | Database.Built_datapaths fam ->
+      run_dp ~use_inlj:dp_use_inlj ?par ~cancel ?watch ~order db fam ~stats ~out_uid cpaths
+    | Database.Built_edge -> run_edge ?par ~cancel ?watch db ~stats ~out_uid cpaths
+    | Database.Built_dataguide guide ->
+      run_guide ?par ~cancel ?watch db ~stats ~out_uid ~guide ~fabric:None cpaths
+    | Database.Built_index_fabric { fabric; dataguide } ->
+      run_guide ?par ~cancel ?watch db ~stats ~out_uid ~guide:dataguide
+        ~fabric:(Some fabric) cpaths
+    | Database.Built_asr asrs -> run_asr ?par ~cancel ?watch db asrs ~stats ~out_uid cpaths
+    | Database.Built_ji ji -> run_ji ~cancel ?watch ~order db ji ~stats ~out_uid cpaths
+  in
+  let attempt_chain par ~cancel ~watch (plan : Tm_plan.Plan.t) ~out_uid cpaths =
+    let requested = plan.Tm_plan.Plan.strategy in
+    let order = plan.Tm_plan.Plan.join_order in
     let chain =
       requested
-      :: List.filter (fun s -> s <> requested) [ Database.DP; Database.RP; Database.Ji ]
+      :: List.filter
+           (fun s -> not (Tm_plan.Strategy.equal s requested))
+           [ Database.DP; Database.RP; Database.Ji ]
     in
     let rec go = function
       | [] ->
@@ -1227,7 +1323,7 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
         Cancel.check cancel;
         (Tm_query.Naive.query db.Database.doc twig, requested, true)
       | strategy :: rest -> (
-        match run_strategy par strategy ~out_uid cpaths with
+        match run_strategy par ~cancel ~watch ~order strategy ~out_uid cpaths with
         | ids -> (ids, strategy, false)
         | exception e -> (
           match classify_unusable e with
@@ -1238,30 +1334,80 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
     in
     go chain
   in
+  (* One attempt = one cancellation token scoped to the remaining
+     deadline budget, plus (while replans remain) a watch that trips it
+     on a blown estimate. *)
+  let run_attempt par (plan : Tm_plan.Plan.t) ~out_uid cpaths =
+    let remaining =
+      match deadline_ms with None -> None | Some ms -> Some (ms -. latency_ms ())
+    in
+    (match remaining with Some r when r <= 0.0 -> raise Cancel.Cancelled | _ -> ());
+    let watching =
+      adaptive
+      && !replans < Tm_plan.Planner.max_replans
+      && Array.length plan.Tm_plan.Plan.cover > 1
+    in
+    let cancel =
+      match remaining with
+      | Some r -> Cancel.with_deadline_ms r
+      | None -> if watching then Cancel.token () else Cancel.never
+    in
+    let watch = if watching then Some (watch_for plan cancel) else None in
+    attempt_chain par ~cancel ~watch plan ~out_uid cpaths
+  in
+  let rec execute par (plan : Tm_plan.Plan.t) ~out_uid cpaths =
+    match run_attempt par plan ~out_uid cpaths with
+    | ids, strategy, via_naive -> (plan, ids, strategy, via_naive)
+    | exception (Replan_abandoned | Cancel.Cancelled)
+      when (match Atomic.get blown with Some _ -> true | None -> false) ->
+      let i, est, actual =
+        match Atomic.exchange blown None with Some b -> b | None -> assert false
+      in
+      incr replans;
+      stats.Stats.replans <- stats.Stats.replans + 1;
+      observed := (i, actual) :: List.remove_assoc i !observed;
+      let note =
+        Printf.sprintf "path %d returned %d rows against an estimate of %d" (i + 1)
+          actual est
+      in
+      replan_notes := note :: !replan_notes;
+      if Tm_obs.Obs.in_trace () then
+        Tm_obs.Obs.annotate (Printf.sprintf "replan:%d" !replans) note;
+      let plan' =
+        match plan_twig ~overrides:!observed db ~shape cpaths with
+        | p -> p
+        | exception e -> (
+          match classify_unusable e with
+          | Some _ when not strict -> plan (* keep the plan, watch expires below *)
+          | Some _ | None -> raise e)
+      in
+      execute par plan' ~out_uid cpaths
+  in
   let run_with par =
     let body () =
-      Cancel.check cancel;
-      match compile db twig with
-      | exception Unknown_tag -> ([], requested, false)
-      | cpaths ->
+      match compiled with
+      | None -> (initial_plan, [], initial_plan.Tm_plan.Plan.strategy, false)
+      | Some cpaths ->
         let out_uid = (Twig.output_node twig).Twig.uid in
-        let ids, strategy, via_naive = attempt_chain par ~out_uid cpaths in
-        (List.sort_uniq compare ids, strategy, via_naive)
+        let plan, ids, strategy, via_naive = execute par initial_plan ~out_uid cpaths in
+        (plan, List.sort_uniq compare ids, strategy, via_naive)
     in
     Tm_obs.Obs.trace
       ~meta:
         [
           ("query", Twig.to_string twig);
-          ("strategy", Database.strategy_name requested);
-          ("reason", reason);
+          ("shape", shape);
+          ("strategy", Database.strategy_name initial_plan.Tm_plan.Plan.strategy);
+          ("reason", initial_plan.Tm_plan.Plan.reason);
           ("trace", string_of_int trace_id);
           ( "jobs",
             string_of_int (match par with Some p -> Tm_par.Pool.jobs p | None -> 1) );
         ]
-      ("query:" ^ Database.strategy_name requested)
+      ("query:" ^ Database.strategy_name initial_plan.Tm_plan.Plan.strategy)
       body
   in
-  let record_journal ~strategy ~reason ~fallbacks ~via_naive ~rows ~ms outcome =
+  let record_journal ~(plan : Tm_plan.Plan.t) ~strategy ~reason ~fallbacks ~via_naive ~rows
+      ~ms outcome =
     match jstart with
     | None -> ()
     | Some (gc0, pool0) ->
@@ -1277,13 +1423,18 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
           Tm_obs.Journal.j_id = trace_id;
           j_time = Unix.gettimeofday ();
           j_query = Twig.to_string twig;
-          j_requested = Database.strategy_name requested;
+          j_shape = shape;
+          j_requested = Database.strategy_name initial_plan.Tm_plan.Plan.strategy;
           j_strategy = Database.strategy_name strategy;
           j_reason = reason;
           j_fallbacks =
             List.map (fun (s, why) -> (Database.strategy_name s, why)) fallbacks;
           j_via_naive = via_naive;
           j_rows = rows;
+          j_est_rows =
+            (if Array.length plan.Tm_plan.Plan.cover = 0 then None
+             else Some plan.Tm_plan.Plan.est_rows);
+          j_replans = !replans;
           j_latency_ms = ms;
           j_pool_hit_rate = hit_rate;
           j_jobs = jobs_used;
@@ -1300,8 +1451,14 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
           | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
           | Some _ | None -> run_with None))
   with
-  | (ids, strategy, via_naive), trace ->
+  | (final_plan, ids, strategy, via_naive), trace ->
     let fallbacks = List.rev !fallbacks in
+    let reason = final_plan.Tm_plan.Plan.reason in
+    let reason =
+      match List.rev !replan_notes with
+      | [] -> reason
+      | notes -> Printf.sprintf "%s [%s]" reason (String.concat "; " notes)
+    in
     let reason =
       match fallbacks with
       | [] -> reason
@@ -1317,62 +1474,90 @@ let run ?(dp_use_inlj = true) ?(plan = `Auto) ?(strict = false) ?deadline_ms ?po
     in
     let ms = latency_ms () in
     Tm_obs.Obs.observe h_query_ms ms;
-    record_journal ~strategy ~reason ~fallbacks ~via_naive ~rows:(List.length ids) ~ms
-      Tm_obs.Journal.Completed;
-    { ids; stats; strategy; reason; fallbacks; via_naive; trace; trace_id }
+    record_journal ~plan:final_plan ~strategy ~reason ~fallbacks ~via_naive
+      ~rows:(List.length ids) ~ms Tm_obs.Journal.Completed;
+    {
+      ids;
+      stats;
+      strategy;
+      reason;
+      fallbacks;
+      via_naive;
+      plan = final_plan;
+      replans = !replans;
+      trace;
+      trace_id;
+    }
   | exception Cancel.Cancelled ->
     let deadline = Option.value deadline_ms ~default:0.0 in
-    record_journal ~strategy:requested ~reason ~fallbacks:(List.rev !fallbacks)
+    record_journal ~plan:initial_plan ~strategy:initial_plan.Tm_plan.Plan.strategy
+      ~reason:initial_plan.Tm_plan.Plan.reason ~fallbacks:(List.rev !fallbacks)
       ~via_naive:false ~rows:0 ~ms:(latency_ms ())
       (Tm_obs.Journal.Timed_out deadline);
     raise (Timeout { ms = deadline; stats })
   | exception e ->
     let bt = Printexc.get_raw_backtrace () in
-    record_journal ~strategy:requested ~reason ~fallbacks:(List.rev !fallbacks)
+    record_journal ~plan:initial_plan ~strategy:initial_plan.Tm_plan.Plan.strategy
+      ~reason:initial_plan.Tm_plan.Plan.reason ~fallbacks:(List.rev !fallbacks)
       ~via_naive:false ~rows:0 ~ms:(latency_ms ())
       (Tm_obs.Journal.Failed (Printexc.to_string e));
     Printexc.raise_with_backtrace e bt
 
-(** Evaluate under the cost-chosen strategy; {!run} with [`Auto],
-    re-shaped for compatibility. Requires both ROOTPATHS and DATAPATHS
-    to be built. *)
+(** Evaluate under the cost-chosen strategy; {!run} with
+    {!Tm_plan.Hint.Auto}, re-shaped for compatibility. *)
 let run_auto (db : Database.t) twig =
-  let r = run ~plan:`Auto db twig in
+  let r = run ~hint:Tm_plan.Hint.Auto db twig in
   (r, r.strategy, r.reason)
 
-(** Human-readable plan description for a (strategy, twig) pair. With
+(* The physical shape of a strategy's plan, one or two lines. *)
+let physical_description add (strategy : Database.strategy) =
+  match strategy with
+  | Database.RP ->
+    add "  one ROOTPATHS lookup per path; extract branch ids from IdLists; sort-merge join"
+  | Database.DP ->
+    add "  FreeIndex lookup for the most selective path, then BoundIndex";
+    add "  index-nested-loop probes per branch binding"
+  | Database.Edge -> add "  value-index lookup per valued leaf; one backward-link join per step"
+  | Database.DG_edge ->
+    add "  DataGuide lookup per matching schema path + value-index join; backward-link climbs"
+  | Database.IF_edge ->
+    add "  Index Fabric (path,value) lookup per matching schema path; backward-link climbs"
+  | Database.Asr ->
+    add "  one relation scan per matching rooted schema path; ids taken from tuples"
+  | Database.Ji ->
+    add "  value-index lookup, then backward/forward join-index probes per matching subpath"
+
+(** Human-readable plan for [twig] under [hint] (default: the planner's
+    Auto choice, consulting — and filling — the plan cache). With
     [analyze:true], also executes the query with the obs sink on and
     appends the recorded trace tree — EXPLAIN ANALYZE. *)
-let explain ?(analyze = false) (db : Database.t) (strategy : Database.strategy) twig =
+let explain ?(analyze = false) ?(hint = Tm_plan.Hint.Auto) (db : Database.t) twig =
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   add "query: %s" (Twig.to_string twig);
-  add "strategy: %s" (Database.strategy_name strategy);
+  let shape = Twig.shape twig in
   (match compile db twig with
-  | exception Unknown_tag -> add "plan: empty (a query tag does not occur in the data)"
+  | exception Unknown_tag ->
+    let strategy =
+      match hint with
+      | Tm_plan.Hint.Force s -> s
+      | Tm_plan.Hint.Pin p -> p.Tm_plan.Plan.strategy
+      | Tm_plan.Hint.Auto -> Database.RP
+    in
+    add "strategy: %s" (Database.strategy_name strategy);
+    add "plan: empty (a query tag does not occur in the data)"
   | cpaths ->
-    let ests = List.map (estimate db) cpaths in
-    List.iteri
-      (fun i (cp, est) -> add "  path %d: %s  (est. %d rows)" (i + 1) (path_label db cp) est)
-      (List.combine cpaths ests);
-    match strategy with
-    | Database.RP ->
-      add "  one ROOTPATHS lookup per path; extract branch ids from IdLists; sort-merge join"
-    | Database.DP ->
-      let emin = List.fold_left min max_int ests in
-      add "  FreeIndex lookup for the most selective path (est. %d), then BoundIndex" emin;
-      add "  index-nested-loop probes per branch binding"
-    | Database.Edge -> add "  value-index lookup per valued leaf; one backward-link join per step"
-    | Database.DG_edge ->
-      add "  DataGuide lookup per matching schema path + value-index join; backward-link climbs"
-    | Database.IF_edge ->
-      add "  Index Fabric (path,value) lookup per matching schema path; backward-link climbs"
-    | Database.Asr ->
-      add "  one relation scan per matching rooted schema path; ids taken from tuples"
-    | Database.Ji ->
-      add "  value-index lookup, then backward/forward join-index probes per matching subpath");
+    let plan =
+      match hint with
+      | Tm_plan.Hint.Pin p -> p
+      | Tm_plan.Hint.Force s ->
+        Tm_plan.Planner.forced ~shape ~paths:(planner_paths db cpaths) s
+      | Tm_plan.Hint.Auto -> plan_twig db ~shape cpaths
+    in
+    Buffer.add_string buf (Tm_plan.Plan.to_string plan);
+    physical_description (fun s -> add "%s" s) plan.Tm_plan.Plan.strategy);
   if analyze then begin
-    let r = Tm_obs.Obs.with_enabled true (fun () -> run ~plan:(`Strategy strategy) db twig) in
+    let r = Tm_obs.Obs.with_enabled true (fun () -> run ~hint db twig) in
     add "";
     add "EXPLAIN ANALYZE: %d result%s" (List.length r.ids)
       (if List.length r.ids = 1 then "" else "s");

@@ -3,7 +3,12 @@
     root-to-leaf paths, evaluates each to a binding relation over the
     branch points and the output node, and stitches the relations with
     relational joins — using exactly the access paths and join
-    algorithms the paper attributes to each strategy. *)
+    algorithms the paper attributes to each strategy.
+
+    Planning is delegated to {!Tm_plan}: the cost-based planner picks
+    cover, join order and strategy (cached per (generation, twig
+    shape)), and {!run} adapts mid-query when a path's observed
+    cardinality blows its estimate. *)
 
 exception Timeout of { ms : float; stats : Tm_exec.Stats.t }
 (** Raised by {!run} when its [deadline_ms] expires: [ms] is the
@@ -14,9 +19,9 @@ type result = {
   stats : Tm_exec.Stats.t;
   strategy : Database.strategy;  (** the strategy actually executed *)
   reason : string;
-      (** one-line justification ("as requested" for explicit plans,
-          the optimizer's cost comparison under [`Auto]; extended with
-          the fallback story when degradation occurred) *)
+      (** one-line justification ("as requested" for forced plans, the
+          planner's cost comparison under [Auto]; extended with the
+          replan and fallback stories when either occurred) *)
   fallbacks : (Database.strategy * string) list;
       (** strategies abandoned before [strategy] answered, oldest
           first, each with why its index was unusable (empty on the
@@ -25,6 +30,13 @@ type result = {
       (** [true] when every indexed strategy was unusable and the
           answer came from the naive in-memory matcher; [strategy] then
           holds the originally planned strategy *)
+  plan : Tm_plan.Plan.t;
+      (** the plan in effect when the answer was produced: PCsubpath
+          cover with estimates, join order, cost comparison; after a
+          mid-query replan this is the {e final} plan *)
+  replans : int;
+      (** mid-query plan abandonments before the answer (Auto hints
+          only; capped at {!Tm_plan.Planner.max_replans}) *)
   trace : Tm_obs.Obs.span option;
       (** the query's span tree, recorded when the {!Tm_obs.Obs} sink
           is enabled ([None] otherwise) *)
@@ -37,7 +49,7 @@ type result = {
 
 val run :
   ?dp_use_inlj:bool ->
-  ?plan:[ `Strategy of Database.strategy | `Auto ] ->
+  ?hint:Tm_plan.Hint.t ->
   ?strict:bool ->
   ?deadline_ms:float ->
   ?pool:Tm_par.Pool.t ->
@@ -45,11 +57,30 @@ val run :
   Database.t ->
   Tm_query.Twig.t ->
   result
-(** Evaluate a twig under [plan]: an explicit strategy, or [`Auto]
-    (default) for the cost-based {!choose_plan} choice. Query tags
-    absent from the data yield an empty result. [dp_use_inlj:false]
-    (default true) disables index-nested-loop joins for the DP
-    strategy — an ablation isolating the Figure 12(d) effect.
+(** Evaluate a twig under [hint]:
+    - {!Tm_plan.Hint.Auto} (default) — the cost-based planner decides,
+      consulting the plan cache and the journal calibration, and
+      adapting mid-query (below);
+    - [Force s] — execute strategy [s]; cover and join order are still
+      computed for display, no costing, no adaptivity;
+    - [Pin p] — execute a previously obtained {!Tm_plan.Plan.t}
+      verbatim (no cache, no adaptivity) — the reproducibility and
+      regression-pinning hook.
+
+    Query tags absent from the data yield an empty result.
+    [dp_use_inlj:false] (default true) disables index-nested-loop
+    joins for the DP strategy — an ablation isolating the Figure 12(d)
+    effect.
+
+    {b Mid-query adaptivity} (Auto only): the executor watches each
+    path's finished binding relation against the plan's estimate. When
+    one blows it past the {!Tm_plan.Planner.should_replan} threshold
+    (>10x), the attempt's cancellation token trips (stopping in-flight
+    pool tasks), the query is re-planned with the observed cardinality
+    as an override, and execution restarts — at most
+    {!Tm_plan.Planner.max_replans} times. [replans] counts the
+    abandonments; [plan] is the final plan; [reason] narrates each
+    trigger.
 
     {b Graceful degradation} (default, [strict:false]): when the
     planned strategy's index is unusable — not materialized, corrupt
@@ -65,7 +96,7 @@ val run :
     [deadline_ms] arms a per-query deadline, checked between per-path
     evaluations and INLJ probe chunks (including inside pool tasks);
     expiry raises {!Timeout} with partial stats. Timeouts are never
-    absorbed by fallback.
+    absorbed by fallback or replanning.
 
     [pool] fans the independent per-path index lookups (and DP's INLJ
     probe batches) out across a domain pool, joining the binding
@@ -86,20 +117,22 @@ val path_cardinalities : Database.t -> Tm_query.Twig.t -> int list
     Figures 7-8), one per linear path. *)
 
 val choose_plan : Database.t -> Tm_query.Twig.t -> Database.strategy * string
-(** Cost-based choice between the RP (merge join) and DP (INLJ) plans
-    from the pre-collected selectivity statistics — the Lore-style
-    optimizer integration of paper Section 6. Returns the strategy and
-    a one-line justification. *)
+(** Cost-based strategy choice from the pre-collected selectivity
+    statistics — the Lore-style optimizer integration of paper Section
+    6. Returns the strategy and a one-line justification (the
+    [(strategy, reason)] projection of the {!Tm_plan.Plan.t} the
+    planner builds; consults and fills the plan cache). *)
 
 val run_auto : Database.t -> Tm_query.Twig.t -> result * Database.strategy * string
-(** Compatibility alias for [run ~plan:`Auto]; the strategy and reason
-    are duplicated from the {!result}. Requires ROOTPATHS and DATAPATHS
-    to be built. *)
+(** Compatibility alias for [run ~hint:Tm_plan.Hint.Auto]; the strategy
+    and reason are duplicated from the {!result}. *)
 
-val explain : ?analyze:bool -> Database.t -> Database.strategy -> Tm_query.Twig.t -> string
-(** Human-readable plan description: the linear paths with selectivity
-    estimates and the strategy's physical plan shape. With
-    [analyze:true] the query is also executed with the obs sink
-    enabled, and the recorded span tree (per-path and per-join timings,
-    buffer-pool hit rates, row counts) plus the executor statistics are
-    appended — EXPLAIN ANALYZE. *)
+val explain : ?analyze:bool -> ?hint:Tm_plan.Hint.t -> Database.t -> Tm_query.Twig.t -> string
+(** Human-readable plan: the {!Tm_plan.Plan.t} rendering (shape, join
+    order with per-path estimates, cost comparison, cache/calibration
+    markers) followed by the strategy's physical plan shape. [hint]
+    defaults to [Auto] (the planner's choice — consulting and filling
+    the plan cache). With [analyze:true] the query is also executed
+    with the obs sink enabled, and the recorded span tree (per-path and
+    per-join timings, buffer-pool hit rates, row counts) plus the
+    executor statistics are appended — EXPLAIN ANALYZE. *)

@@ -126,6 +126,7 @@ let insert_subtree (db : Database.t) ~parent (subtree : T.node) =
   let parent_tag = match rev_tags with t :: _ -> t | [] -> -1 in
   let infos = shred_subtree db ~rev_tags ~rev_ids ~parent_id:parent ~parent_tag subtree in
   List.iter (apply db ~insert:true) infos;
+  Database.note_index_change db;
   subtree.T.id
 
 (** [delete_subtree db id] detaches the node with id [id] (and its
@@ -159,4 +160,5 @@ let delete_subtree (db : Database.t) id =
   parent_node.T.children <-
     Array.of_list
       (List.filter (fun (c : T.node) -> c != target) (Array.to_list parent_node.T.children));
+  Database.note_index_change db;
   List.length infos

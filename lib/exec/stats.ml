@@ -14,6 +14,7 @@ type t = {
   mutable join_steps : int;  (** joins executed (of any kind) *)
   mutable inlj_probes : int;  (** index-nested-loop probe count *)
   mutable structures_accessed : int;  (** distinct physical structures touched (ASR/JI) *)
+  mutable replans : int;  (** mid-query plan abandonments (adaptive replanning) *)
 }
 
 let create () =
@@ -24,6 +25,7 @@ let create () =
     join_steps = 0;
     inlj_probes = 0;
     structures_accessed = 0;
+    replans = 0;
   }
 
 let add a b =
@@ -34,6 +36,7 @@ let add a b =
     join_steps = a.join_steps + b.join_steps;
     inlj_probes = a.inlj_probes + b.inlj_probes;
     structures_accessed = a.structures_accessed + b.structures_accessed;
+    replans = a.replans + b.replans;
   }
 
 (* Accumulate a per-task stats record into the query-level one; used
@@ -45,8 +48,10 @@ let merge_into ~into b =
   into.rows_produced <- into.rows_produced + b.rows_produced;
   into.join_steps <- into.join_steps + b.join_steps;
   into.inlj_probes <- into.inlj_probes + b.inlj_probes;
-  into.structures_accessed <- into.structures_accessed + b.structures_accessed
+  into.structures_accessed <- into.structures_accessed + b.structures_accessed;
+  into.replans <- into.replans + b.replans
 
 let pp ppf s =
-  Fmt.pf ppf "lookups=%d scanned=%d rows=%d joins=%d probes=%d structures=%d" s.index_lookups
+  Fmt.pf ppf "lookups=%d scanned=%d rows=%d joins=%d probes=%d structures=%d%s" s.index_lookups
     s.entries_scanned s.rows_produced s.join_steps s.inlj_probes s.structures_accessed
+    (if s.replans > 0 then Printf.sprintf " replans=%d" s.replans else "")

@@ -8,6 +8,7 @@ type t = {
   mutable join_steps : int;  (** joins executed *)
   mutable inlj_probes : int;  (** index-nested-loop probes *)
   mutable structures_accessed : int;  (** distinct structures touched (ASR/JI) *)
+  mutable replans : int;  (** mid-query plan abandonments (adaptive replanning) *)
 }
 
 val create : unit -> t

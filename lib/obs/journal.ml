@@ -20,12 +20,15 @@ type entry = {
   j_id : int;  (** trace id (process-unique, monotonically increasing) *)
   j_time : float;  (** wall-clock completion time (Unix epoch seconds) *)
   j_query : string;
+  j_shape : string;  (** normalized twig shape (the planner's cache/calibration key) *)
   j_requested : string;  (** the planned strategy *)
   j_strategy : string;  (** the strategy that answered (= requested when healthy) *)
   j_reason : string;  (** planner justification, extended with the fallback story *)
   j_fallbacks : (string * string) list;  (** losing plans, oldest first, with why *)
   j_via_naive : bool;
   j_rows : int;
+  j_est_rows : int option;  (** the plan's estimated result rows, when planned *)
+  j_replans : int;  (** mid-query replans before the answer *)
   j_latency_ms : float;
   j_pool_hit_rate : float option;  (** buffer-pool hit rate over the query *)
   j_jobs : int;
@@ -183,6 +186,14 @@ let entry_to_string e =
     Buffer.add_string buf (Printf.sprintf ", planned %s" e.j_requested);
   if e.j_via_naive then Buffer.add_string buf ", naive";
   Buffer.add_string buf (Printf.sprintf ", rows=%d" e.j_rows);
+  (* Estimated vs actual rows — the "why was this plan mispicked"
+     column: a large gap explains a slow entry better than the strategy
+     name does. *)
+  (match e.j_est_rows with
+  | Some est when est <> e.j_rows ->
+    Buffer.add_string buf (Printf.sprintf ", est=%d" est)
+  | Some _ | None -> ());
+  if e.j_replans > 0 then Buffer.add_string buf (Printf.sprintf ", replans=%d" e.j_replans);
   (match e.j_pool_hit_rate with
   | Some r -> Buffer.add_string buf (Printf.sprintf ", pool=%.1f%%" (100.0 *. r))
   | None -> ());
@@ -215,12 +226,17 @@ let entry_to_json e =
       Printf.sprintf "\"id\":%d," e.j_id;
       Printf.sprintf "\"time\":%s," (json_of_float e.j_time);
       Printf.sprintf "\"query\":%s," (json_of_string e.j_query);
+      Printf.sprintf "\"shape\":%s," (json_of_string e.j_shape);
       Printf.sprintf "\"requested\":%s," (json_of_string e.j_requested);
       Printf.sprintf "\"strategy\":%s," (json_of_string e.j_strategy);
       Printf.sprintf "\"reason\":%s," (json_of_string e.j_reason);
       Printf.sprintf "\"fallbacks\":[%s]," (String.concat "," (List.map fallback e.j_fallbacks));
       Printf.sprintf "\"via_naive\":%b," e.j_via_naive;
       Printf.sprintf "\"rows\":%d," e.j_rows;
+      (match e.j_est_rows with
+      | Some est -> Printf.sprintf "\"est_rows\":%d," est
+      | None -> "\"est_rows\":null,");
+      Printf.sprintf "\"replans\":%d," e.j_replans;
       Printf.sprintf "\"latency_ms\":%s," (json_of_float e.j_latency_ms);
       (match e.j_pool_hit_rate with
       | Some r -> Printf.sprintf "\"pool_hit_rate\":%s," (json_of_float r)

@@ -15,12 +15,15 @@ type entry = {
   j_id : int;  (** trace id (process-unique, monotonically increasing) *)
   j_time : float;  (** wall-clock completion time (Unix epoch seconds) *)
   j_query : string;
+  j_shape : string;  (** normalized twig shape (the planner's cache/calibration key) *)
   j_requested : string;  (** the planned strategy *)
   j_strategy : string;  (** the strategy that answered (= requested when healthy) *)
   j_reason : string;  (** planner justification *)
   j_fallbacks : (string * string) list;  (** losing plans, oldest first, with why *)
   j_via_naive : bool;
   j_rows : int;
+  j_est_rows : int option;  (** the plan's estimated result rows, when planned *)
+  j_replans : int;  (** mid-query replans before the answer *)
   j_latency_ms : float;
   j_pool_hit_rate : float option;  (** buffer-pool hit rate over the query *)
   j_jobs : int;

@@ -13,6 +13,8 @@ type t = {
    everyone; [cancel] special-cases it below. *)
 let never = { tripped = Atomic.make false; deadline_ns = None; budget_ms = None }
 
+let token () = { tripped = Atomic.make false; deadline_ns = None; budget_ms = None }
+
 let with_deadline_ms ms =
   let now = Monotonic_clock.now () in
   let deadline = Int64.add now (Int64.of_float (ms *. 1e6)) in

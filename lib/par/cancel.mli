@@ -20,6 +20,11 @@ exception Cancelled
 val never : t
 (** A token that never trips — the default when no deadline is set. *)
 
+val token : unit -> t
+(** A fresh explicit-only token: never trips by time, but {!cancel}
+    trips it (unlike the shared {!never}). Used by the executor's
+    mid-query replan machinery when no deadline is armed. *)
+
 val with_deadline_ms : float -> t
 (** A fresh token that trips once the given number of milliseconds has
     elapsed from now (monotonic clock). Non-positive values trip

@@ -1,0 +1,99 @@
+(** Process-global plan cache, keyed by (database generation,
+    normalized twig shape). A generation is minted per database build
+    and bumped on every incremental index update, so (re)building an
+    index invalidates exactly that database's cached plans. Bounded
+    FIFO; domain-safe behind one mutex (a hit is one small hash lookup,
+    contention is negligible next to query execution). *)
+
+type stats = { hits : int; misses : int; invalidations : int; size : int }
+
+let c_hits = Tm_obs.Obs.counter "plan.cache.hits"
+let c_misses = Tm_obs.Obs.counter "plan.cache.misses"
+let c_invalidations = Tm_obs.Obs.counter "plan.cache.invalidations"
+
+let lock = Mutex.create ()
+let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 64
+let order : string Queue.t = Queue.create ()
+let cap = ref 256
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let invalidations = Atomic.make 0
+
+let key ~generation ~shape = string_of_int generation ^ "#" ^ shape
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Plan cache capacity must be >= 1";
+  locked (fun () ->
+      cap := n;
+      while Queue.length order > n do
+        Hashtbl.remove table (Queue.pop order)
+      done)
+
+let capacity () = !cap
+
+let find ~generation ~shape =
+  let k = key ~generation ~shape in
+  let r = locked (fun () -> Hashtbl.find_opt table k) in
+  (match r with
+  | Some _ ->
+    Atomic.incr hits;
+    Tm_obs.Obs.incr c_hits
+  | None ->
+    Atomic.incr misses;
+    Tm_obs.Obs.incr c_misses);
+  Option.map (fun p -> { p with Plan.cached = true }) r
+
+let store ~generation ~shape plan =
+  let k = key ~generation ~shape in
+  locked (fun () ->
+      if not (Hashtbl.mem table k) then begin
+        if Queue.length order >= !cap then Hashtbl.remove table (Queue.pop order);
+        Queue.push k order
+      end;
+      Hashtbl.replace table k { plan with Plan.cached = false })
+
+let invalidate ~generation =
+  let prefix = string_of_int generation ^ "#" in
+  let pl = String.length prefix in
+  locked (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun k _ acc ->
+            if String.length k >= pl && String.equal (String.sub k 0 pl) prefix then k :: acc
+            else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) doomed;
+      let keep = Queue.create () in
+      Queue.iter (fun k -> if Hashtbl.mem table k then Queue.push k keep) order;
+      Queue.clear order;
+      Queue.transfer keep order;
+      let n = List.length doomed in
+      if n > 0 then begin
+        Atomic.set invalidations (Atomic.get invalidations + n);
+        Tm_obs.Obs.add c_invalidations n
+      end)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Queue.clear order)
+
+let reset_stats () =
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set invalidations 0
+
+let stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    invalidations = Atomic.get invalidations;
+    size = locked (fun () -> Hashtbl.length table);
+  }
+
+let () = Tm_obs.Obs.gauge "plan.cache.size" (fun () -> float_of_int (stats ()).size)

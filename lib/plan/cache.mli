@@ -1,0 +1,25 @@
+(** Process-global plan cache keyed by (database generation, normalized
+    twig shape); bounded FIFO, domain-safe. Generations are minted per
+    database build and bumped on incremental index updates, so an index
+    (re)build invalidates exactly that database's cached plans. *)
+
+type stats = { hits : int; misses : int; invalidations : int; size : int }
+
+val find : generation:int -> shape:string -> Plan.t option
+(** A hit comes back with [Plan.cached = true]. Counts a hit or miss. *)
+
+val store : generation:int -> shape:string -> Plan.t -> unit
+(** Insert (or refresh) a plan, evicting oldest-first at capacity. *)
+
+val invalidate : generation:int -> unit
+(** Drop every plan cached for this generation. *)
+
+val clear : unit -> unit
+(** Drop everything (all generations); counters survive. *)
+
+val capacity : unit -> int
+val set_capacity : int -> unit
+(** Default 256 plans. @raise Invalid_argument below 1. *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -1,0 +1,29 @@
+(** Cost model in "entries touched" units (paper Section 6 crossover):
+    RP = sum of branch scans, DP = selective scan + INLJ probes, JI =
+    DP with doubled probe cost, Edge = estimate x path length. *)
+
+val probe_cost_entries : int
+(** Cost of one BoundIndex probe, in contiguous-entry-scan units;
+    calibrated against the benchmark harness (raising it biases toward
+    merge joins). *)
+
+val costed : Strategy.t list
+(** Strategies the Auto planner considers (RP, DP, JI, Edge); the
+    simulated comparison points (DG+Edge, IF+Edge, ASR) must be
+    forced. *)
+
+type input = {
+  ests : int array;  (** calibrated per-path estimates, decomposition order *)
+  lens : int array;  (** per-path step counts *)
+}
+
+val join_order : int array -> int array
+(** Path indices sorted by ascending estimate (driver first), stable. *)
+
+val costs : input -> built:Strategy.t list -> (Strategy.t * float) list
+(** Per-strategy cost for every costed, built strategy — cheapest
+    first, ties broken by {!Strategy.rank}. *)
+
+val choose :
+  input -> built:Strategy.t list -> Strategy.t * float * (Strategy.t * float) list * string
+(** Winner, its cost, the full comparison, and a one-line reason. *)

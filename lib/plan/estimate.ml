@@ -1,0 +1,48 @@
+(** Per-PCsubpath cardinality estimation from the schema catalog and
+    the Edge table's pre-collected value statistics (paper Section
+    5.1.1) — the planner's input, also used by the executor to order
+    INLJ driver paths.
+
+    The [plan.estimate] failpoint deterministically skews every
+    estimate three orders of magnitude low when armed, so tests and
+    benchmarks can provoke the >10x mid-query replan trigger without
+    hand-crafting pathological data. *)
+
+open Tm_xmldb
+open Tm_query
+
+let failpoint = "plan.estimate"
+
+let catalog_matches catalog (pattern : Decompose.tag_pattern) =
+  Schema_catalog.entries catalog
+  |> List.filter_map (fun (e : Schema_catalog.entry) ->
+         match
+           Decompose.match_all pattern
+             (Array.of_list (Schema_path.to_list e.Schema_catalog.path))
+         with
+         | [] -> None
+         | positions -> Some (e, positions))
+
+let vbounds (r : Twig.range) =
+  ( Option.map (fun (b : Twig.bound) -> (b.Twig.bval, b.Twig.binc)) r.Twig.rlo,
+    Option.map (fun (b : Twig.bound) -> (b.Twig.bval, b.Twig.binc)) r.Twig.rhi )
+
+let path_cardinality ~catalog ~edge ~(pattern : Decompose.tag_pattern) ~value
+    ~(range : Twig.range option) =
+  let leaf_tag = snd pattern.(Array.length pattern - 1) in
+  let raw =
+    match (value, range) with
+    | Some v, _ when not (Int.equal leaf_tag Decompose.wildcard) ->
+      Edge_table.value_cardinality edge ~tag:leaf_tag ~value:v
+    | None, Some r when not (Int.equal leaf_tag Decompose.wildcard) ->
+      let lo, hi = vbounds r in
+      Edge_table.range_cardinality edge ~tag:leaf_tag ~lo ~hi
+    | _ ->
+      List.fold_left
+        (fun acc ((e : Schema_catalog.entry), _) -> acc + e.Schema_catalog.instance_count)
+        0
+        (catalog_matches catalog pattern)
+  in
+  match Tm_fault.Fault.fire failpoint with
+  | Some _ -> max 1 (raw / 1024)
+  | None -> raw

@@ -1,0 +1,30 @@
+(** Per-PCsubpath cardinality estimation from the schema catalog and
+    Edge-table statistics (paper Section 5.1.1). *)
+
+val failpoint : string
+(** ["plan.estimate"]: when armed via [Tm_fault], every estimate is
+    deterministically skewed three orders of magnitude low — the switch
+    tests use to provoke the mid-query replan trigger. *)
+
+val catalog_matches :
+  Tm_xmldb.Schema_catalog.t ->
+  Tm_query.Decompose.tag_pattern ->
+  (Tm_xmldb.Schema_catalog.entry * int array list) list
+(** Catalog entries whose rooted schema path matches the pattern, each
+    with every anchored match's pattern-index -> path-position map. *)
+
+val vbounds :
+  Tm_query.Twig.range -> (string * bool) option * (string * bool) option
+(** Twig range bounds as the [(value, inclusive)] pairs the Edge table
+    and index family take. *)
+
+val path_cardinality :
+  catalog:Tm_xmldb.Schema_catalog.t ->
+  edge:Tm_xmldb.Edge_table.t ->
+  pattern:Tm_query.Decompose.tag_pattern ->
+  value:string option ->
+  range:Tm_query.Twig.range option ->
+  int
+(** Estimated instances of one linear path: O(1) value/range statistics
+    when the leaf carries a predicate on a concrete tag, else the sum of
+    matching catalog instance counts. *)

@@ -1,0 +1,45 @@
+(** The typed planning request accepted by [Executor.run]: let the
+    cost-based planner decide ([Auto]), force one strategy ([Force]),
+    or execute a previously obtained plan verbatim ([Pin]). *)
+
+type t = Auto | Force of Strategy.t | Pin of Plan.t
+
+let to_string = function
+  | Auto -> "auto"
+  | Force s -> "force:" ^ Strategy.name s
+  | Pin p -> "pin:" ^ Strategy.name p.Plan.strategy
+
+let of_string s =
+  match s with
+  | "auto" | "Auto" | "AUTO" -> Ok Auto
+  | _ ->
+    let body =
+      let prefix = "force:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.equal (String.sub s 0 pl) prefix then
+        String.sub s pl (String.length s - pl)
+      else s
+    in
+    (match Strategy.of_string body with
+    | Ok strat -> Ok (Force strat)
+    | Error _ ->
+      Error
+        (Printf.sprintf
+           "unknown hint %S (expected \"auto\", a strategy name among %s, or \"force:<strategy>\")"
+           s
+           (String.concat ", " (List.map Strategy.name Strategy.all))))
+
+(* The deprecation shim behind legacy [--strategy] / [s=] surfaces:
+   parses exactly like {!of_string} but records an [Obs] warning so the
+   round-trip through strategy strings shows up in telemetry. *)
+let of_string_compat ~site s =
+  let r = of_string s in
+  (match r with
+  | Ok _ ->
+    Tm_obs.Obs.warn ~site
+      (Printf.sprintf
+         "strategy string %S parsed via the deprecated strategy_of_string round-trip; pass a \
+          plan hint (\"auto\" or \"force:<strategy>\") instead"
+         s)
+  | Error _ -> ());
+  r

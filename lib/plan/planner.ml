@@ -1,0 +1,139 @@
+(** The cost-based planner: turns per-path estimates into a {!Plan.t}
+    by calibrating against journal history for the same twig shape,
+    costing every built strategy, and picking cover + join order +
+    strategy — with a {!Cache} lookup in front keyed by (generation,
+    shape).
+
+    Mid-query adaptivity contract: the executor watches each path's
+    actual binding-relation cardinality against [cover.(i).p_est] and
+    abandons the plan once {!should_replan} fires; it then calls
+    {!plan} again with [overrides] carrying the observed cardinalities,
+    which bypasses the cache (observed numbers are query-specific, not
+    shape-general). *)
+
+module Journal = Tm_obs.Journal
+
+type path_input = {
+  i_label : string;  (** rendered path, for plan display *)
+  i_est : int;  (** raw estimate from {!Estimate.path_cardinality} *)
+  i_len : int;  (** steps in the path *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Replan trigger                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let replan_factor = 10
+
+(* Estimates below the floor are treated as the floor: a path estimated
+   at 1 row that produces 30 is a huge relative miss but a cheap
+   absolute one; replanning costs more than finishing. *)
+let replan_floor = 16
+
+let max_replans = 2
+
+let should_replan ~est ~actual = actual > replan_factor * max est replan_floor
+
+(* ------------------------------------------------------------------ *)
+(* Journal calibration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Median actual/estimated result-row ratio over completed journal
+   entries of the same shape, clamped to [1/8, 32]. Applied uniformly
+   to the per-path estimates: a uniform factor cannot flip the RP/DP
+   cost comparison (both scale linearly), but it re-anchors the replan
+   thresholds and the reported expectations for shapes the estimator
+   historically got wrong. *)
+let calibration_for shape =
+  if not (Journal.enabled ()) then 1.0
+  else
+    let ratios =
+      Journal.entries ()
+      |> List.filter_map (fun (e : Journal.entry) ->
+             match (e.Journal.j_outcome, e.Journal.j_est_rows) with
+             | Journal.Completed, Some est
+               when String.equal e.Journal.j_shape shape && est > 0 && e.Journal.j_rows > 0
+               ->
+               Some (float_of_int e.Journal.j_rows /. float_of_int est)
+             | _ -> None)
+      |> List.sort Float.compare
+    in
+    match ratios with
+    | [] -> 1.0
+    | _ ->
+      let median = List.nth ratios (List.length ratios / 2) in
+      Float.min 32.0 (Float.max 0.125 median)
+
+(* ------------------------------------------------------------------ *)
+(* Plan construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cover_of ~calibration ~overrides paths =
+  Array.of_list
+    (List.mapi
+       (fun i p ->
+         let est =
+           match List.assoc_opt i overrides with
+           | Some actual -> actual
+           | None ->
+             if Float.equal calibration 1.0 then p.i_est
+             else max 1 (int_of_float (ceil (float_of_int p.i_est *. calibration)))
+         in
+         { Plan.p_label = p.i_label; p_raw_est = p.i_est; p_est = est })
+       paths)
+
+let est_rows_of cover =
+  if Int.equal (Array.length cover) 0 then 0
+  else Array.fold_left (fun acc (pe : Plan.path_est) -> min acc pe.Plan.p_est) max_int cover
+
+let fresh ~overrides ~shape ~built ~paths =
+  let calibration = match overrides with [] -> calibration_for shape | _ -> 1.0 in
+  let cover = cover_of ~calibration ~overrides paths in
+  let ests = Array.map (fun (pe : Plan.path_est) -> pe.Plan.p_est) cover in
+  let lens = Array.of_list (List.map (fun p -> p.i_len) paths) in
+  let strategy, cost, rivals, reason = Cost.choose { Cost.ests; lens } ~built in
+  let reason =
+    match overrides with [] -> reason | _ -> "replanned on observed cardinalities; " ^ reason
+  in
+  {
+    Plan.shape;
+    strategy;
+    cover;
+    join_order = Cost.join_order ests;
+    est_rows = est_rows_of cover;
+    cost;
+    rivals;
+    calibration;
+    cached = false;
+    reason;
+  }
+
+(* [paths] is a thunk so a cache hit never pays for estimation: the
+   catalog and Edge-table statistics are only consulted on a miss (or
+   under overrides, which bypass the cache). *)
+let plan ?(overrides = []) ~generation ~shape ~built ~paths () =
+  match overrides with
+  | _ :: _ -> fresh ~overrides ~shape ~built ~paths:(paths ())
+  | [] -> (
+    match Cache.find ~generation ~shape with
+    | Some p -> p
+    | None ->
+      let p = fresh ~overrides:[] ~shape ~built ~paths:(paths ()) in
+      Cache.store ~generation ~shape p;
+      p)
+
+let forced ~shape ~paths strategy =
+  let cover = cover_of ~calibration:1.0 ~overrides:[] paths in
+  let ests = Array.map (fun (pe : Plan.path_est) -> pe.Plan.p_est) cover in
+  {
+    Plan.shape;
+    strategy;
+    cover;
+    join_order = Cost.join_order ests;
+    est_rows = est_rows_of cover;
+    cost = 0.0;
+    rivals = [];
+    calibration = 1.0;
+    cached = false;
+    reason = "as requested";
+  }

@@ -1,0 +1,45 @@
+(** The seven indexing strategies of the paper's evaluation (Section
+    5.1.2), as a planner-level enum. [Database.strategy] re-exports this
+    type transparently, so the constructors are interchangeable across
+    the core and planner layers. *)
+
+type t = RP | DP | Edge | DG_edge | IF_edge | Asr | Ji
+
+let all = [ RP; DP; Edge; DG_edge; IF_edge; Asr; Ji ]
+
+let name = function
+  | RP -> "RP"
+  | DP -> "DP"
+  | Edge -> "Edge"
+  | DG_edge -> "DG+Edge"
+  | IF_edge -> "IF+Edge"
+  | Asr -> "ASR"
+  | Ji -> "JI"
+
+(* Dense rank, doubling as the planner's tie-break preference: RP and
+   DP (the paper's two primary plans) come first. *)
+let rank = function
+  | RP -> 0
+  | DP -> 1
+  | Ji -> 2
+  | Edge -> 3
+  | Asr -> 4
+  | DG_edge -> 5
+  | IF_edge -> 6
+
+let equal a b = Int.equal (rank a) (rank b)
+let compare a b = Int.compare (rank a) (rank b)
+let mem s l = List.exists (equal s) l
+
+let of_string = function
+  | "RP" | "rp" | "rootpaths" -> Ok RP
+  | "DP" | "dp" | "datapaths" -> Ok DP
+  | "Edge" | "edge" -> Ok Edge
+  | "DG+Edge" | "dg" | "dataguide" -> Ok DG_edge
+  | "IF+Edge" | "if" | "index-fabric" -> Ok IF_edge
+  | "ASR" | "asr" -> Ok Asr
+  | "JI" | "ji" -> Ok Ji
+  | s ->
+    Error
+      (Printf.sprintf "unknown strategy %S (expected one of %s)" s
+         (String.concat ", " (List.map name all)))

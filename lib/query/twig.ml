@@ -153,3 +153,32 @@ and path_to_string n =
   | _ -> node_to_string n
 
 let to_string t = axis_str t.root_axis ^ path_to_string t.root
+
+(* ------------------------------------------------------------------ *)
+(* Shape normalization (plan-cache keys)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two twigs share a shape when they have the same tags, axes and
+   predicate *kinds* — the literal values are erased ("=?" / range-bound
+   markers), and sibling branches are sorted, so [a[b='x'][c]] and
+   [a[c][b='y']] normalize identically. The output node keeps its "!"
+   marker: moving the output changes the needed join columns, hence the
+   plan. *)
+let rec shape_node n =
+  let preds =
+    (match n.value with Some _ -> "{=?}" | None -> "")
+    ^
+    match n.range with
+    | Some r ->
+      Printf.sprintf "{%s?%s}"
+        (match r.rlo with Some { binc = true; _ } -> ">=" | Some _ -> ">" | None -> "")
+        (match r.rhi with Some { binc = true; _ } -> "<=" | Some _ -> "<" | None -> "")
+    | None -> ""
+  in
+  let branches =
+    List.map (fun (ax, c) -> "(" ^ axis_str ax ^ shape_node c ^ ")") n.branches
+    |> List.sort String.compare
+  in
+  n.name ^ (if n.output then "!" else "") ^ preds ^ String.concat "" branches
+
+let shape t = axis_str t.root_axis ^ shape_node t.root

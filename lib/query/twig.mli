@@ -58,3 +58,9 @@ val has_descendant_edge : t -> bool
 
 val to_string : t -> string
 (** Debug rendering in XPath-like syntax. *)
+
+val shape : t -> string
+(** Canonical normalized form used as the planner's cache key: tags,
+    axes, predicate {e kinds} and the output marker survive; predicate
+    literals are erased and sibling branches are sorted, so queries
+    differing only in constants (or branch order) share a shape. *)

@@ -135,27 +135,31 @@ let run_query (db : Database.t) params =
       respond 400 json
         (Printf.sprintf "{\"error\":%s}" (json_string ("parse: " ^ Printexc.to_string e)))
     | twig -> (
-      let plan =
-        match List.assoc_opt "s" params with
-        | None -> Ok `Auto
-        | Some s ->
-          Result.map (fun s -> `Strategy s) (Database.strategy_of_string s)
+      let hint =
+        match List.assoc_opt "hint" params with
+        | Some h -> Tm_plan.Hint.of_string h
+        | None -> (
+          match List.assoc_opt "s" params with
+          | None -> Ok Tm_plan.Hint.Auto
+          | Some s -> Tm_plan.Hint.of_string_compat ~site:"serve./query?s=" s)
       in
       let deadline_ms =
         Option.bind (List.assoc_opt "timeout_ms" params) float_of_string_opt
       in
-      match plan with
+      match hint with
       | Error msg -> respond 400 json (Printf.sprintf "{\"error\":%s}" (json_string msg))
-      | Ok plan -> (
-        match Executor.run ~plan ?deadline_ms db twig with
+      | Ok hint -> (
+        match Executor.run ~hint ?deadline_ms db twig with
         | r ->
           respond 200 json
             (Printf.sprintf
-               "{\"trace_id\":%d,\"strategy\":%s,\"reason\":%s,\"rows\":%d,\"ids\":[%s]}"
+               "{\"trace_id\":%d,\"strategy\":%s,\"reason\":%s,\"rows\":%d,\"replans\":%d,\"plan\":%s,\"ids\":[%s]}"
                r.Executor.trace_id
                (json_string (Database.strategy_name r.Executor.strategy))
                (json_string r.Executor.reason)
                (List.length r.Executor.ids)
+               r.Executor.replans
+               (Tm_plan.Plan.to_json r.Executor.plan)
                (String.concat "," (List.map string_of_int r.Executor.ids)))
         | exception Executor.Timeout { ms; _ } ->
           respond 503 json (Printf.sprintf "{\"error\":\"deadline of %s ms expired\"}" (json_float ms))
@@ -163,6 +167,33 @@ let run_query (db : Database.t) params =
           respond 500 json
             (Printf.sprintf "{\"error\":%s}"
                (json_string (Printf.sprintf "corrupt page %d: %s" page detail))))))
+
+(* /plan?q=XPATH[&hint=...] — the planner's choice as JSON, without
+   executing the query. *)
+let plan_query (db : Database.t) params =
+  match List.assoc_opt "q" params with
+  | None | Some "" -> respond 400 json "{\"error\":\"missing q parameter\"}"
+  | Some q -> (
+    match Tm_query.Xpath_parser.parse q with
+    | exception e ->
+      respond 400 json
+        (Printf.sprintf "{\"error\":%s}" (json_string ("parse: " ^ Printexc.to_string e)))
+    | twig -> (
+      let hint =
+        match List.assoc_opt "hint" params with
+        | Some h -> Tm_plan.Hint.of_string h
+        | None -> Ok Tm_plan.Hint.Auto
+      in
+      match hint with
+      | Error msg -> respond 400 json (Printf.sprintf "{\"error\":%s}" (json_string msg))
+      | Ok hint -> (
+        match Executor.explain ~hint db twig with
+        | text ->
+          respond 200 json
+            (Printf.sprintf "{\"query\":%s,\"explain\":%s}" (json_string q) (json_string text))
+        | exception e ->
+          respond 500 json
+            (Printf.sprintf "{\"error\":%s}" (json_string (Printexc.to_string e))))))
 
 let index_body =
   String.concat "\n"
@@ -173,7 +204,9 @@ let index_body =
       "  /journal              query-lifecycle journal (JSON)";
       "  /slow[?threshold_ms=N]  slow-query log (JSON, slowest first)";
       "  /warnings             structured warnings (JSON)";
-      "  /query?q=XPATH[&s=STRATEGY][&timeout_ms=N]  run a twig query";
+      "  /query?q=XPATH[&hint=auto|STRATEGY][&timeout_ms=N]  run a twig query";
+      "                        (s=STRATEGY still accepted, deprecated)";
+      "  /plan?q=XPATH[&hint=auto|STRATEGY]  explain the chosen plan (JSON)";
       "";
     ]
 
@@ -197,6 +230,7 @@ let handle ?canary (db : Database.t) ~meth ~target =
         respond 200 json (Tm_obs.Journal.to_json (Tm_obs.Journal.slow ?threshold_ms ()))
       | "/warnings" -> respond 200 json (warnings_json ())
       | "/query" -> run_query db params
+      | "/plan" -> plan_query db params
       | _ -> respond 404 text "not found\n"
   in
   let response =

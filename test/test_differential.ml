@@ -142,8 +142,8 @@ let prop_differential =
       let pool = Lazy.force shared_pool in
       List.for_all
         (fun s ->
-          let seq = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
-          let par = (Executor.run ~pool ~plan:(`Strategy s) db twig).Executor.ids in
+          let seq = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
+          let par = (Executor.run ~pool ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
           if seq <> expected then
             QCheck.Test.fail_reportf "sequential %s diverges from oracle on %s:\n  oracle [%s]\n  got    [%s]"
               (Database.strategy_name s) (Twig.to_string twig) (ids_to_string expected)
@@ -155,6 +155,37 @@ let prop_differential =
           else true)
         Database.all_strategies)
 
+(* The cost-based planner must be invisible to correctness: whatever
+   strategy, join order and mid-query replans [Hint.Auto] settles on,
+   the ids must match the oracle — sequentially and on the shared
+   pool. This is the planner's end-to-end safety net. *)
+let prop_auto_hint =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "Hint.Auto = naive oracle, sequential and jobs=%d" jobs)
+    ~count:80 arb_case
+    (fun (roots, rt) ->
+      let doc = doc_of roots in
+      let twig = twig_of rt in
+      let db = Database.create doc in
+      let expected = Tm_query.Naive.query doc twig in
+      let pool = Lazy.force shared_pool in
+      let seq = Executor.run ~hint:Tm_plan.Hint.Auto db twig in
+      let par = Executor.run ~pool ~hint:Tm_plan.Hint.Auto db twig in
+      if seq.Executor.ids <> expected then
+        QCheck.Test.fail_reportf
+          "auto (chose %s) diverges from oracle on %s:\n  oracle [%s]\n  got    [%s]"
+          (Database.strategy_name seq.Executor.strategy)
+          (Twig.to_string twig) (ids_to_string expected)
+          (ids_to_string seq.Executor.ids)
+      else if par.Executor.ids <> expected then
+        QCheck.Test.fail_reportf
+          "auto jobs=%d (chose %s) diverges from oracle on %s:\n  oracle [%s]\n  got    [%s]"
+          jobs
+          (Database.strategy_name par.Executor.strategy)
+          (Twig.to_string twig) (ids_to_string expected)
+          (ids_to_string par.Executor.ids)
+      else true)
+
 (* The per-query ephemeral-pool path (?jobs) must agree too: it is the
    CLI's fallback when no persistent pool exists. One case per run is
    enough — the pool spawn dominates the runtime. *)
@@ -165,12 +196,17 @@ let prop_ephemeral_jobs =
       let twig = twig_of rt in
       let db = Database.create ~strategies:Database.[ RP; DP ] doc in
       let expected = Tm_query.Naive.query doc twig in
-      (Executor.run ~jobs ~plan:(`Strategy Database.RP) db twig).Executor.ids = expected
-      && (Executor.run ~jobs ~plan:(`Strategy Database.DP) db twig).Executor.ids = expected)
+      (Executor.run ~jobs ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids = expected
+      && (Executor.run ~jobs ~hint:(Tm_plan.Hint.Force Database.DP) db twig).Executor.ids
+         = expected)
 
 let () =
   Alcotest.run "differential"
     [
       ( "oracle",
-        [ Seed.to_alcotest prop_differential; Seed.to_alcotest prop_ephemeral_jobs ] );
+        [
+          Seed.to_alcotest prop_differential;
+          Seed.to_alcotest prop_auto_hint;
+          Seed.to_alcotest prop_ephemeral_jobs;
+        ] );
     ]

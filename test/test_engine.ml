@@ -43,7 +43,7 @@ let check_all_strategies db doc xpath =
   let expected = Tm_query.Naive.query doc twig in
   List.iter
     (fun s ->
-      let got = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
+      let got = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
       Alcotest.(check (list int))
         (Printf.sprintf "%s on %s" (Database.strategy_name s) xpath)
         expected got)
@@ -116,7 +116,7 @@ let test_paper_twig_result () =
     (fun s ->
       Alcotest.(check (list int))
         (Database.strategy_name s) expected
-        (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+        (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
     strategies
 
 let xmark_doc = lazy (Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 11; scale = 0.05 })
@@ -180,7 +180,7 @@ let test_run_auto_correct () =
 let test_explain () =
   let _, db = doc_and_db Tm_datasets.Workload.Xmark in
   let twig = Tm_datasets.Workload.parse (Tm_datasets.Workload.find "Q10x") in
-  let text = Executor.explain db Database.DP twig in
+  let text = Executor.explain ~hint:(Tm_plan.Hint.Force Database.DP) db twig in
   List.iter
     (fun needle ->
       if not (Astring_contains.contains text needle) then
@@ -201,7 +201,7 @@ let test_tiny_buffer_pool () =
           Alcotest.(check (list int))
             (Printf.sprintf "tiny pool: %s under %s" xpath (Database.strategy_name s))
             expected
-            (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
         strategies)
     [
       "/site/regions/namerica/item/quantity[. = '1']";

@@ -228,7 +228,7 @@ let test_deadline_expires_under_pool () =
   let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
   let twig = workload "Q9x" in
   Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
-  match Executor.run ~plan:(`Strategy Db.RP) ~deadline_ms:0.0001 ~pool db twig with
+  match Executor.run ~hint:(Tm_plan.Hint.Force Db.RP) ~deadline_ms:0.0001 ~pool db twig with
   | _ -> Alcotest.fail "expected Timeout"
   | exception Executor.Timeout { ms; stats = _ } ->
     check (Alcotest.float 1e-9) "deadline echoed" 0.0001 ms
@@ -237,7 +237,7 @@ let test_generous_deadline_answers () =
   let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
   let twig = workload "Q9x" in
   let expected = Tm_query.Naive.query db.Db.doc twig in
-  let r = Executor.run ~plan:(`Strategy Db.RP) ~deadline_ms:60_000.0 db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force Db.RP) ~deadline_ms:60_000.0 db twig in
   check (Alcotest.list Alcotest.int) "ids under a generous deadline" expected r.Executor.ids;
   check Alcotest.int "no fallbacks" 0 (List.length r.Executor.fallbacks)
 
@@ -256,7 +256,7 @@ let test_fallback_matches_oracle () =
     (fun name ->
       let twig = workload name in
       let expected = Tm_query.Naive.query db.Db.doc twig in
-      let r = Executor.run ~plan:(`Strategy Db.DP) db twig in
+      let r = Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) db twig in
       check (Alcotest.list Alcotest.int) (name ^ " ids match the oracle") expected r.Executor.ids;
       check Alcotest.bool (name ^ " recorded a fallback") true (r.Executor.fallbacks <> []);
       check Alcotest.string (name ^ " answered by RP") "RP"
@@ -267,7 +267,7 @@ let test_fallback_matches_oracle () =
 let test_strict_propagates () =
   let db = pruned_db () in
   let twig = workload "Q10x" in
-  match Executor.run ~plan:(`Strategy Db.DP) ~strict:true db twig with
+  match Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) ~strict:true db twig with
   | _ -> Alcotest.fail "expected Unsupported under --strict"
   | exception Tm_index.Family.Unsupported _ -> ()
 
@@ -275,7 +275,7 @@ let test_missing_index_falls_back () =
   let db = Db.create ~strategies:[ Db.RP ] (xmark ()) in
   let twig = workload "Q9x" in
   let expected = Tm_query.Naive.query db.Db.doc twig in
-  let r = Executor.run ~plan:(`Strategy Db.DP) db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) db twig in
   check (Alcotest.list Alcotest.int) "ids via RP" expected r.Executor.ids;
   check Alcotest.bool "DP listed as abandoned" true
     (List.exists (fun (s, _) -> s = Db.DP) r.Executor.fallbacks)
@@ -285,7 +285,7 @@ let test_naive_last_resort () =
   let db = Db.create ~strategies:[] (xmark ~scale:0.01 ()) in
   let twig = workload "Q9x" in
   let expected = Tm_query.Naive.query db.Db.doc twig in
-  let r = Executor.run ~plan:(`Strategy Db.DP) db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) db twig in
   check (Alcotest.list Alcotest.int) "naive ids" expected r.Executor.ids;
   check Alcotest.bool "via_naive" true r.Executor.via_naive;
   check Alcotest.int "three strategies abandoned" 3 (List.length r.Executor.fallbacks)
@@ -302,11 +302,11 @@ let test_corrupt_dp_page_falls_back () =
   let root = Bptree.root_page dp_tree in
   Db.drop_caches db;
   Pager.unsafe_flip_bit db.Db.pager ~page:root ~bit:321;
-  let r = Executor.run ~plan:(`Strategy Db.DP) db twig in
+  let r = Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) db twig in
   check (Alcotest.list Alcotest.int) "oracle ids despite corruption" expected r.Executor.ids;
   check Alcotest.bool "DP abandoned" true
     (List.exists (fun (s, _) -> s = Db.DP) r.Executor.fallbacks);
-  match Executor.run ~plan:(`Strategy Db.DP) ~strict:true db twig with
+  match Executor.run ~hint:(Tm_plan.Hint.Force Db.DP) ~strict:true db twig with
   | _ -> Alcotest.fail "strict must surface the corruption"
   | exception (Pager.Corrupt_page _ | Fault.Io_error _) -> ()
 

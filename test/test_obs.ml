@@ -88,7 +88,9 @@ let test_span_outside_trace () =
 let test_query_trace_shape () =
   let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
   let twig = Tm_query.Xpath_parser.parse query in
-  let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy Database.RP) db twig) in
+  let r =
+    Obs.with_enabled true (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig)
+  in
   let tr = Option.get r.Executor.trace in
   check Alcotest.string "root span is the query" "query:RP" tr.Obs.s_name;
   (* two linear paths plus one merge join, in execution order *)
@@ -127,7 +129,7 @@ let test_pool_counters_cold_vs_warm () =
       Database.drop_caches db;
       let h0 = Obs.value hits and m0 = Obs.value misses in
       let ph0, pm0 = pool () in
-      ignore (Executor.run ~plan:(`Strategy Database.RP) db twig);
+      ignore (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig);
       let ph1, pm1 = pool () in
       (* first touch of every page must miss (later touches of the same
          page within the run may hit) *)
@@ -136,7 +138,7 @@ let test_pool_counters_cold_vs_warm () =
       check Alcotest.int "cold obs hits = pool hits" (ph1 - ph0) (Obs.value hits - h0);
       (* warm: the same query touches the same pages, now resident *)
       let h1 = Obs.value hits and m1 = Obs.value misses in
-      ignore (Executor.run ~plan:(`Strategy Database.RP) db twig);
+      ignore (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig);
       let ph2, pm2 = pool () in
       check Alcotest.int "warm run never misses" m1 (Obs.value misses);
       check Alcotest.bool "warm run hits at least once" true (Obs.value hits > h1);
@@ -152,7 +154,7 @@ let test_trace_reconciles_with_stats () =
   let twig = Tm_query.Xpath_parser.parse query in
   List.iter
     (fun s ->
-      let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy s) db twig) in
+      let r = Obs.with_enabled true (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force s) db twig) in
       let tr = Option.get r.Executor.trace in
       check Alcotest.int
         (Database.strategy_name s ^ ": trace rows = Stats.rows_produced")
@@ -167,7 +169,7 @@ let test_trace_reconciles_with_stats () =
 let test_explain_analyze_output () =
   let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
   let twig = Tm_query.Xpath_parser.parse query in
-  let out = Executor.explain ~analyze:true db Database.RP twig in
+  let out = Executor.explain ~analyze:true ~hint:(Tm_plan.Hint.Force Database.RP) db twig in
   let contains needle =
     let nh = String.length out and nn = String.length needle in
     let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
@@ -191,7 +193,7 @@ let test_disabled_sink_is_silent () =
   Obs.with_enabled false (fun () ->
       List.iter
         (fun s ->
-          let r = Executor.run ~plan:(`Strategy s) db twig in
+          let r = Executor.run ~hint:(Tm_plan.Hint.Force s) db twig in
           check Alcotest.(option reject) (Database.strategy_name s ^ ": no trace") None
             (Option.map (fun _ -> ()) r.Executor.trace))
         [ Database.RP; Database.DP ]);
@@ -283,7 +285,9 @@ let test_summary_labels () =
 let test_chrome_trace_shape () =
   let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
   let twig = Tm_query.Xpath_parser.parse query in
-  let r = Obs.with_enabled true (fun () -> Executor.run ~plan:(`Strategy Database.RP) db twig) in
+  let r =
+    Obs.with_enabled true (fun () -> Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig)
+  in
   let tr = Option.get r.Executor.trace in
   let out = Export.trace_to_chrome tr in
   check Alcotest.bool "JSON array" true
@@ -327,12 +331,15 @@ let mk_entry ?(latency = 1.0) ?(outcome = Journal.Completed) ?(fallbacks = []) (
     Journal.j_id = Journal.next_id ();
     j_time = 0.0;
     j_query = "//synthetic";
+    j_shape = "//synthetic";
     j_requested = "RP";
     j_strategy = "RP";
     j_reason = "test";
     j_fallbacks = fallbacks;
     j_via_naive = false;
     j_rows = 0;
+    j_est_rows = None;
+    j_replans = 0;
     j_latency_ms = latency;
     j_pool_hit_rate = None;
     j_jobs = 0;
@@ -350,7 +357,7 @@ let test_journal_disabled_stays_empty () =
       Journal.clear ();
       check Alcotest.bool "journal off" false (Journal.enabled ());
       List.iter
-        (fun s -> ignore (Executor.run ~plan:(`Strategy s) db twig))
+        (fun s -> ignore (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig))
         [ Database.RP; Database.DP ];
       check Alcotest.int "no entries" 0 (Journal.length ());
       check Alcotest.int "entries list empty" 0 (List.length (Journal.entries ())))
@@ -360,7 +367,7 @@ let test_journal_records_completion () =
   let twig = Tm_query.Xpath_parser.parse query in
   Journal.with_enabled true (fun () ->
       Journal.clear ();
-      let r = Executor.run ~plan:(`Strategy Database.RP) db twig in
+      let r = Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig in
       check Alcotest.int "one entry" 1 (Journal.length ());
       match Journal.entries () with
       | [ e ] ->

@@ -27,7 +27,7 @@ let eval_all db =
   List.concat_map
     (fun s ->
       List.map
-        (fun (_, twig) -> (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+        (fun (_, twig) -> (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
         (Lazy.force xmark_twigs))
     mixed_strategies
 
@@ -113,8 +113,8 @@ let test_pool_matches_sequential () =
     (fun s ->
       List.iter
         (fun (name, twig) ->
-          let seq = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
-          let par = (Executor.run ~pool ~plan:(`Strategy s) db twig).Executor.ids in
+          let seq = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
+          let par = (Executor.run ~pool ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
           Alcotest.(check (list int))
             (Printf.sprintf "%s under %s, jobs=4" name (Database.strategy_name s))
             seq par)
@@ -148,8 +148,8 @@ let test_parallel_build_equals_sequential () =
         (fun (name, twig) ->
           Alcotest.(check (list int))
             (Printf.sprintf "%s under %s: parallel build answers" name (Database.strategy_name s))
-            (Executor.run ~plan:(`Strategy s) seq_db twig).Executor.ids
-            (Executor.run ~plan:(`Strategy s) par_db twig).Executor.ids)
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) seq_db twig).Executor.ids
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) par_db twig).Executor.ids)
         (Lazy.force xmark_twigs))
     strategies;
   let report = Tm_check.Check.check_database par_db in

@@ -55,8 +55,8 @@ let test_roundtrip () =
   let twig = Tm_query.Xpath_parser.parse "//item[quantity = '2']/name" in
   List.iter
     (fun s ->
-      let a = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
-      let b = (Executor.run ~plan:(`Strategy s) db' twig).Executor.ids in
+      let a = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
+      let b = (Executor.run ~hint:(Tm_plan.Hint.Force s) db' twig).Executor.ids in
       check (Alcotest.list Alcotest.int) (Db.strategy_name s ^ " ids survive reload") a b)
     (Db.built_strategies db)
 

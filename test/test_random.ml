@@ -90,7 +90,7 @@ let prop_all_strategies_match_oracle =
           let expected = Tm_query.Naive.query doc twig in
           List.for_all
             (fun s ->
-              let got = (Executor.run ~plan:(`Strategy s) db twig).Executor.ids in
+              let got = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
               if got <> expected then
                 QCheck.Test.fail_reportf "strategy %s on %s:\n  expected [%s]\n  got      [%s]\n%s"
                   (Database.strategy_name s) (Twig.to_string twig)
@@ -115,7 +115,7 @@ let prop_compressed_variants_match_oracle =
         Twig.fold_nodes (fun acc n -> acc || String.equal n.Twig.name "*") false twig.Twig.root
       in
       let ok db s =
-        match Executor.run ~plan:(`Strategy s) db twig with
+        match Executor.run ~hint:(Tm_plan.Hint.Force s) db twig with
         | r -> r.Executor.ids = expected
         | exception Tm_index.Family.Unsupported _ ->
           (* schema-id keys legitimately reject '//' and wildcards *)

@@ -48,7 +48,7 @@ let check_consistent db doc label =
             Alcotest.(list int)
             (Printf.sprintf "%s: %s under %s" label xpath (Database.strategy_name s))
             expected
-            (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
         Database.all_strategies)
     queries
 
@@ -68,7 +68,7 @@ let test_insert_author () =
   check_consistent db doc "after insert";
   (* the new author is findable through the twig the paper uses *)
   let twig = Tm_query.Xpath_parser.parse "//author[fn = 'jane'][ln = 'doe']" in
-  check Alcotest.(list int) "new author found" [ new_id ] (Executor.run ~plan:(`Strategy Database.RP) db twig).Executor.ids
+  check Alcotest.(list int) "new author found" [ new_id ] (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
 
 let test_insert_deep_subtree () =
   let doc = book_doc () in
@@ -81,7 +81,7 @@ let test_insert_deep_subtree () =
   ignore (Updates.insert_subtree db ~parent:book chapter);
   check_consistent db doc "after deep insert";
   let twig = Tm_query.Xpath_parser.parse "/book//title[. = 'XML']" in
-  check Alcotest.int "two XML titles" 2 (List.length (Executor.run ~plan:(`Strategy Database.DP) db twig).Executor.ids)
+  check Alcotest.int "two XML titles" 2 (List.length (Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) db twig).Executor.ids)
 
 let test_insert_new_schema_path () =
   (* a tag never seen before must flow into the dictionary and catalog *)
@@ -94,7 +94,7 @@ let test_insert_new_schema_path () =
   check_consistent db doc "after new-path insert";
   let twig = Tm_query.Xpath_parser.parse "//appendix/errata" in
   check Alcotest.int "new path queryable" 1
-    (List.length (Executor.run ~plan:(`Strategy Database.Asr) db twig).Executor.ids)
+    (List.length (Executor.run ~hint:(Tm_plan.Hint.Force Database.Asr) db twig).Executor.ids)
 
 let test_delete_author () =
   let doc = book_doc () in
@@ -118,7 +118,7 @@ let test_delete_author () =
   check Alcotest.int "author + fn + ln removed" 3 removed;
   check_consistent db doc "after delete";
   let twig = Tm_query.Xpath_parser.parse "//author[ln = 'doe']" in
-  check Alcotest.(list int) "john doe gone" [] (Executor.run ~plan:(`Strategy Database.RP) db twig).Executor.ids
+  check Alcotest.(list int) "john doe gone" [] (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
 
 let test_insert_then_delete_roundtrip () =
   (* after insert + delete, every query answers as before *)
@@ -126,7 +126,7 @@ let test_insert_then_delete_roundtrip () =
   let db = Database.create doc in
   let before =
     List.map
-      (fun q -> (q, (Executor.run ~plan:(`Strategy Database.DP) db (Tm_query.Xpath_parser.parse q)).Executor.ids))
+      (fun q -> (q, (Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) db (Tm_query.Xpath_parser.parse q)).Executor.ids))
       queries
   in
   let allauthors = find_id doc "allauthors" in
@@ -141,7 +141,7 @@ let test_insert_then_delete_roundtrip () =
         Alcotest.(list int)
         ("roundtrip: " ^ q)
         expected
-        (Executor.run ~plan:(`Strategy Database.DP) db (Tm_query.Xpath_parser.parse q)).Executor.ids)
+        (Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) db (Tm_query.Xpath_parser.parse q)).Executor.ids)
     before;
   check_consistent db doc "after roundtrip"
 
@@ -174,7 +174,7 @@ let test_update_matches_rebuild () =
             Alcotest.(list int)
             (Printf.sprintf "%s under %s" xpath (Database.strategy_name s))
             expected
-            (Executor.run ~plan:(`Strategy s) db twig).Executor.ids)
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
         Database.all_strategies)
     [ "//item[quantity = '2']"; "/site/item/mailbox/mail/to"; "//item[location = 'United States']" ]
 
@@ -202,7 +202,7 @@ let test_update_with_compression_options () =
   let twig = Tm_query.Xpath_parser.parse "//author[fn = 'jane'][ln = 'doe']" in
   let expected = Tm_query.Naive.query doc twig in
   check Alcotest.(list int) "raw-idlist db updated" expected
-    (Executor.run ~plan:(`Strategy Database.RP) db twig).Executor.ids
+    (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
 
 let test_snapshot_roundtrip () =
   let doc = Tm_datasets.Xmark_gen.generate { Tm_datasets.Xmark_gen.seed = 3; scale = 0.03 } in
@@ -221,15 +221,15 @@ let test_snapshot_roundtrip () =
           check
             Alcotest.(list int)
             (Database.strategy_name s)
-            (Executor.run ~plan:(`Strategy s) db twig).Executor.ids
-            (Executor.run ~plan:(`Strategy s) db2 twig).Executor.ids)
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db2 twig).Executor.ids)
         Database.all_strategies;
       let site = find_id db2.Database.doc "site" in
       let id =
         Updates.insert_subtree db2 ~parent:site
           (Tm_xml.Xml_tree.elem "item" [ Tm_xml.Xml_tree.elem_text "quantity" "2" ])
       in
-      let after = (Executor.run ~plan:(`Strategy Database.RP) db2 twig).Executor.ids in
+      let after = (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db2 twig).Executor.ids in
       if not (List.mem id after) then Alcotest.fail "update lost after reload")
 
 let test_snapshot_rejects_garbage () =

@@ -42,7 +42,9 @@ let in_dir dir file =
   go 0
 
 let is_poly_compare_scope file =
-  List.exists (fun dir -> in_dir dir file) [ "lib/storage/"; "lib/index/"; "lib/joins/" ]
+  List.exists
+    (fun dir -> in_dir dir file)
+    [ "lib/storage/"; "lib/index/"; "lib/joins/"; "lib/plan/" ]
 
 let is_core_scope file = in_dir "lib/core/" file
 
