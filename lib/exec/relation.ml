@@ -29,7 +29,7 @@ let column_index t uid =
 let column_values t uid =
   match column_index t uid with
   | None -> invalid_arg "Relation.column_values: no such column"
-  | Some i -> List.map (fun row -> row.(i)) t.rows |> List.sort_uniq compare
+  | Some i -> List.map (fun row -> row.(i)) t.rows |> List.sort_uniq Int.compare
 
 let shared_columns a b =
   Array.to_list a.columns |> List.filter (fun c -> Array.exists (( = ) c) b.columns)
@@ -48,10 +48,23 @@ let project t uids =
     rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idx)) t.rows;
   }
 
-let distinct t = { t with rows = List.sort_uniq compare t.rows }
+(* Rows are uid vectors; order them lexicographically with typed
+   comparisons (length first, like the polymorphic order on arrays). *)
+let compare_row (a : int array) (b : int array) =
+  match Int.compare (Array.length a) (Array.length b) with
+  | 0 ->
+    let rec go i =
+      if i >= Array.length a then 0
+      else match Int.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+  | c -> c
+
+let distinct t = { t with rows = List.sort_uniq compare_row t.rows }
 
 (* Key of a row on columns [idx]. *)
 let key_of row idx = List.map (fun i -> row.(i)) idx
+let compare_key = List.compare Int.compare
 
 (** Natural hash join of [a] and [b] on their shared columns. The output
     columns are [a]'s columns followed by [b]'s non-shared columns. If
@@ -92,8 +105,8 @@ let merge_join ?(on_result = fun () -> ()) a b =
     Array.to_list b.columns |> List.filter (fun c -> not (List.mem c shared))
   in
   let b_extra_idx = List.map (fun c -> Option.get (column_index b c)) b_extra_cols in
-  let asorted = List.sort (fun r s -> compare (key_of r a_idx) (key_of s a_idx)) a.rows in
-  let bsorted = List.sort (fun r s -> compare (key_of r b_idx) (key_of s b_idx)) b.rows in
+  let asorted = List.sort (fun r s -> compare_key (key_of r a_idx) (key_of s a_idx)) a.rows in
+  let bsorted = List.sort (fun r s -> compare_key (key_of r b_idx) (key_of s b_idx)) b.rows in
   let out_columns = Array.append a.columns (Array.of_list b_extra_cols) in
   let rec groups rows idx =
     (* split sorted rows into (key, group) runs; runs are contiguous *)
@@ -102,7 +115,7 @@ let merge_join ?(on_result = fun () -> ()) a b =
     | r :: _ ->
       let k = key_of r idx in
       let rec split acc = function
-        | s :: rest when key_of s idx = k -> split (s :: acc) rest
+        | s :: rest when compare_key (key_of s idx) k = 0 -> split (s :: acc) rest
         | rest -> (List.rev acc, rest)
       in
       let same, rest = split [] rows in
@@ -113,7 +126,7 @@ let merge_join ?(on_result = fun () -> ()) a b =
     match (ga, gb) with
     | [], _ | _, [] -> acc
     | (ka, rows_a) :: ga', (kb, rows_b) :: gb' ->
-      let c = compare ka kb in
+      let c = compare_key ka kb in
       if c < 0 then merge ga' gb acc
       else if c > 0 then merge ga gb' acc
       else

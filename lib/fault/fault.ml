@@ -69,10 +69,7 @@ let arm spec =
     a_counter = Tm_obs.Obs.counter (Printf.sprintf "fault.%s.hits" spec.site);
   }
 
-let swap f =
-  Mutex.lock registry_lock;
-  Atomic.set registry (f (Atomic.get registry));
-  Mutex.unlock registry_lock
+let swap f = Mutex.protect registry_lock (fun () -> Atomic.set registry (f (Atomic.get registry)))
 
 let inject ?(action = Fail) ~site trigger =
   validate trigger;

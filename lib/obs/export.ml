@@ -35,7 +35,9 @@ let json_float f =
 let span_suffix (s : Obs.span) =
   let parts = ref [] in
   let push p = parts := p :: !parts in
-  List.iter (fun (k, v) -> if k <> "path" then push (Printf.sprintf "%s=%s" k v)) s.Obs.s_meta;
+  List.iter
+    (fun (k, v) -> if not (String.equal k "path") then push (Printf.sprintf "%s=%s" k v))
+    s.Obs.s_meta;
   (match Obs.pool_hit_rate s with
   | Some r ->
     push
@@ -58,14 +60,16 @@ let span_suffix (s : Obs.span) =
   | Some _ | None -> ());
   let interesting =
     List.filter
-      (fun (k, _) -> not (String.length k >= 12 && String.sub k 0 12 = "buffer_pool."))
+      (fun (k, _) -> not (String.length k >= 12 && String.equal (String.sub k 0 12) "buffer_pool."))
       s.Obs.s_counts
   in
-  if interesting <> [] then
+  (match interesting with
+  | [] -> ()
+  | _ :: _ ->
     push
       ("["
       ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) interesting)
-      ^ "]");
+      ^ "]"));
   String.concat "  " (List.rev !parts)
 
 (* Index-nested-loop plans open one probe span per binding; past this
@@ -321,7 +325,7 @@ let metrics_to_json ?(extra = []) () =
            (* graft the quantile summary into the histogram object *)
            let body = String.sub body 0 (String.length body - 1) in
            json_string h.Obs.h_name ^ ":" ^ body
-           ^ (if q = "" then "}" else Printf.sprintf ",\"quantiles\":{%s}}" q))
+           ^ (if String.equal q "" then "}" else Printf.sprintf ",\"quantiles\":{%s}}" q))
     |> String.concat ","
   in
   let gauges =

@@ -60,7 +60,7 @@ let make_stripes capacity =
   let per = max 1 ((capacity + stripes - 1) / stripes) in
   Array.init stripes (fun _ -> { lock = Mutex.create (); ring = Array.make per None; next = 0 })
 
-let state = ref (make_stripes default_capacity)
+let state = ref (make_stripes default_capacity) [@@analyze.guarded_by "state_lock"]
 let state_lock = Mutex.create ()
 let enabled_flag = Atomic.make false
 
@@ -75,9 +75,7 @@ let enable ?capacity:cap () =
   | None -> ()
   | Some c ->
     if c < 1 then invalid_arg "Journal.enable: capacity must be >= 1";
-    Mutex.lock state_lock;
-    state := make_stripes c;
-    Mutex.unlock state_lock);
+    Mutex.protect state_lock (fun () -> state := make_stripes c));
   Atomic.set enabled_flag true
 
 let disable () = Atomic.set enabled_flag false
@@ -88,35 +86,30 @@ let with_enabled on f =
   Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f
 
 let clear () =
-  Mutex.lock state_lock;
-  let s = !state in
-  Array.iter
-    (fun st ->
-      Mutex.lock st.lock;
-      Array.fill st.ring 0 (Array.length st.ring) None;
-      st.next <- 0;
-      Mutex.unlock st.lock)
-    s;
-  Mutex.unlock state_lock
+  Mutex.protect state_lock (fun () ->
+      let s = !state in
+      Array.iter
+        (fun st ->
+          Mutex.protect st.lock (fun () ->
+              Array.fill st.ring 0 (Array.length st.ring) None;
+              st.next <- 0))
+        s)
 
 let record e =
   if Atomic.get enabled_flag then begin
     let s = !state in
     let st = s.(e.j_id mod stripes) in
-    Mutex.lock st.lock;
-    st.ring.(st.next mod Array.length st.ring) <- Some e;
-    st.next <- st.next + 1;
-    Mutex.unlock st.lock
+    Mutex.protect st.lock (fun () ->
+        st.ring.(st.next mod Array.length st.ring) <- Some e;
+        st.next <- st.next + 1)
   end
 
 let fold f acc =
   let s = !state in
   Array.fold_left
     (fun acc st ->
-      Mutex.lock st.lock;
-      let acc = Array.fold_left (fun acc e -> match e with Some e -> f acc e | None -> acc) acc st.ring in
-      Mutex.unlock st.lock;
-      acc)
+      Mutex.protect st.lock (fun () ->
+          Array.fold_left (fun acc e -> match e with Some e -> f acc e | None -> acc) acc st.ring))
     acc s
 
 let entries () =
@@ -128,9 +121,7 @@ let dropped () =
   let s = !state in
   Array.fold_left
     (fun acc st ->
-      Mutex.lock st.lock;
-      let d = max 0 (st.next - Array.length st.ring) in
-      Mutex.unlock st.lock;
+      let d = Mutex.protect st.lock (fun () -> max 0 (st.next - Array.length st.ring)) in
       acc + d)
     0 s
 

@@ -39,18 +39,14 @@ let with_enabled on f =
 let registry_lock = Mutex.create ()
 
 let registered lock tbl order name make =
-  Mutex.lock lock;
-  let v =
-    match Hashtbl.find_opt tbl name with
-    | Some v -> v
-    | None ->
-      let v = make () in
-      Hashtbl.replace tbl name v;
-      order := v :: !order;
-      v
-  in
-  Mutex.unlock lock;
-  v
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+        let v = make () in
+        Hashtbl.replace tbl name v;
+        order := v :: !order;
+        v)
 
 (* ------------------------------------------------------------------ *)
 (* Trace context                                                       *)
@@ -79,7 +75,10 @@ let with_context id f =
 type counter = { c_name : string; c_value : int Atomic.t }
 
 let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
-let counter_order : counter list ref = ref [] (* registration order, reversed *)
+[@@analyze.guarded_by "registry_lock"]
+
+let counter_order : counter list ref = ref [] [@@analyze.guarded_by "registry_lock"]
+(* registration order, reversed *)
 
 let counter name =
   registered registry_lock counter_tbl counter_order name (fun () ->
@@ -107,7 +106,9 @@ type histogram = {
 let default_buckets = [| 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1000.0 |]
 
 let histogram_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let histogram_order : histogram list ref = ref []
+[@@analyze.guarded_by "registry_lock"]
+
+let histogram_order : histogram list ref = ref [] [@@analyze.guarded_by "registry_lock"]
 
 let histogram ?(buckets = default_buckets) name =
   registered registry_lock histogram_tbl histogram_order name (fun () ->
@@ -129,34 +130,13 @@ let observe h v =
     let n = Array.length h.h_bounds in
     let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
-    Mutex.lock histogram_lock;
-    h.h_counts.(i) <- h.h_counts.(i) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1;
-    Mutex.unlock histogram_lock
+    Mutex.protect histogram_lock (fun () ->
+        h.h_counts.(i) <- h.h_counts.(i) + 1;
+        h.h_sum <- h.h_sum +. v;
+        h.h_count <- h.h_count + 1)
   end
 
 let histograms () = List.rev !histogram_order
-
-(* ------------------------------------------------------------------ *)
-(* Gauges                                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* A gauge is a registered thunk sampled at export time (journal depth,
-   pool occupancy, ...): nothing is recorded on the hot path, so gauges
-   are not gated on the enabled flag. *)
-type gauge = { g_name : string; g_read : unit -> float }
-
-let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 8
-let gauge_order : gauge list ref = ref []
-
-let gauge name read =
-  ignore (registered registry_lock gauge_tbl gauge_order name (fun () -> { g_name = name; g_read = read }))
-
-let gauges () =
-  List.rev_map
-    (fun g -> (g.g_name, try g.g_read () with _exn -> Float.nan))
-    !gauge_order
 
 (* ------------------------------------------------------------------ *)
 (* Warnings                                                            *)
@@ -170,48 +150,72 @@ type warning = { w_time : float; w_ctx : int option; w_site : string; w_msg : st
    default, replaced by [serve] with its own collector. *)
 let warn_capacity = 256
 let warn_lock = Mutex.create ()
-let warn_ring : warning option array = Array.make warn_capacity None
-let warn_written = ref 0
+let warn_ring : warning option array = Array.make warn_capacity None [@@analyze.guarded_by "warn_lock"]
+let warn_written = ref 0 [@@analyze.guarded_by "warn_lock"]
+
 let warn_handler : (warning -> unit) option ref = ref None
+[@@analyze.guarded_by "warn_lock"]
 
 let default_warn_handler w = Printf.eprintf "warning: [%s] %s\n%!" w.w_site w.w_msg
-
-let set_warn_handler h =
-  Mutex.lock warn_lock;
-  warn_handler := h;
-  Mutex.unlock warn_lock
+let set_warn_handler h = Mutex.protect warn_lock (fun () -> warn_handler := h)
 
 let warn ~site msg =
   let w = { w_time = Unix.gettimeofday (); w_ctx = context (); w_site = site; w_msg = msg } in
-  Mutex.lock warn_lock;
-  warn_ring.(!warn_written mod warn_capacity) <- Some w;
-  warn_written := !warn_written + 1;
-  let h = !warn_handler in
-  Mutex.unlock warn_lock;
+  let h =
+    Mutex.protect warn_lock (fun () ->
+        warn_ring.(!warn_written mod warn_capacity) <- Some w;
+        warn_written := !warn_written + 1;
+        !warn_handler)
+  in
   match h with None -> default_warn_handler w | Some f -> f w
 
 let warnings () =
-  Mutex.lock warn_lock;
-  let n = !warn_written in
-  let first = max 0 (n - warn_capacity) in
-  let ws =
-    List.filter_map
-      (fun i -> warn_ring.(i mod warn_capacity))
-      (List.init (n - first) (fun k -> first + k))
-  in
-  Mutex.unlock warn_lock;
-  ws
+  Mutex.protect warn_lock (fun () ->
+      let n = !warn_written in
+      let first = max 0 (n - warn_capacity) in
+      List.filter_map
+        (fun i -> warn_ring.(i mod warn_capacity))
+        (List.init (n - first) (fun k -> first + k)))
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A gauge is a registered thunk sampled at export time (journal depth,
+   pool occupancy, ...): nothing is recorded on the hot path, so gauges
+   are not gated on the enabled flag. *)
+type gauge = { g_name : string; g_read : unit -> float }
+
+let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 8
+[@@analyze.guarded_by "registry_lock"]
+
+let gauge_order : gauge list ref = ref [] [@@analyze.guarded_by "registry_lock"]
+
+let gauge name read =
+  ignore (registered registry_lock gauge_tbl gauge_order name (fun () -> { g_name = name; g_read = read }))
+
+(* A failing gauge thunk must not take down an export scrape, but the
+   failure is not silent either: it lands in the warning ring with the
+   gauge's name before the sample degrades to NaN. *)
+let gauges () =
+  List.rev_map
+    (fun g ->
+      ( g.g_name,
+        try g.g_read ()
+        with e ->
+          warn ~site:"obs.gauge" (Printf.sprintf "%s: %s" g.g_name (Printexc.to_string e));
+          Float.nan ))
+    !gauge_order
 
 let reset () =
   List.iter (fun c -> Atomic.set c.c_value 0) !counter_order;
-  Mutex.lock histogram_lock;
-  List.iter
-    (fun h ->
-      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-      h.h_sum <- 0.0;
-      h.h_count <- 0)
-    !histogram_order;
-  Mutex.unlock histogram_lock
+  Mutex.protect histogram_lock (fun () ->
+      List.iter
+        (fun h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+        !histogram_order)
 
 (* ------------------------------------------------------------------ *)
 (* Spans and traces                                                    *)
@@ -292,7 +296,7 @@ let fresh_span ?(meta = []) name =
     s_children = [];
   }
 
-let in_trace () = !(trace_stack ()) <> []
+let in_trace () = match !(trace_stack ()) with [] -> false | _ :: _ -> true
 
 let annotate k v =
   match !(trace_stack ()) with
@@ -317,8 +321,10 @@ let open_entry s =
 
 let with_span ?meta name f =
   let stack = trace_stack () in
-  if (not (Atomic.get enabled_flag)) || !stack = [] then f ()
-  else begin
+  match !stack with
+  | [] -> f ()
+  | _ :: _ when not (Atomic.get enabled_flag) -> f ()
+  | _ :: _ ->
     let s = fresh_span ?meta name in
     stack := open_entry s :: !stack;
     let finish () =
@@ -332,7 +338,6 @@ let with_span ?meta name f =
       | _ -> () (* unbalanced finish; drop the span rather than corrupt the tree *)
     in
     Fun.protect ~finally:finish f
-  end
 
 let trace ?meta name f =
   if not (Atomic.get enabled_flag) then (f (), None)

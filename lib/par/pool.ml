@@ -49,18 +49,19 @@ type 'a future = {
 let jobs t = t.jobs
 
 let rec worker_loop t =
-  Mutex.lock t.lock;
-  while Queue.is_empty t.queue && not t.stopping do
-    Condition.wait t.work_available t.lock
-  done;
-  if t.stopping && Queue.is_empty t.queue then Mutex.unlock t.lock
-  else begin
-    let task = Queue.pop t.queue in
-    Mutex.unlock t.lock;
+  let task =
+    Mutex.protect t.lock (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.work_available t.lock
+        done;
+        if t.stopping && Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+  in
+  match task with
+  | None -> ()
+  | Some task ->
     task ();
     Tm_obs.Obs.incr c_tasks;
     worker_loop t
-  end
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -78,10 +79,9 @@ let create ~jobs =
   t
 
 let shutdown t =
-  Mutex.lock t.lock;
-  t.stopping <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.lock;
+  Mutex.protect t.lock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.work_available);
   List.iter Domain.join t.workers;
   t.workers <- []
 
@@ -94,10 +94,9 @@ let with_pool ~jobs f =
 (* ------------------------------------------------------------------ *)
 
 let fulfil fut outcome =
-  Mutex.lock fut.f_lock;
-  fut.state <- outcome;
-  Condition.broadcast fut.f_done;
-  Mutex.unlock fut.f_lock
+  Mutex.protect fut.f_lock (fun () ->
+      fut.state <- outcome;
+      Condition.broadcast fut.f_done)
 
 let spawn t f =
   let fut = { state = Pending; f_lock = Mutex.create (); f_done = Condition.create () } in
@@ -119,20 +118,19 @@ let spawn t f =
         (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6)
   in
   if t.jobs = 1 then task ()
-  else begin
-    Mutex.lock t.lock;
-    Queue.push task t.queue;
-    Condition.signal t.work_available;
-    Mutex.unlock t.lock
-  end;
+  else
+    Mutex.protect t.lock (fun () ->
+        Queue.push task t.queue;
+        Condition.signal t.work_available);
   fut
 
 (* Pop one queued task if any; used by the submitter to help while it
    waits, so the caller's domain is a full member of the pool. *)
 let try_help t =
-  Mutex.lock t.lock;
-  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-  Mutex.unlock t.lock;
+  let task =
+    Mutex.protect t.lock (fun () ->
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+  in
   match task with
   | Some task ->
     task ();
@@ -152,11 +150,10 @@ let await t fut =
         (* Nothing to steal: block until this future is fulfilled. The
            state re-check under the future's lock avoids a lost wakeup
            between the Pending read and the wait. *)
-        Mutex.lock fut.f_lock;
-        while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
-          Condition.wait fut.f_done fut.f_lock
-        done;
-        Mutex.unlock fut.f_lock;
+        Mutex.protect fut.f_lock (fun () ->
+            while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+              Condition.wait fut.f_done fut.f_lock
+            done);
         wait ()
       end
   in

@@ -12,18 +12,16 @@ let c_misses = Tm_obs.Obs.counter "plan.cache.misses"
 let c_invalidations = Tm_obs.Obs.counter "plan.cache.invalidations"
 
 let lock = Mutex.create ()
-let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 64
-let order : string Queue.t = Queue.create ()
-let cap = ref 256
+let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 64 [@@analyze.guarded_by "lock"]
+let order : string Queue.t = Queue.create () [@@analyze.guarded_by "lock"]
+let cap = ref 256 [@@analyze.guarded_by "lock"]
 let hits = Atomic.make 0
 let misses = Atomic.make 0
 let invalidations = Atomic.make 0
 
 let key ~generation ~shape = string_of_int generation ^ "#" ^ shape
 
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let locked f = Mutex.protect lock f
 
 let set_capacity n =
   if n < 1 then invalid_arg "Plan cache capacity must be >= 1";

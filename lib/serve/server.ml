@@ -79,6 +79,11 @@ let respond status content_type body = { status; content_type; body }
 let json_string = Tm_obs.Export.json_string
 let json_float = Tm_obs.Export.json_float
 
+(* Every catch-all below converts a failure into an HTTP body. Fatal
+   runtime conditions must not be laundered into a 500 the client
+   retries against a dying process — re-raise them first. *)
+let reraise_if_fatal e = match e with Out_of_memory | Stack_overflow -> raise e | _ -> ()
+
 (* A canary twig for /healthz: the root tag of the first catalogued
    rooted path, so the lookup touches the live index structures but
    stays O(document roots). *)
@@ -102,7 +107,9 @@ let healthz ?canary (db : Database.t) =
     | Some twig -> (
       match Executor.run db twig with
       | r -> Ok (List.length r.Executor.ids)
-      | exception e -> Error (Printexc.to_string e))
+      | exception e ->
+        reraise_if_fatal e;
+        Error (Printexc.to_string e))
   in
   match (violations, canary_outcome) with
   | [], Ok rows ->
@@ -132,6 +139,7 @@ let run_query (db : Database.t) params =
   | Some q -> (
     match Tm_query.Xpath_parser.parse q with
     | exception e ->
+      reraise_if_fatal e;
       respond 400 json
         (Printf.sprintf "{\"error\":%s}" (json_string ("parse: " ^ Printexc.to_string e)))
     | twig -> (
@@ -161,12 +169,17 @@ let run_query (db : Database.t) params =
                r.Executor.replans
                (Tm_plan.Plan.to_json r.Executor.plan)
                (String.concat "," (List.map string_of_int r.Executor.ids)))
+        (* The HTTP edge is the sanctioned end of the typed-error chain:
+           past here there is no caller left to degrade gracefully. *)
         | exception Executor.Timeout { ms; _ } ->
-          respond 503 json (Printf.sprintf "{\"error\":\"deadline of %s ms expired\"}" (json_float ms))
+          (respond 503 json
+             (Printf.sprintf "{\"error\":\"deadline of %s ms expired\"}" (json_float ms))
+          [@analyze.boundary])
         | exception Tm_storage.Pager.Corrupt_page { page; detail } ->
-          respond 500 json
-            (Printf.sprintf "{\"error\":%s}"
-               (json_string (Printf.sprintf "corrupt page %d: %s" page detail))))))
+          (respond 500 json
+             (Printf.sprintf "{\"error\":%s}"
+                (json_string (Printf.sprintf "corrupt page %d: %s" page detail)))
+          [@analyze.boundary]))))
 
 (* /plan?q=XPATH[&hint=...] — the planner's choice as JSON, without
    executing the query. *)
@@ -176,6 +189,7 @@ let plan_query (db : Database.t) params =
   | Some q -> (
     match Tm_query.Xpath_parser.parse q with
     | exception e ->
+      reraise_if_fatal e;
       respond 400 json
         (Printf.sprintf "{\"error\":%s}" (json_string ("parse: " ^ Printexc.to_string e)))
     | twig -> (
@@ -192,6 +206,7 @@ let plan_query (db : Database.t) params =
           respond 200 json
             (Printf.sprintf "{\"query\":%s,\"explain\":%s}" (json_string q) (json_string text))
         | exception e ->
+          reraise_if_fatal e;
           respond 500 json
             (Printf.sprintf "{\"error\":%s}" (json_string (Printexc.to_string e))))))
 
@@ -236,6 +251,7 @@ let handle ?canary (db : Database.t) ~meth ~target =
   let response =
     try dispatch ()
     with e ->
+      reraise_if_fatal e;
       respond 500 json (Printf.sprintf "{\"error\":%s}" (json_string (Printexc.to_string e)))
   in
   if t0 > 0.0 then Tm_obs.Obs.observe h_request_ms ((Unix.gettimeofday () -. t0) *. 1e3);
@@ -332,6 +348,7 @@ let run t =
     | client, _ ->
       (try Fun.protect ~finally:(fun () -> Unix.close client) (fun () -> serve_connection t client)
        with e ->
+         reraise_if_fatal e;
          if not (Atomic.get t.stopping) then
            Tm_obs.Obs.warn ~site:"serve.connection" (Printexc.to_string e));
       if not (Atomic.get t.stopping) then loop ()

@@ -129,14 +129,16 @@ let read_node t id =
      and misses are accounted exactly as without the decode cache *)
   let bytes = Buffer_pool.read t.pool id in
   Tm_obs.Obs.incr c_node_visits;
-  Lock.acquire t.cache_lock;
-  let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
-  let cached =
-    match Hashtbl.find_opt t.decoded id with
-    | Some (v, node) when v = version -> Some node
-    | _ -> None
+  let version, cached =
+    Lock.with_lock t.cache_lock (fun () ->
+        let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+        let cached =
+          match Hashtbl.find_opt t.decoded id with
+          | Some (v, node) when v = version -> Some node
+          | _ -> None
+        in
+        (version, cached))
   in
-  Lock.release t.cache_lock;
   match cached with
   | Some node -> node
   | None ->
@@ -145,19 +147,16 @@ let read_node t id =
        pages parse in parallel; racing decoders of the same page just
        store the same node twice. *)
     let node = decode_node (Bytes.to_string bytes) in
-    Lock.acquire t.cache_lock;
-    Hashtbl.replace t.decoded id (version, node);
-    Lock.release t.cache_lock;
+    Lock.with_lock t.cache_lock (fun () -> Hashtbl.replace t.decoded id (version, node));
     node
 
 (* Store an already-encoded node image and refresh the decode cache. *)
 let commit_node t id node encoded =
   Buffer_pool.write t.pool id (Bytes.of_string encoded);
-  Lock.acquire t.cache_lock;
-  let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
-  Hashtbl.replace t.versions id v;
-  Hashtbl.replace t.decoded id (v, node);
-  Lock.release t.cache_lock
+  Lock.with_lock t.cache_lock (fun () ->
+      let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+      Hashtbl.replace t.versions id v;
+      Hashtbl.replace t.decoded id (v, node))
 
 let write_node t id node = commit_node t id node (encode_node t node)
 

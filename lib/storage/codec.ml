@@ -190,17 +190,19 @@ let decode_value s =
     page is small next to decoding it. Used for per-page checksums in
     {!Pager} and the snapshot frame format in [Persist]. *)
 
+(* Built eagerly at module init: a lazy block would be forced from
+   every domain that checksums a page, and unsynchronized forcing races
+   on OCaml 5. *)
 let crc32_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let crc32_update crc data pos len =
-  let table = Lazy.force crc32_table in
+  let table = crc32_table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do
     c := table.((!c lxor Char.code (Bytes.unsafe_get data i)) land 0xff) lxor (!c lsr 8)

@@ -8,8 +8,8 @@ type t = int (* even = Outer, odd = Inner *)
    lost. [registry_lock] serializes allocation, growth and fills. *)
 let registry : Mutex.t option Atomic.t array Atomic.t = Atomic.make [||]
 let registry_lock = Mutex.create ()
-let next_outer = ref 0
-let next_inner = ref 1
+let next_outer = ref 0 [@@analyze.guarded_by "registry_lock"]
+let next_inner = ref 1 [@@analyze.guarded_by "registry_lock"]
 
 (* Caller holds [registry_lock]. *)
 let ensure_capacity id =
@@ -38,31 +38,24 @@ let rec mutex_of id =
   | Some None | None ->
     (* Unregistered ticket (loaded from a snapshot) or a stale read:
        materialize the slot under the registry lock and retry. *)
-    Mutex.lock registry_lock;
-    ensure_capacity id;
-    ignore (fill_slot id);
-    Mutex.unlock registry_lock;
+    Mutex.protect registry_lock (fun () ->
+        ensure_capacity id;
+        ignore (fill_slot id));
     mutex_of id
 
 let create cls =
-  Mutex.lock registry_lock;
-  let counter = match cls with Outer -> next_outer | Inner -> next_inner in
-  let id = !counter in
-  counter := id + 2;
-  ensure_capacity id;
-  ignore (fill_slot id);
-  Mutex.unlock registry_lock;
-  id
+  Mutex.protect registry_lock (fun () ->
+      let counter = match cls with Outer -> next_outer | Inner -> next_inner in
+      let id = !counter in
+      counter := id + 2;
+      ensure_capacity id;
+      ignore (fill_slot id);
+      id)
 
 let acquire t = Mutex.lock (mutex_of t)
-let release t = Mutex.unlock (mutex_of t)
+[@@analyze.manual_lock "split acquire/release primitive; callers pair it or use with_lock"]
 
-let with_lock t f =
-  acquire t;
-  match f () with
-  | v ->
-    release t;
-    v
-  | exception e ->
-    release t;
-    raise e
+let release t = Mutex.unlock (mutex_of t)
+[@@analyze.manual_lock "split acquire/release primitive; callers pair it or use with_lock"]
+
+let with_lock t f = Mutex.protect (mutex_of t) f

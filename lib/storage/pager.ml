@@ -89,7 +89,9 @@ let grow t needed =
     t.crcs <- crcs
   end
 
-let crc_of_zero_page = lazy (Codec.crc32 (Bytes.make default_page_size '\x00'))
+(* Computed eagerly at module init: a [lazy] here would be forced from
+   whichever domain allocates first, and unsynchronized forcing races. *)
+let crc_of_zero_page = Codec.crc32 (Bytes.make default_page_size '\x00')
 
 (** Allocate a fresh zeroed page; returns its id. *)
 let alloc t =
@@ -100,8 +102,7 @@ let alloc t =
       t.pages.(id) <- Bytes.make t.page_size '\x00';
       if t.checksums then
         t.crcs.(id) <-
-          (if t.page_size = default_page_size then Lazy.force crc_of_zero_page
-           else Codec.crc32 t.pages.(id));
+          (if t.page_size = default_page_size then crc_of_zero_page else Codec.crc32 t.pages.(id));
       t.n_pages <- id + 1;
       id)
 
@@ -156,6 +157,7 @@ let verify_page t id =
       if id < 0 || id >= t.n_pages then false
       else if not t.checksums then true
       else Codec.crc32 t.pages.(id) = t.crcs.(id))
+[@@analyze.no_failpoint "fsck path: integrity checks must see the store as it is, not as injected"]
 
 (** Test hooks: plant corruption directly in the backing store, without
     touching the sidecar checksum — the states fsck and the read path
@@ -166,11 +168,13 @@ let unsafe_flip_bit t ~page ~bit =
       let img = t.pages.(page) in
       let byte = bit / 8 mod Bytes.length img in
       Bytes.set img byte (Char.chr (Char.code (Bytes.get img byte) lxor (1 lsl (bit mod 8)))))
+[@@analyze.no_failpoint "test hook: plants the corruption failpoints are meant to simulate"]
 
 let unsafe_flip_crc_bit t ~page ~bit =
   locked t (fun () ->
       check_id t page;
       t.crcs.(page) <- t.crcs.(page) lxor (1 lsl (bit mod 32)))
+[@@analyze.no_failpoint "test hook: plants the corruption failpoints are meant to simulate"]
 
 let reset_stats t =
   locked t (fun () ->

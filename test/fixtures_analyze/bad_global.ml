@@ -1,0 +1,6 @@
+(* Fixture: toplevel mutable state with no guard annotation — the
+   domain-safety pass must flag the table (and the type annotation must
+   not hide it). *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let lookup k = Hashtbl.find_opt table k

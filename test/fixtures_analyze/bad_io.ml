@@ -1,0 +1,6 @@
+(* Fixture: raw page-array I/O with no registered failpoint — the
+   failpoint-coverage pass must flag the unguarded read. *)
+
+type t = { mutable pages : bytes array }
+
+let read t i = t.pages.(i)

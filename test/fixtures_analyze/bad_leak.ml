@@ -1,0 +1,10 @@
+(* Fixture: manual lock/unlock around a call that may raise — the
+   resource-safety pass must flag both halves of the leaky pair. *)
+
+let lock = Mutex.create ()
+
+let run f =
+  Mutex.lock lock;
+  let v = f () in
+  Mutex.unlock lock;
+  v

@@ -1,0 +1,7 @@
+(* Fixture: two toplevel mutexes acquired in both orders — the
+   lock-order pass must report an a/b cycle. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+let ab () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> ()))
+let ba () = Mutex.protect b (fun () -> Mutex.protect a (fun () -> ()))

@@ -1,0 +1,7 @@
+(* Fixture: a handler that absorbs a typed control exception (matched
+   by constructor name) without re-raising — the typed-error pass must
+   flag it. *)
+
+exception Timeout of float
+
+let guard f = try Some (f ()) with Timeout _ -> None

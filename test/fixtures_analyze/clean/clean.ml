@@ -1,0 +1,11 @@
+(* Fixture: the same shapes as the bad_* modules, written with the safe
+   idioms — every pass must come back empty here. *)
+
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 8 [@@analyze.guarded_by "lock"]
+let get k = Mutex.protect lock (fun () -> Hashtbl.find_opt table k)
+let put k v = Mutex.protect lock (fun () -> Hashtbl.replace table k v)
+
+exception Timeout of float
+
+let guard f = try Some (f ()) with Timeout ms -> raise (Timeout ms)

@@ -1,0 +1,1 @@
+let () = exit (Tm_analyze.Analyze.main (Array.to_list Sys.argv))

@@ -3,7 +3,8 @@
     Parses every [.ml] under the given roots with compiler-libs and
     enforces, on the {e untyped} AST:
 
-    - [poly-compare] (lib/storage, lib/index, lib/joins): no bare
+    - [poly-compare] (lib/storage, lib/index, lib/joins, lib/plan,
+      lib/obs, lib/par, lib/exec): no bare
       polymorphic [compare], and no [=]/[<>]/[List.mem] where an operand
       is syntactically non-scalar (a constructor, tuple, polymorphic
       variant or string literal) — key/payload/option comparisons must
@@ -14,8 +15,9 @@
     - [no-failwith] (lib/core): no [failwith] and no raising of
       [Failure] — the core API reports errors via [result] or typed
       exceptions.
-    - [catch-all] (all roots): no [try ... with _ ->]; handlers must
-      name the exceptions they mean to swallow.
+    - [catch-all] (all roots): no [try ... with _ ->] — including
+      wildcard binders spelled [_exn] — handlers must name the
+      exceptions they mean to swallow.
     - [mli-coverage] (all roots): every [.ml] needs a sibling [.mli].
 
     Output: [path:line:col: [rule] message], exit 1 on any finding. *)
@@ -44,7 +46,7 @@ let in_dir dir file =
 let is_poly_compare_scope file =
   List.exists
     (fun dir -> in_dir dir file)
-    [ "lib/storage/"; "lib/index/"; "lib/joins/"; "lib/plan/" ]
+    [ "lib/storage/"; "lib/index/"; "lib/joins/"; "lib/plan/"; "lib/obs/"; "lib/par/"; "lib/exec/" ]
 
 let is_core_scope file = in_dir "lib/core/" file
 
@@ -121,6 +123,15 @@ let lint_structure file structure =
           | Parsetree.Ppat_any, None ->
             report ~file ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc ~rule:"catch-all"
               "catch-all `try ... with _ ->`; name the exceptions this handler may swallow"
+          (* A wildcard binder spelled [_exn] is the same catch-all wearing
+             a name the binder-unused warning will not question. *)
+          | Parsetree.Ppat_var { Asttypes.txt = name; _ }, None
+            when String.length name > 0 && name.[0] = '_' ->
+            report ~file ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc ~rule:"catch-all"
+              (Printf.sprintf
+                 "catch-all `try ... with %s ->`; bind a used name and re-raise what you do not \
+                  handle, or name the exceptions"
+                 name)
           | _ -> ())
         cases
     | _ -> ());
