@@ -14,6 +14,11 @@
      twigql snapshot [save] [SOURCE] -o FILE   build a database, save atomically
      twigql snapshot verify FILE               frame + checksum check, no unmarshal
      twigql fsck    [SOURCE] [--jobs N] [--format json]   verify index structure invariants
+     twigql wal init DIR [SOURCE]              make a database durable (snapshot + log)
+     twigql wal ingest DIR [-n N] [--batch]    recover, insert N logged subtrees
+     twigql wal status DIR                     scan snapshot framing + log frames
+     twigql wal checkpoint DIR                 recover, fold log into a fresh snapshot
+     twigql wal fsck DIR [--format json]       recover, then full structure verify
 
    SOURCE is one of: --file doc.xml, --xmark SCALE, --dblp SCALE,
    --snapshot FILE (default: --xmark 0.1).
@@ -538,6 +543,131 @@ let snapshot_cmd =
     [ snapshot_save_cmd; snapshot_verify_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* wal — the durable write path                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Database directory.")
+
+let run_wal_init dir file xmark dblp seed =
+  let doc = load_doc file xmark dblp seed in
+  let db = Database.create doc in
+  let d = Durable.create ~dir db in
+  Printf.printf "initialized %s (snapshot + empty log, %d element nodes)\n" dir
+    (Tm_xml.Xml_tree.element_count doc);
+  Durable.close d
+
+let run_wal_status dir =
+  let wpath = Durable.wal_path dir in
+  let spath = Durable.snapshot_path dir in
+  (match Persist.verify spath with
+  | { Persist.sections } ->
+    let bytes = List.fold_left (fun acc s -> acc + s.Persist.length) 0 sections in
+    Printf.printf "snapshot: %s (%d sections, %d bytes, checksums ok)\n" spath
+      (List.length sections) bytes
+  | exception Persist.Bad_snapshot msg -> Printf.printf "snapshot: DAMAGED (%s)\n" msg);
+  let scan = Tm_wal.Wal.scan wpath in
+  let size = if Sys.file_exists wpath then (Unix.stat wpath).Unix.st_size else 0 in
+  Printf.printf "log: %s (%d bytes, %d valid frames%s)\n" wpath size
+    (List.length scan.Tm_wal.Wal.frames)
+    (if scan.Tm_wal.Wal.damaged then
+       Printf.sprintf ", DAMAGED tail after byte %d" scan.Tm_wal.Wal.valid_bytes
+     else "");
+  Printf.printf "committed transactions in log: %d%s\n"
+    (List.length scan.Tm_wal.Wal.committed)
+    (match List.rev scan.Tm_wal.Wal.committed with
+    | last :: _ -> Printf.sprintf " (last txn %d)" last
+    | [] -> "");
+  Printf.printf "committed prefix: %d bytes; uncommitted/damaged tail: %d bytes\n"
+    scan.Tm_wal.Wal.committed_bytes
+    (max 0 (size - scan.Tm_wal.Wal.committed_bytes))
+
+let report_recovery (r : Durable.recovery) =
+  Printf.printf "recovery: replayed %d txn(s), skipped %d already in snapshot, discarded %d \
+                 tail byte(s)\n"
+    r.Durable.replayed r.Durable.skipped r.Durable.discarded_bytes
+
+let run_wal_checkpoint dir =
+  let d, r = Durable.open_ dir in
+  report_recovery r;
+  Durable.checkpoint d;
+  Printf.printf "checkpoint complete: snapshot at txn %d, log truncated\n"
+    (Durable.database d).Database.last_txn;
+  Durable.close d
+
+let run_wal_ingest dir count batch seed =
+  let d, r = Durable.open_ dir in
+  report_recovery r;
+  let db = Durable.database d in
+  let roots = db.Database.doc.Tm_xml.Xml_tree.roots in
+  if Array.length roots = 0 then begin
+    Printf.eprintf "twigql wal ingest: empty document\n";
+    exit 124
+  end;
+  let parent = roots.(0).Tm_xml.Xml_tree.id in
+  let subtree i =
+    Tm_xml.Xml_tree.elem "ingest"
+      [ Tm_xml.Xml_tree.elem_text "note" (Printf.sprintf "seed%d-%d" seed i) ]
+  in
+  let insert i = ignore (Durable.insert_subtree d ~parent (subtree i)) in
+  let t0 = Unix.gettimeofday () in
+  if batch then Durable.batch d (fun () -> for i = 1 to count do insert i done)
+  else for i = 1 to count do insert i done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "ingested %d subtree(s)%s in %.1f ms (last txn %d)\n" count
+    (if batch then " (group commit)" else "")
+    (1000.0 *. dt) db.Database.last_txn;
+  Durable.close d
+
+(* Recover, then run the full offline checker over the recovered
+   database: the crash-matrix smoke's final verdict. *)
+let run_wal_fsck dir fmt =
+  let d, r = Durable.open_ dir in
+  report_recovery r;
+  let report = Tm_check.Check.check_database (Durable.database d) in
+  (match fmt with
+  | `Text -> print_endline (Tm_check.Check.report_to_string report)
+  | `Json -> print_endline (Tm_check.Check.report_to_json report));
+  Durable.close d;
+  if not (Tm_check.Check.is_clean report) then exit 1
+
+let wal_count_arg =
+  Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N" ~doc:"Subtrees to insert.")
+
+let wal_batch_arg =
+  Arg.(value & flag & info [ "batch" ] ~doc:"Group-commit the whole ingest with one fsync.")
+
+let wal_fsck_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+
+let wal_cmd =
+  Cmd.group
+    (Cmd.info "wal"
+       ~doc:
+         "Durable write path: initialize, inspect, checkpoint, ingest into and verify a \
+          write-ahead-logged database directory")
+    [
+      Cmd.v
+        (Cmd.info "init" ~doc:"Build a database and make it durable under DIR (snapshot + log)")
+        Term.(const run_wal_init $ dir_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg);
+      Cmd.v
+        (Cmd.info "status" ~doc:"Scan DIR's snapshot framing and log frames without recovering")
+        Term.(const run_wal_status $ dir_arg);
+      Cmd.v
+        (Cmd.info "checkpoint" ~doc:"Recover DIR and fold its log into a fresh snapshot")
+        Term.(const run_wal_checkpoint $ dir_arg);
+      Cmd.v
+        (Cmd.info "ingest" ~doc:"Recover DIR and insert N logged subtrees (optionally batched)")
+        Term.(const run_wal_ingest $ dir_arg $ wal_count_arg $ wal_batch_arg $ seed_arg);
+      Cmd.v
+        (Cmd.info "fsck" ~doc:"Recover DIR and verify every index structure invariant")
+        Term.(const run_wal_fsck $ dir_arg $ wal_fsck_format_arg);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* fsck                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,6 +730,7 @@ let () =
         info_cmd;
         generate_cmd;
         snapshot_cmd;
+        wal_cmd;
         fsck_cmd;
       ]
   in
@@ -612,6 +743,9 @@ let () =
     exit 2
   | exception Tm_storage.Pager.Corrupt_page { page; detail } ->
     Printf.eprintf "twigql: corrupt page %d: %s\n" page detail;
+    exit 2
+  | exception Durable.Recovery_error msg ->
+    Printf.eprintf "twigql: recovery failed: %s\n" msg;
     exit 2
   | exception Executor.Timeout { ms; stats } ->
     Format.eprintf "twigql: query deadline of %.0f ms expired (partial stats: %a)@." ms

@@ -43,6 +43,11 @@ type t = {
   ji : Join_index.t option;
   mutable next_id : int;  (** next node id for subtree insertion *)
   mutable generation : int;  (** index generation (plan-cache invalidation key) *)
+  mutable last_txn : int;
+      (** highest durably committed transaction id folded into this
+          image (0 = never durably updated); maintained by the durable
+          write path and marshalled with the snapshot so recovery knows
+          which logged transactions are already applied *)
 }
 
 (* Generations are process-unique across databases, so the shared plan
@@ -101,6 +106,7 @@ let create ?(strategies = all_strategies) ?(pool_capacity = 4096) ?(page_size = 
     ji = (if want Ji then Some (Join_index.build ~pool ~dict ~catalog doc) else None);
     next_id = doc.Tm_xml.Xml_tree.node_count;
     generation = fresh_generation ();
+    last_txn = 0;
   }
 
 (** The strategies whose index sets are materialized in [t]. *)

@@ -45,6 +45,10 @@ type t = {
   mutable generation : int;
       (** process-unique index generation: minted at {!create}, bumped
           by {!note_index_change} — the plan cache's invalidation key *)
+  mutable last_txn : int;
+      (** highest durably committed transaction id folded into this
+          image (0 = never durably updated); maintained by
+          {!Durable} and marshalled with snapshots *)
 }
 
 val create :

@@ -1,0 +1,419 @@
+(** The durable write path: a write-ahead-logged database directory.
+
+    A durable handle owns a directory holding a Persist v2 snapshot
+    ([snapshot.twig]) and a {!Tm_wal.Wal} redo log ([wal.log]). Every
+    {!insert_subtree} / {!delete_subtree} is one logged transaction:
+
+    + [Begin txn] and an [Op] frame carrying the logical operation
+      (parent id + encoded subtree, or deleted node id) are appended;
+    + a pager transaction is opened ({!Tm_storage.Pager.begin_txn}) and
+      the update executes through {!Updates} — page writes go through
+      the buffer pool's transactional write-through, installing
+      copy-on-write versions for epoch-pinned readers;
+    + the post-image of every dirtied page is appended as a [Page]
+      frame (with its CRC32), then [Commit txn];
+    + the log is fsynced ({e before} the transaction is acknowledged —
+      unless inside {!batch}, which group-commits with one fsync);
+    + the pager transaction commits, atomically publishing the new
+      epoch to concurrent readers, and [Database.last_txn] advances.
+
+    Recovery ({!open_}) loads the snapshot, scans the log's valid
+    prefix (torn and bad-CRC tails are discarded), and {e re-executes}
+    the logical operations of every committed transaction newer than
+    the snapshot's [last_txn], in commit order. The update path is
+    deterministic (id assignment, dictionary interning, heap append and
+    B+-tree insertion depend only on database state), so replay
+    reproduces the original pages exactly; the logged [Page] CRCs are
+    cross-checked against the recovered pager images after each
+    transaction, turning any divergence into {!Recovery_error} instead
+    of silent corruption. Partially-logged transactions (a [Begin]
+    without its [Commit] in the valid prefix) are never replayed and
+    are truncated away.
+
+    {!checkpoint} folds the log into a fresh snapshot: flush the buffer
+    pool, write the snapshot (atomic rename), truncate the log, and
+    stamp it with a [Checkpoint] frame. A crash anywhere in that
+    sequence is safe: the old snapshot survives until the rename, and
+    transactions both in the snapshot and still in the log are skipped
+    by the [last_txn] watermark.
+
+    Failure handling is two-tier. A validation failure
+    ([Invalid_argument] from {!Updates} before any page was dirtied)
+    aborts cleanly: the pager transaction rolls back and the handle
+    remains usable — the dangling [Begin]/[Op] frames are harmless
+    because recovery ignores uncommitted transactions. Any other
+    mid-transaction failure (an I/O fault after pages were dirtied)
+    rolls back the pager but {e poisons} the handle: the in-memory
+    dictionary, catalog and document cannot be rolled back reliably, so
+    every subsequent operation raises {!Poisoned} and the recovery
+    path is to {!open_} the directory again — which is exactly the
+    guarantee the log exists to provide.
+
+    The handle serializes writers with an internal mutex (single-writer
+    discipline); readers never take it — they run against epoch-pinned
+    snapshots (see {!Tm_storage.Epoch}). *)
+
+open Tm_storage
+module Wal = Tm_wal.Wal
+module T = Tm_xml.Xml_tree
+
+let c_txns = Tm_obs.Obs.counter "durable.txns"
+let c_replayed_txns = Tm_obs.Obs.counter "durable.replayed_txns"
+let c_checkpoints = Tm_obs.Obs.counter "durable.checkpoints"
+let c_clean_aborts = Tm_obs.Obs.counter "durable.clean_aborts"
+let c_poisoned = Tm_obs.Obs.counter "durable.poisoned"
+
+(* Fired between logging a transaction's frames and its [Commit]
+   append: a [Fail] here is the canonical "crash before commit" for
+   the CI kill matrix — the logged frames stay uncommitted and
+   recovery discards them. *)
+let site_commit = "wal.commit"
+
+exception Recovery_error of string
+exception Poisoned of string
+
+let () =
+  Printexc.register_printer (function
+    | Recovery_error s -> Some (Printf.sprintf "Durable.Recovery_error(%s)" s)
+    | Poisoned s -> Some (Printf.sprintf "Durable.Poisoned(%s)" s)
+    | _ -> None)
+
+let recovery_error fmt = Printf.ksprintf (fun s -> raise (Recovery_error s)) fmt
+
+let snapshot_file = "snapshot.twig"
+let wal_file = "wal.log"
+let snapshot_path dir = Filename.concat dir snapshot_file
+let wal_path dir = Filename.concat dir wal_file
+
+type t = {
+  dir : string;
+  db : Database.t;
+  wal : Wal.t;
+  lock : Mutex.t;  (** single-writer discipline over txn state below *)
+  mutable next_txn : int;
+  mutable batch_depth : int;
+  mutable unsynced : bool;  (** committed frames awaiting the batch fsync *)
+  mutable poisoned : string option;
+}
+
+let database t = t.db
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Logical-operation codec (the WAL [Op] payload)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Subtree codec: kind byte ('E'lem | 'A'ttr | 'V'alue) + name/value +
+   child count. Node ids are deliberately absent — replay re-executes
+   through [Updates.insert_subtree], which assigns the same fresh ids
+   the original execution did (from the recovered [next_id]). *)
+let rec encode_node buf (n : T.node) =
+  match n.T.label with
+  | T.Value v ->
+    Buffer.add_char buf 'V';
+    Codec.add_lstring buf v
+  | T.Elem name ->
+    Buffer.add_char buf 'E';
+    Codec.add_lstring buf name;
+    Codec.add_varint buf (Array.length n.T.children);
+    Array.iter (encode_node buf) n.T.children
+  | T.Attr name ->
+    Buffer.add_char buf 'A';
+    Codec.add_lstring buf name;
+    Codec.add_varint buf (Array.length n.T.children);
+    Array.iter (encode_node buf) n.T.children
+
+let rec decode_node s pos =
+  if pos >= String.length s then invalid_arg "Durable: truncated op payload";
+  let kind = s.[pos] in
+  match kind with
+  | 'V' ->
+    let v, pos = Codec.read_lstring s (pos + 1) in
+    ({ T.id = T.no_id; label = T.Value v; children = [||] }, pos)
+  | 'E' | 'A' ->
+    let name, pos = Codec.read_lstring s (pos + 1) in
+    let count, pos = Codec.read_varint s pos in
+    if count < 0 || count > String.length s - pos then
+      invalid_arg "Durable: implausible child count in op payload";
+    let children = Array.make count { T.id = T.no_id; label = T.Value ""; children = [||] } in
+    let pos = ref pos in
+    for i = 0 to count - 1 do
+      let child, p = decode_node s !pos in
+      children.(i) <- child;
+      pos := p
+    done;
+    let label = if Char.equal kind 'E' then T.Elem name else T.Attr name in
+    ({ T.id = T.no_id; label; children }, !pos)
+  | c -> invalid_arg (Printf.sprintf "Durable: bad node kind %C in op payload" c)
+
+type op =
+  | Insert of { parent : int; subtree : T.node }
+  | Delete of int
+
+let encode_op op =
+  let buf = Buffer.create 64 in
+  (match op with
+  | Insert { parent; subtree } ->
+    Buffer.add_char buf 'I';
+    Codec.add_varint buf parent;
+    encode_node buf subtree
+  | Delete id ->
+    Buffer.add_char buf 'D';
+    Codec.add_varint buf id);
+  Buffer.contents buf
+
+let decode_op s =
+  if String.length s = 0 then invalid_arg "Durable: empty op payload";
+  match s.[0] with
+  | 'I' ->
+    let parent, pos = Codec.read_varint s 1 in
+    let subtree, _ = decode_node s pos in
+    Insert { parent; subtree }
+  | 'D' ->
+    let id, _ = Codec.read_varint s 1 in
+    Delete id
+  | c -> invalid_arg (Printf.sprintf "Durable: bad op kind %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Creation and recovery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let handle_of dir db wal =
+  {
+    dir;
+    db;
+    wal;
+    lock = Mutex.create ();
+    next_txn = db.Database.last_txn + 1;
+    batch_depth = 0;
+    unsynced = false;
+    poisoned = None;
+  }
+
+let create ~dir db =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Outside a transaction the buffer pool writes back lazily, so after
+     the initial build the pager may still hold the zeroed alloc images
+     while the real bytes sit in dirty frames. Flush before the first
+     transaction can capture pager images as snapshot pre-images —
+     otherwise a reader pinned at the pre-transaction epoch would be
+     served zeros. *)
+  Buffer_pool.flush_all db.Database.pool;
+  Persist.save db (snapshot_path dir);
+  let wal = Wal.create (wal_path dir) in
+  Wal.append wal (Wal.Checkpoint db.Database.last_txn);
+  Wal.sync wal;
+  handle_of dir db wal
+
+(* The [wal.replay] failpoint's [Fail] action surfaces as [Io_error]
+   out of [Wal.scan]; recovery rides out probabilistic legs with the
+   same bounded retry the append side uses. *)
+let scan_attempts = 4
+
+let rec scan_retry ?(attempt = 1) path =
+  match Wal.scan path with
+  | s -> s
+  | exception Tm_fault.Fault.Io_error _ when attempt < scan_attempts ->
+    scan_retry ~attempt:(attempt + 1) path
+
+let apply_op db op =
+  match op with
+  | Insert { parent; subtree } -> ignore (Updates.insert_subtree db ~parent subtree)
+  | Delete id -> ignore (Updates.delete_subtree db id)
+
+(* Re-execute one committed transaction against the recovering
+   database and cross-check the recovered page images against the
+   logged post-image CRCs. *)
+let replay_txn (db : Database.t) txn ops pages =
+  let pager = db.Database.pager in
+  ignore (Pager.begin_txn pager);
+  (try List.iter (fun op -> apply_op db (decode_op op)) ops
+   with e ->
+     (* Recovery is the end of every typed-error chain: whatever broke
+        replay (corrupt page, I/O fault, codec failure), the verdict is
+        the same — this directory cannot be recovered automatically. *)
+     (ignore (Pager.abort_txn pager);
+      recovery_error "replaying txn %d: %s" txn (Printexc.to_string e))
+     [@analyze.boundary]);
+  List.iter
+    (fun (page, crc) ->
+      let actual =
+        match Pager.image_crc pager page with
+        | crc -> crc
+        | exception Invalid_argument _ ->
+          ignore (Pager.abort_txn pager);
+          recovery_error "txn %d logged page %d, which replay never allocated" txn page
+      in
+      if actual <> crc then begin
+        ignore (Pager.abort_txn pager);
+        recovery_error
+          "txn %d: replayed image of page %d diverges from the logged post-image (crc %d, \
+           logged %d)"
+          txn page actual crc
+      end)
+    pages;
+  Pager.commit_txn pager;
+  db.Database.last_txn <- txn;
+  Tm_obs.Obs.incr c_replayed_txns
+
+type recovery = {
+  replayed : int;  (** committed transactions re-executed *)
+  skipped : int;  (** committed transactions already in the snapshot *)
+  discarded_bytes : int;  (** damaged / uncommitted tail truncated away *)
+}
+
+let open_ dir =
+  let db = Persist.load (snapshot_path dir) in
+  let wpath = wal_path dir in
+  let scan = scan_retry wpath in
+  (* Group the valid prefix's frames per transaction, in file order. *)
+  let ops : (int, string list) Hashtbl.t = Hashtbl.create 16 in
+  let pages : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun frame ->
+      match frame with
+      | Wal.Op (txn, op) ->
+        Hashtbl.replace ops txn (op :: Option.value ~default:[] (Hashtbl.find_opt ops txn))
+      | Wal.Page { txn; page; crc; image = _ } ->
+        Hashtbl.replace pages txn
+          ((page, crc) :: Option.value ~default:[] (Hashtbl.find_opt pages txn))
+      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint _ -> ())
+    scan.Wal.frames;
+  let replayed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun txn ->
+      if txn <= db.Database.last_txn then incr skipped
+      else begin
+        let txn_ops = List.rev (Option.value ~default:[] (Hashtbl.find_opt ops txn)) in
+        let txn_pages = List.rev (Option.value ~default:[] (Hashtbl.find_opt pages txn)) in
+        replay_txn db txn txn_ops txn_pages;
+        incr replayed
+      end)
+    scan.Wal.committed;
+  (* Discard the damaged tail and partially-logged transactions: the
+     file becomes exactly the committed prefix before we append to it
+     again. *)
+  let file_len = if Sys.file_exists wpath then (Unix.stat wpath).Unix.st_size else 0 in
+  let discarded = max 0 (file_len - scan.Wal.committed_bytes) in
+  if discarded > 0 then Wal.truncate wpath scan.Wal.committed_bytes;
+  (* Same write-back flush as [create]: replay leaves its writes in the
+     pager (transactions write through), but make sure no lazily
+     buffered frame can shadow a zeroed pager image once snapshot
+     pre-images start being captured. *)
+  Buffer_pool.flush_all db.Database.pool;
+  let wal = Wal.open_append wpath in
+  (handle_of dir db wal, { replayed = !replayed; skipped = !skipped; discarded_bytes = discarded })
+
+(* ------------------------------------------------------------------ *)
+(* The write path                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_ready t =
+  match t.poisoned with
+  | Some msg -> raise (Poisoned msg)
+  | None -> ()
+
+let poison t e =
+  t.poisoned <- Some (Printexc.to_string e);
+  Tm_obs.Obs.incr c_poisoned
+
+(* One logged transaction around [exec]. Holds the writer lock. *)
+let run_txn t op exec =
+  Mutex.protect t.lock (fun () ->
+      check_ready t;
+      let pager = t.db.Database.pager in
+      let txn = t.next_txn in
+      match
+        Wal.append t.wal (Wal.Begin txn);
+        Wal.append t.wal (Wal.Op (txn, encode_op op));
+        ignore (Pager.begin_txn pager);
+        exec ()
+      with
+      | result ->
+        (try
+           List.iter
+             (fun (page, image, crc) ->
+               Wal.append t.wal (Wal.Page { txn; page; crc; image = Bytes.to_string image }))
+             (Pager.txn_dirty pager);
+           Tm_fault.Fault.guard site_commit;
+           Wal.append t.wal (Wal.Commit txn);
+           if t.batch_depth = 0 then Wal.sync t.wal else t.unsynced <- true
+         with e ->
+           (* Pages are dirty and the commit never reached the log:
+              roll the pager back and poison — the in-memory document,
+              dictionary and catalog have already advanced. *)
+           poison t e;
+           Buffer_pool.invalidate t.db.Database.pool (Pager.abort_txn pager);
+           raise e);
+        Pager.commit_txn pager;
+        t.db.Database.last_txn <- txn;
+        t.next_txn <- txn + 1;
+        Tm_obs.Obs.incr c_txns;
+        result
+      | exception e ->
+        let clean =
+          match e with Invalid_argument _ -> Pager.txn_clean pager | _ -> false
+        in
+        if clean then begin
+          (* Validation failed before anything was written: roll back
+             and burn the txn id. Its [Begin]/[Op] frames linger in the
+             log without a [Commit]; recovery ignores them. *)
+          Buffer_pool.invalidate t.db.Database.pool (Pager.abort_txn pager);
+          t.next_txn <- txn + 1;
+          Tm_obs.Obs.incr c_clean_aborts
+        end
+        else begin
+          poison t e;
+          Buffer_pool.invalidate t.db.Database.pool
+            (match Pager.abort_txn pager with
+            | dirty -> dirty
+            | exception Invalid_argument _ -> [])
+        end;
+        raise e)
+
+let insert_subtree t ~parent subtree =
+  run_txn t
+    (Insert { parent; subtree })
+    (fun () -> Updates.insert_subtree t.db ~parent subtree)
+
+let delete_subtree t id = run_txn t (Delete id) (fun () -> Updates.delete_subtree t.db id)
+
+let batch t f =
+  Mutex.protect t.lock (fun () ->
+      check_ready t;
+      t.batch_depth <- t.batch_depth + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.lock (fun () ->
+          t.batch_depth <- t.batch_depth - 1;
+          if t.batch_depth = 0 && t.unsynced && Option.is_none t.poisoned then begin
+            Wal.sync t.wal;
+            t.unsynced <- false
+          end))
+    f
+
+let checkpoint t =
+  Mutex.protect t.lock (fun () ->
+      check_ready t;
+      if t.batch_depth > 0 then invalid_arg "Durable.checkpoint: inside a batch";
+      if Pager.in_txn t.db.Database.pager then
+        invalid_arg "Durable.checkpoint: a transaction is active";
+      Buffer_pool.flush_all t.db.Database.pool;
+      Pager.clear_versions t.db.Database.pager;
+      (* Atomic rename: a crash before this point leaves the previous
+         snapshot + full log; after it, the log's transactions are all
+         <= last_txn and recovery skips them even if the reset below
+         never happens. *)
+      Persist.save t.db (snapshot_path t.dir);
+      Wal.reset t.wal;
+      Wal.append t.wal (Wal.Checkpoint t.db.Database.last_txn);
+      Wal.sync t.wal;
+      Tm_obs.Obs.incr c_checkpoints)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      if t.batch_depth = 0 && t.unsynced then begin
+        Wal.sync t.wal;
+        t.unsynced <- false
+      end;
+      Wal.close t.wal)

@@ -37,6 +37,15 @@ open Tm_exec
 
 module Cancel = Tm_par.Cancel
 
+(* Pool workers must serve pages at the same epoch as the domain that
+   submitted the task: propagate the submitting domain's pin (captured
+   at submit time) around every task body. Registration is idempotent
+   in effect — capturing an absent pin restores an absent pin. *)
+let () =
+  Tm_par.Pool.register_propagator (fun () ->
+      let pin = Tm_storage.Epoch.capture () in
+      { Tm_par.Pool.wrap = (fun f -> Tm_storage.Epoch.restore pin f) })
+
 exception Unknown_tag
 (** A query tag absent from the data; the query answer is empty. *)
 
@@ -1438,18 +1447,25 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?dea
           j_latency_ms = ms;
           j_pool_hit_rate = hit_rate;
           j_jobs = jobs_used;
+          j_txn = db.Database.last_txn;
           j_outcome = outcome;
           j_gc = Tm_obs.Obs.gc_since gc0;
         }
   in
   match
-    Tm_obs.Obs.with_context trace_id (fun () ->
-        match pool with
-        | Some p -> run_with (Some p)
-        | None -> (
-          match jobs with
-          | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
-          | Some _ | None -> run_with None))
+    (* Pin the pager epoch for the whole evaluation: a durable ingest
+       committing mid-query publishes a new epoch, but every page this
+       query (and its pool workers, via the registered propagator) reads
+       is served at the pinned one — the result is consistently pre- or
+       post-commit, never torn. *)
+    Tm_storage.Epoch.with_pin db.Database.pager (fun () ->
+        Tm_obs.Obs.with_context trace_id (fun () ->
+            match pool with
+            | Some p -> run_with (Some p)
+            | None -> (
+              match jobs with
+              | Some j when j > 1 -> Tm_par.Pool.with_pool ~jobs:j (fun p -> run_with (Some p))
+              | Some _ | None -> run_with None)))
   with
   | (final_plan, ids, strategy, via_naive), trace ->
     let fallbacks = List.rev !fallbacks in

@@ -153,6 +153,7 @@ let meta_of (db : Database.t) =
   Printf.bprintf b "format=twigmatch-snapshot v%d\n" version;
   Printf.bprintf b "strategies=%s\n"
     (String.concat "," (List.map Database.strategy_name (Database.built_strategies db)));
+  Printf.bprintf b "last_txn=%d\n" db.Database.last_txn;
   Buffer.contents b
 
 let save (db : Database.t) path =

@@ -32,6 +32,9 @@ type entry = {
   j_latency_ms : float;
   j_pool_hit_rate : float option;  (** buffer-pool hit rate over the query *)
   j_jobs : int;
+  j_txn : int;
+      (** last durably committed transaction folded into the database
+          when the query ran (0 = a database never durably updated) *)
   j_outcome : outcome;
   j_gc : Obs.gc_delta;  (** GC/allocation deltas over the query *)
 }
@@ -188,6 +191,7 @@ let entry_to_string e =
   (match e.j_pool_hit_rate with
   | Some r -> Buffer.add_string buf (Printf.sprintf ", pool=%.1f%%" (100.0 *. r))
   | None -> ());
+  if e.j_txn > 0 then Buffer.add_string buf (Printf.sprintf ", txn=%d" e.j_txn);
   Buffer.add_string buf "]";
   List.iter
     (fun (s, why) -> Buffer.add_string buf (Printf.sprintf "\n    lost plan %s: %s" s why))
@@ -233,6 +237,7 @@ let entry_to_json e =
       | Some r -> Printf.sprintf "\"pool_hit_rate\":%s," (json_of_float r)
       | None -> "\"pool_hit_rate\":null,");
       Printf.sprintf "\"jobs\":%d," e.j_jobs;
+      Printf.sprintf "\"txn\":%d," e.j_txn;
       Printf.sprintf "\"outcome\":%s," outcome;
       Printf.sprintf
         "\"gc\":{\"minor_words\":%s,\"major_words\":%s,\"minor_gcs\":%d,\"major_gcs\":%d}"

@@ -27,6 +27,9 @@ type entry = {
   j_latency_ms : float;
   j_pool_hit_rate : float option;  (** buffer-pool hit rate over the query *)
   j_jobs : int;
+  j_txn : int;
+      (** last durably committed transaction folded into the database
+          when the query ran (0 = a database never durably updated) *)
   j_outcome : outcome;
   j_gc : Obs.gc_delta;  (** GC/allocation deltas over the query *)
 }

@@ -27,6 +27,29 @@ let c_tasks = Tm_obs.Obs.counter "par.tasks"
 let c_helped = Tm_obs.Obs.counter "par.helped"
 let h_task_ms = Tm_obs.Obs.histogram "par.task.ms"
 
+(* ------------------------------------------------------------------ *)
+(* Ambient-context propagators                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Libraries above the pool keep per-domain ambient state (the Obs
+   trace context below is built in; Tm_storage's epoch pins are wired
+   up by the executor) that must follow a task from the submitting
+   domain onto whichever worker runs it. A propagator is a capture
+   function, run at submit time on the submitter's domain; it returns a
+   wrapper that re-installs the captured state around the task body on
+   the executing domain. Registration is append-only and expected at
+   module-initialization time. *)
+type wrap = { wrap : 'a. (unit -> 'a) -> 'a }
+
+let propagators : (unit -> wrap) list Atomic.t = Atomic.make []
+
+let register_propagator capture =
+  let rec add () =
+    let cur = Atomic.get propagators in
+    if not (Atomic.compare_and_set propagators cur (capture :: cur)) then add ()
+  in
+  add ()
+
 type task = unit -> unit
 
 type t = {
@@ -104,8 +127,13 @@ let spawn t f =
      inside the task — which may run on any worker domain — are
      attributed to the query that submitted it. *)
   let ctx = Tm_obs.Obs.context () in
+  (* Likewise capture every registered ambient propagator (epoch pins,
+     etc.) on the submitting domain, to be re-installed around the body
+     on the executing domain. *)
+  let wraps = List.map (fun capture -> capture ()) (Atomic.get propagators) in
   let body () =
-    match ctx with None -> f () | Some id -> Tm_obs.Obs.with_context id f
+    let base () = match ctx with None -> f () | Some id -> Tm_obs.Obs.with_context id f in
+    (List.fold_left (fun k w () -> w.wrap k) base wraps) ()
   in
   let task () =
     let record = Tm_obs.Obs.enabled () in

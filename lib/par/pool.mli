@@ -15,6 +15,18 @@
 
 type t
 
+type wrap = { wrap : 'a. (unit -> 'a) -> 'a }
+(** A wrapper re-installing some captured ambient state around a task
+    body on the executing domain. *)
+
+val register_propagator : (unit -> wrap) -> unit
+(** Register an ambient-context propagator: [capture] runs at submit
+    time on the submitting domain; the {!wrap} it returns is applied
+    around the task body on whichever domain executes it. Used by
+    layers above to carry domain-local state (e.g. snapshot-epoch pins)
+    into the pool without this library depending on them. Global,
+    append-only, and meant to be called from module initializers. *)
+
 val create : jobs:int -> t
 (** Spawn a pool of [jobs] total execution slots ([jobs - 1] domains).
     @raise Invalid_argument if [jobs < 1]. *)

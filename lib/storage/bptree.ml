@@ -22,14 +22,25 @@ type node =
       (* |children| = |keys| + 1; keys.(i) is the smallest key reachable
          under children.(i+1). *)
 
+(* Tree-level metadata, kept immutable and swapped wholesale: readers
+   load one pointer and get a consistent (root, counts, height) set,
+   and a transactional writer stages a private copy that is published
+   by the same single pointer write at commit. *)
+type meta = { root : int; n_entries : int; n_pages : int; height : int }
+
+(* Writer-private transaction state: the staged metadata plus a private
+   decoded-node table. Inside a transaction the writer must never hand
+   out nodes from the shared decode cache — [insert]/[delete] mutate
+   node records in place before re-encoding, and a shared node would
+   leak those mutations to concurrent epoch-pinned readers. *)
+type staged = { mutable s_meta : meta; s_nodes : (int, node) Hashtbl.t }
+
 type t = {
   pool : Buffer_pool.t;
   page_size : int;
   prefix_compression : bool;
-  mutable root : int;
-  mutable n_entries : int;
-  mutable n_pages : int;
-  mutable height : int;
+  mutable meta : meta;
+  mutable staged : staged option;
   name : string;
   (* Decoded-node cache. Page I/O accounting still goes through the
      buffer pool on every access; this only memoizes the *parse* of a
@@ -37,12 +48,43 @@ type t = {
      the buffered page rather than re-deserializing it. Entries are
      validated by a per-page version bumped on every write. The lock
      covers only table lookups and stores (decoding happens outside it),
-     making concurrent READERS safe; writers must still be external to
-     any concurrent reads, as inserts mutate cached nodes in place. *)
+     making concurrent READERS safe; concurrent writers must run inside
+     a pager transaction (see [staged] above) — a bare writer mutates
+     cached nodes in place and is only legal with no concurrent
+     readers. *)
   cache_lock : Lock.t;
   decoded : (int, int * node) Hashtbl.t;
   versions : (int, int) Hashtbl.t;
 }
+
+(* True iff the calling domain is the pager transaction's writer: the
+   signal to route metadata and decoded nodes through [staged]. *)
+let in_txn_writer t = Buffer_pool.in_txn_writer t.pool
+
+(* Lazily create the staged state and register the participant that
+   publishes (commit) or drops (abort) it when the transaction ends.
+   Only trees actually touched by a transaction ever register. *)
+let ensure_staged t =
+  match t.staged with
+  | Some s -> s
+  | None ->
+    let s = { s_meta = t.meta; s_nodes = Hashtbl.create 32 } in
+    t.staged <- Some s;
+    Buffer_pool.add_participant t.pool (fun ~committed ->
+        (match t.staged with
+        | Some s when committed -> t.meta <- s.s_meta
+        | Some _ | None -> ());
+        t.staged <- None);
+    s
+
+let m t = if in_txn_writer t then (ensure_staged t).s_meta else t.meta
+
+let set_m t f =
+  if in_txn_writer t then begin
+    let s = ensure_staged t in
+    s.s_meta <- f s.s_meta
+  end
+  else t.meta <- f t.meta
 
 let max_entry_size t = t.page_size / 4
 
@@ -125,43 +167,84 @@ let c_node_visits = Tm_obs.Obs.counter "bptree.node_visits"
 let c_node_decodes = Tm_obs.Obs.counter "bptree.node_decodes"
 
 let read_node t id =
+  (* Sample the cache version BEFORE the page bytes: a concurrent
+     writer that changes the page after this sample also bumps the
+     version past [v0], so an entry stored under [v0] can never alias
+     bytes newer than it. (Sampling after the read is racy the other
+     way: a node decoded from pre-commit bytes could be cached under
+     the post-commit version and served, stale, forever.) *)
+  let v0 =
+    if in_txn_writer t then 0
+    else
+      Lock.with_lock t.cache_lock (fun () ->
+          Option.value ~default:0 (Hashtbl.find_opt t.versions id))
+  in
   (* the buffer-pool read happens unconditionally so that logical reads
      and misses are accounted exactly as without the decode cache *)
-  let bytes = Buffer_pool.read t.pool id in
+  let bytes, stale = Buffer_pool.read_versioned t.pool id in
   Tm_obs.Obs.incr c_node_visits;
-  let version, cached =
-    Lock.with_lock t.cache_lock (fun () ->
-        let version = Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
-        let cached =
-          match Hashtbl.find_opt t.decoded id with
-          | Some (v, node) when v = version -> Some node
-          | _ -> None
-        in
-        (version, cached))
-  in
-  match cached with
-  | Some node -> node
-  | None ->
+  if in_txn_writer t then begin
+    (* Transaction writer: never hand out a shared cached node (callers
+       mutate nodes in place); decode into the private staged table. *)
+    let s = ensure_staged t in
+    match Hashtbl.find_opt s.s_nodes id with
+    | Some node -> node
+    | None ->
+      Tm_obs.Obs.incr c_node_decodes;
+      let node = decode_node (Bytes.to_string bytes) in
+      Hashtbl.replace s.s_nodes id node;
+      node
+  end
+  else if stale then begin
+    (* Epoch-pinned snapshot read: the bytes are a superseded version,
+       so they must bypass the (current-version-keyed) decode cache
+       entirely. *)
     Tm_obs.Obs.incr c_node_decodes;
-    (* Decode outside the lock: concurrent readers missing on different
-       pages parse in parallel; racing decoders of the same page just
-       store the same node twice. *)
-    let node = decode_node (Bytes.to_string bytes) in
-    Lock.with_lock t.cache_lock (fun () -> Hashtbl.replace t.decoded id (version, node));
-    node
+    decode_node (Bytes.to_string bytes)
+  end
+  else begin
+    let cached =
+      Lock.with_lock t.cache_lock (fun () ->
+          match Hashtbl.find_opt t.decoded id with
+          | Some (v, node) when v = v0 -> Some node
+          | _ -> None)
+    in
+    match cached with
+    | Some node -> node
+    | None ->
+      Tm_obs.Obs.incr c_node_decodes;
+      (* Decode outside the lock: concurrent readers missing on different
+         pages parse in parallel; racing decoders of the same page just
+         store the same node twice. *)
+      let node = decode_node (Bytes.to_string bytes) in
+      Lock.with_lock t.cache_lock (fun () -> Hashtbl.replace t.decoded id (v0, node));
+      node
+  end
 
 (* Store an already-encoded node image and refresh the decode cache. *)
 let commit_node t id node encoded =
   Buffer_pool.write t.pool id (Bytes.of_string encoded);
-  Lock.with_lock t.cache_lock (fun () ->
-      let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
-      Hashtbl.replace t.versions id v;
-      Hashtbl.replace t.decoded id (v, node))
+  if in_txn_writer t then begin
+    (* Keep the fresh node writer-private; for the shared cache, bump
+       the version and evict the stale entry so post-commit readers
+       re-decode from the (then published) page bytes. *)
+    let s = ensure_staged t in
+    Hashtbl.replace s.s_nodes id node;
+    Lock.with_lock t.cache_lock (fun () ->
+        let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+        Hashtbl.replace t.versions id v;
+        Hashtbl.remove t.decoded id)
+  end
+  else
+    Lock.with_lock t.cache_lock (fun () ->
+        let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id) in
+        Hashtbl.replace t.versions id v;
+        Hashtbl.replace t.decoded id (v, node))
 
 let write_node t id node = commit_node t id node (encode_node t node)
 
 let alloc_page t =
-  t.n_pages <- t.n_pages + 1;
+  set_m t (fun mt -> { mt with n_pages = mt.n_pages + 1 });
   Buffer_pool.alloc t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -175,10 +258,8 @@ let create ?(prefix_compression = true) ~name pool =
       pool;
       page_size;
       prefix_compression;
-      root = -1;
-      n_entries = 0;
-      n_pages = 0;
-      height = 1;
+      meta = { root = -1; n_entries = 0; n_pages = 0; height = 1 };
+      staged = None;
       name;
       cache_lock = Lock.create Lock.Outer;
       decoded = Hashtbl.create 256;
@@ -187,14 +268,14 @@ let create ?(prefix_compression = true) ~name pool =
   in
   let root = alloc_page t in
   write_node t root (Leaf { entries = [||]; next = 0 });
-  t.root <- root;
+  set_m t (fun mt -> { mt with root });
   t
 
 let name t = t.name
-let entry_count t = t.n_entries
-let page_count t = t.n_pages
-let size_bytes t = t.n_pages * t.page_size
-let height t = t.height
+let entry_count t = (m t).n_entries
+let page_count t = (m t).n_pages
+let size_bytes t = (m t).n_pages * t.page_size
+let height t = (m t).height
 
 (* ------------------------------------------------------------------ *)
 (* Search helpers                                                      *)
@@ -303,14 +384,14 @@ let insert t key payload =
     invalid_arg
       (Printf.sprintf "Bptree.insert(%s): entry of %d bytes exceeds max %d" t.name entry_size
          (max_entry_size t));
-  (match insert_at t t.root key payload with
+  (match insert_at t (m t).root key payload with
   | No_split -> ()
   | Split (sep, right_page) ->
     let new_root = alloc_page t in
-    write_node t new_root (Internal { keys = [| sep |]; children = [| t.root; right_page |] });
-    t.root <- new_root;
-    t.height <- t.height + 1);
-  t.n_entries <- t.n_entries + 1
+    write_node t new_root
+      (Internal { keys = [| sep |]; children = [| (m t).root; right_page |] });
+    set_m t (fun mt -> { mt with root = new_root; height = mt.height + 1 }));
+  set_m t (fun mt -> { mt with n_entries = mt.n_entries + 1 })
 
 (* ------------------------------------------------------------------ *)
 (* Deletion                                                            *)
@@ -364,9 +445,9 @@ let delete t key payload =
     | Leaf _ -> page
     | Internal node -> descend node.children.(child_index node.keys key)
   in
-  let leaf = descend t.root in
+  let leaf = descend (m t).root in
   let found = delete_from_leaf t leaf key payload in
-  if found then t.n_entries <- t.n_entries - 1;
+  if found then set_m t (fun mt -> { mt with n_entries = mt.n_entries - 1 });
   found
 
 (* ------------------------------------------------------------------ *)
@@ -399,7 +480,7 @@ let fold_range t ~lo ~hi f acc =
       in
       entries acc i
   in
-  let _, leaf = find_leaf t t.root lo in
+  let _, leaf = find_leaf t (m t).root lo in
   match leaf with
   | Internal _ -> assert false
   | Leaf l -> walk_leaf leaf acc (lower_bound l.entries lo)
@@ -479,7 +560,7 @@ let bulk_load ?(prefix_compression = true) ?(fill = 0.9) ~name pool entries =
       current := (k, p) :: !current;
       current_size := !current_size + esize;
       current_count := !current_count + 1;
-      t.n_entries <- t.n_entries + 1)
+      set_m t (fun mt -> { mt with n_entries = mt.n_entries + 1 }))
     entries;
   flush_leaf ();
   let leaf_pages = Array.of_list (List.rev !leaves) in
@@ -498,10 +579,8 @@ let bulk_load ?(prefix_compression = true) ?(fill = 0.9) ~name pool entries =
     (* Build internal levels bottom-up. Each internal node takes as many
        children as fit in a page. *)
     let rec build_level pages keys height =
-      if Array.length pages = 1 then begin
-        t.root <- pages.(0);
-        t.height <- height
-      end
+      if Array.length pages = 1 then
+        set_m t (fun mt -> { mt with root = pages.(0); height })
       else begin
         let parents = ref [] and parent_keys = ref [] in
         let i = ref 0 in
@@ -554,7 +633,7 @@ type view =
   | Leaf_view of { entries : (string * string) array; next : int option (* page id *) }
   | Internal_view of { keys : string array; children : int array }
 
-let root_page t = t.root
+let root_page t = (m t).root
 let pool t = t.pool
 
 (** The stored image of [page] (exactly as the pager holds it). *)
@@ -622,7 +701,7 @@ let check_invariants t =
         node.children;
       (!total, !leaf_depth)
   in
-  let n, _ = go t.root None None 1 in
-  if n <> t.n_entries then
-    failwith (Printf.sprintf "entry count mismatch: counted %d, recorded %d" n t.n_entries);
+  let n, _ = go (m t).root None None 1 in
+  if n <> (m t).n_entries then
+    failwith (Printf.sprintf "entry count mismatch: counted %d, recorded %d" n (m t).n_entries);
   n

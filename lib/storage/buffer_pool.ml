@@ -153,31 +153,85 @@ let find_frame pager st id =
     touch st id;
     fr
 
-(** Read a page through the pool. The returned bytes must not be mutated;
-    use {!write} to modify a page. *)
-let read t id =
+(** Read a page through the pool, reporting whether the bytes came from
+    a superseded snapshot version. When the calling domain holds an
+    {!Epoch} pin older than the page's current epoch (a writer
+    transaction dirtied the page after the pin), the read bypasses the
+    frame cache — frames always hold the {e newest} image — and serves
+    the pinned version straight from the pager's version chain,
+    uncached. The epoch check happens under the stripe lock, the same
+    lock a transactional write-through holds, so a reader sees either
+    the old epoch with the old frame or the new epoch and takes the
+    snapshot path: never a torn mix. The fast path ({!Pager.snapshot_active}
+    false, i.e. no transaction and no version chains) costs one atomic
+    load. The returned bytes must not be mutated; use {!write} to
+    modify a page. *)
+let read_versioned t id =
   let st = stripe_of t id in
   locked st (fun () ->
       st.logical_reads <- st.logical_reads + 1;
-      (find_frame t.pager st id).data)
+      let pinned_stale =
+        (* The active transaction's writer must always see its own
+           writes: its reads serve the newest image even when the domain
+           also happens to hold a pin (the pin is for the query scope
+           that spawned the transaction, not for the write path). *)
+        if (not (Pager.snapshot_active t.pager)) || Pager.in_txn_writer t.pager then None
+        else
+          match Epoch.pinned_for t.pager with
+          | Some e when Pager.epoch_of_page t.pager id > e -> Some e
+          | Some _ | None -> None
+      in
+      match pinned_stale with
+      | Some e ->
+        (* Snapshot read: uncached (version-chain bytes must never
+           alias the newest-image frame cache), counted as a miss. *)
+        st.misses <- st.misses + 1;
+        Tm_obs.Obs.incr c_misses;
+        (with_retry st (fun () -> Pager.read_at t.pager ~epoch:e id), true)
+      | None -> ((find_frame t.pager st id).data, false))
 
-(** Replace a page's contents through the pool (write-back caching). *)
+(** Read a page through the pool. The returned bytes must not be mutated;
+    use {!write} to modify a page. *)
+let read t id = fst (read_versioned t id)
+
+(** Replace a page's contents through the pool. Outside a transaction
+    this is write-back caching (the frame is marked dirty and reaches
+    the pager on eviction or {!flush_all}). When the calling domain is
+    the active transaction's writer, the write goes {e through} to the
+    pager immediately — {!Pager.write} captures the pre-image for
+    pinned readers and tags the page with the reserved epoch — and the
+    frame is refreshed clean, so commit needs no separate flush and
+    abort can simply drop frames. *)
 let write t id data =
   let st = stripe_of t id in
   locked st (fun () ->
       st.logical_reads <- st.logical_reads + 1;
-      (* Avoid a pointless physical read when overwriting a non-resident
-         page. *)
-      match Hashtbl.find_opt st.frames id with
-      | Some fr ->
-        touch st id;
-        fr.data <- data;
-        fr.dirty <- true
-      | None ->
-        with_retry st (fun () ->
-            if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st);
-        Hashtbl.replace st.frames id { data; dirty = true };
-        touch st id)
+      if Pager.in_txn_writer t.pager then begin
+        with_retry st (fun () -> Pager.write t.pager id data);
+        match Hashtbl.find_opt st.frames id with
+        | Some fr ->
+          touch st id;
+          fr.data <- data;
+          fr.dirty <- false
+        | None ->
+          with_retry st (fun () ->
+              if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st);
+          Hashtbl.replace st.frames id { data; dirty = false };
+          touch st id
+      end
+      else
+        (* Avoid a pointless physical read when overwriting a non-resident
+           page. *)
+        match Hashtbl.find_opt st.frames id with
+        | Some fr ->
+          touch st id;
+          fr.data <- data;
+          fr.dirty <- true
+        | None ->
+          with_retry st (fun () ->
+              if Hashtbl.length st.frames >= st.s_capacity then evict_one t.pager st);
+          Hashtbl.replace st.frames id { data; dirty = true };
+          touch st id)
 
 (** Allocate a fresh page (through the pager) and cache it as dirty. *)
 let alloc t =
@@ -211,6 +265,23 @@ let clear t =
           Hashtbl.reset st.frames;
           Hashtbl.reset st.last_used))
     t.stripes
+
+(** Drop the frames caching the given pages without writing them back —
+    after a transaction abort restored their pager images, the frames
+    hold bytes that were rolled back. *)
+let invalidate t ids =
+  List.iter
+    (fun id ->
+      let st = stripe_of t id in
+      locked st (fun () ->
+          Hashtbl.remove st.frames id;
+          Hashtbl.remove st.last_used id))
+    ids
+
+(* Transaction passthroughs, so structures built over the pool need not
+   reach around it for the pager. *)
+let in_txn_writer t = Pager.in_txn_writer t.pager
+let add_participant t f = Pager.add_participant t.pager f
 
 type stats = { logical_reads : int; misses : int; evictions : int; retries : int }
 

@@ -27,10 +27,31 @@ val capacity : t -> int
 
 val read : t -> int -> bytes
 (** Read a page through the pool. The returned bytes must not be
-    mutated; use {!write} to modify a page. *)
+    mutated; use {!write} to modify a page. When the calling domain
+    holds an {!Epoch} pin older than the page's current epoch, the
+    pinned snapshot version is served uncached from the pager's
+    version chain (counted as a miss). *)
+
+val read_versioned : t -> int -> bytes * bool
+(** Like {!read}, also reporting whether the bytes came from a
+    superseded snapshot version ([true] = stale: do not cache decoded
+    forms under the page's current version). *)
 
 val write : t -> int -> bytes -> unit
-(** Replace a page's contents (write-back caching). *)
+(** Replace a page's contents. Write-back caching normally; when the
+    calling domain is the active {!Pager} transaction's writer, the
+    write goes through to the pager immediately (capturing the
+    pre-image for pinned readers) and the frame is refreshed clean. *)
+
+val invalidate : t -> int list -> unit
+(** Drop the frames caching the given pages without write-back — used
+    after {!Pager.abort_txn} rolled their images back. *)
+
+val in_txn_writer : t -> bool
+(** Passthrough for {!Pager.in_txn_writer} on the underlying pager. *)
+
+val add_participant : t -> (committed:bool -> unit) -> unit
+(** Passthrough for {!Pager.add_participant} on the underlying pager. *)
 
 val alloc : t -> int
 (** Allocate a fresh page via the pager and cache it dirty. *)

@@ -1,0 +1,57 @@
+(** Per-domain snapshot pins.
+
+    {!Pager} keeps the version chains and the pin {e counts}; this
+    module answers the question the buffer pool has to ask on every
+    read — "is the current domain pinned to an epoch of this pager,
+    and which one?" — without taking any lock. The pinned epoch lives
+    in domain-local storage, so a query pins once in [Executor.run]
+    and every page read it performs (on any structure of the same
+    database) sees the pin for free.
+
+    Pins cross domain boundaries by value: [Tm_par.Pool] captures the
+    submitting domain's pin with {!capture} and re-installs it around
+    each task with {!restore} (wired up via the pool's wrap-propagator
+    registry, so this library stays independent of [tm_par]). The
+    registered pin count in the pager is held by the pinning scope
+    ({!with_pin}), which outlives the tasks it spawns — workers only
+    mirror the slot, they never pin or unpin themselves. *)
+
+(* One slot per domain: the (pager, epoch) the domain currently reads
+   at, if any. A ref inside DLS so restore can be O(1) and exception
+   safe. *)
+let slot : (Pager.t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+type pin = (Pager.t * int) option
+
+let capture () : pin = !(Domain.DLS.get slot)
+
+let restore (p : pin) f =
+  let r = Domain.DLS.get slot in
+  let saved = !r in
+  r := p;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(** The epoch the calling domain is pinned to for {e this} pager, if
+    any. Physical identity on the pager: a domain serving one database
+    is never confused by pins on another. *)
+let pinned_for pager =
+  match !(Domain.DLS.get slot) with
+  | Some (p, e) when p == pager -> Some e
+  | Some _ | None -> None
+
+(** Run [f] with the calling domain pinned to the pager's current
+    published epoch. Registers the pin with the pager (keeping the
+    version chains it needs alive) and releases it when [f] returns or
+    raises. When the domain already holds a pin on this pager, the
+    inner scope inherits it unchanged: re-pinning at the (possibly
+    newer) current epoch would silently break the outer scope's
+    snapshot. *)
+let with_pin pager f =
+  match pinned_for pager with
+  | Some _ -> f ()
+  | None ->
+    let e = Pager.pin pager in
+    Fun.protect
+      ~finally:(fun () -> Pager.unpin pager e)
+      (fun () -> restore (Some (pager, e)) f)

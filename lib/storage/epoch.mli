@@ -1,0 +1,30 @@
+(** Per-domain snapshot pins over {!Pager} epochs.
+
+    A pinned domain reads every page of the pinned pager as of the
+    pinned epoch: {!Buffer_pool.read} consults {!pinned_for} and
+    serves superseded pages from the pager's version chains. Pins are
+    domain-local ([Domain.DLS]); {!capture}/{!restore} carry them into
+    [Tm_par.Pool] worker domains. *)
+
+type pin
+(** A domain's pin state, as captured by {!capture} — opaque; pass it
+    to {!restore} on another domain. *)
+
+val capture : unit -> pin
+(** The calling domain's current pin state (possibly "none"). *)
+
+val restore : pin -> (unit -> 'a) -> 'a
+(** [restore p f] runs [f] with the calling domain's pin state set to
+    [p], restoring the previous state afterwards. Does {e not} touch
+    the pager's pin registry — the capturing scope holds the count. *)
+
+val pinned_for : Pager.t -> int option
+(** The epoch the calling domain is pinned to for this pager, if any
+    (pager identity is physical). Lock-free. *)
+
+val with_pin : Pager.t -> (unit -> 'a) -> 'a
+(** Run [f] pinned to the pager's current published epoch: registers
+    the pin (keeping needed page versions alive), installs it in the
+    domain slot, and releases both on exit. A domain already pinned on
+    this pager keeps its existing (older) pin — nested scopes inherit
+    the outer snapshot rather than observing later commits. *)

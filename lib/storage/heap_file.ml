@@ -7,35 +7,62 @@
 
 type rid = { page : int; slot : int }
 
+(* File-level metadata, immutable and swapped wholesale (same
+   discipline as {!Bptree.meta}): a transactional writer stages a
+   private copy, published by one pointer write at commit, so
+   epoch-pinned readers never see half-updated fill state. *)
+type meta = {
+  pages : int list; (* all pages, newest first *)
+  current : int; (* page being filled, -1 if none *)
+  current_used : int;
+  current_count : int;
+  n_records : int;
+  n_pages : int;
+}
+
 type t = {
   pool : Buffer_pool.t;
   page_size : int;
-  mutable pages : int list; (* all pages, newest first *)
-  mutable current : int; (* page being filled, -1 if none *)
-  mutable current_used : int;
-  mutable current_count : int;
-  mutable n_records : int;
-  mutable n_pages : int;
+  mutable meta : meta;
+  mutable staged : meta option;
   name : string;
 }
+
+let in_txn_writer t = Buffer_pool.in_txn_writer t.pool
+
+let m t =
+  if in_txn_writer t then
+    match t.staged with Some s -> s | None -> t.meta
+  else t.meta
+
+let set_m t mt =
+  if in_txn_writer t then begin
+    (match t.staged with
+    | Some _ -> ()
+    | None ->
+      Buffer_pool.add_participant t.pool (fun ~committed ->
+          (match t.staged with
+          | Some s when committed -> t.meta <- s
+          | Some _ | None -> ());
+          t.staged <- None));
+    t.staged <- Some mt
+  end
+  else t.meta <- mt
 
 let create ~name pool =
   {
     pool;
     page_size = Pager.page_size (Buffer_pool.pager pool);
-    pages = [];
-    current = -1;
-    current_used = 0;
-    current_count = 0;
-    n_records = 0;
-    n_pages = 0;
+    meta =
+      { pages = []; current = -1; current_used = 0; current_count = 0; n_records = 0; n_pages = 0 };
+    staged = None;
     name;
   }
 
 let name t = t.name
-let record_count t = t.n_records
-let page_count t = t.n_pages
-let size_bytes t = t.n_pages * t.page_size
+let record_count t = (m t).n_records
+let page_count t = (m t).n_pages
+let size_bytes t = (m t).n_pages * t.page_size
 
 let header_size = 3 (* tag + u16 count *)
 
@@ -66,22 +93,33 @@ let append t record =
   let rsize = String.length record + 5 in
   if rsize + header_size > t.page_size then
     invalid_arg (Printf.sprintf "Heap_file.append(%s): record too large (%d bytes)" t.name rsize);
-  if t.current = -1 || t.current_used + rsize > t.page_size then begin
-    let page = Buffer_pool.alloc t.pool in
-    t.current <- page;
-    t.current_used <- header_size;
-    t.current_count <- 0;
-    t.pages <- page :: t.pages;
-    t.n_pages <- t.n_pages + 1
-  end;
-  let existing = Array.to_list (decode_page (Buffer_pool.read t.pool t.current)) in
+  let mt = m t in
+  let mt =
+    if mt.current = -1 || mt.current_used + rsize > t.page_size then begin
+      let page = Buffer_pool.alloc t.pool in
+      {
+        mt with
+        current = page;
+        current_used = header_size;
+        current_count = 0;
+        pages = page :: mt.pages;
+        n_pages = mt.n_pages + 1;
+      }
+    end
+    else mt
+  in
+  let existing = Array.to_list (decode_page (Buffer_pool.read t.pool mt.current)) in
   let records = existing @ [ record ] in
-  Buffer_pool.write t.pool t.current (Bytes.of_string (encode_page records));
-  let slot = t.current_count in
-  t.current_used <- t.current_used + rsize;
-  t.current_count <- t.current_count + 1;
-  t.n_records <- t.n_records + 1;
-  { page = t.current; slot }
+  Buffer_pool.write t.pool mt.current (Bytes.of_string (encode_page records));
+  let slot = mt.current_count in
+  set_m t
+    {
+      mt with
+      current_used = mt.current_used + rsize;
+      current_count = mt.current_count + 1;
+      n_records = mt.n_records + 1;
+    };
+  { page = mt.current; slot }
 
 (** Fetch the record at [rid]. *)
 let get t rid =
@@ -91,7 +129,7 @@ let get t rid =
   records.(rid.slot)
 
 (** Pages in allocation order (fsck support). *)
-let pages t = List.rev t.pages
+let pages t = List.rev (m t).pages
 
 (** Decode one page afresh, refusing rather than masking a bad image:
     [decode_page] treats a bad header as empty (tolerable for reads
@@ -114,6 +152,7 @@ let fold t f acc =
   List.fold_left
     (fun acc page ->
       Array.fold_left (fun acc r -> f acc r) acc (decode_page (Buffer_pool.read t.pool page)))
-    acc (List.rev t.pages)
+    acc
+    (List.rev (m t).pages)
 
 let iter t f = fold t (fun () r -> f r) ()

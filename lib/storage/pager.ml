@@ -44,13 +44,38 @@ let site_read = "pager.read"
 let site_write = "pager.write"
 let site_alloc = "pager.alloc"
 
+(* A page-level transaction: one writer domain installs copy-on-write
+   page versions tagged with a reserved (not yet published) epoch. The
+   pre-image of every page first touched in the transaction is pushed
+   onto that page's version chain, so epoch-pinned readers keep seeing
+   the last committed image until {!commit_txn} publishes the epoch.
+   Structures above the pager (B+-trees, heap files) stage their
+   metadata and register a participant callback to publish or drop it
+   when the transaction ends. *)
+type txn = {
+  t_epoch : int;  (** reserved epoch; published on commit *)
+  t_writer : int;  (** [Domain.self] of the (single) writer *)
+  t_dirty : (int, unit) Hashtbl.t;  (** pages written (including allocs) *)
+  mutable t_participants : (committed:bool -> unit) list;
+}
+
 type t = {
   page_size : int;
   checksums : bool;
   lock : Lock.t;
   mutable pages : bytes array; (* backing store, grown geometrically *)
   mutable crcs : int array; (* sidecar CRC32 per page (unused when checksums off) *)
+  mutable versions : (int * bytes * int) list array;
+      (* per page: superseded (epoch, image, crc), newest first *)
+  mutable page_epochs : int array; (* epoch that wrote the current image *)
   mutable n_pages : int;
+  mutable epoch : int; (* last published commit epoch *)
+  versioned : (int, unit) Hashtbl.t; (* page ids with a non-empty version chain *)
+  pins : (int, int) Hashtbl.t; (* pinned epoch -> pin count *)
+  txn : txn option Atomic.t;
+  snapshot_work : int Atomic.t;
+      (* versioned-page count + active-txn flag: a lock-free hint that
+         lets the read fast path skip all epoch bookkeeping *)
   mutable physical_reads : int;
   mutable physical_writes : int;
 }
@@ -64,7 +89,14 @@ let create ?(page_size = default_page_size) ?(checksums = true) () =
     lock = Lock.create Lock.Inner;
     pages = Array.make 64 Bytes.empty;
     crcs = Array.make 64 0;
+    versions = Array.make 64 [];
+    page_epochs = Array.make 64 0;
     n_pages = 0;
+    epoch = 0;
+    versioned = Hashtbl.create 16;
+    pins = Hashtbl.create 8;
+    txn = Atomic.make None;
+    snapshot_work = Atomic.make 0;
     physical_reads = 0;
     physical_writes = 0;
   }
@@ -83,11 +115,26 @@ let grow t needed =
     let cap = max needed (2 * Array.length t.pages) in
     let pages = Array.make cap Bytes.empty in
     let crcs = Array.make cap 0 in
+    let versions = Array.make cap [] in
+    let page_epochs = Array.make cap 0 in
     Array.blit t.pages 0 pages 0 t.n_pages;
     Array.blit t.crcs 0 crcs 0 t.n_pages;
+    Array.blit t.versions 0 versions 0 t.n_pages;
+    Array.blit t.page_epochs 0 page_epochs 0 t.n_pages;
     t.pages <- pages;
-    t.crcs <- crcs
+    t.crcs <- crcs;
+    t.versions <- versions;
+    t.page_epochs <- page_epochs
   end
+
+(* The active transaction, provided the calling domain is its writer.
+   Everything txn-specific in [alloc]/[write] keys off this: other
+   domains (and all callers outside a transaction) take the plain
+   path. *)
+let txn_if_writer t =
+  match Atomic.get t.txn with
+  | Some tx when tx.t_writer = (Domain.self () :> int) -> Some tx
+  | Some _ | None -> None
 
 (* Computed eagerly at module init: a [lazy] here would be forced from
    whichever domain allocates first, and unsynchronized forcing races. *)
@@ -103,6 +150,13 @@ let alloc t =
       if t.checksums then
         t.crcs.(id) <-
           (if t.page_size = default_page_size then crc_of_zero_page else Codec.crc32 t.pages.(id));
+      (match txn_if_writer t with
+      | Some tx ->
+        (* Pages born inside a transaction have no pre-image; on abort
+           they are simply re-zeroed (their ids stay allocated). *)
+        Hashtbl.replace tx.t_dirty id ();
+        t.page_epochs.(id) <- tx.t_epoch
+      | None -> t.page_epochs.(id) <- t.epoch);
       t.n_pages <- id + 1;
       id)
 
@@ -142,6 +196,23 @@ let write t id data =
   let page = Tm_fault.Fault.apply ~site:site_write page in
   locked t (fun () ->
       check_id t id;
+      (match txn_if_writer t with
+      | Some tx ->
+        (* First touch in this transaction: push the committed image
+           onto the version chain so epoch-pinned readers keep a
+           consistent view, then tag the page with the reserved epoch. *)
+        if not (Hashtbl.mem tx.t_dirty id) then begin
+          Hashtbl.replace tx.t_dirty id ();
+          if t.page_epochs.(id) < tx.t_epoch then begin
+            t.versions.(id) <- (t.page_epochs.(id), t.pages.(id), t.crcs.(id)) :: t.versions.(id);
+            if not (Hashtbl.mem t.versioned id) then begin
+              Hashtbl.replace t.versioned id ();
+              Atomic.incr t.snapshot_work
+            end
+          end
+        end;
+        t.page_epochs.(id) <- tx.t_epoch
+      | None -> t.page_epochs.(id) <- t.epoch);
       t.physical_writes <- t.physical_writes + 1;
       t.pages.(id) <- page;
       t.crcs.(id) <- crc);
@@ -183,3 +254,230 @@ let reset_stats t =
 
 let physical_reads t = locked t (fun () -> t.physical_reads)
 let physical_writes t = locked t (fun () -> t.physical_writes)
+
+(* ------------------------------------------------------------------ *)
+(* Epochs, snapshot reads and page-level transactions                  *)
+(* ------------------------------------------------------------------ *)
+
+let current_epoch t = locked t (fun () -> t.epoch)
+let snapshot_active t = Atomic.get t.snapshot_work > 0
+
+let epoch_of_page t id =
+  locked t (fun () ->
+      check_id t id;
+      t.page_epochs.(id))
+[@@analyze.no_failpoint "epoch metadata only; page bytes are not touched"]
+
+let in_txn t = Option.is_some (Atomic.get t.txn)
+let in_txn_writer t = Option.is_some (txn_if_writer t)
+
+(** Snapshot read: the newest image of [id] whose epoch is [<= epoch].
+    Serves the current image when it qualifies, else walks the version
+    chain. Raises {!Corrupt_page} if no version covers the requested
+    epoch (a pin taken before the versions were pruned away — callers
+    must hold a registered pin, see {!pin}). *)
+let read_at t ~epoch id =
+  let data, crc =
+    locked t (fun () ->
+        check_id t id;
+        if t.page_epochs.(id) <= epoch then (Bytes.copy t.pages.(id), t.crcs.(id))
+        else
+          match List.find_opt (fun (ve, _, _) -> ve <= epoch) t.versions.(id) with
+          | Some (_, img, vcrc) -> (Bytes.copy img, vcrc)
+          | None ->
+            raise (Corrupt_page { page = id; detail = "no page version at pinned epoch" }))
+  in
+  let data = Tm_fault.Fault.apply ~site:site_read data in
+  if t.checksums && Codec.crc32 data <> crc then
+    raise (Corrupt_page { page = id; detail = "checksum mismatch on snapshot read" });
+  locked t (fun () -> t.physical_reads <- t.physical_reads + 1);
+  Tm_obs.Obs.incr c_reads;
+  Tm_obs.Obs.add c_read_bytes t.page_size;
+  data
+
+(* Drop versions of [id] no pin can reach: for each pinned epoch the
+   newest version at or below it (when the current image is above it)
+   stays; everything else goes. The current {e published} epoch counts
+   as an implicit pin: while an uncommitted transaction has overwritten
+   the page (page epoch above [t.epoch]), the last committed image
+   lives only in the chain, and a reader may still {!pin} at [t.epoch]
+   and need it — an unpin-triggered prune must not discard it. Caller
+   holds the pager lock. *)
+let prune_versions_locked t id =
+  match t.versions.(id) with
+  | [] -> ()
+  | vs ->
+    let keep_for p acc =
+      if t.page_epochs.(id) <= p then acc
+      else
+        match List.find_opt (fun (ve, _, _) -> ve <= p) vs with
+        | Some (ve, _, _) -> ve :: acc
+        | None -> acc
+    in
+    let keep = Hashtbl.fold (fun p _ acc -> keep_for p acc) t.pins (keep_for t.epoch []) in
+    let vs' = List.filter (fun (ve, _, _) -> List.exists (fun k -> k = ve) keep) vs in
+    t.versions.(id) <- vs';
+    if List.length vs' = 0 && Hashtbl.mem t.versioned id then begin
+      Hashtbl.remove t.versioned id;
+      Atomic.decr t.snapshot_work
+    end
+[@@analyze.no_failpoint "version-chain GC: no live page bytes are read or written"]
+
+(** Register a snapshot pin at the current published epoch; returns the
+    pinned epoch. Version chains reachable from a registered pin are
+    kept alive until {!unpin}. *)
+let pin t =
+  locked t (fun () ->
+      let e = t.epoch in
+      Hashtbl.replace t.pins e (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins e));
+      e)
+
+let unpin t e =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.pins e with
+      | Some n when n > 1 -> Hashtbl.replace t.pins e (n - 1)
+      | Some _ -> Hashtbl.remove t.pins e
+      | None -> ());
+      if Hashtbl.length t.versioned > 0 then
+        (* Re-prune every versioned page against the remaining pins;
+           with no pins left this clears all chains. *)
+        let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
+        List.iter (fun id -> prune_versions_locked t id) ids)
+
+(** Drop every version chain unconditionally. Only legal with no
+    registered pins (checkpoint/recovery quiescence); with pins
+    present it degrades to a prune. *)
+let clear_versions t =
+  locked t (fun () ->
+      let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
+      if Hashtbl.length t.pins = 0 then
+        List.iter
+          (fun id ->
+            t.versions.(id) <- [];
+            Hashtbl.remove t.versioned id;
+            Atomic.decr t.snapshot_work)
+          ids
+      else List.iter (fun id -> prune_versions_locked t id) ids)
+[@@analyze.no_failpoint "version-chain GC: no live page bytes are read or written"]
+
+let begin_txn t =
+  locked t (fun () ->
+      (match Atomic.get t.txn with
+      | Some _ -> invalid_arg "Pager.begin_txn: a transaction is already active"
+      | None -> ());
+      let tx =
+        {
+          t_epoch = t.epoch + 1;
+          t_writer = (Domain.self () :> int);
+          t_dirty = Hashtbl.create 32;
+          t_participants = [];
+        }
+      in
+      Atomic.set t.txn (Some tx);
+      Atomic.incr t.snapshot_work;
+      tx.t_epoch)
+
+(** Register a commit/abort callback on the active transaction. Runs
+    after the epoch flips (commit) or the pre-images are restored
+    (abort), outside the pager lock — participants may touch the pager
+    and their own locks freely. *)
+let add_participant t f =
+  match txn_if_writer t with
+  | Some tx -> tx.t_participants <- f :: tx.t_participants
+  | None -> invalid_arg "Pager.add_participant: no transaction, or not the writer domain"
+
+(** True while the active transaction has performed no page writes —
+    an abort at this point fully restores state (used for clean
+    validation-failure aborts). Participants do not count: their
+    staging is abortable by construction (abort runs them with
+    [committed:false]), and read-only probes may register one just to
+    keep decoded nodes writer-private. *)
+let txn_clean t =
+  match txn_if_writer t with
+  | Some tx -> Hashtbl.length tx.t_dirty = 0
+  | None -> invalid_arg "Pager.txn_clean: no transaction, or not the writer domain"
+
+(** The pages written by the active transaction, as
+    [(page, image, crc32-of-image)] sorted by page id — the redo
+    records a WAL logs before commit. The CRC is computed from the
+    image itself (not the sidecar), so it is meaningful even with
+    checksums disabled. *)
+let txn_dirty t =
+  match txn_if_writer t with
+  | None -> invalid_arg "Pager.txn_dirty: no transaction, or not the writer domain"
+  | Some tx ->
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun id () acc -> (id, Bytes.copy t.pages.(id), Codec.crc32 t.pages.(id)) :: acc)
+          tx.t_dirty [])
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+[@@analyze.no_failpoint "txn bookkeeping: images are logged to the WAL, not transferred as I/O"]
+
+(** CRC32 of the current image of [id], computed from the bytes (not
+    the sidecar) — the recovery cross-check against logged page CRCs. *)
+let image_crc t id =
+  locked t (fun () ->
+      check_id t id;
+      Codec.crc32 t.pages.(id))
+[@@analyze.no_failpoint "integrity cross-check: reads the store as it is, like verify_page"]
+
+(** Publish the transaction's epoch: one field write under the lock
+    flips every page it touched from "invisible to new readers" to
+    "current". Version chains of touched pages are pruned against the
+    live pins, then participants run with [~committed:true]. *)
+let commit_txn t =
+  let participants =
+    locked t (fun () ->
+        match Atomic.get t.txn with
+        | None -> invalid_arg "Pager.commit_txn: no active transaction"
+        | Some tx ->
+          t.epoch <- tx.t_epoch;
+          Hashtbl.iter (fun id () -> prune_versions_locked t id) tx.t_dirty;
+          Atomic.set t.txn None;
+          Atomic.decr t.snapshot_work;
+          tx.t_participants)
+  in
+  List.iter (fun f -> f ~committed:true) participants
+
+(** Restore every touched page to its pre-transaction image (pages
+    allocated inside the transaction are re-zeroed), discard the
+    reserved epoch, and run participants with [~committed:false].
+    Returns the touched page ids so callers can invalidate caches
+    layered above. *)
+let abort_txn t =
+  let participants, dirty =
+    locked t (fun () ->
+        match Atomic.get t.txn with
+        | None -> invalid_arg "Pager.abort_txn: no active transaction"
+        | Some tx ->
+          Hashtbl.iter
+            (fun id () ->
+              if t.page_epochs.(id) = tx.t_epoch then begin
+                match t.versions.(id) with
+                | (ve, img, vcrc) :: rest ->
+                  t.pages.(id) <- img;
+                  t.crcs.(id) <- vcrc;
+                  t.page_epochs.(id) <- ve;
+                  t.versions.(id) <- rest;
+                  if List.length rest = 0 && Hashtbl.mem t.versioned id then begin
+                    Hashtbl.remove t.versioned id;
+                    Atomic.decr t.snapshot_work
+                  end
+                | [] ->
+                  (* Allocated (or already pruned clean) inside the
+                     transaction: reset to the zero page it was born as. *)
+                  t.pages.(id) <- Bytes.make t.page_size '\x00';
+                  t.crcs.(id) <-
+                    (if not t.checksums then 0
+                     else if t.page_size = default_page_size then crc_of_zero_page
+                     else Codec.crc32 t.pages.(id));
+                  t.page_epochs.(id) <- t.epoch
+              end)
+            tx.t_dirty;
+          Atomic.set t.txn None;
+          Atomic.decr t.snapshot_work;
+          (tx.t_participants, Hashtbl.fold (fun id () acc -> id :: acc) tx.t_dirty []))
+  in
+  List.iter (fun f -> f ~committed:false) participants;
+  dirty
+[@@analyze.no_failpoint "txn rollback: restores pre-images captured by a faultable write"]

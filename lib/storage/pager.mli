@@ -62,3 +62,85 @@ val unsafe_flip_crc_bit : t -> page:int -> bit:int -> unit
 val reset_stats : t -> unit
 val physical_reads : t -> int
 val physical_writes : t -> int
+
+(** {1 Epochs, snapshot reads and page-level transactions}
+
+    A single writer may bracket a batch of page writes in a
+    transaction: {!begin_txn} reserves epoch [e+1]; every write by the
+    writer domain pushes the committed pre-image onto the page's
+    version chain and tags the page with the reserved epoch;
+    {!commit_txn} publishes the epoch in one atomic step. Readers that
+    registered a {!pin} at epoch [e] keep reading the pre-images via
+    {!read_at}, so in-flight transactions are invisible to them. *)
+
+val current_epoch : t -> int
+(** The last published commit epoch (0 for a fresh pager). *)
+
+val snapshot_active : t -> bool
+(** Lock-free hint: [true] iff a transaction is active or some page
+    has a non-empty version chain. When [false], {!epoch_of_page}
+    checks can be skipped entirely — the read fast path. *)
+
+val epoch_of_page : t -> int -> int
+(** Epoch that wrote the current image of the page.
+    @raise Corrupt_page on an unallocated page id. *)
+
+val read_at : t -> epoch:int -> int -> bytes
+(** Snapshot read: the newest image whose epoch is [<= epoch]. Counted
+    and failpointed like {!read}. The caller must hold a {!pin} at
+    that epoch or the needed version may have been pruned.
+    @raise Corrupt_page if no version covers the requested epoch. *)
+
+val pin : t -> int
+(** Register a snapshot pin at the current published epoch and return
+    it. Keeps version chains reachable from that epoch alive. *)
+
+val unpin : t -> int -> unit
+(** Release one pin at the given epoch; unreachable versions are
+    pruned (all of them, once no pins remain). *)
+
+val clear_versions : t -> unit
+(** Drop every version chain (checkpoint/recovery quiescence). With
+    pins still registered this degrades to a prune. *)
+
+val in_txn : t -> bool
+val in_txn_writer : t -> bool
+(** [in_txn_writer t] is [true] iff a transaction is active {e and}
+    the calling domain is its writer. *)
+
+val begin_txn : t -> int
+(** Start a transaction owned by the calling domain; returns the
+    reserved epoch.
+    @raise Invalid_argument if a transaction is already active. *)
+
+val add_participant : t -> (committed:bool -> unit) -> unit
+(** Register a commit/abort callback on the active transaction; runs
+    outside the pager lock after the epoch flips (commit) or the
+    pre-images are restored (abort).
+    @raise Invalid_argument outside a transaction or from a non-writer
+    domain. *)
+
+val txn_clean : t -> bool
+(** [true] while the active transaction has written no page — aborting
+    at this point fully restores state. Registered participants do not
+    disqualify: their staging is dropped by the abort, and read-only
+    probes may register one (writer-private decode caches). *)
+
+val txn_dirty : t -> (int * bytes * int) list
+(** Pages written by the active transaction as
+    [(page, image, crc32 of image)], sorted by page id — the redo
+    records to log before commit. *)
+
+val commit_txn : t -> unit
+(** Publish the reserved epoch, prune version chains against live
+    pins, then run participants with [~committed:true]. *)
+
+val abort_txn : t -> int list
+(** Restore every touched page to its pre-transaction image (pages
+    allocated inside the transaction are re-zeroed), run participants
+    with [~committed:false], and return the touched page ids so caches
+    above can invalidate. *)
+
+val image_crc : t -> int -> int
+(** CRC32 of the current page image (computed from the bytes, sidecar
+    ignored) — the recovery cross-check against logged page CRCs. *)

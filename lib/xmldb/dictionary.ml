@@ -8,6 +8,13 @@
     embedded as components of composite B+-tree keys. *)
 
 type t = {
+  (* One lock over the whole structure: interning during a durable
+     ingest races concurrent readers (epoch-pinned queries resolving
+     designators), and a Hashtbl resize under a concurrent find is
+     undefined. Uncontended in single-writer workloads. A ticketed
+     Tm_storage.Lock (not a bare Mutex) so the dictionary stays
+     marshal-safe inside snapshots. *)
+  lock : Tm_storage.Lock.t;
   by_name : (string, int) Hashtbl.t;
   mutable by_id : string array;
   mutable next : int;
@@ -18,36 +25,39 @@ let byte_range = 0xfb - byte_base (* 247 values per byte, no 0x00..0x03 *)
 
 let max_tags = byte_range * byte_range
 
-let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+let create () =
+  { lock = Tm_storage.Lock.create Tm_storage.Lock.Inner; by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
 
-let tag_count t = t.next
+let tag_count t = Tm_storage.Lock.with_lock t.lock (fun () -> t.next)
 
 (** Id for [name], allocating one on first sight. *)
 let intern t name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some id -> id
-  | None ->
-    if t.next >= max_tags then
-      invalid_arg
-        (Printf.sprintf "Dictionary.intern: cannot intern %S, dictionary full (max %d tags)" name
-           max_tags);
-    let id = t.next in
-    t.next <- id + 1;
-    if id >= Array.length t.by_id then begin
-      let arr = Array.make (2 * Array.length t.by_id) "" in
-      Array.blit t.by_id 0 arr 0 id;
-      t.by_id <- arr
-    end;
-    t.by_id.(id) <- name;
-    Hashtbl.replace t.by_name name id;
-    id
+  Tm_storage.Lock.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some id -> id
+      | None ->
+        if t.next >= max_tags then
+          invalid_arg
+            (Printf.sprintf "Dictionary.intern: cannot intern %S, dictionary full (max %d tags)"
+               name max_tags);
+        let id = t.next in
+        t.next <- id + 1;
+        if id >= Array.length t.by_id then begin
+          let arr = Array.make (2 * Array.length t.by_id) "" in
+          Array.blit t.by_id 0 arr 0 id;
+          t.by_id <- arr
+        end;
+        t.by_id.(id) <- name;
+        Hashtbl.replace t.by_name name id;
+        id)
 
 (** Id for [name] if already interned. *)
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name = Tm_storage.Lock.with_lock t.lock (fun () -> Hashtbl.find_opt t.by_name name)
 
 let name t id =
-  if id < 0 || id >= t.next then invalid_arg "Dictionary.name: bad tag id";
-  t.by_id.(id)
+  Tm_storage.Lock.with_lock t.lock (fun () ->
+      if id < 0 || id >= t.next then invalid_arg "Dictionary.name: bad tag id";
+      t.by_id.(id))
 
 (** The 2-byte designator for a tag id. *)
 let designator id =

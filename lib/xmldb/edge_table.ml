@@ -24,6 +24,11 @@ type t = {
   forward : Bptree.t;
   backward : Bptree.t;
   mutable n_nodes : int;
+  stats_lock : Lock.t;
+      (** guards [n_nodes] and [value_stats]: incremental maintenance
+          during a durable ingest replaces entries while epoch-pinned
+          readers fold over the table for selectivity estimates
+          (ticketed {!Lock} so the table stays marshal-safe) *)
   value_stats : (string, int) Hashtbl.t;
       (** (tag, value) -> cardinality; the pre-collected statistics of
           paper Section 5.1.1 ("we collected detailed statistics on all
@@ -105,10 +110,11 @@ let build pool dict doc =
     forward = Bptree.bulk_load ~name:"edge_forward" pool (sorted forward_entries);
     backward = Bptree.bulk_load ~name:"edge_backward" pool (sorted backward_entries);
     n_nodes;
+    stats_lock = Lock.create Lock.Inner;
     value_stats;
   }
 
-let node_count t = t.n_nodes
+let node_count t = Lock.with_lock t.stats_lock (fun () -> t.n_nodes)
 
 (** Ids of nodes with tag [tag] and leaf value [value] (value index lookup). *)
 let lookup_value t ~tag ~value =
@@ -119,7 +125,9 @@ let lookup_value t ~tag ~value =
     statistic the planner uses. O(1): answered from pre-collected
     statistics, not from the index itself. *)
 let value_cardinality t ~tag ~value =
-  Option.value ~default:0 (Hashtbl.find_opt t.value_stats (value_key tag value))
+  let key = value_key tag value in
+  Lock.with_lock t.stats_lock (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.value_stats key))
 
 (** Ids of nodes with tag [tag] whose leaf value lies in the given
     lexicographic range (bounds are (value, inclusive); [None] is
@@ -164,14 +172,15 @@ let range_cardinality t ~tag ~lo ~hi =
       let c = String.compare v bv in
       if is_lo then if inc then c >= 0 else c > 0 else if inc then c <= 0 else c < 0
   in
-  Hashtbl.fold
-    (fun key n acc ->
-      if String.length key >= 2 && String.sub key 0 2 = prefix then
-        match Codec.decode_value (String.sub key 2 (String.length key - 2)) with
-        | Some v when in_bound ~is_lo:true lo v && in_bound ~is_lo:false hi v -> acc + n
-        | Some _ | None -> acc
-      else acc)
-    t.value_stats 0
+  Lock.with_lock t.stats_lock (fun () ->
+      Hashtbl.fold
+        (fun key n acc ->
+          if String.length key >= 2 && String.sub key 0 2 = prefix then
+            match Codec.decode_value (String.sub key 2 (String.length key - 2)) with
+            | Some v when in_bound ~is_lo:true lo v && in_bound ~is_lo:false hi v -> acc + n
+            | Some _ | None -> acc
+          else acc)
+        t.value_stats 0)
 
 (** Number of nodes with tag [tag] (any value) under any parent. *)
 let children_of t ~parent ~tag =
@@ -212,14 +221,15 @@ let insert_node t (info : Shred.node_info) =
   | Some v ->
     let key = value_key info.Shred.tag v in
     Bptree.insert t.value_index key id_payload;
-    Hashtbl.replace t.value_stats key
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.value_stats key))
+    Lock.with_lock t.stats_lock (fun () ->
+        Hashtbl.replace t.value_stats key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.value_stats key)))
   | None -> ());
   Bptree.insert t.forward (forward_key info.Shred.parent_id info.Shred.tag) id_payload;
   Bptree.insert t.backward (backward_key info.Shred.id)
     (backward_payload ~parent_id:info.Shred.parent_id ~parent_tag:info.Shred.parent_tag
        ~tag:info.Shred.tag ~value:info.Shred.value);
-  t.n_nodes <- t.n_nodes + 1
+  Lock.with_lock t.stats_lock (fun () -> t.n_nodes <- t.n_nodes + 1)
 
 (** Incremental maintenance: un-index a node. The heap record remains
     as a tombstone (heap space is reclaimed on rebuild); all three
@@ -230,17 +240,18 @@ let remove_node t (info : Shred.node_info) =
   | Some v ->
     let key = value_key info.Shred.tag v in
     ignore (Bptree.delete t.value_index key id_payload);
-    (match Hashtbl.find_opt t.value_stats key with
-    | Some n when n > 1 -> Hashtbl.replace t.value_stats key (n - 1)
-    | Some _ -> Hashtbl.remove t.value_stats key
-    | None -> ())
+    Lock.with_lock t.stats_lock (fun () ->
+        match Hashtbl.find_opt t.value_stats key with
+        | Some n when n > 1 -> Hashtbl.replace t.value_stats key (n - 1)
+        | Some _ -> Hashtbl.remove t.value_stats key
+        | None -> ())
   | None -> ());
   ignore (Bptree.delete t.forward (forward_key info.Shred.parent_id info.Shred.tag) id_payload);
   ignore
     (Bptree.delete t.backward (backward_key info.Shred.id)
        (backward_payload ~parent_id:info.Shred.parent_id ~parent_tag:info.Shred.parent_tag
           ~tag:info.Shred.tag ~value:info.Shred.value));
-  t.n_nodes <- t.n_nodes - 1
+  Lock.with_lock t.stats_lock (fun () -> t.n_nodes <- t.n_nodes - 1)
 
 (** The three link/value B+-trees (fsck support). *)
 let indices t = [ t.value_index; t.forward; t.backward ]

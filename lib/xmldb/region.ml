@@ -22,7 +22,15 @@ type t = {
 }
 
 let build (doc : T.document) =
-  let n = doc.T.node_count in
+  (* Ids are dense only until the first subtree insertion: [Updates]
+     assigns fresh ids past every existing one, and [node_count] stays
+     at the build-time figure. Size by the largest id actually present
+     so updated documents index correctly (deleted ids leave holes). *)
+  let rec max_id acc (node : T.node) =
+    if T.is_value node then acc
+    else Array.fold_left max_id (max acc node.T.id) node.T.children
+  in
+  let n = max doc.T.node_count (1 + Array.fold_left max_id 0 doc.T.roots) in
   let end_ = Array.make n 0 in
   let level = Array.make n 0 in
   let rec go depth (node : T.node) =

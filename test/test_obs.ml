@@ -343,6 +343,7 @@ let mk_entry ?(latency = 1.0) ?(outcome = Journal.Completed) ?(fallbacks = []) (
     j_latency_ms = latency;
     j_pool_hit_rate = None;
     j_jobs = 0;
+    j_txn = 0;
     j_outcome = outcome;
     j_gc = zero_gc;
   }

@@ -120,6 +120,63 @@ let test_delete_author () =
   let twig = Tm_query.Xpath_parser.parse "//author[ln = 'doe']" in
   check Alcotest.(list int) "john doe gone" [] (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
 
+let test_delete_last_child_of_branch () =
+  (* deleting every child of a branch point leaves a childless element
+     that must still match structurally while its former descendants
+     vanish from every index *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let twig = Tm_query.Xpath_parser.parse "//author" in
+  let authors = (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids in
+  check Alcotest.int "two authors to start" 2 (List.length authors);
+  List.iter (fun id -> ignore (Updates.delete_subtree db id)) authors;
+  check_consistent db doc "after deleting every author";
+  check
+    Alcotest.(list int)
+    "no authors left" []
+    (Executor.run ~hint:(Tm_plan.Hint.Force Database.DP) db twig).Executor.ids;
+  check Alcotest.int "the emptied branch point survives" 1
+    (List.length
+       (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db
+          (Tm_query.Xpath_parser.parse "/book/allauthors"))
+         .Executor.ids)
+
+let test_insert_under_fresh_subtree () =
+  (* a freshly minted id is immediately a valid insertion target *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let book = find_id doc "book" in
+  let chapter_id =
+    Updates.insert_subtree db ~parent:book (T.elem "chapter" [ T.elem_text "title" "Twigs" ])
+  in
+  let section_id =
+    Updates.insert_subtree db ~parent:chapter_id
+      (T.elem "section" [ T.elem_text "head" "Origins" ])
+  in
+  if section_id <= chapter_id then Alcotest.fail "section id should be minted after chapter's";
+  check_consistent db doc "after insert under fresh subtree";
+  let twig = Tm_query.Xpath_parser.parse "//chapter/section[head = 'Origins']" in
+  check
+    Alcotest.(list int)
+    "nested fresh subtree queryable" [ section_id ]
+    (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
+
+let test_generation_bumps_on_both_paths () =
+  (* both update paths must mint a fresh plan-cache generation, or the
+     planner could serve a plan sized for the pre-update indexes *)
+  let doc = book_doc () in
+  let db = Database.create doc in
+  let g0 = Database.generation db in
+  let allauthors = find_id doc "allauthors" in
+  let id =
+    Updates.insert_subtree db ~parent:allauthors (T.elem "author" [ T.elem_text "fn" "mira" ])
+  in
+  let g1 = Database.generation db in
+  if g1 = g0 then Alcotest.fail "insert must mint a fresh generation (stale-plan hazard)";
+  ignore (Updates.delete_subtree db id);
+  if Database.generation db = g1 then
+    Alcotest.fail "delete must mint a fresh generation (stale-plan hazard)"
+
 let test_insert_then_delete_roundtrip () =
   (* after insert + delete, every query answers as before *)
   let doc = book_doc () in
@@ -264,6 +321,11 @@ let () =
           Alcotest.test_case "insert deep subtree" `Quick test_insert_deep_subtree;
           Alcotest.test_case "insert new schema path" `Quick test_insert_new_schema_path;
           Alcotest.test_case "delete author" `Quick test_delete_author;
+          Alcotest.test_case "delete last child of a branch point" `Quick
+            test_delete_last_child_of_branch;
+          Alcotest.test_case "insert under fresh subtree" `Quick test_insert_under_fresh_subtree;
+          Alcotest.test_case "generation bumps on insert and delete" `Quick
+            test_generation_bumps_on_both_paths;
           Alcotest.test_case "insert/delete roundtrip" `Quick test_insert_then_delete_roundtrip;
           Alcotest.test_case "incremental = rebuild" `Slow test_update_matches_rebuild;
           Alcotest.test_case "invalid updates rejected" `Quick test_invalid_updates_rejected;

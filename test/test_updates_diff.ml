@@ -1,0 +1,269 @@
+(* Mutation-sequence differential oracle (paper Section 7): random
+   interleaved subtree insertions and deletions applied to a random
+   document, then every strategy checked against the naive evaluator on
+   the mutated document AND against a database rebuilt from scratch —
+   sequentially and on a shared 4-domain pool — with the structural
+   checker (fsck) run over the mutated database. Failures shrink to a
+   minimal document + op sequence + twig. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+module Twig = Tm_query.Twig
+module Seed = Tm_testsupport.Seed
+module Check = Tm_check.Check
+
+(* Pure ASTs: generated and shrunk as plain data. Mutation ops address
+   live nodes by a rank into the current document's pre-order element
+   list, so shrinking an earlier op never invalidates a later one. *)
+
+type xast = Node of string * xast list | Text of string * string | Attr of string * string
+type mut = Ins of int * xast | Del of int
+type tast = { tag : string; eq : string option; kids : (Twig.axis * tast) list }
+
+let tags = [ "a"; "b"; "c" ]
+let values = [ "u"; "v"; "w" ]
+
+let rec tree_of = function
+  | Node (t, cs) -> T.elem t (List.map tree_of cs)
+  | Text (t, v) -> T.elem_text t v
+  | Attr (t, v) -> T.elem t [ T.attr "at" v ]
+
+let doc_of roots = T.document (List.map tree_of roots)
+
+let rec spec_of (t : tast) =
+  Twig.spec ?value:t.eq t.tag (List.map (fun (ax, c) -> (ax, spec_of c)) t.kids)
+
+let rec mark (s : Twig.spec) =
+  match s.Twig.s_branches with
+  | [] -> { s with Twig.s_output = true }
+  | branches ->
+    let rec last_marked acc = function
+      | [] -> assert false
+      | [ (ax, c) ] -> List.rev ((ax, mark c) :: acc)
+      | b :: rest -> last_marked (b :: acc) rest
+    in
+    { s with Twig.s_branches = last_marked [] branches }
+
+let twig_of (root_axis, t) = Twig.make root_axis (mark (spec_of t))
+
+(* ------------------------------------------------------------------ *)
+(* Applying a mutation sequence                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Element nodes of the live document in pre-order: insertion targets. *)
+let element_ids (db : Database.t) =
+  List.rev
+    (T.fold db.Database.doc
+       (fun acc n -> match n.T.label with T.Elem _ -> n.T.id :: acc | _ -> acc)
+       [])
+
+(* Deletion candidates: element nodes that are not document roots
+   (Updates rejects root deletion by design). *)
+let deletable (db : Database.t) =
+  let roots = Array.to_list (Array.map (fun (r : T.node) -> r.T.id) db.Database.doc.T.roots) in
+  List.filter (fun id -> not (List.mem id roots)) (element_ids db)
+
+(* Apply one op; [true] when it mutated the database. Ranks are taken
+   modulo the candidate count, so every generated op is valid — an
+   escaping [Invalid_argument] is a genuine bug, not a skip. *)
+let apply_op db op =
+  match op with
+  | Ins (k, ast) ->
+    let parents = element_ids db in
+    let parent = List.nth parents (k mod List.length parents) in
+    ignore (Updates.insert_subtree db ~parent (tree_of ast));
+    true
+  | Del k -> (
+    match deletable db with
+    | [] -> false
+    | cands ->
+      ignore (Updates.delete_subtree db (List.nth cands (k mod List.length cands)));
+      true)
+
+(* Rebuild-from-scratch reference: re-render the mutated tree as pure
+   constructors and renumber through [T.document]. *)
+let rec copy (n : T.node) =
+  match n.T.label with
+  | T.Value v -> T.text v
+  | T.Elem t -> T.elem t (List.map copy (Array.to_list n.T.children))
+  | T.Attr a -> T.attr a (Option.value ~default:"" (T.leaf_value n))
+
+let rebuilt_doc (db : Database.t) =
+  T.document (List.map copy (Array.to_list db.Database.doc.T.roots))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_doc =
+  let open QCheck.Gen in
+  let tag = oneofl tags and value = oneofl values in
+  let rec node depth =
+    if depth = 0 then map2 (fun t v -> Text (t, v)) tag value
+    else
+      frequency
+        [
+          (2, map2 (fun t v -> Text (t, v)) tag value);
+          (1, map2 (fun t v -> Attr (t, v)) tag value);
+          (3, map2 (fun t cs -> Node (t, cs)) tag (list_size (int_range 1 3) (node (depth - 1))));
+        ]
+  in
+  list_size (int_range 1 2) (node 3)
+
+let gen_ops =
+  let open QCheck.Gen in
+  let tag = oneofl tags and value = oneofl values in
+  let rec sub depth =
+    if depth = 0 then map2 (fun t v -> Text (t, v)) tag value
+    else
+      frequency
+        [
+          (2, map2 (fun t v -> Text (t, v)) tag value);
+          (1, map2 (fun t v -> Attr (t, v)) tag value);
+          (2, map2 (fun t cs -> Node (t, cs)) tag (list_size (int_range 1 2) (sub (depth - 1))));
+        ]
+  in
+  let rank = int_bound 999 in
+  list_size (int_range 1 6)
+    (frequency
+       [ (3, map2 (fun k s -> Ins (k, s)) rank (sub 2)); (2, map (fun k -> Del k) rank) ])
+
+let gen_twig =
+  let open QCheck.Gen in
+  let tag = oneofl ("at" :: tags) and value = oneofl values in
+  let axis = frequency [ (3, return Twig.Child); (1, return Twig.Descendant) ] in
+  let rec node depth =
+    let* t = tag in
+    let* eq = frequency [ (2, return None); (1, map Option.some value) ] in
+    let* kids =
+      if depth = 0 then return []
+      else
+        let* n = int_range 0 2 in
+        list_repeat n (pair axis (node (depth - 1)))
+    in
+    return { tag = t; eq; kids }
+  in
+  pair axis (node 2)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinkers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec shrink_xast x yield =
+  match x with
+  | Node (t, cs) ->
+    List.iter yield cs;
+    QCheck.Shrink.list ~shrink:shrink_xast cs (fun cs' -> yield (Node (t, cs')))
+  | Text _ | Attr _ -> ()
+
+let shrink_doc roots yield =
+  QCheck.Shrink.list ~shrink:shrink_xast roots (fun rs -> if rs <> [] then yield rs)
+
+let shrink_mut m yield =
+  match m with
+  | Ins (k, ast) ->
+    if k > 0 then yield (Ins (0, ast));
+    shrink_xast ast (fun ast' -> yield (Ins (k, ast')))
+  | Del k -> if k > 0 then yield (Del 0)
+
+let shrink_ops ops yield = QCheck.Shrink.list ~shrink:shrink_mut ops yield
+
+let rec shrink_tast t yield =
+  (match t.eq with Some _ -> yield { t with eq = None } | None -> ());
+  List.iter (fun (_, c) -> yield c) t.kids;
+  QCheck.Shrink.list
+    ~shrink:(fun (ax, c) yield ->
+      (match ax with Twig.Descendant -> yield (Twig.Child, c) | Twig.Child -> ());
+      shrink_tast c (fun c' -> yield (ax, c')))
+    t.kids
+    (fun kids' -> yield { t with kids = kids' })
+
+let shrink_case (roots, ops, (ax, t)) yield =
+  shrink_ops ops (fun ops' -> yield (roots, ops', (ax, t)));
+  shrink_doc roots (fun rs -> yield (rs, ops, (ax, t)));
+  (match ax with Twig.Descendant -> yield (roots, ops, (Twig.Child, t)) | Twig.Child -> ());
+  shrink_tast t (fun t' -> yield (roots, ops, (ax, t')))
+
+let rec xast_to_string = function
+  | Node (t, cs) ->
+    Printf.sprintf "%s(%s)" t (String.concat "," (List.map xast_to_string cs))
+  | Text (t, v) -> Printf.sprintf "%s=%s" t v
+  | Attr (t, v) -> Printf.sprintf "%s@%s" t v
+
+let mut_to_string = function
+  | Ins (k, ast) -> Printf.sprintf "ins@%d %s" k (xast_to_string ast)
+  | Del k -> Printf.sprintf "del@%d" k
+
+let print_case (roots, ops, rt) =
+  Printf.sprintf "twig: %s\nops:  %s\ndoc:  %s"
+    (Twig.to_string (twig_of rt))
+    (String.concat "; " (List.map mut_to_string ops))
+    (T.to_string (doc_of roots))
+
+let arb_case =
+  QCheck.make ~print:print_case ~shrink:shrink_case
+    QCheck.Gen.(triple gen_doc gen_ops gen_twig)
+
+(* ------------------------------------------------------------------ *)
+(* The property                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs = 4
+let shared_pool = lazy (Tm_par.Pool.create ~jobs)
+
+let () =
+  at_exit (fun () -> if Lazy.is_val shared_pool then Tm_par.Pool.shutdown (Lazy.force shared_pool))
+
+let ids_to_string ids = String.concat ";" (List.map string_of_int ids)
+
+let check_oracle ~what ~pool db twig =
+  let expected = Tm_query.Naive.query db.Database.doc twig in
+  List.iter
+    (fun s ->
+      let seq = (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
+      let par = (Executor.run ~pool ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids in
+      if seq <> expected then
+        QCheck.Test.fail_reportf "%s: sequential %s diverges on %s:\n  oracle [%s]\n  got    [%s]"
+          what (Database.strategy_name s) (Twig.to_string twig) (ids_to_string expected)
+          (ids_to_string seq);
+      if par <> expected then
+        QCheck.Test.fail_reportf "%s: jobs=%d %s diverges on %s:\n  oracle [%s]\n  got    [%s]"
+          what jobs (Database.strategy_name s) (Twig.to_string twig) (ids_to_string expected)
+          (ids_to_string par))
+    Database.all_strategies;
+  expected
+
+let prop_mutation_differential =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "random insert/delete sequences = oracle = rebuild, sequential and jobs=%d" jobs)
+    ~count:40 arb_case
+    (fun (roots, ops, rt) ->
+      let doc = doc_of roots in
+      let twig = twig_of rt in
+      let db = Database.create doc in
+      let g0 = Database.generation db in
+      let applied = List.fold_left (fun n op -> if apply_op db op then n + 1 else n) 0 ops in
+      if applied > 0 && Database.generation db = g0 then
+        QCheck.Test.fail_reportf
+          "%d mutation(s) applied but the index generation never moved" applied;
+      (* Structural invariants of every index survive the sequence. *)
+      let report = Check.check_database db in
+      if not (Check.is_clean report) then
+        QCheck.Test.fail_reportf "fsck after %d op(s):\n%s" applied
+          (Check.report_to_string report);
+      let pool = Lazy.force shared_pool in
+      let incremental = check_oracle ~what:"incremental" ~pool db twig in
+      (* Rebuild from scratch over the mutated tree: ids differ (the
+         rebuild renumbers), the match multiset must not. *)
+      let db2 = Database.create (rebuilt_doc db) in
+      let rebuilt = check_oracle ~what:"rebuilt" ~pool db2 twig in
+      if List.length incremental <> List.length rebuilt then
+        QCheck.Test.fail_reportf
+          "incremental database finds %d match(es), rebuilt finds %d on %s"
+          (List.length incremental) (List.length rebuilt) (Twig.to_string twig);
+      true)
+
+let () =
+  Alcotest.run "updates_diff" [ ("mutation oracle", [ Seed.to_alcotest prop_mutation_differential ]) ]

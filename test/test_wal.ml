@@ -1,0 +1,502 @@
+(* Tests for the durable write path: WAL frame codec, damaged-log
+   scanning, logged transactions with crash recovery (a kill matrix at
+   every frame boundary and mid-frame), group commit, checkpointing,
+   and failpoint-driven commit poisoning. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+module Wal = Tm_wal.Wal
+module Fault = Tm_fault.Fault
+module Check = Tm_check.Check
+
+let check = Alcotest.check
+
+(* ---------- temp-directory and file helpers ---------- *)
+
+let fresh_dir () =
+  let path = Filename.temp_file "twigwal" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ---------- document and query helpers ---------- *)
+
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+let find_id doc name =
+  T.fold doc (fun acc n -> if T.label_name n = name && acc = None then Some n.T.id else acc) None
+  |> Option.get
+
+let run_ids db xpath =
+  let twig = Tm_query.Xpath_parser.parse xpath in
+  (Executor.run ~hint:(Tm_plan.Hint.Force Database.RP) db twig).Executor.ids
+
+let note_count db = List.length (run_ids db "//note")
+
+(* Every built strategy agrees with the naive matcher on the recovered
+   document. *)
+let check_consistent db label =
+  List.iter
+    (fun xpath ->
+      let twig = Tm_query.Xpath_parser.parse xpath in
+      let expected = Tm_query.Naive.query db.Database.doc twig in
+      List.iter
+        (fun s ->
+          check
+            Alcotest.(list int)
+            (Printf.sprintf "%s: %s under %s" label xpath (Database.strategy_name s))
+            expected
+            (Executor.run ~hint:(Tm_plan.Hint.Force s) db twig).Executor.ids)
+        (Database.built_strategies db))
+    [ "/book"; "//author[ln = 'doe']"; "//note"; "//fn"; "/book//v" ]
+
+let assert_fsck_clean label db =
+  let report = Check.check_database db in
+  if not (Check.is_clean report) then
+    Alcotest.failf "%s: fsck found violations:\n%s" label (Check.report_to_string report)
+
+(* ---------- WAL frame codec and scanning ---------- *)
+
+let fixture_frames =
+  [
+    Wal.Checkpoint 0;
+    Wal.Begin 1;
+    Wal.Op (1, "op-bytes \x00\xff binary");
+    Wal.Page { txn = 1; page = 3; crc = 0xDEADBEE; image = String.init 64 Char.chr };
+    Wal.Commit 1;
+    Wal.Begin 2;
+    Wal.Op (2, "");
+    Wal.Commit 2;
+  ]
+
+let frame_pp fmt (f : Wal.frame) =
+  match f with
+  | Wal.Begin t -> Format.fprintf fmt "Begin %d" t
+  | Wal.Op (t, p) -> Format.fprintf fmt "Op (%d, %S)" t p
+  | Wal.Page { txn; page; crc; image } ->
+    Format.fprintf fmt "Page {txn=%d; page=%d; crc=%d; %d image bytes}" txn page crc
+      (String.length image)
+  | Wal.Commit t -> Format.fprintf fmt "Commit %d" t
+  | Wal.Checkpoint t -> Format.fprintf fmt "Checkpoint %d" t
+
+let frame_t : Wal.frame Alcotest.testable = Alcotest.testable frame_pp ( = )
+
+let encoded frames = String.concat "" (List.map Wal.encode_frame frames)
+
+let test_codec_roundtrip () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let bytes = encoded fixture_frames in
+  write_file path bytes;
+  let s = Wal.scan path in
+  check (Alcotest.list frame_t) "frames" fixture_frames s.Wal.frames;
+  check Alcotest.(list int) "committed" [ 1; 2 ] s.Wal.committed;
+  check Alcotest.bool "undamaged" false s.Wal.damaged;
+  check Alcotest.int "valid bytes" (String.length bytes) s.Wal.valid_bytes;
+  check Alcotest.int "committed bytes" (String.length bytes) s.Wal.committed_bytes
+
+let test_missing_file_scans_empty () =
+  with_dir @@ fun dir ->
+  let s = Wal.scan (Filename.concat dir "absent") in
+  check (Alcotest.list frame_t) "no frames" [] s.Wal.frames;
+  check Alcotest.bool "undamaged" false s.Wal.damaged;
+  check Alcotest.int "no bytes" 0 s.Wal.committed_bytes
+
+let test_torn_tail_scan_and_truncate () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let bytes = encoded fixture_frames in
+  (* Cut inside the last Commit frame: txn 2 loses its commit. *)
+  write_file path (String.sub bytes 0 (String.length bytes - 5));
+  let s = Wal.scan path in
+  check Alcotest.bool "damaged" true s.Wal.damaged;
+  check Alcotest.(list int) "only txn 1 committed" [ 1 ] s.Wal.committed;
+  let full_prefix = encoded (List.filteri (fun i _ -> i < 5) fixture_frames) in
+  check Alcotest.int "committed prefix ends at Commit 1" (String.length full_prefix)
+    s.Wal.committed_bytes;
+  (* Recovery's truncation leaves a clean log holding exactly the
+     committed prefix. *)
+  Wal.truncate path s.Wal.committed_bytes;
+  let s2 = Wal.scan path in
+  check Alcotest.bool "clean after truncate" false s2.Wal.damaged;
+  check Alcotest.int "five frames survive" 5 (List.length s2.Wal.frames);
+  check Alcotest.(list int) "committed unchanged" [ 1 ] s2.Wal.committed
+
+let test_bitflip_stops_scan () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let bytes = encoded fixture_frames in
+  (* Flip one bit inside the Page frame's image: txn 1's commit sits
+     after the damage, so nothing is committed any more. *)
+  let upto_page = String.length (encoded (List.filteri (fun i _ -> i < 3) fixture_frames)) in
+  let b = Bytes.of_string bytes in
+  let pos = upto_page + 20 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+  write_file path (Bytes.to_string b);
+  let s = Wal.scan path in
+  check Alcotest.bool "damaged" true s.Wal.damaged;
+  check Alcotest.(list int) "no commits survive" [] s.Wal.committed;
+  check Alcotest.int "valid prefix stops before the flipped frame" upto_page s.Wal.valid_bytes
+
+(* ---------- logical-operation codec ---------- *)
+
+let rec render (n : T.node) =
+  match n.T.label with
+  | T.Value v -> Printf.sprintf "=%S" v
+  | T.Elem name | T.Attr name ->
+    Printf.sprintf "%s%s(%s)"
+      (match n.T.label with T.Attr _ -> "@" | _ -> "")
+      name
+      (String.concat "," (Array.to_list (Array.map render n.T.children)))
+
+let test_op_codec_roundtrip () =
+  let subtree =
+    T.elem "a" [ T.attr "k" "v\x00w"; T.elem_text "b" "x"; T.elem "c" []; T.text "loose" ]
+  in
+  (match Durable.decode_op (Durable.encode_op (Durable.Insert { parent = 7; subtree })) with
+  | Durable.Insert { parent; subtree = s } ->
+    check Alcotest.int "parent" 7 parent;
+    check Alcotest.string "subtree shape" (render subtree) (render s)
+  | Durable.Delete _ -> Alcotest.fail "insert decoded as delete");
+  (match Durable.decode_op (Durable.encode_op (Durable.Delete 42)) with
+  | Durable.Delete id -> check Alcotest.int "delete id" 42 id
+  | Durable.Insert _ -> Alcotest.fail "delete decoded as insert");
+  match Durable.decode_op "garbage" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "garbage payload should be rejected"
+
+(* ---------- durable transactions: roundtrip, recovery, checkpoint ---------- *)
+
+let test_durable_roundtrip () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  let note i = T.elem "note" [ T.elem_text "v" (string_of_int i) ] in
+  let id1 = Durable.insert_subtree d ~parent:book (note 1) in
+  ignore (Durable.insert_subtree d ~parent:book (note 2));
+  (* delete an original author (exercises the Delete op on replay) *)
+  let jane_fn = run_ids db "//author[fn = 'jane']" in
+  let removed = Durable.delete_subtree d (List.hd jane_fn) in
+  check Alcotest.int "author + fn + ln removed" 3 removed;
+  let before = run_ids db "//note" in
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      let db2 = Durable.database d2 in
+      check Alcotest.int "three txns replayed" 3 r.Durable.replayed;
+      check Alcotest.int "none skipped" 0 r.Durable.skipped;
+      check Alcotest.int "no tail discarded" 0 r.Durable.discarded_bytes;
+      (* replay re-assigns ids deterministically: answers are id-identical *)
+      check Alcotest.(list int) "note ids replay identically" before (run_ids db2 "//note");
+      check Alcotest.bool "first insert id present" true (List.mem id1 before);
+      check Alcotest.(list int) "deleted author stays gone" []
+        (run_ids db2 "//author[fn = 'jane']");
+      check Alcotest.int "last txn restored" 3 db2.Database.last_txn;
+      check_consistent db2 "after recovery";
+      assert_fsck_clean "after recovery" db2)
+
+let test_group_commit_batch () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  let ids =
+    Durable.batch d (fun () ->
+        List.init 3 (fun i ->
+            Durable.insert_subtree d ~parent:book
+              (T.elem "note" [ T.elem_text "v" (string_of_int i) ])))
+  in
+  check Alcotest.int "three fresh ids" 3 (List.length (List.sort_uniq compare ids));
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "batched txns all recovered" 3 r.Durable.replayed;
+      check Alcotest.int "notes recovered" 3 (note_count (Durable.database d2));
+      assert_fsck_clean "after batched recovery" (Durable.database d2))
+
+let test_checkpoint_truncates_and_is_idempotent () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "a"));
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "b"));
+  Durable.checkpoint d;
+  Durable.checkpoint d;
+  (* the log now holds only the checkpoint stamp *)
+  (match (Wal.scan (Durable.wal_path dir)).Wal.frames with
+  | [ Wal.Checkpoint 2 ] -> ()
+  | frames -> Alcotest.failf "expected a lone Checkpoint 2, got %d frames" (List.length frames));
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "c"));
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "only the post-checkpoint txn replays" 1 r.Durable.replayed;
+      check Alcotest.int "all notes present" 3 (note_count (Durable.database d2));
+      check Alcotest.int "txn ids continue across checkpoints" 3
+        (Durable.database d2).Database.last_txn;
+      assert_fsck_clean "after checkpoint + recovery" (Durable.database d2))
+
+let test_recovery_skips_snapshotted_txns () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "a"));
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "b"));
+  (* Simulate a crash between a checkpoint's snapshot write and its log
+     reset: the snapshot already contains both transactions the log
+     still holds. *)
+  Persist.save (Durable.database d) (Durable.snapshot_path dir);
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "nothing replayed" 0 r.Durable.replayed;
+      check Alcotest.int "both txns recognized as snapshotted" 2 r.Durable.skipped;
+      check Alcotest.int "no double-application" 2 (note_count (Durable.database d2));
+      assert_fsck_clean "after skip recovery" (Durable.database d2))
+
+(* ---------- crash matrix: every frame boundary and mid-frame ---------- *)
+
+(* Simulate a kill at byte offset [cut] of the log by copying the
+   directory with a truncated log, then recover and verify: the
+   database is fsck-clean, agrees with the naive matcher, and holds
+   exactly the transactions whose Commit frame is wholly inside the
+   prefix. *)
+let test_crash_matrix () =
+  with_dir @@ fun dir ->
+  let txns = 3 in
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  for i = 1 to txns do
+    ignore
+      (Durable.insert_subtree d ~parent:book
+         (T.elem "note" [ T.elem_text "v" (string_of_int i) ]))
+  done;
+  Durable.close d;
+  let log = read_file (Durable.wal_path dir) in
+  let scanned = Wal.scan (Durable.wal_path dir) in
+  check Alcotest.bool "log is clean before the matrix" false scanned.Wal.damaged;
+  check Alcotest.int "scan covers the whole log" (String.length log) scanned.Wal.valid_bytes;
+  (* Frame layout: (start, end, commits completed by end). *)
+  let _, layout =
+    List.fold_left
+      (fun (off, acc) f ->
+        let fin = off + String.length (Wal.encode_frame f) in
+        ((fin, (off, fin, f) :: acc) : int * _))
+      (0, []) scanned.Wal.frames
+  in
+  let layout = List.rev layout in
+  let commits_within cut =
+    List.length
+      (List.filter
+         (fun (_, fin, f) -> fin <= cut && match f with Wal.Commit _ -> true | _ -> false)
+         layout)
+  in
+  (* Cut points: the start of the log, every frame boundary, and a
+     point inside every frame's header. *)
+  let cuts =
+    0
+    :: List.concat_map (fun (start, fin, _) -> [ start + 3; fin ]) layout
+    |> List.sort_uniq compare
+    |> List.filter (fun c -> c < String.length log)
+  in
+  check Alcotest.bool "matrix has many cut points" true (List.length cuts > 3 * txns);
+  List.iter
+    (fun cut ->
+      let expected = commits_within cut in
+      let label = Printf.sprintf "cut at byte %d (%d committed)" cut expected in
+      let dir2 = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir2)
+        (fun () ->
+          write_file (Durable.snapshot_path dir2)
+            (read_file (Durable.snapshot_path dir));
+          write_file (Durable.wal_path dir2) (String.sub log 0 cut);
+          let d2, r = Durable.open_ dir2 in
+          Fun.protect
+            ~finally:(fun () -> Durable.close d2)
+            (fun () ->
+              let db2 = Durable.database d2 in
+              check Alcotest.int (label ^ ": replayed") expected r.Durable.replayed;
+              check Alcotest.int (label ^ ": notes") expected (note_count db2);
+              check
+                Alcotest.(list int)
+                (label ^ ": oracle agrees")
+                (Tm_query.Naive.query db2.Database.doc
+                   (Tm_query.Xpath_parser.parse "//note"))
+                (run_ids db2 "//note");
+              assert_fsck_clean label db2;
+              (* the recovered directory accepts new writes *)
+              ignore (Durable.insert_subtree d2 ~parent:book (T.elem_text "note" "post"));
+              check Alcotest.int (label ^ ": writable after recovery") (expected + 1)
+                (note_count db2))))
+    cuts
+
+(* ---------- failpoints: commit crash poisons; reopen recovers ---------- *)
+
+let test_commit_failpoint_poisons_then_recovers () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "a"));
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "b"));
+  Fun.protect ~finally:(fun () -> Fault.clear ()) @@ fun () ->
+  Fault.inject ~site:"wal.commit" (Fault.Every 1);
+  (* The crash point sits after the pages were dirtied, so the handle
+     cannot roll back in-memory state: it poisons. *)
+  (match Durable.insert_subtree d ~parent:book (T.elem_text "note" "c") with
+  | exception Fault.Io_error _ -> ()
+  | _ -> Alcotest.fail "armed wal.commit should fail the transaction");
+  (match Durable.insert_subtree d ~parent:book (T.elem_text "note" "d") with
+  | exception Durable.Poisoned _ -> ()
+  | _ -> Alcotest.fail "poisoned handle should reject further writes");
+  (match Durable.checkpoint d with
+  | exception Durable.Poisoned _ -> ()
+  | _ -> Alcotest.fail "poisoned handle should reject checkpoints");
+  Fault.clear ();
+  Durable.close d;
+  (* Reopen: exactly the pre-crash commits survive. *)
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      let db2 = Durable.database d2 in
+      check Alcotest.int "committed prefix replayed" 2 r.Durable.replayed;
+      check Alcotest.int "uncommitted txn discarded" 2 (note_count db2);
+      assert_fsck_clean "after commit-crash recovery" db2;
+      ignore (Durable.insert_subtree d2 ~parent:book (T.elem_text "note" "e"));
+      check Alcotest.int "fresh handle writes again" 3 (note_count db2))
+
+let test_torn_append_recovers_to_prefix () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "a"));
+  (* Tear the 4th appended frame from here on: some later transaction
+     persists a damaged frame mid-log — the kind of log a real torn
+     write leaves behind. *)
+  Fun.protect ~finally:(fun () -> Fault.clear ()) @@ fun () ->
+  Fault.inject ~action:Fault.Torn ~site:"wal.append" (Fault.After 3);
+  (try
+     for i = 2 to 4 do
+       ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" (string_of_int i)))
+     done
+   with Fault.Io_error _ | Durable.Poisoned _ -> ());
+  Fault.clear ();
+  Durable.close d;
+  let s = Wal.scan (Durable.wal_path dir) in
+  check Alcotest.bool "the log really is damaged" true s.Wal.damaged;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      let db2 = Durable.database d2 in
+      check Alcotest.int "recovery = committed prefix of the valid log"
+        (List.length s.Wal.committed) r.Durable.replayed;
+      check Alcotest.int "notes match the committed prefix" (List.length s.Wal.committed)
+        (note_count db2);
+      check Alcotest.bool "damaged tail truncated" true (r.Durable.discarded_bytes > 0);
+      assert_fsck_clean "after torn-append recovery" db2)
+
+let test_clean_abort_keeps_handle_usable () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  (* Validation failures strike before any page is dirtied: clean abort. *)
+  (match Durable.insert_subtree d ~parent:0 (T.elem "x" []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "virtual-root insert should be rejected");
+  (match Durable.delete_subtree d 99999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown-id delete should be rejected");
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "ok"));
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "only the good txn recovered" 1 r.Durable.replayed;
+      check Alcotest.int "one note" 1 (note_count (Durable.database d2));
+      assert_fsck_clean "after clean aborts" (Durable.database d2))
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "frames",
+        [
+          Alcotest.test_case "codec roundtrip through scan" `Quick test_codec_roundtrip;
+          Alcotest.test_case "missing file scans empty" `Quick test_missing_file_scans_empty;
+          Alcotest.test_case "torn tail detected and truncated" `Quick
+            test_torn_tail_scan_and_truncate;
+          Alcotest.test_case "bitflip stops the scan" `Quick test_bitflip_stops_scan;
+          Alcotest.test_case "op codec roundtrip" `Quick test_op_codec_roundtrip;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "logged txns replay identically" `Quick test_durable_roundtrip;
+          Alcotest.test_case "group commit recovers whole batch" `Quick test_group_commit_batch;
+          Alcotest.test_case "checkpoint truncates, idempotent" `Quick
+            test_checkpoint_truncates_and_is_idempotent;
+          Alcotest.test_case "snapshotted txns skipped on replay" `Quick
+            test_recovery_skips_snapshotted_txns;
+          Alcotest.test_case "clean aborts keep the handle usable" `Quick
+            test_clean_abort_keeps_handle_usable;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "kill matrix at every frame boundary" `Slow test_crash_matrix;
+          Alcotest.test_case "commit failpoint poisons, reopen recovers" `Quick
+            test_commit_failpoint_poisons_then_recovers;
+          Alcotest.test_case "torn append recovers to committed prefix" `Quick
+            test_torn_append_recovers_to_prefix;
+        ] );
+    ]

@@ -4,7 +4,7 @@
     enforces, on the {e untyped} AST:
 
     - [poly-compare] (lib/storage, lib/index, lib/joins, lib/plan,
-      lib/obs, lib/par, lib/exec): no bare
+      lib/obs, lib/par, lib/exec, lib/wal): no bare
       polymorphic [compare], and no [=]/[<>]/[List.mem] where an operand
       is syntactically non-scalar (a constructor, tuple, polymorphic
       variant or string literal) — key/payload/option comparisons must
@@ -46,7 +46,16 @@ let in_dir dir file =
 let is_poly_compare_scope file =
   List.exists
     (fun dir -> in_dir dir file)
-    [ "lib/storage/"; "lib/index/"; "lib/joins/"; "lib/plan/"; "lib/obs/"; "lib/par/"; "lib/exec/" ]
+    [
+      "lib/storage/";
+      "lib/index/";
+      "lib/joins/";
+      "lib/plan/";
+      "lib/obs/";
+      "lib/par/";
+      "lib/exec/";
+      "lib/wal/";
+    ]
 
 let is_core_scope file = in_dir "lib/core/" file
 
