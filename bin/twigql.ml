@@ -549,13 +549,20 @@ let snapshot_cmd =
 let dir_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Database directory.")
 
-let run_wal_init dir file xmark dblp seed =
+let run_wal_init dir file xmark dblp seed force =
   let doc = load_doc file xmark dblp seed in
   let db = Database.create doc in
-  let d = Durable.create ~dir db in
-  Printf.printf "initialized %s (snapshot + empty log, %d element nodes)\n" dir
-    (Tm_xml.Xml_tree.element_count doc);
-  Durable.close d
+  match Durable.create ~force ~dir db with
+  | d ->
+    Printf.printf "initialized %s (snapshot + empty log, %d element nodes)\n" dir
+      (Tm_xml.Xml_tree.element_count doc);
+    Durable.close d
+  | exception Invalid_argument _ ->
+    Printf.eprintf
+      "twigql wal init: %s already holds a database (its log may carry un-checkpointed \
+       transactions); recover it with `wal fsck` or `wal ingest`, or pass --force to overwrite\n"
+      dir;
+    exit 124
 
 let run_wal_status dir =
   let wpath = Durable.wal_path dir in
@@ -631,6 +638,15 @@ let run_wal_fsck dir fmt =
   Durable.close d;
   if not (Tm_check.Check.is_clean report) then exit 1
 
+let wal_force_arg =
+  Arg.(
+    value & flag
+    & info [ "force" ]
+        ~doc:
+          "Overwrite an existing database in DIR. Without it, init refuses a directory that \
+           already holds a snapshot or a non-empty log (its un-checkpointed transactions would \
+           be destroyed).")
+
 let wal_count_arg =
   Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N" ~doc:"Subtrees to insert.")
 
@@ -652,7 +668,9 @@ let wal_cmd =
     [
       Cmd.v
         (Cmd.info "init" ~doc:"Build a database and make it durable under DIR (snapshot + log)")
-        Term.(const run_wal_init $ dir_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg);
+        Term.(
+          const run_wal_init $ dir_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg
+          $ wal_force_arg);
       Cmd.v
         (Cmd.info "status" ~doc:"Scan DIR's snapshot framing and log frames without recovering")
         Term.(const run_wal_status $ dir_arg);

@@ -31,11 +31,14 @@
     are truncated away.
 
     {!checkpoint} folds the log into a fresh snapshot: flush the buffer
-    pool, write the snapshot (atomic rename), truncate the log, and
-    stamp it with a [Checkpoint] frame. A crash anywhere in that
-    sequence is safe: the old snapshot survives until the rename, and
-    transactions both in the snapshot and still in the log are skipped
-    by the [last_txn] watermark.
+    pool, write the snapshot (fsync + atomic rename + directory fsync,
+    see {!Persist.save}), truncate the log, and stamp it with a
+    [Checkpoint] frame. A crash anywhere in that sequence is safe: the
+    old snapshot survives until the rename, the new one is durable
+    {e before} the truncate can reach the disk (so the log's
+    transactions are never lost to a truncated WAL beside a missing
+    snapshot), and transactions both in the snapshot and still in the
+    log are skipped by the [last_txn] watermark.
 
     Failure handling is two-tier. A validation failure
     ([Invalid_argument] from {!Updates} before any page was dirtied)
@@ -190,8 +193,23 @@ let handle_of dir db wal =
     poisoned = None;
   }
 
-let create ~dir db =
+let create ?(force = false) ~dir db =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Never silently destroy an existing database: the directory may
+     hold committed transactions that were not yet checkpointed, and
+     the [Wal.create]/[Persist.save] below would wipe both the log and
+     the snapshot. Recovery is spelled [open_]; overwrite is opt-in. *)
+  if not force then begin
+    let wal_nonempty =
+      Sys.file_exists (wal_path dir) && (Unix.stat (wal_path dir)).Unix.st_size > 0
+    in
+    if Sys.file_exists (snapshot_path dir) || wal_nonempty then
+      invalid_arg
+        (Printf.sprintf
+           "Durable.create: %s already holds a database (snapshot or non-empty log); use open_ \
+            to recover it, or ~force:true to overwrite"
+           dir)
+  end;
   (* Outside a transaction the buffer pool writes back lazily, so after
      the initial build the pager may still hold the zeroed alloc images
      while the real bytes sit in dirty frames. Flush before the first
@@ -203,6 +221,10 @@ let create ~dir db =
   let wal = Wal.create (wal_path dir) in
   Wal.append wal (Wal.Checkpoint db.Database.last_txn);
   Wal.sync wal;
+  (* [Persist.save] fsynced the directory for the snapshot's rename,
+     but [wal.log] was created after that: sync its directory entry
+     too, so a crash cannot leave a snapshot with no log file. *)
+  Persist.fsync_dir dir;
   handle_of dir db wal
 
 (* The [wal.replay] failpoint's [Fail] action surfaces as [Io_error]
@@ -386,9 +408,25 @@ let batch t f =
     ~finally:(fun () ->
       Mutex.protect t.lock (fun () ->
           t.batch_depth <- t.batch_depth - 1;
-          if t.batch_depth = 0 && t.unsynced && Option.is_none t.poisoned then begin
-            Wal.sync t.wal;
-            t.unsynced <- false
+          if t.batch_depth = 0 && t.unsynced then begin
+            (* Sync even when a later transaction poisoned the handle:
+               earlier transactions in the batch already returned
+               success to the caller and their [Commit] frames are in
+               the log — leaving them unsynced would make their
+               durability indeterminate. On a poisoned handle this is
+               best effort (the sync itself may be what is broken);
+               on a healthy one a failing group fsync poisons, because
+               the acknowledged commits now have unknown durability and
+               the only safe path forward is a reopen. *)
+            (try
+               Wal.sync t.wal;
+               t.unsynced <- false
+             with e ->
+               (if Option.is_none t.poisoned then begin
+                  poison t e;
+                  raise e
+                end)
+               [@analyze.boundary])
           end))
     f
 
@@ -400,10 +438,12 @@ let checkpoint t =
         invalid_arg "Durable.checkpoint: a transaction is active";
       Buffer_pool.flush_all t.db.Database.pool;
       Pager.clear_versions t.db.Database.pager;
-      (* Atomic rename: a crash before this point leaves the previous
-         snapshot + full log; after it, the log's transactions are all
-         <= last_txn and recovery skips them even if the reset below
-         never happens. *)
+      (* [Persist.save] is fsync + atomic rename + directory fsync: a
+         crash before it returns leaves the previous snapshot + full
+         log; once it returns the new snapshot is durable — only then
+         may the truncate below discard the log, since its transactions
+         are all <= last_txn and recovery skips them even if the reset
+         itself never reaches the disk. *)
       Persist.save t.db (snapshot_path t.dir);
       Wal.reset t.wal;
       Wal.append t.wal (Wal.Checkpoint t.db.Database.last_txn);

@@ -42,9 +42,14 @@ val database : t -> Database.t
 
 val dir : t -> string
 
-val create : dir:string -> Database.t -> t
+val create : ?force:bool -> dir:string -> Database.t -> t
 (** Make [db] durable under [dir] (created if missing): write the
     initial snapshot, create the log, stamp it with a [Checkpoint].
+    Refuses a directory that already holds a database (a snapshot or a
+    non-empty log) — its log may contain committed transactions not yet
+    checkpointed; {!open_} recovers those. [~force:true] overwrites.
+    @raise Invalid_argument if [dir] already holds a database and
+    [force] is false.
     @raise Persist.Bad_snapshot for databases containing pruning
     closures (they cannot be snapshotted). *)
 
@@ -80,7 +85,10 @@ val batch : t -> (unit -> 'a) -> 'a
     but the fsync is deferred to the end of the (outermost) batch — one
     durability point for the whole group. A crash inside the batch may
     lose its transactions (never a prefix-violating subset: the log is
-    replayed in commit order). *)
+    replayed in commit order). The closing fsync runs even when a
+    transaction inside the batch poisoned the handle, so transactions
+    that already returned success keep their durability (best effort if
+    the log itself is what failed — reopen to learn what survived). *)
 
 val checkpoint : t -> unit
 (** Fold the log into a fresh snapshot: flush the buffer pool, write

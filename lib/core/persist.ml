@@ -156,6 +156,18 @@ let meta_of (db : Database.t) =
   Printf.bprintf b "last_txn=%d\n" db.Database.last_txn;
   Buffer.contents b
 
+(* Directory-entry durability: after a rename, the new name survives a
+   power loss only once the directory itself is fsynced. Filesystems
+   that refuse fsync on a directory descriptor (EINVAL/ENOTSUP) order
+   metadata themselves and need no help. *)
+let fsync_dir dir =
+  let fd = Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      try Unix.fsync fd
+      with Unix.Unix_error ((Unix.EINVAL | Unix.EROFS | Unix.EOPNOTSUPP), _, _) -> ())
+
 let save (db : Database.t) path =
   let image =
     try Marshal.to_string db []
@@ -173,11 +185,23 @@ let save (db : Database.t) path =
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> write_frame oc [ ("meta", meta_of db); ("database", image) ]);
+        (fun () ->
+          write_frame oc [ ("meta", meta_of db); ("database", image) ];
+          (* Durability order: the tmp file's bytes must be on disk
+             before the rename publishes them — otherwise a crash could
+             leave the target name pointing at an empty or partial
+             inode, which is worse than the old snapshot the rename was
+             supposed to preserve. *)
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
       (* The write is durable only as a whole: rename is atomic, so the
          target path always holds either the old snapshot or the
          complete new one, never a prefix. *)
       Sys.rename tmp path;
+      (* ... and the rename itself is durable only once the directory
+         entry is: callers (checkpoint in particular) may destroy the
+         data that backs the old snapshot as soon as we return. *)
+      fsync_dir (Filename.dirname path);
       ok := true)
 
 let with_snapshot path f =

@@ -18,9 +18,16 @@ val version : int
 (** Current snapshot format version (2). *)
 
 val save : Database.t -> string -> unit
-(** Write atomically (temp file + rename): the target path always holds
-    either the previous snapshot or the complete new one.
+(** Write atomically and durably: temp file, fsync, rename, fsync of
+    the containing directory. The target path always holds either the
+    previous snapshot or the complete new one, and on return the new
+    snapshot survives a power loss — callers may destroy whatever
+    backed the old state (e.g. truncate a WAL) immediately.
     @raise Bad_snapshot for databases containing pruning closures. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory: make its entries (renames, newly created files)
+    durable. A no-op on filesystems that refuse directory fsync. *)
 
 val load : string -> Database.t
 (** @raise Bad_snapshot on a wrong magic header or format version, a

@@ -73,7 +73,25 @@ let ensure_staged t =
     Buffer_pool.add_participant t.pool (fun ~committed ->
         (match t.staged with
         | Some s when committed -> t.meta <- s.s_meta
-        | Some _ | None -> ());
+        | Some s ->
+          (* Abort: the pager restored the pre-images, but an unpinned
+             reader racing the transaction may have sampled the
+             already-bumped cache version, decoded the uncommitted
+             bytes, and stored them under it — [read_node]'s
+             sample-before-read only protects against writes that
+             happen after the sample. Bump past that version and evict,
+             so post-abort readers re-decode from the restored bytes;
+             a racing store under the old version can then never be
+             served. Pages the transaction only read are bumped too —
+             harmless, they just re-decode once. *)
+          Lock.with_lock t.cache_lock (fun () ->
+              Hashtbl.iter
+                (fun id _ ->
+                  Hashtbl.replace t.versions id
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt t.versions id));
+                  Hashtbl.remove t.decoded id)
+                s.s_nodes)
+        | None -> ());
         t.staged <- None);
     s
 

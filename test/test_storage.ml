@@ -345,6 +345,30 @@ let test_bptree_delete_then_insert () =
   check Alcotest.(list string) "reinserted" [ "w" ] (Bptree.lookup_all t "k0004");
   check Alcotest.(list string) "deleted" [] (Bptree.lookup_all t "k0002")
 
+(* An unpinned reader racing a writer transaction decodes the
+   write-through (uncommitted) page bytes and caches the node under the
+   already-bumped cache version. The abort participant must bump past
+   that version and evict, or the rolled-back node is served from the
+   decode cache indefinitely. *)
+let test_bptree_abort_evicts_decode_cache () =
+  let pool = make_pool () in
+  let t = Bptree.create ~name:"t" pool in
+  Bptree.insert t "a" "1";
+  Bptree.insert t "b" "2";
+  Buffer_pool.flush_all pool;
+  let pager = Buffer_pool.pager pool in
+  ignore (Pager.begin_txn pager);
+  Bptree.insert t "c" "3";
+  (* Unpinned reader on another domain: sees the write-through frame
+     and populates the shared decode cache from uncommitted bytes. *)
+  let seen = Domain.join (Domain.spawn (fun () -> Bptree.lookup_all t "c")) in
+  check Alcotest.(list string) "unpinned reader sees the uncommitted write" [ "3" ] seen;
+  Buffer_pool.invalidate pool (Pager.abort_txn pager);
+  check Alcotest.(list string) "rolled-back key not served after abort" []
+    (Bptree.lookup_all t "c");
+  check Alcotest.(list string) "pre-transaction keys intact" [ "1" ] (Bptree.lookup_all t "a");
+  ignore (Bptree.check_invariants t)
+
 (* qcheck: interleaved inserts/deletes vs a multiset model. *)
 let prop_bptree_delete_model =
   let gen =
@@ -499,6 +523,8 @@ let suite =
         Alcotest.test_case "delete basic" `Quick test_bptree_delete_basic;
         Alcotest.test_case "delete across leaves" `Quick test_bptree_delete_across_leaves;
         Alcotest.test_case "delete then insert" `Quick test_bptree_delete_then_insert;
+        Alcotest.test_case "abort evicts decode cache" `Quick
+          test_bptree_abort_evicts_decode_cache;
         qtest prop_bptree_delete_model;
         qtest prop_bptree_model;
         qtest prop_bptree_range_model;

@@ -446,6 +446,94 @@ let test_torn_append_recovers_to_prefix () =
       check Alcotest.bool "damaged tail truncated" true (r.Durable.discarded_bytes > 0);
       assert_fsck_clean "after torn-append recovery" db2)
 
+(* create must not wipe a directory that already holds a database: its
+   log may carry committed transactions no checkpoint has folded in. *)
+let test_create_refuses_existing_database () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "precious"));
+  Durable.close d;
+  (match Durable.create ~dir (Database.create ~strategies:Database.[ RP ] (book_doc ())) with
+  | exception Invalid_argument _ -> ()
+  | d' ->
+    Durable.close d';
+    Alcotest.fail "create over an existing database must refuse");
+  (* The refusal left the directory untouched: recovery still replays. *)
+  let d2, r = Durable.open_ dir in
+  check Alcotest.int "committed txn survives the refused create" 1 r.Durable.replayed;
+  check Alcotest.int "note still present" 1 (note_count (Durable.database d2));
+  Durable.close d2;
+  (* Overwrite is explicit opt-in. *)
+  let d3 =
+    Durable.create ~force:true ~dir (Database.create ~strategies:Database.[ RP ] (book_doc ()))
+  in
+  check Alcotest.int "forced create starts fresh" 0 (note_count (Durable.database d3));
+  Durable.close d3
+
+(* A transaction that poisons the handle mid-batch must not void the
+   durability of the batch's earlier, already-acknowledged commits: the
+   closing group fsync still runs (best effort) and reopen replays
+   exactly the committed prefix. *)
+let test_batch_poison_still_syncs_earlier_commits () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  Fun.protect ~finally:(fun () -> Fault.clear ()) @@ fun () ->
+  Fault.inject ~site:"wal.commit" (Fault.After 2);
+  (match
+     Durable.batch d (fun () ->
+         for i = 1 to 3 do
+           ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" (string_of_int i)))
+         done)
+   with
+  | exception Fault.Io_error _ -> ()
+  | () -> Alcotest.fail "third commit should hit the armed wal.commit failpoint");
+  (match Durable.insert_subtree d ~parent:book (T.elem_text "note" "x") with
+  | exception Durable.Poisoned _ -> ()
+  | _ -> Alcotest.fail "handle should be poisoned after the mid-batch crash");
+  Fault.clear ();
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "the two acknowledged txns recovered" 2 r.Durable.replayed;
+      check Alcotest.int "their notes present" 2 (note_count (Durable.database d2));
+      assert_fsck_clean "after mid-batch poison recovery" (Durable.database d2))
+
+(* The batch-closing fsync itself failing poisons the handle: the
+   acknowledged commits now have indeterminate durability, and the only
+   safe continuation is a reopen. *)
+let test_batch_sync_failure_poisons () =
+  with_dir @@ fun dir ->
+  let db = Database.create ~strategies:Database.[ RP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  let book = find_id db.Database.doc "book" in
+  Fun.protect ~finally:(fun () -> Fault.clear ()) @@ fun () ->
+  Fault.inject ~site:"wal.fsync" (Fault.Every 1);
+  (match
+     Durable.batch d (fun () ->
+         for i = 1 to 2 do
+           ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" (string_of_int i)))
+         done)
+   with
+  | exception Fun.Finally_raised (Fault.Io_error _) -> ()
+  | () -> Alcotest.fail "group fsync should hit the armed wal.fsync failpoint");
+  (match Durable.insert_subtree d ~parent:book (T.elem_text "note" "x") with
+  | exception Durable.Poisoned _ -> ()
+  | _ -> Alcotest.fail "failed group fsync should poison the handle");
+  Fault.clear ();
+  Durable.close d;
+  let d2, r = Durable.open_ dir in
+  Fun.protect
+    ~finally:(fun () -> Durable.close d2)
+    (fun () ->
+      check Alcotest.int "appended commits replayed after reopen" 2 r.Durable.replayed;
+      assert_fsck_clean "after failed-group-fsync recovery" (Durable.database d2))
+
 let test_clean_abort_keeps_handle_usable () =
   with_dir @@ fun dir ->
   let db = Database.create ~strategies:Database.[ RP; DP ] (book_doc ()) in
@@ -490,6 +578,11 @@ let () =
             test_recovery_skips_snapshotted_txns;
           Alcotest.test_case "clean aborts keep the handle usable" `Quick
             test_clean_abort_keeps_handle_usable;
+          Alcotest.test_case "create refuses an existing database" `Quick
+            test_create_refuses_existing_database;
+          Alcotest.test_case "mid-batch poison keeps earlier commits durable" `Quick
+            test_batch_poison_still_syncs_earlier_commits;
+          Alcotest.test_case "failed group fsync poisons" `Quick test_batch_sync_failure_poisons;
         ] );
       ( "crashes",
         [
