@@ -442,29 +442,103 @@ let slow_ms_arg =
     & opt float 10.0
     & info [ "slow-ms" ] ~docv:"MS" ~doc:"Slow-query threshold for the /slow endpoint.")
 
-let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms =
+let serve_wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Serve the write-ahead-logged database under $(docv) (recovers first); /healthz then \
+           reports WAL status and degrades — not dies — when the write path is poisoned.")
+
+let max_in_flight_arg =
+  Arg.(
+    value
+    & opt int Tm_serve.Server.default_config.Tm_serve.Server.max_in_flight
+    & info [ "max-in-flight" ] ~docv:"N" ~doc:"Connections executing concurrently.")
+
+let max_queue_arg =
+  Arg.(
+    value
+    & opt int Tm_serve.Server.default_config.Tm_serve.Server.max_queue
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:"Admission queue bound; beyond it connections are shed with 429.")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt float Tm_serve.Server.default_config.Tm_serve.Server.request_timeout_ms
+    & info [ "request-timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-request budget (queue wait included), propagated into the executor.")
+
+let drain_deadline_arg =
+  Arg.(
+    value
+    & opt float Tm_serve.Server.default_config.Tm_serve.Server.drain_deadline_ms
+    & info [ "drain-deadline-ms" ] ~docv:"MS"
+        ~doc:"On SIGTERM or /drain, how long to wait for in-flight requests before exiting 1.")
+
+let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms wal_dir max_in_flight
+    max_queue request_timeout_ms drain_deadline_ms =
   with_par jobs @@ fun par ->
-  let db = load_db ?par snap file xmark dblp seed in
+  let durable, db =
+    match wal_dir with
+    | Some dir ->
+      let d, r = Durable.open_ dir in
+      Printf.printf "recovery: replayed %d txn(s), skipped %d already in snapshot, discarded %d \
+                     tail byte(s)\n"
+        r.Durable.replayed r.Durable.skipped r.Durable.discarded_bytes;
+      (Some d, Durable.database d)
+    | None -> (None, load_db ?par snap file xmark dblp seed)
+  in
   (* A long-running process is what the telemetry exists for: metrics
      sink and journal are on for the server's lifetime. *)
   Tm_obs.Obs.enable ();
   Tm_obs.Journal.enable ~capacity:journal_cap ();
   Tm_obs.Journal.set_slow_threshold_ms slow_ms;
-  let server = Tm_serve.Server.create ~port db in
+  let config =
+    {
+      Tm_serve.Server.default_config with
+      Tm_serve.Server.max_in_flight;
+      max_queue;
+      request_timeout_ms;
+      drain_deadline_ms;
+    }
+  in
+  let server = Tm_serve.Server.create ~port ?durable ~config db in
+  (* SIGTERM and Ctrl-C drain gracefully: stop accepting, finish
+     in-flight requests under the drain deadline, exit 0. *)
+  let on_signal = Sys.Signal_handle (fun _ -> Tm_serve.Server.drain server) in
+  ignore (Sys.signal Sys.sigterm on_signal);
+  ignore (Sys.signal Sys.sigint on_signal);
   Printf.printf
-    "twigql serve: listening on http://127.0.0.1:%d (/metrics /healthz /journal /slow /query)\n%!"
-    (Tm_serve.Server.port server);
-  Tm_serve.Server.run server
+    "twigql serve: listening on http://127.0.0.1:%d (/metrics /healthz /journal /slow /query \
+     /stats /drain; %d in flight, queue %d)\n%!"
+    (Tm_serve.Server.port server)
+    max_in_flight max_queue;
+  let outcome = Tm_serve.Server.run ?pool:par server in
+  (try Option.iter Durable.close durable
+   with Durable.Poisoned _ -> () (* poisoned write path: nothing left to sync *));
+  match outcome with
+  | Tm_serve.Server.Drained ->
+    Printf.printf "drained: all in-flight requests completed\n%!";
+    exit 0
+  | Tm_serve.Server.Stopped -> exit 0
+  | Tm_serve.Server.Drain_timed_out n ->
+    Printf.eprintf "drain deadline expired with %d request(s) still inside the server\n%!" n;
+    exit 1
 
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve /metrics (Prometheus), /healthz, /journal, /slow and /query over HTTP from a \
-          loaded database (Ctrl-C to stop)")
+         "Serve /metrics (Prometheus), /healthz, /journal, /slow, /query, /stats and /drain over \
+          HTTP from a loaded database — bounded admission, adaptive load shedding, graceful \
+          drain on SIGTERM/Ctrl-C")
     Term.(
       const run_serve $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ jobs_arg
-      $ port_arg $ journal_cap_arg $ slow_ms_arg)
+      $ port_arg $ journal_cap_arg $ slow_ms_arg $ serve_wal_arg $ max_in_flight_arg
+      $ max_queue_arg $ request_timeout_arg $ drain_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)

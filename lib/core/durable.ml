@@ -102,6 +102,20 @@ type t = {
 let database t = t.db
 let dir t = t.dir
 
+type wal_status = { log_bytes : int; last_txn : int; poisoned : string option }
+
+(* A consistent read of the write-path health for /healthz: log growth
+   since the last checkpoint (checkpoint truncates the log), the last
+   committed transaction, and whether a mid-transaction failure
+   poisoned the handle. *)
+let wal_status t =
+  Mutex.protect t.lock (fun () ->
+      {
+        log_bytes = Wal.size_bytes t.wal;
+        last_txn = t.next_txn - 1;
+        poisoned = t.poisoned;
+      })
+
 (* ------------------------------------------------------------------ *)
 (* Logical-operation codec (the WAL [Op] payload)                      *)
 (* ------------------------------------------------------------------ *)
@@ -330,12 +344,12 @@ let open_ dir =
 (* The write path                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_ready t =
+let check_ready (t : t) =
   match t.poisoned with
   | Some msg -> raise (Poisoned msg)
   | None -> ()
 
-let poison t e =
+let poison (t : t) e =
   t.poisoned <- Some (Printexc.to_string e);
   Tm_obs.Obs.incr c_poisoned
 

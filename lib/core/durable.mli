@@ -42,6 +42,19 @@ val database : t -> Database.t
 
 val dir : t -> string
 
+type wal_status = {
+  log_bytes : int;  (** log growth since the last checkpoint truncated it *)
+  last_txn : int;  (** highest committed transaction id (0 before any) *)
+  poisoned : string option;
+      (** [Some reason] when a mid-transaction failure poisoned the
+          write path; reads still serve, reopening the directory
+          recovers *)
+}
+
+val wal_status : t -> wal_status
+(** A consistent snapshot of write-path health, as surfaced by the
+    serving layer's /healthz ("degraded" when poisoned but readable). *)
+
 val create : ?force:bool -> dir:string -> Database.t -> t
 (** Make [db] durable under [dir] (created if missing): write the
     initial snapshot, create the log, stamp it with a [Checkpoint].

@@ -1196,14 +1196,22 @@ let classify_unusable = function
     are never caught by fallback or replanning (a slow query is slow
     under every strategy).
 
+    [cancel] is an ambient cancellation token (e.g. a serving layer's
+    per-request deadline): it becomes the {e parent} of every
+    attempt-scoped token, so tripping it — explicitly or by its own
+    deadline — aborts the query with {!Timeout}, while the replan
+    machinery cancelling an attempt token never propagates up into the
+    caller's token. [deadline_ms] still bounds this call on its own;
+    with both, whichever expires first wins.
+
     [pool] fans the per-path lookups (and DP probe batches) out across
     the given domain pool; [jobs] (used when [pool] is absent) spins up
     an ephemeral pool for just this query — convenient, but a domain
     spawn costs milliseconds, so callers issuing many queries should
     create one pool and pass it. JI plans always run sequentially
     (their probe chain threads bindings from path to path). *)
-let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?deadline_ms
-    ?pool ?jobs (db : Database.t) twig =
+let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?cancel:parent
+    ?deadline_ms ?pool ?jobs (db : Database.t) twig =
   let trace_id = Tm_obs.Journal.next_id () in
   let journal_on = Tm_obs.Journal.enabled () in
   let t_start = Monotonic_clock.now () in
@@ -1351,15 +1359,21 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?dea
       match deadline_ms with None -> None | Some ms -> Some (ms -. latency_ms ())
     in
     (match remaining with Some r when r <= 0.0 -> raise Cancel.Cancelled | _ -> ());
+    (match parent with Some p -> Cancel.check p | None -> ());
     let watching =
       adaptive
       && !replans < Tm_plan.Planner.max_replans
       && Array.length plan.Tm_plan.Plan.cover > 1
     in
+    (* Attempt tokens chain to the caller's [cancel] as parent: the
+       request tripping cancels the attempt, but a replan cancelling
+       this attempt token leaves the request token untouched. *)
     let cancel =
       match remaining with
-      | Some r -> Cancel.with_deadline_ms r
-      | None -> if watching then Cancel.token () else Cancel.never
+      | Some r -> Cancel.with_deadline_ms ?parent r
+      | None -> (
+        if watching then Cancel.token ?parent ()
+        else match parent with Some p -> p | None -> Cancel.never)
     in
     let watch = if watching then Some (watch_for plan cancel) else None in
     attempt_chain par ~cancel ~watch plan ~out_uid cpaths
@@ -1505,7 +1519,15 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?dea
       trace_id;
     }
   | exception Cancel.Cancelled ->
-    let deadline = Option.value deadline_ms ~default:0.0 in
+    let deadline =
+      match deadline_ms with
+      | Some ms -> ms
+      | None -> (
+        (* Cancelled through the ambient token: report its budget. *)
+        match parent with
+        | Some p -> Option.value (Cancel.deadline_ms p) ~default:0.0
+        | None -> 0.0)
+    in
     record_journal ~plan:initial_plan ~strategy:initial_plan.Tm_plan.Plan.strategy
       ~reason:initial_plan.Tm_plan.Plan.reason ~fallbacks:(List.rev !fallbacks)
       ~via_naive:false ~rows:0 ~ms:(latency_ms ())

@@ -51,6 +51,7 @@ val run :
   ?dp_use_inlj:bool ->
   ?hint:Tm_plan.Hint.t ->
   ?strict:bool ->
+  ?cancel:Tm_par.Cancel.t ->
   ?deadline_ms:float ->
   ?pool:Tm_par.Pool.t ->
   ?jobs:int ->
@@ -96,7 +97,12 @@ val run :
     [deadline_ms] arms a per-query deadline, checked between per-path
     evaluations and INLJ probe chunks (including inside pool tasks);
     expiry raises {!Timeout} with partial stats. Timeouts are never
-    absorbed by fallback or replanning.
+    absorbed by fallback or replanning. [cancel] is an ambient
+    {!Tm_par.Cancel.t} (e.g. a serving layer's per-request token): it
+    parents every attempt-scoped token, so the caller tripping it —
+    explicitly or by deadline — raises {!Timeout} here, while internal
+    replan cancellations never leak into the caller's token. With both
+    [cancel] and [deadline_ms], whichever expires first wins.
 
     [pool] fans the independent per-path index lookups (and DP's INLJ
     probe batches) out across a domain pool, joining the binding

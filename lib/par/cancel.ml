@@ -3,38 +3,85 @@ exception Cancelled
 let () =
   Printexc.register_printer (function Cancelled -> Some "Tm_par.Cancel.Cancelled" | _ -> None)
 
+type reason = Explicit | Deadline
+
 type t = {
   tripped : bool Atomic.t;
-  deadline_ns : int64 option; (* absolute, monotonic; None = explicit-only *)
-  budget_ms : float option; (* the relative deadline, kept for reporting *)
+  reason : reason option Atomic.t;
+      (* classified exactly once, by compare-and-set: with N domains
+         racing deadline expiry against an explicit [cancel], exactly
+         one classification wins and it never changes afterwards *)
+  deadline_ns : int64 option Atomic.t; (* absolute, monotonic; None = explicit-only *)
+  budget_ms : float option Atomic.t; (* the relative deadline, kept for reporting *)
+  parent : t option; (* tripping the parent trips this token too *)
 }
 
-(* [never] is shared, so [cancel] must not be able to trip it for
-   everyone; [cancel] special-cases it below. *)
-let never = { tripped = Atomic.make false; deadline_ns = None; budget_ms = None }
+(* [never] is shared, so [cancel]/[set_deadline_ms] must not be able to
+   trip it for everyone; both special-case it below. *)
+let never =
+  {
+    tripped = Atomic.make false;
+    reason = Atomic.make None;
+    deadline_ns = Atomic.make None;
+    budget_ms = Atomic.make None;
+    parent = None;
+  }
 
-let token () = { tripped = Atomic.make false; deadline_ns = None; budget_ms = None }
+let token ?parent () =
+  {
+    tripped = Atomic.make false;
+    reason = Atomic.make None;
+    deadline_ns = Atomic.make None;
+    budget_ms = Atomic.make None;
+    parent;
+  }
 
-let with_deadline_ms ms =
-  let now = Monotonic_clock.now () in
-  let deadline = Int64.add now (Int64.of_float (ms *. 1e6)) in
-  { tripped = Atomic.make (ms <= 0.0); deadline_ns = Some deadline; budget_ms = Some ms }
+(* The exactly-once classification point: only the first caller's
+   reason sticks. *)
+let classify t r = ignore (Atomic.compare_and_set t.reason None (Some r))
 
-let cancel t = if t != never then Atomic.set t.tripped true
+let set_deadline_ms t ms =
+  if t != never then begin
+    let now = Monotonic_clock.now () in
+    Atomic.set t.budget_ms (Some ms);
+    Atomic.set t.deadline_ns (Some (Int64.add now (Int64.of_float (ms *. 1e6))));
+    if ms <= 0.0 then begin
+      classify t Deadline;
+      Atomic.set t.tripped true
+    end
+  end
 
-let cancelled t =
+let with_deadline_ms ?parent ms =
+  let t = token ?parent () in
+  set_deadline_ms t ms;
+  t
+
+let cancel t =
+  if t != never then begin
+    classify t Explicit;
+    Atomic.set t.tripped true
+  end
+
+let rec cancelled t =
   Atomic.get t.tripped
-  ||
-  match t.deadline_ns with
-  | None -> false
-  | Some d ->
-    (* Latch, so a tripped deadline stays tripped even if the clock
-       comparison were to flap. *)
-    Int64.compare (Monotonic_clock.now ()) d >= 0
-    && begin
-         Atomic.set t.tripped true;
-         true
-       end
+  || (match Atomic.get t.deadline_ns with
+     | None -> false
+     | Some d ->
+       (* Latch, so a tripped deadline stays tripped even if the clock
+          comparison were to flap. *)
+       Int64.compare (Monotonic_clock.now ()) d >= 0
+       && begin
+            classify t Deadline;
+            Atomic.set t.tripped true;
+            true
+          end)
+  || (match t.parent with None -> false | Some p -> cancelled p)
+
+let rec reason t =
+  match Atomic.get t.reason with
+  | Some _ as r -> r
+  | None -> ( match t.parent with None -> None | Some p -> reason p)
 
 let check t = if cancelled t then raise Cancelled
-let deadline_ms t = t.budget_ms
+
+let deadline_ms t = Atomic.get t.budget_ms

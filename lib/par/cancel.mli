@@ -2,14 +2,26 @@
 
     A token is shared between a query driver and the {!Pool} tasks it
     fans out: any party can {!cancel} it, and a token created with
-    {!with_deadline_ms} trips itself once the monotonic clock passes
-    the deadline. Work loops call {!check} at natural yield points
-    (between probe chunks, per path) — cancellation is cooperative, so
-    latency to stop is bounded by the longest stretch between checks.
+    {!with_deadline_ms} (or armed later with {!set_deadline_ms}) trips
+    itself once the monotonic clock passes the deadline. Work loops
+    call {!check} at natural yield points (between probe chunks, per
+    path) — cancellation is cooperative, so latency to stop is bounded
+    by the longest stretch between checks.
+
+    Tokens can be chained: a token created with [?parent] also trips
+    when its parent does, so a server can hand one request-scoped
+    token down through layers that create their own attempt-scoped
+    tokens (the executor's replan machinery) without the inner layers
+    being able to trip the outer request.
+
+    Every trip is {e classified} exactly once — {!Explicit} or
+    {!Deadline} — by a compare-and-set, so N domains racing
+    {!set_deadline_ms}/{!check}/{!cancel} against one token agree on a
+    single {!reason} and none of them loses the cancellation.
 
     Tokens are domain-safe ([Atomic.t] inside) and cheap to poll: an
     un-tripped {!check} is one atomic load plus, for deadline tokens,
-    one clock read. *)
+    one clock read (plus the same again per ancestor). *)
 
 type t
 
@@ -17,28 +29,46 @@ exception Cancelled
 (** Raised by {!check} once the token is tripped. Pool futures carry it
     back to the caller like any other task exception. *)
 
+(** Why the token tripped: an explicit {!cancel}, or a deadline
+    expiring. Classified exactly once per token. *)
+type reason = Explicit | Deadline
+
 val never : t
 (** A token that never trips — the default when no deadline is set. *)
 
-val token : unit -> t
+val token : ?parent:t -> unit -> t
 (** A fresh explicit-only token: never trips by time, but {!cancel}
-    trips it (unlike the shared {!never}). Used by the executor's
-    mid-query replan machinery when no deadline is armed. *)
+    trips it (unlike the shared {!never}), and it also reads as
+    cancelled whenever [parent] is. Used by the executor's mid-query
+    replan machinery when no deadline is armed. *)
 
-val with_deadline_ms : float -> t
+val with_deadline_ms : ?parent:t -> float -> t
 (** A fresh token that trips once the given number of milliseconds has
     elapsed from now (monotonic clock). Non-positive values trip
     immediately. *)
+
+val set_deadline_ms : t -> float -> unit
+(** Arm (or replace) the deadline on an existing token: it trips once
+    [ms] milliseconds have elapsed from {e now}. Non-positive values
+    trip immediately. Domain-safe; no effect on {!never}. The serving
+    layer uses this to create a token at accept time and arm the
+    request budget at admission time. *)
 
 val cancel : t -> unit
 (** Trip the token explicitly. Idempotent; no effect on {!never}. *)
 
 val cancelled : t -> bool
-(** Has the token tripped (explicitly or by deadline)? Checking a
-    deadline token latches it, so later calls stay [true]. *)
+(** Has the token (or an ancestor) tripped — explicitly or by
+    deadline? Checking a deadline token latches it, so later calls
+    stay [true]. *)
+
+val reason : t -> reason option
+(** How the token tripped ([None] while it has not). Consults the
+    ancestor chain when the token itself was not tripped directly.
+    Stable: the first classification wins and never changes. *)
 
 val check : t -> unit
 (** @raise Cancelled once the token has tripped. *)
 
 val deadline_ms : t -> float option
-(** The deadline this token was created with, if any (for reporting). *)
+(** The deadline this token was armed with, if any (for reporting). *)

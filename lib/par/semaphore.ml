@@ -1,0 +1,114 @@
+(* Counting semaphore for admission control: a fixed number of permits,
+   domain-safe, with non-blocking, blocking and deadline-bounded
+   acquisition plus an idle-wait used by graceful drain.
+
+   Blocking [acquire] parks on a condition variable signalled by
+   [release]. The timed variants ([acquire_for], [await_idle]) poll on
+   a short sleep instead: stdlib [Condition] has no timed wait, and the
+   admission paths that need a bound are shedding decisions where
+   millisecond granularity is plenty. *)
+
+type t = {
+  lock : Mutex.t;
+  released : Condition.t;
+  capacity : int;
+  mutable in_use : int; [@analyze.guarded_by "lock"]
+  mutable waiting : int; [@analyze.guarded_by "lock"]
+}
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Semaphore.create: capacity must be >= 0";
+  {
+    lock = Mutex.create ();
+    released = Condition.create ();
+    capacity;
+    in_use = 0;
+    waiting = 0;
+  }
+
+let capacity t = t.capacity
+let in_use t = Mutex.protect t.lock (fun () -> t.in_use)
+let waiting t = Mutex.protect t.lock (fun () -> t.waiting)
+let available t = Mutex.protect t.lock (fun () -> t.capacity - t.in_use)
+
+let try_acquire t =
+  Mutex.protect t.lock (fun () ->
+      if t.in_use < t.capacity then begin
+        t.in_use <- t.in_use + 1;
+        true
+      end
+      else false)
+
+let acquire t =
+  Mutex.protect t.lock (fun () ->
+      t.waiting <- t.waiting + 1;
+      while t.in_use >= t.capacity do
+        Condition.wait t.released t.lock
+      done;
+      t.waiting <- t.waiting - 1;
+      t.in_use <- t.in_use + 1)
+
+(* Sleep quantum for the polling waits: long enough not to burn a core,
+   short enough that admission deadlines keep ms granularity. *)
+let poll_s = 0.001
+
+let deadline_of ms = Int64.add (Monotonic_clock.now ()) (Int64.of_float (ms *. 1e6))
+let past d = Int64.compare (Monotonic_clock.now ()) d >= 0
+
+let acquire_for t ~timeout_ms =
+  if try_acquire t then true
+  else if timeout_ms <= 0.0 then false
+  else begin
+    let deadline = deadline_of timeout_ms in
+    Mutex.protect t.lock (fun () -> t.waiting <- t.waiting + 1);
+    let rec wait () =
+      let got =
+        Mutex.protect t.lock (fun () ->
+            if t.in_use < t.capacity then begin
+              t.in_use <- t.in_use + 1;
+              true
+            end
+            else false)
+      in
+      if got then true
+      else if past deadline then false
+      else begin
+        Unix.sleepf poll_s;
+        wait ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.waiting <- t.waiting - 1))
+      wait
+  end
+
+let release t =
+  Mutex.protect t.lock (fun () ->
+      if t.in_use <= 0 then invalid_arg "Semaphore.release: no permit held";
+      t.in_use <- t.in_use - 1;
+      Condition.signal t.released)
+
+let with_permit t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let idle t = Mutex.protect t.lock (fun () -> t.in_use = 0 && t.waiting = 0)
+
+let await_idle ?timeout_ms t =
+  match timeout_ms with
+  | None ->
+    while not (idle t) do
+      Unix.sleepf poll_s
+    done;
+    true
+  | Some ms ->
+    let deadline = deadline_of ms in
+    let rec wait () =
+      if idle t then true
+      else if past deadline then idle t
+      else begin
+        Unix.sleepf poll_s;
+        wait ()
+      end
+    in
+    wait ()

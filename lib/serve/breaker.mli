@@ -1,0 +1,39 @@
+(** Circuit breaker guarding a handler that keeps failing for
+    storage-class reasons ({!Tm_storage.Pager.Corrupt_page},
+    {!Tm_fault.Fault.Io_error}, {!Twigmatch.Durable.Poisoned}).
+
+    Closed until [failure_threshold] consecutive failures, then Open
+    for a cooldown (rejections carry the remaining cooldown as a
+    Retry-After hint). After the cooldown it half-opens and {!admit}s
+    exactly one probe request: {!success} closes the breaker,
+    {!failure} re-opens it with the cooldown doubled up to
+    [max_cooldown_ms]. Domain-safe; decisions are O(1) under one
+    mutex. *)
+
+type t
+
+val create : ?failure_threshold:int -> ?cooldown_ms:float -> ?max_cooldown_ms:float -> unit -> t
+(** Defaults: 5 consecutive failures trip; 1 s cooldown doubling to a
+    30 s cap.
+    @raise Invalid_argument on a threshold < 1 or a non-positive /
+    inverted cooldown range. *)
+
+type decision = Allow | Reject of { retry_after_ms : float }
+
+val admit : t -> decision
+(** Consult the breaker before running the handler. An [Allow] from an
+    open-then-cooled breaker is the half-open probe: the caller must
+    report {!success} or {!failure} for it, or the breaker stays
+    half-open rejecting everyone. *)
+
+val success : t -> unit
+(** The handler answered: reset the failure count (and close the
+    breaker if it was half-open). *)
+
+val failure : t -> unit
+(** The handler failed with a breaker-class error: count it (Closed),
+    or re-open with doubled cooldown (Half-open probe failure). *)
+
+val state : t -> [ `Closed | `Open | `Half_open ]
+val trips : t -> int
+(** Times the breaker transitioned to Open since creation. *)

@@ -1,0 +1,237 @@
+(* Chaos suite for the serving layer: four client domains drive >= 1000
+   requests through a live loopback server while failpoints fire on the
+   storage read path ([pager.read]), the accept edge ([serve.accept])
+   and the response write ([serve.write]).
+
+   The property under test is the accounting invariant: every accepted
+   connection ends in exactly one of [responses] (a full response was
+   written — 2xx/4xx/5xx sheds included), [write_failures] (the
+   response was lost to an injected write fault — counted and logged),
+   or [accept_faults] (the connection died at the accept edge — counted
+   and logged). Nothing is silently dropped. The client side
+   cross-checks: every connection either yielded a complete response or
+   observably died; none hung.
+
+   The suite ends with a graceful drain under the same faults: drain
+   must finish all in-flight work and report [Drained]. *)
+
+open Twigmatch
+module T = Tm_xml.Xml_tree
+module Server = Tm_serve.Server
+module Fault = Tm_fault.Fault
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let book_doc () =
+  T.document
+    [
+      T.elem "book"
+        [
+          T.elem_text "title" "XML";
+          T.elem "allauthors"
+            [
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "poe" ];
+              T.elem "author" [ T.elem_text "fn" "john"; T.elem_text "ln" "doe" ];
+              T.elem "author" [ T.elem_text "fn" "jane"; T.elem_text "ln" "doe" ];
+            ];
+          T.elem_text "year" "2000";
+        ];
+    ]
+
+let mk_db () = Database.create ~strategies:[ Database.RP; Database.DP ] (book_doc ())
+
+(* One full client exchange. Distinguishes the three observable ends of
+   a connection: a complete HTTP response, a connection that died
+   without one (accept fault / write fault — the server logs those), or
+   a refused connect. *)
+type exchange = Response of string | Died | Refused
+
+let exchange port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      match Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+      | exception Unix.Unix_error (_, _, _) -> Refused
+      | () -> (
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+            target
+        in
+        match Unix.write_substring sock req 0 (String.length req) with
+        | exception Unix.Unix_error (_, _, _) -> Died
+        | _ -> (
+          let buf = Buffer.create 512 in
+          let chunk = Bytes.create 4096 in
+          let rec loop () =
+            match Unix.read sock chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              loop ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+          in
+          loop ();
+          match Buffer.contents buf with
+          | "" -> Died
+          | body when contains body "HTTP/1.1 " -> Response body
+          | _ -> Died)))
+
+let targets =
+  [|
+    "/query?q=%2Fbook%2F%2Fauthor";
+    "/query?q=%2Fbook%2Fallauthors%2Fauthor%2Ffn";
+    "/healthz";
+    "/metrics";
+    "/stats";
+  |]
+
+let quiesce t =
+  let rec go n =
+    let s = Server.stats t in
+    if s.Server.in_flight = 0 && s.Server.queued = 0 then ()
+    else if n = 0 then Alcotest.fail "server never quiesced after the client storm"
+    else begin
+      Unix.sleepf 0.02;
+      go (n - 1)
+    end
+  in
+  go 500
+
+let test_chaos_no_silent_drops () =
+  (* the storm is noisy by design; keep the warning ring but mute stderr *)
+  Tm_obs.Obs.set_warn_handler (Some (fun _ -> ()));
+  let db = mk_db () in
+  let config =
+    {
+      Server.default_config with
+      Server.max_in_flight = 4;
+      max_queue = 8;
+      request_timeout_ms = 5_000.0;
+      read_timeout_ms = 2_000.0;
+      drain_deadline_ms = 10_000.0;
+    }
+  in
+  let t = Server.create ~port:0 ~config db in
+  Tm_par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let d = Domain.spawn (fun () -> Server.run ~pool t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Tm_obs.Obs.set_warn_handler None;
+      Server.stop t)
+    (fun () ->
+      Fault.inject ~site:"pager.read" (Fault.Prob 0.01);
+      Fault.inject ~site:"serve.accept" (Fault.Prob 0.02);
+      Fault.inject ~site:"serve.write" (Fault.Prob 0.02);
+      let per_client = 260 in
+      let clients = 4 in
+      let port = Server.port t in
+      let domains =
+        List.init clients (fun ci ->
+            Domain.spawn (fun () ->
+                let responses = ref 0 and died = ref 0 and refused = ref 0 in
+                for i = 1 to per_client do
+                  match exchange port targets.((ci + i) mod Array.length targets) with
+                  | Response _ -> incr responses
+                  | Died -> incr died
+                  | Refused -> incr refused
+                done;
+                (!responses, !died, !refused)))
+      in
+      let results = List.map Domain.join domains in
+      let total_responses = List.fold_left (fun a (r, _, _) -> a + r) 0 results in
+      let total_died = List.fold_left (fun a (_, d, _) -> a + d) 0 results in
+      let total_refused = List.fold_left (fun a (_, _, r) -> a + r) 0 results in
+      check Alcotest.int "every client exchange terminated"
+        (clients * per_client)
+        (total_responses + total_died + total_refused);
+      check Alcotest.int "loopback connects never refused" 0 total_refused;
+      quiesce t;
+      let s = Server.stats t in
+      check Alcotest.bool "the storm was big enough" true (s.Server.accepted >= 1000);
+      check Alcotest.bool "faults actually fired" true
+        (s.Server.accept_faults > 0 && s.Server.write_failures > 0);
+      (* The invariant: accepted connections are exhaustively accounted
+         for — answered, or counted+logged as lost. Zero silent drops. *)
+      check Alcotest.int "accepted = responses + write_failures + accept_faults"
+        s.Server.accepted
+        (s.Server.responses + s.Server.write_failures + s.Server.accept_faults);
+      (* Client and server agree about every lost connection. *)
+      check Alcotest.int "client-observed deaths match server-logged losses" total_died
+        (s.Server.write_failures + s.Server.accept_faults);
+      check Alcotest.int "client-observed responses match server-written ones" total_responses
+        s.Server.responses;
+      (* Drain under the same faults: everything in flight completes. *)
+      Server.drain t;
+      match Domain.join d with
+      | Server.Drained -> ()
+      | Server.Drain_timed_out n ->
+        Alcotest.fail (Printf.sprintf "drain timed out with %d request(s) inside" n)
+      | Server.Stopped -> Alcotest.fail "drain reported a hard stop")
+
+(* Deadline chaos: a tight request budget plus injected storage delays
+   force requests to die in the queue; they must still be answered
+   (503) and counted — the invariant holds under timeout pressure. *)
+let test_chaos_deadline_sheds_are_answered () =
+  Tm_obs.Obs.set_warn_handler (Some (fun _ -> ()));
+  let db = mk_db () in
+  let config =
+    {
+      Server.default_config with
+      Server.max_in_flight = 1;
+      max_queue = 8;
+      request_timeout_ms = 30.0;
+      read_timeout_ms = 500.0;
+      drain_deadline_ms = 10_000.0;
+    }
+  in
+  let t = Server.create ~port:0 ~config db in
+  Tm_par.Pool.with_pool ~jobs:2 @@ fun pool ->
+  let d = Domain.spawn (fun () -> Server.run ~pool t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Tm_obs.Obs.set_warn_handler None;
+      Server.stop t;
+      ignore (Domain.join d))
+    (fun () ->
+      (* every query sits ~50 ms in the single execution slot, so a
+         30 ms budget dies while queued behind it *)
+      Fault.inject ~site:"serve.write" ~action:(Fault.Delay_ms 50) (Fault.Every 1);
+      let port = Server.port t in
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                let shed = ref 0 in
+                for _ = 1 to 10 do
+                  match exchange port "/healthz" with
+                  | Response body when contains body "HTTP/1.1 503" -> incr shed
+                  | Response _ | Died | Refused -> ()
+                done;
+                !shed))
+      in
+      let sheds = List.fold_left (fun a s -> a + Domain.join s) 0 domains in
+      quiesce t;
+      let s = Server.stats t in
+      check Alcotest.bool "some requests died in the queue" true
+        (s.Server.shed_deadline > 0 && sheds > 0);
+      check Alcotest.int "still exhaustively accounted" s.Server.accepted
+        (s.Server.responses + s.Server.write_failures + s.Server.accept_faults))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "1000+ faulted requests, zero silent drops" `Quick
+            test_chaos_no_silent_drops;
+          Alcotest.test_case "queue-expired budgets still answered" `Quick
+            test_chaos_deadline_sheds_are_answered;
+        ] );
+    ]

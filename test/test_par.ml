@@ -156,6 +156,139 @@ let test_parallel_build_equals_sequential () =
   Alcotest.(check string) "fsck clean after parallel build" ""
     (if Tm_check.Check.is_clean report then "" else Tm_check.Check.report_to_string report)
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation tokens under concurrency                               *)
+(* ------------------------------------------------------------------ *)
+
+module Cancel = Tm_par.Cancel
+
+(* N domains race [set_deadline_ms]/[check] against one token: every
+   domain must observe the trip (no lost cancellation), and the trip
+   must classify exactly once — Deadline here, whatever the
+   interleaving. *)
+let test_cancel_concurrent_expiry () =
+  for _round = 1 to 20 do
+    let tok = Cancel.token () in
+    let barrier = Atomic.make 0 in
+    let domains =
+      List.init 4 (fun i ->
+          Domain.spawn (fun () ->
+              Atomic.incr barrier;
+              while Atomic.get barrier < 4 do
+                Domain.cpu_relax ()
+              done;
+              if i = 0 then Cancel.set_deadline_ms tok 0.0;
+              (* spin until this domain observes the trip *)
+              let rec wait n =
+                if Cancel.cancelled tok then n
+                else begin
+                  Domain.cpu_relax ();
+                  wait (n + 1)
+                end
+              in
+              let spins = wait 0 in
+              (match Cancel.check tok with
+              | () -> Alcotest.fail "check after trip must raise"
+              | exception Cancel.Cancelled -> ());
+              ignore spins;
+              Cancel.reason tok))
+    in
+    let reasons = List.map Domain.join domains in
+    List.iter
+      (fun r ->
+        match r with
+        | Some Cancel.Deadline -> ()
+        | Some Cancel.Explicit -> Alcotest.fail "deadline expiry misclassified as Explicit"
+        | None -> Alcotest.fail "tripped token lost its classification")
+      reasons
+  done
+
+(* Explicit cancel racing deadline expiry: both trip, but the reason is
+   classified exactly once — it stays whatever won, never flips. *)
+let test_cancel_exactly_once_classification () =
+  for _round = 1 to 50 do
+    let tok = Cancel.with_deadline_ms 0.05 in
+    let d = Domain.spawn (fun () -> Cancel.cancel tok) in
+    ignore (Cancel.cancelled tok);
+    Domain.join d;
+    (* settle: force whichever side lost the race to run too *)
+    ignore (Cancel.cancelled tok);
+    let first = Cancel.reason tok in
+    Alcotest.(check bool) "classified" true (first <> None);
+    for _ = 1 to 100 do
+      ignore (Cancel.cancelled tok);
+      Cancel.cancel tok
+    done;
+    Alcotest.(check bool) "classification is sticky" true (Cancel.reason tok = first)
+  done
+
+let test_cancel_parent_chain () =
+  let parent = Cancel.token () in
+  let child = Cancel.token ~parent () in
+  Alcotest.(check bool) "child starts live" false (Cancel.cancelled child);
+  Cancel.cancel parent;
+  Alcotest.(check bool) "parent trip reaches child" true (Cancel.cancelled child);
+  Alcotest.(check bool) "reason inherited" true (Cancel.reason child = Some Cancel.Explicit);
+  (* and the other direction must NOT propagate *)
+  let parent2 = Cancel.token () in
+  let child2 = Cancel.token ~parent:parent2 () in
+  Cancel.cancel child2;
+  Alcotest.(check bool) "child trip stays below" false (Cancel.cancelled parent2)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Semaphore = Tm_par.Semaphore
+
+let test_semaphore_bounds () =
+  let s = Semaphore.create 2 in
+  Alcotest.(check bool) "1st" true (Semaphore.try_acquire s);
+  Alcotest.(check bool) "2nd" true (Semaphore.try_acquire s);
+  Alcotest.(check bool) "3rd refused" false (Semaphore.try_acquire s);
+  Semaphore.release s;
+  Alcotest.(check bool) "slot returns" true (Semaphore.try_acquire s);
+  Semaphore.release s;
+  Semaphore.release s;
+  (match Semaphore.release s with
+  | () -> Alcotest.fail "over-release must be rejected"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "await_idle on idle" true (Semaphore.await_idle ~timeout_ms:50.0 s)
+
+let test_semaphore_concurrent () =
+  let s = Semaphore.create 3 in
+  let peak = Atomic.make 0 in
+  let inside = Atomic.make 0 in
+  let rec bump_peak v =
+    let p = Atomic.get peak in
+    if v > p && not (Atomic.compare_and_set peak p v) then bump_peak v
+  in
+  let domains =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              Semaphore.with_permit s (fun () ->
+                  let v = Atomic.fetch_and_add inside 1 + 1 in
+                  bump_peak v;
+                  Domain.cpu_relax ();
+                  ignore (Atomic.fetch_and_add inside (-1)))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "never above capacity" true (Atomic.get peak <= 3);
+  Alcotest.(check int) "all permits home" 0 (Semaphore.in_use s);
+  Alcotest.(check bool) "idle after the storm" true (Semaphore.await_idle ~timeout_ms:100.0 s)
+
+let test_semaphore_acquire_for () =
+  let s = Semaphore.create 1 in
+  Semaphore.acquire s;
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "times out while held" false (Semaphore.acquire_for s ~timeout_ms:30.0);
+  Alcotest.(check bool) "waited about that long" true (Unix.gettimeofday () -. t0 >= 0.02);
+  Semaphore.release s;
+  Alcotest.(check bool) "succeeds once free" true (Semaphore.acquire_for s ~timeout_ms:30.0);
+  Semaphore.release s
+
 let () =
   Alcotest.run "par"
     [
@@ -165,6 +298,20 @@ let () =
           Alcotest.test_case "jobs=1 inline" `Quick test_map_inline;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
           Alcotest.test_case "chunking" `Quick test_chunk;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "concurrent expiry, exactly-once classification" `Quick
+            test_cancel_concurrent_expiry;
+          Alcotest.test_case "explicit vs deadline race is sticky" `Quick
+            test_cancel_exactly_once_classification;
+          Alcotest.test_case "parent chaining" `Quick test_cancel_parent_chain;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "bounds and over-release" `Quick test_semaphore_bounds;
+          Alcotest.test_case "6 domains through 3 permits" `Quick test_semaphore_concurrent;
+          Alcotest.test_case "acquire_for timeout" `Quick test_semaphore_acquire_for;
         ] );
       ( "stress",
         [

@@ -1,11 +1,15 @@
 (* Tests for the twigql serve endpoint surface. [Server.handle] is
    pure request dispatch, so most of the surface is exercised without
-   a socket; one test binds a real loopback listener and drives it
-   from a second domain. *)
+   a socket; the socket tests bind real loopback listeners and drive
+   them from other domains — including the overload behaviours:
+   admission-queue 429s, hardened parsing (400/408/413), graceful
+   drain, the circuit breaker, and WAL-aware /healthz. *)
 
 open Twigmatch
 module T = Tm_xml.Xml_tree
 module Server = Tm_serve.Server
+module Breaker = Tm_serve.Breaker
+module Fault = Tm_fault.Fault
 
 let check = Alcotest.check
 
@@ -136,7 +140,7 @@ let test_socket_roundtrip () =
   Fun.protect
     ~finally:(fun () ->
       Server.stop t;
-      Domain.join d)
+      ignore (Domain.join d))
     (fun () ->
       let health = fetch (Server.port t) "/healthz" in
       check Alcotest.bool "HTTP 200" true (contains health "HTTP/1.1 200");
@@ -144,6 +148,188 @@ let test_socket_roundtrip () =
       let metrics = fetch (Server.port t) "/metrics" in
       check Alcotest.bool "metrics over the wire" true
         (contains metrics "twigmatch_serve_requests"))
+
+(* Open a raw connection, send [send] verbatim, and read whatever the
+   server answers until it closes — the hardened-parsing harness. *)
+let raw_roundtrip port send =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (try ignore (Unix.write_substring sock send 0 (String.length send))
+       with Unix.Unix_error (Unix.EPIPE, _, _) -> () (* server already answered and closed *));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec loop () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      loop ();
+      Buffer.contents buf)
+
+let with_server ?config ?durable ~jobs f =
+  let db = mk_db () in
+  let t = Server.create ~port:0 ?config ?durable db in
+  Tm_par.Pool.with_pool ~jobs @@ fun pool ->
+  let d = Domain.spawn (fun () -> Server.run ~pool t) in
+  let result = ref None in
+  let join_once () =
+    match !result with
+    | Some o -> o
+    | None ->
+      let o = Domain.join d in
+      result := Some o;
+      o
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (join_once ()))
+    (fun () ->
+      f t (fun () ->
+          Server.drain t;
+          join_once ()))
+
+let test_hardened_parsing () =
+  let config = { Server.default_config with Server.read_timeout_ms = 200.0; max_request_bytes = 256 } in
+  with_server ~config ~jobs:2 @@ fun t _drain ->
+  let port = Server.port t in
+  let malformed = raw_roundtrip port "GARBAGE\r\n\r\n" in
+  check Alcotest.bool "malformed request line is a 400" true (contains malformed "HTTP/1.1 400");
+  let huge = raw_roundtrip port ("GET / HTTP/1.1\r\nX-Pad: " ^ String.make 2048 'a' ^ "\r\n\r\n") in
+  check Alcotest.bool "oversized headers are a 413" true (contains huge "HTTP/1.1 413");
+  (* slowloris: a partial request line and then silence — the read
+     deadline must answer 408 rather than hold the worker hostage *)
+  let slow = raw_roundtrip port "GET /heal" in
+  check Alcotest.bool "stalled request is a 408" true (contains slow "HTTP/1.1 408");
+  let s = Server.stats t in
+  check Alcotest.int "read timeout counted" 1 s.Server.read_timeouts;
+  check Alcotest.int "all three accounted as responses" 3 s.Server.responses
+
+let test_shed_429 () =
+  let config =
+    { Server.default_config with Server.max_in_flight = 1; max_queue = 0; read_timeout_ms = 1_000.0 }
+  in
+  with_server ~config ~jobs:2 @@ fun t _drain ->
+  let port = Server.port t in
+  (* Occupy the only slot: connect and say nothing; the admitted task
+     blocks in read until its 1 s deadline. *)
+  let blocker = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close blocker with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect blocker (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (* wait until the server has actually admitted it *)
+      let rec settle n =
+        if n = 0 then Alcotest.fail "blocker was never admitted"
+        else if (Server.stats t).Server.in_flight < 1 then begin
+          Unix.sleepf 0.01;
+          settle (n - 1)
+        end
+      in
+      settle 200;
+      let shed = fetch port "/healthz" in
+      check Alcotest.bool "second connection shed with 429" true (contains shed "HTTP/1.1 429");
+      check Alcotest.bool "shed carries Retry-After" true (contains shed "Retry-After:");
+      let s = Server.stats t in
+      check Alcotest.bool "shed counted" true (s.Server.shed_queue >= 1))
+
+let test_graceful_drain () =
+  with_server ~jobs:2 @@ fun t drain ->
+  let port = Server.port t in
+  let ok = fetch port "/healthz" in
+  check Alcotest.bool "served before drain" true (contains ok "HTTP/1.1 200");
+  let resp = fetch port "/drain" in
+  check Alcotest.bool "/drain acknowledged with 202" true (contains resp "HTTP/1.1 202");
+  (match drain () with
+  | Server.Drained -> ()
+  | Server.Drain_timed_out n -> Alcotest.fail (Printf.sprintf "drain timed out with %d inside" n)
+  | Server.Stopped -> Alcotest.fail "drain reported a hard stop");
+  let s = Server.stats t in
+  check Alcotest.int "every accepted connection answered" s.Server.accepted
+    (s.Server.responses + s.Server.write_failures + s.Server.accept_faults)
+
+let test_adaptive_shed_limit () =
+  let f = Server.shed_queue_limit ~max_queue:64 ~target_ms:100.0 in
+  check Alcotest.int "no signal: full queue" 64 (f ~p99_ms:None);
+  check Alcotest.int "under target: full queue" 64 (f ~p99_ms:(Some 80.0));
+  check Alcotest.int "at target: full queue" 64 (f ~p99_ms:(Some 100.0));
+  check Alcotest.int "midway: half queue" 32 (f ~p99_ms:(Some 150.0));
+  check Alcotest.int "at 2x target: no queue" 0 (f ~p99_ms:(Some 200.0));
+  check Alcotest.int "beyond 2x: still none" 0 (f ~p99_ms:(Some 500.0))
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~failure_threshold:2 ~cooldown_ms:60.0 ~max_cooldown_ms:1_000.0 () in
+  check Alcotest.bool "closed admits" true (Breaker.admit b = Breaker.Allow);
+  Breaker.failure b;
+  check Alcotest.bool "one failure stays closed" true (Breaker.state b = `Closed);
+  Breaker.failure b;
+  check Alcotest.bool "threshold trips open" true (Breaker.state b = `Open);
+  (match Breaker.admit b with
+  | Breaker.Reject { retry_after_ms } ->
+    check Alcotest.bool "retry hint within cooldown" true
+      (retry_after_ms > 0.0 && retry_after_ms <= 60.0)
+  | Breaker.Allow -> Alcotest.fail "open breaker must reject");
+  Unix.sleepf 0.09;
+  check Alcotest.bool "cooled breaker admits the probe" true (Breaker.admit b = Breaker.Allow);
+  check Alcotest.bool "second caller is rejected during the probe" true
+    (match Breaker.admit b with Breaker.Reject _ -> true | Breaker.Allow -> false);
+  Breaker.failure b;
+  check Alcotest.bool "failed probe re-opens" true (Breaker.state b = `Open);
+  Unix.sleepf 0.15 (* doubled cooldown: 120 ms *);
+  check Alcotest.bool "re-cooled admits again" true (Breaker.admit b = Breaker.Allow);
+  Breaker.success b;
+  check Alcotest.bool "successful probe closes" true (Breaker.state b = `Closed);
+  check Alcotest.int "two trips recorded" 2 (Breaker.trips b)
+
+(* A success/failure burst from several domains must leave the breaker
+   in a legal state and never raise. *)
+let test_breaker_concurrent () =
+  let b = Breaker.create ~failure_threshold:3 ~cooldown_ms:5.0 () in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            for j = 1 to 500 do
+              (match Breaker.admit b with
+              | Breaker.Allow -> if (i + j) mod 3 = 0 then Breaker.failure b else Breaker.success b
+              | Breaker.Reject _ -> ())
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Breaker.state b in
+  check Alcotest.bool "legal terminal state" true
+    (s = `Closed || s = `Open || s = `Half_open)
+
+let test_healthz_wal_degraded () =
+  let dir = Filename.temp_file "twigserve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let db = mk_db () in
+  let d = Durable.create ~dir db in
+  Fun.protect ~finally:(fun () -> Fault.clear ()) @@ fun () ->
+  let healthy = Server.handle ~durable:d db ~meth:"GET" ~target:"/healthz" in
+  check Alcotest.int "healthy status" 200 healthy.Server.status;
+  check Alcotest.bool "wal section present" true (contains healthy.Server.body "\"wal\":");
+  check Alcotest.bool "not poisoned yet" true (contains healthy.Server.body "\"poisoned\":false");
+  (* Poison the write path: the armed commit failpoint crashes the
+     transaction after pages were dirtied. *)
+  let root = db.Database.doc.T.roots.(0).T.id in
+  Fault.inject ~site:"wal.commit" (Fault.Every 1);
+  (match Durable.insert_subtree d ~parent:root (T.elem_text "note" "x") with
+  | exception Fault.Io_error _ -> ()
+  | _ -> Alcotest.fail "armed wal.commit should fail the insert");
+  Fault.clear ();
+  let degraded = Server.handle ~durable:d db ~meth:"GET" ~target:"/healthz" in
+  check Alcotest.int "degraded is still 200 (reads serve)" 200 degraded.Server.status;
+  check Alcotest.bool "status says degraded" true
+    (contains degraded.Server.body "\"status\":\"degraded\"");
+  check Alcotest.bool "poison reason surfaced" true
+    (contains degraded.Server.body "\"poisoned\":\"")
 
 let () =
   Alcotest.run "serve"
@@ -157,6 +343,17 @@ let () =
           Alcotest.test_case "/query errors" `Quick test_query_errors;
           Alcotest.test_case "/journal and /slow" `Quick test_journal_endpoints;
           Alcotest.test_case "routing errors" `Quick test_routing_errors;
+          Alcotest.test_case "/healthz reports WAL, degrades when poisoned" `Quick
+            test_healthz_wal_degraded;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "adaptive shed limit" `Quick test_adaptive_shed_limit;
+          Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "breaker under concurrent callers" `Quick test_breaker_concurrent;
+          Alcotest.test_case "hardened parsing: 400/408/413" `Quick test_hardened_parsing;
+          Alcotest.test_case "admission full sheds 429 + Retry-After" `Quick test_shed_429;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
         ] );
       ("socket", [ Alcotest.test_case "loopback round-trip" `Quick test_socket_roundtrip ]);
     ]
