@@ -1286,6 +1286,57 @@ let figure_overload () =
       say "       (shedding, not collapse)")
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+let flight_overhead : float option ref = ref None
+let gate_flight : float option ref = ref None
+
+(* The recorder's contract is "cheap enough to leave on in production":
+   both legs run in the serving posture (metrics sink and journal
+   enabled, auto planner), so the measured delta is the marginal cost
+   of flight-event emission alone. Two disabled legs bracket the
+   enabled one and the faster is the baseline, which biases the
+   comparison against the recorder, not for it. *)
+let figure_flight () =
+  let db = Lazy.force xmark_db in
+  let twigs = List.map Tm_datasets.Workload.parse Tm_datasets.Workload.xmark_queries in
+  let sweep () =
+    List.iter (fun twig -> ignore (Executor.run ~hint:Tm_plan.Hint.Auto db twig)) twigs
+  in
+  let leg () =
+    let t0 = Monotonic_clock.now () in
+    for _ = 1 to !runs do
+      sweep ()
+    done;
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6
+  in
+  Tm_obs.Obs.with_enabled true @@ fun () ->
+  Tm_obs.Journal.with_enabled true @@ fun () ->
+  sweep ();
+  (* warm caches and plan cache *)
+  (* Interleaved off/on pairs, best-of-each: back-to-back legs share
+     whatever GC and cache state drifts across the run, so comparing
+     minima isolates the recorder's cost from the drift. *)
+  let pairs = 5 in
+  let off = ref Float.infinity and on_best = ref Float.infinity in
+  for _ = 1 to pairs do
+    off := Float.min !off (Tm_obs.Flight.with_enabled false leg);
+    on_best := Float.min !on_best (Tm_obs.Flight.with_enabled true leg)
+  done;
+  let off = !off and on_ = !on_best in
+  let overhead = (on_ -. off) /. Float.max off 0.01 *. 100.0 in
+  flight_overhead := Some overhead;
+  print_header
+    (Printf.sprintf
+       "Flight recorder: enabled overhead, XMark workload x%d runs (claim: < 3%%)" !runs)
+    [ "recorder"; "total ms" ];
+  say "%s | %s" (fmt_cell "off") (fmt_cell (Printf.sprintf "%.1f" off));
+  say "%s | %s" (fmt_cell "on") (fmt_cell (Printf.sprintf "%.1f" on_));
+  say "overhead: %+.2f%% (events recorded so far: %d)" overhead
+    (Tm_obs.Flight.total_events ())
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1295,7 +1346,7 @@ let all_figures =
     "ablation-inlj"; "ablation-pc"; "ablation-update"; "ablation-pool"; "durability";
     "robustness";
     "extension-joins"; "extension-auto"; "planner"; "extension-ranges"; "parallel";
-    "overload";
+    "overload"; "flight";
   ]
 
 (* Per-figure tail latency for --metrics-out: bucket counts of every
@@ -1367,6 +1418,7 @@ let run_figure = function
   | "extension-ranges" -> extension_ranges ()
   | "parallel" -> figure_parallel ()
   | "overload" -> figure_overload ()
+  | "flight" -> figure_flight ()
   | f -> failwith ("unknown figure: " ^ f)
 
 let () =
@@ -1391,6 +1443,10 @@ let () =
         Arg.Float (fun p -> gate_regret := Some p),
         "PCT exit 1 when the 'planner' figure's aggregate regret against the strategy oracle \
          exceeds PCT percent (the CI gate)" );
+      ( "--gate-flight",
+        Arg.Float (fun p -> gate_flight := Some p),
+        "PCT exit 1 when the 'flight' figure's enabled-recorder overhead exceeds PCT percent \
+         (the CI gate; the design target is 3)" );
       ( "--gate-overload",
         Arg.Set gate_overload,
         " exit 1 unless, at 2x saturation, the 'overload' figure's accepted-request p99 stays \
@@ -1452,6 +1508,17 @@ let () =
        else
          progress "[bench] overload gate passed: p99 %.1f <= %.1f ms, goodput %.0f >= %.0f/s"
            p99 p99_limit goodput goodput_floor);
+  (match !gate_flight with
+  | None -> ()
+  | Some limit -> (
+    match !flight_overhead with
+    | None ->
+      prerr_endline "bench: --gate-flight set but the 'flight' figure did not run";
+      exit 1
+    | Some o when o > limit ->
+      Printf.eprintf "bench: flight-recorder overhead %.2f%% exceeds the %.2f%% gate\n" o limit;
+      exit 1
+    | Some o -> progress "[bench] flight overhead gate passed: %.2f%% <= %.2f%%" o limit));
   match !metrics_out with
   | None -> ()
   | Some path ->

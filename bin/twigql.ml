@@ -9,6 +9,9 @@
      twigql trace   [SOURCE] [-s RP] [--chrome] [-o F] 'XPATH'   span tree / Chrome JSON
      twigql slow    [SOURCE] [--threshold-ms N] 'XPATH'...   run queries, print slow log
      twigql serve   [SOURCE] [--port N]        HTTP metrics/health/query endpoint
+     twigql blackbox render FILE               human-readable post-mortem timeline
+     twigql blackbox dump FILE [-o OUT]        post-mortem -> Chrome trace JSON
+     twigql blackbox tail FILE [-n N]          last N events of a post-mortem
      twigql info    [SOURCE]                   document / catalog / index stats
      twigql generate (--xmark F | --dblp F) -o FILE   write a dataset as XML
      twigql snapshot [save] [SOURCE] -o FILE   build a database, save atomically
@@ -478,8 +481,26 @@ let drain_deadline_arg =
     & info [ "drain-deadline-ms" ] ~docv:"MS"
         ~doc:"On SIGTERM or /drain, how long to wait for in-flight requests before exiting 1.")
 
+let no_flight_arg =
+  Arg.(
+    value & flag
+    & info [ "no-flight" ]
+        ~doc:
+          "Disable the flight recorder (on by default under serve: a per-domain in-memory ring \
+           of cross-layer events, dumped to a post-mortem file on SIGQUIT, breaker-open or a \
+           poisoned write path).")
+
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "Where automatic post-mortem dumps land (default: $(b,flight.dump) inside --wal DIR, \
+           else $(b,twigql-flight.dump)). Inspect with $(b,twigql blackbox).")
+
 let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms wal_dir max_in_flight
-    max_queue request_timeout_ms drain_deadline_ms =
+    max_queue request_timeout_ms drain_deadline_ms no_flight flight_dump =
   with_par jobs @@ fun par ->
   let durable, db =
     match wal_dir with
@@ -492,10 +513,23 @@ let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms wal_dir ma
     | None -> (None, load_db ?par snap file xmark dblp seed)
   in
   (* A long-running process is what the telemetry exists for: metrics
-     sink and journal are on for the server's lifetime. *)
+     sink, journal and flight recorder are on for the server's
+     lifetime. *)
   Tm_obs.Obs.enable ();
   Tm_obs.Journal.enable ~capacity:journal_cap ();
   Tm_obs.Journal.set_slow_threshold_ms slow_ms;
+  if not no_flight then begin
+    let dump_path =
+      match flight_dump with
+      | Some p -> p
+      | None -> (
+        match wal_dir with
+        | Some dir -> Filename.concat dir "flight.dump"
+        | None -> "twigql-flight.dump")
+    in
+    Tm_obs.Flight.enable ();
+    Tm_obs.Flight.set_dump_path (Some dump_path)
+  end;
   let config =
     {
       Tm_serve.Server.default_config with
@@ -511,9 +545,23 @@ let run_serve snap file xmark dblp seed jobs port journal_cap slow_ms wal_dir ma
   let on_signal = Sys.Signal_handle (fun _ -> Tm_serve.Server.drain server) in
   ignore (Sys.signal Sys.sigterm on_signal);
   ignore (Sys.signal Sys.sigint on_signal);
+  (* SIGQUIT is the post-mortem trigger: dump the flight rings and die
+     with the conventional 128+SIGQUIT status. OCaml handlers run at
+     safepoints in normal code, not inside the faulting instruction, so
+     this is safe for SIGQUIT; a genuine SIGSEGV kills the runtime
+     before any OCaml handler could run, which is why the recorder
+     offers no SIGSEGV hook. *)
+  ignore
+    (Sys.signal Sys.sigquit
+       (Sys.Signal_handle
+          (fun _ ->
+            (match Tm_obs.Flight.dump ~reason:"SIGQUIT" with
+            | Some p -> Printf.eprintf "twigql serve: flight recorder dumped to %s\n%!" p
+            | None -> ());
+            exit 131)));
   Printf.printf
     "twigql serve: listening on http://127.0.0.1:%d (/metrics /healthz /journal /slow /query \
-     /stats /drain; %d in flight, queue %d)\n%!"
+     /stats /debug/flight /drain; %d in flight, queue %d)\n%!"
     (Tm_serve.Server.port server)
     max_in_flight max_queue;
   let outcome = Tm_serve.Server.run ?pool:par server in
@@ -538,7 +586,100 @@ let serve_cmd =
     Term.(
       const run_serve $ snap_arg $ file_arg $ xmark_arg $ dblp_arg $ seed_arg $ jobs_arg
       $ port_arg $ journal_cap_arg $ slow_ms_arg $ serve_wal_arg $ max_in_flight_arg
-      $ max_queue_arg $ request_timeout_arg $ drain_deadline_arg)
+      $ max_queue_arg $ request_timeout_arg $ drain_deadline_arg $ no_flight_arg
+      $ flight_dump_arg)
+
+(* ------------------------------------------------------------------ *)
+(* blackbox — flight-recorder post-mortems                             *)
+(* ------------------------------------------------------------------ *)
+
+let blackbox_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Post-mortem dump file (written on SIGQUIT, breaker-open, ...).")
+
+(* Damage in a post-mortem is expected — the process was dying — but a
+   missing header means the file is not a dump at all: exit 2 like any
+   other corrupt input. *)
+let load_blackbox path =
+  match Tm_obs.Flight.load_dump path with
+  | d -> d
+  | exception Failure msg ->
+    Printf.eprintf "twigql blackbox: %s: %s\n" path msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "twigql blackbox: %s\n" msg;
+    exit 124
+
+let describe_dump (d : Tm_obs.Flight.dump_file) =
+  let events =
+    List.fold_left (fun acc (_, es) -> acc + List.length es) 0 d.Tm_obs.Flight.d_domains
+  in
+  let tm = Unix.localtime d.Tm_obs.Flight.d_time in
+  Printf.eprintf "post-mortem v%d from pid %d at %04d-%02d-%02d %02d:%02d:%02d: %s\n"
+    d.Tm_obs.Flight.d_version d.Tm_obs.Flight.d_pid (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    d.Tm_obs.Flight.d_reason;
+  Printf.eprintf "%d domain ring(s), %d event(s)%s\n"
+    (List.length d.Tm_obs.Flight.d_domains)
+    events
+    (match d.Tm_obs.Flight.d_damaged with
+    | None -> ""
+    | Some why -> Printf.sprintf " — truncated by the dying process (%s)" why)
+
+let run_blackbox_render file =
+  let d = load_blackbox file in
+  describe_dump d;
+  print_string (Tm_obs.Flight.render_dump d)
+
+let run_blackbox_dump file out =
+  let d = load_blackbox file in
+  describe_dump d;
+  let chrome =
+    Tm_obs.Export.flight_to_chrome (Tm_obs.Flight.merge_events d.Tm_obs.Flight.d_domains)
+  in
+  match out with
+  | None -> print_endline chrome
+  | Some f ->
+    let oc = open_out_bin f in
+    output_string oc chrome;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "wrote %s (open in chrome://tracing or Perfetto)\n" f
+
+let run_blackbox_tail file n =
+  let d = load_blackbox file in
+  describe_dump d;
+  let events = Tm_obs.Flight.merge_events d.Tm_obs.Flight.d_domains in
+  let len = List.length events in
+  let t0 = match events with [] -> 0 | e :: _ -> e.Tm_obs.Flight.e_ts_ns in
+  List.iteri
+    (fun i e ->
+      if i >= len - n then print_endline (Tm_obs.Flight.event_to_string ~t0 e))
+    events
+
+let blackbox_tail_arg =
+  Arg.(value & opt int 40 & info [ "n"; "lines" ] ~docv:"N" ~doc:"Events to show (default 40).")
+
+let blackbox_cmd =
+  Cmd.group
+    (Cmd.info "blackbox"
+       ~doc:
+         "Inspect flight-recorder post-mortem dumps: the merged cross-domain event timeline a \
+          dying server wrote on SIGQUIT, breaker-open or write-path poisoning")
+    [
+      Cmd.v
+        (Cmd.info "render" ~doc:"Print a dump as a human-readable merged timeline")
+        Term.(const run_blackbox_render $ blackbox_file_arg);
+      Cmd.v
+        (Cmd.info "dump"
+           ~doc:"Decode a dump into Chrome trace-event JSON for chrome://tracing / Perfetto")
+        Term.(const run_blackbox_dump $ blackbox_file_arg $ trace_out_arg);
+      Cmd.v
+        (Cmd.info "tail" ~doc:"Show the final N events of a dump's merged timeline")
+        Term.(const run_blackbox_tail $ blackbox_file_arg $ blackbox_tail_arg);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -819,6 +960,7 @@ let () =
         trace_cmd;
         slow_cmd;
         serve_cmd;
+        blackbox_cmd;
         info_cmd;
         generate_cmd;
         snapshot_cmd;

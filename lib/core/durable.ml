@@ -116,6 +116,22 @@ let wal_status t =
         poisoned = t.poisoned;
       })
 
+(* /metrics mirror of /healthz's wal block, so the two can never
+   diverge: the most recently opened handle registers itself and the
+   gauges sample {!wal_status} at scrape time. With no live handle the
+   gauges read NaN, which the exporters skip. *)
+let current : t option Atomic.t = Atomic.make None
+
+let status_gauge f () =
+  match Atomic.get current with None -> Float.nan | Some t -> f (wal_status t)
+
+let () =
+  Tm_obs.Obs.gauge "wal.log_bytes_since_checkpoint"
+    (status_gauge (fun s -> float_of_int s.log_bytes));
+  Tm_obs.Obs.gauge "wal.last_txn" (status_gauge (fun s -> float_of_int s.last_txn));
+  Tm_obs.Obs.gauge "wal.poisoned"
+    (status_gauge (fun s -> if Option.is_some s.poisoned then 1.0 else 0.0))
+
 (* ------------------------------------------------------------------ *)
 (* Logical-operation codec (the WAL [Op] payload)                      *)
 (* ------------------------------------------------------------------ *)
@@ -196,16 +212,20 @@ let decode_op s =
 (* ------------------------------------------------------------------ *)
 
 let handle_of dir db wal =
-  {
-    dir;
-    db;
-    wal;
-    lock = Mutex.create ();
-    next_txn = db.Database.last_txn + 1;
-    batch_depth = 0;
-    unsynced = false;
-    poisoned = None;
-  }
+  let t =
+    {
+      dir;
+      db;
+      wal;
+      lock = Mutex.create ();
+      next_txn = db.Database.last_txn + 1;
+      batch_depth = 0;
+      unsynced = false;
+      poisoned = None;
+    }
+  in
+  Atomic.set current (Some t);
+  t
 
 let create ?(force = false) ~dir db =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -349,9 +369,17 @@ let check_ready (t : t) =
   | Some msg -> raise (Poisoned msg)
   | None -> ()
 
+(* Poisoning is a black-box moment: the handle is dead until reopen,
+   so the ring contents leading up to it are exactly what a post-mortem
+   wants — record the event and trigger an automatic dump. *)
 let poison (t : t) e =
-  t.poisoned <- Some (Printexc.to_string e);
-  Tm_obs.Obs.incr c_poisoned
+  let msg = Printexc.to_string e in
+  t.poisoned <- Some msg;
+  Tm_obs.Obs.incr c_poisoned;
+  if Tm_obs.Flight.enabled () then begin
+    Tm_obs.Flight.emit Tm_obs.Flight.Poisoned 0 0 msg;
+    ignore (Tm_obs.Flight.dump ~reason:("durable-poison: " ^ msg))
+  end
 
 (* One logged transaction around [exec]. Holds the writer lock. *)
 let run_txn t op exec =
@@ -462,7 +490,8 @@ let checkpoint t =
       Wal.reset t.wal;
       Wal.append t.wal (Wal.Checkpoint t.db.Database.last_txn);
       Wal.sync t.wal;
-      Tm_obs.Obs.incr c_checkpoints)
+      Tm_obs.Obs.incr c_checkpoints;
+      Tm_obs.Flight.emit Tm_obs.Flight.Checkpoint t.db.Database.last_txn 0 "")
 
 let close t =
   Mutex.protect t.lock (fun () ->
@@ -470,4 +499,10 @@ let close t =
         Wal.sync t.wal;
         t.unsynced <- false
       end;
-      Wal.close t.wal)
+      Wal.close t.wal);
+  (* Deregister from the status gauges (but only if a newer handle has
+     not already taken over; CAS compares the option physically, so
+     match on the stored value instead). *)
+  match Atomic.get current with
+  | Some t' when t' == t -> Atomic.set current None
+  | Some _ | None -> ()

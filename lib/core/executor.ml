@@ -1228,6 +1228,7 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?can
     | Some p -> Tm_par.Pool.jobs p
     | None -> ( match jobs with Some j when j > 1 -> j | Some _ | None -> 1)
   in
+  Tm_obs.Flight.emit_traced trace_id Tm_obs.Flight.Query_begin jobs_used 0 "";
   let shape = Twig.shape twig in
   (* Compile once; planning and every (re)plan attempt share the paths. *)
   let compiled = match compile db twig with
@@ -1394,6 +1395,7 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?can
           actual est
       in
       replan_notes := note :: !replan_notes;
+      Tm_obs.Flight.emit Tm_obs.Flight.Replan !replans 0 note;
       if Tm_obs.Obs.in_trace () then
         Tm_obs.Obs.annotate (Printf.sprintf "replan:%d" !replans) note;
       let plan' =
@@ -1503,9 +1505,11 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?can
           (String.concat "; " steps)
     in
     let ms = latency_ms () in
+    let rows = List.length ids in
     Tm_obs.Obs.observe h_query_ms ms;
-    record_journal ~plan:final_plan ~strategy ~reason ~fallbacks ~via_naive
-      ~rows:(List.length ids) ~ms Tm_obs.Journal.Completed;
+    Tm_obs.Flight.emit_traced trace_id Tm_obs.Flight.Query_end rows !replans "";
+    record_journal ~plan:final_plan ~strategy ~reason ~fallbacks ~via_naive ~rows ~ms
+      Tm_obs.Journal.Completed;
     {
       ids;
       stats;
@@ -1528,6 +1532,8 @@ let run ?(dp_use_inlj = true) ?(hint = Tm_plan.Hint.Auto) ?(strict = false) ?can
         | Some p -> Option.value (Cancel.deadline_ms p) ~default:0.0
         | None -> 0.0)
     in
+    Tm_obs.Flight.emit_traced trace_id Tm_obs.Flight.Cancel_deadline
+      (int_of_float deadline) 0 "";
     record_journal ~plan:initial_plan ~strategy:initial_plan.Tm_plan.Plan.strategy
       ~reason:initial_plan.Tm_plan.Plan.reason ~fallbacks:(List.rev !fallbacks)
       ~via_naive:false ~rows:0 ~ms:(latency_ms ())

@@ -115,6 +115,7 @@ let fire site =
     else begin
       Atomic.incr a.a_hits;
       Tm_obs.Obs.incr a.a_counter;
+      Tm_obs.Flight.emit Tm_obs.Flight.Fault_hit (Atomic.get a.a_hits) 0 site;
       Some a.a_spec.action
     end
 

@@ -1,0 +1,20 @@
+(** The ambient trace id: set by the executor for the extent of one
+    query (and by the server for one request) and carried across domain
+    boundaries by {!Tm_par.Pool} (tasks inherit the submitter's
+    context), so events recorded on a worker domain — warnings, journal
+    entries, flight-recorder events — can be attributed to the query
+    that caused them. Independent of any enabled flag: context is
+    identification, not measurement.
+
+    This lives below both {!Obs} and {!Flight} so each can read the
+    ambient id without depending on the other. *)
+
+let key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let get () = !(Domain.DLS.get key)
+
+let with_context id f =
+  let r = Domain.DLS.get key in
+  let saved = !r in
+  r := Some id;
+  Fun.protect ~finally:(fun () -> r := saved) f

@@ -1,0 +1,18 @@
+(** The ambient trace id: set by the executor for the extent of one
+    query (and by the server for one request) and carried across domain
+    boundaries by {!Tm_par.Pool} (tasks inherit the submitter's
+    context), so events recorded on a worker domain — warnings, journal
+    entries, flight-recorder events — can be attributed to the query
+    that caused them. Independent of any enabled flag: context is
+    identification, not measurement.
+
+    This lives below both {!Obs} and {!Flight} so each can read the
+    ambient id without depending on the other. *)
+
+val get : unit -> int option
+(** The calling domain's ambient trace id, if one is installed. *)
+
+val with_context : int -> (unit -> 'a) -> 'a
+(** [with_context id f] runs [f] with [id] as the ambient trace id on
+    this domain, restoring the previous context afterwards (nesting and
+    exceptions included). *)

@@ -224,6 +224,85 @@ let trace_to_chrome (root : Obs.span) =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder timelines                                           *)
+(* ------------------------------------------------------------------ *)
+
+let flight_event_to_json (e : Flight.event) =
+  String.concat ""
+    [
+      "{";
+      Printf.sprintf "\"domain\":%d," e.Flight.e_domain;
+      Printf.sprintf "\"seq\":%d," e.Flight.e_seq;
+      Printf.sprintf "\"ts_ns\":%d," e.Flight.e_ts_ns;
+      Printf.sprintf "\"trace\":%s," (if e.Flight.e_trace = 0 then "null" else string_of_int e.Flight.e_trace);
+      Printf.sprintf "\"kind\":%s," (json_string (Flight.kind_name e.Flight.e_kind));
+      Printf.sprintf "\"a\":%d," e.Flight.e_a;
+      Printf.sprintf "\"b\":%d," e.Flight.e_b;
+      Printf.sprintf "\"detail\":%s" (json_string e.Flight.e_detail);
+      "}";
+    ]
+
+let flight_to_json events = "[" ^ String.concat "," (List.map flight_event_to_json events) ^ "]"
+
+(* The merged-timeline Chrome export: every domain becomes one [tid] on
+   a shared clock, so Perfetto shows the accept domain, the workers and
+   the WAL on parallel tracks. Paired lifecycle events render as
+   duration begin/end slices; everything else is an instant. Events of
+   one request share [args.trace], which is how a 429 or a breaker flip
+   is stitched back to the query that caused it. *)
+let flight_to_chrome events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  let t0 = match events with e :: _ -> e.Flight.e_ts_ns | [] -> 0 in
+  let first = ref true in
+  let add_event (e : Flight.event) ~ph ~name =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    let args =
+      List.concat
+        [
+          (if e.Flight.e_trace = 0 then []
+           else [ "\"trace\":" ^ string_of_int e.Flight.e_trace ]);
+          [ "\"seq\":" ^ string_of_int e.Flight.e_seq ];
+          (if e.Flight.e_a = 0 then [] else [ "\"a\":" ^ string_of_int e.Flight.e_a ]);
+          (if e.Flight.e_b = 0 then [] else [ "\"b\":" ^ string_of_int e.Flight.e_b ]);
+          (if String.equal e.Flight.e_detail "" then []
+           else [ "\"detail\":" ^ json_string e.Flight.e_detail ]);
+        ]
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":%s,\"ph\":%s,\"pid\":1,\"tid\":%d,\"ts\":%s%s,\"args\":{%s}}"
+         (json_string name) (json_string ph) e.Flight.e_domain
+         (json_float (float_of_int (e.Flight.e_ts_ns - t0) /. 1e3))
+         (if String.equal ph "i" then ",\"s\":\"t\"" else "")
+         (String.concat "," args))
+  in
+  List.iter
+    (fun (e : Flight.event) ->
+      let name k =
+        if String.equal e.Flight.e_detail "" then Flight.kind_name k else e.Flight.e_detail
+      in
+      match e.Flight.e_kind with
+      | Flight.Span_begin -> add_event e ~ph:"B" ~name:(name e.Flight.e_kind)
+      | Flight.Span_end -> add_event e ~ph:"E" ~name:(name e.Flight.e_kind)
+      | Flight.Query_begin -> add_event e ~ph:"B" ~name:"query"
+      | Flight.Query_end -> add_event e ~ph:"E" ~name:"query"
+      | Flight.Req_begin -> add_event e ~ph:"B" ~name:"request"
+      | Flight.Req_end -> add_event e ~ph:"E" ~name:"request"
+      | Flight.Task_begin -> add_event e ~ph:"B" ~name:"task"
+      | Flight.Task_end -> add_event e ~ph:"E" ~name:"task"
+      | k -> add_event e ~ph:"i" ~name:(Flight.kind_name k))
+    events;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* The recorder's own health, visible to scrapes like the journal's.
+   Registered here because {!Flight} sits below {!Obs}. *)
+let () =
+  Obs.gauge "flight.enabled" (fun () -> if Flight.enabled () then 1.0 else 0.0);
+  Obs.gauge "flight.events" (fun () -> float_of_int (Flight.total_events ()))
+
+(* ------------------------------------------------------------------ *)
 (* Histogram quantiles                                                 *)
 (* ------------------------------------------------------------------ *)
 

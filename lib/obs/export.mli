@@ -31,6 +31,17 @@ val trace_to_chrome : Obs.span -> string
     loaded by [chrome://tracing] and Perfetto. Span meta, counter
     deltas and GC deltas ride along in each event's [args]. *)
 
+(** {1 Flight-recorder timelines} *)
+
+val flight_to_json : Flight.event list -> string
+(** Flight events as a JSON array (merged-timeline order is the
+    caller's: pass {!Flight.snapshot} or {!Flight.merge_events}). *)
+
+val flight_to_chrome : Flight.event list -> string
+(** Merged-timeline Chrome trace-event JSON: one [tid] per domain on a
+    shared clock, paired lifecycle events as ["B"]/["E"] slices, the
+    rest as instants, correlated by [args.trace]. *)
+
 (** {1 Histogram quantiles} *)
 
 val quantile_of_counts : bounds:float array -> counts:int array -> float -> float option

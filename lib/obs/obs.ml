@@ -52,21 +52,12 @@ let registered lock tbl order name make =
 (* Trace context                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* The ambient trace id: set by the executor for the extent of one
-   query and carried across domain boundaries by {!Tm_par.Pool} (tasks
-   inherit the submitter's context), so events recorded on a worker
-   domain — warnings, journal entries — can be attributed to the query
-   that caused them. Independent of the enabled flag: context is
-   identification, not measurement. *)
-let context_key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
-
-let context () = !(Domain.DLS.get context_key)
-
-let with_context id f =
-  let r = Domain.DLS.get context_key in
-  let saved = !r in
-  r := Some id;
-  Fun.protect ~finally:(fun () -> r := saved) f
+(* The ambient trace id lives in {!Context}, below both this module and
+   {!Flight}, so the flight recorder can tag events with it without a
+   dependency cycle. These are thin aliases kept for the existing
+   callers. *)
+let context = Context.get
+let with_context = Context.with_context
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
@@ -325,6 +316,11 @@ let with_span ?meta name f =
   | [] -> f ()
   | _ :: _ when not (Atomic.get enabled_flag) -> f ()
   | _ :: _ ->
+    (* Nested (operator-level) spans deliberately do NOT reach the
+       flight recorder: they already live in the trace tree, and at
+       ~14 operator spans per query their two emits apiece would
+       dominate the timeline and the recorder's hot-path budget. The
+       flight ring gets one span pair per trace root (see {!trace}). *)
     let s = fresh_span ?meta name in
     stack := open_entry s :: !stack;
     let finish () =
@@ -346,9 +342,12 @@ let trace ?meta name f =
     let root = fresh_span ?meta name in
     let saved = !stack in
     stack := [ open_entry root ];
+    Flight.emit Flight.Span_begin 0 0 name;
     let finish () =
       (match !stack with
-      | [ (s, snap, t0, gc0) ] when s == root -> close_span root snap t0 gc0
+      | [ (s, snap, t0, gc0) ] when s == root ->
+        close_span root snap t0 gc0;
+        Flight.emit Flight.Span_end (Int64.to_int root.s_elapsed_ns) 0 name
       | _ -> ());
       stack := saved
     in

@@ -47,7 +47,8 @@ let set_deadline_ms t ms =
     Atomic.set t.deadline_ns (Some (Int64.add now (Int64.of_float (ms *. 1e6))));
     if ms <= 0.0 then begin
       classify t Deadline;
-      Atomic.set t.tripped true
+      if not (Atomic.exchange t.tripped true) then
+        Tm_obs.Flight.emit Tm_obs.Flight.Cancel_deadline (int_of_float ms) 0 ""
     end
   end
 
@@ -59,7 +60,8 @@ let with_deadline_ms ?parent ms =
 let cancel t =
   if t != never then begin
     classify t Explicit;
-    Atomic.set t.tripped true
+    if not (Atomic.exchange t.tripped true) then
+      Tm_obs.Flight.emit Tm_obs.Flight.Cancel_explicit 0 0 ""
   end
 
 let rec cancelled t =
@@ -72,7 +74,13 @@ let rec cancelled t =
        Int64.compare (Monotonic_clock.now ()) d >= 0
        && begin
             classify t Deadline;
-            Atomic.set t.tripped true;
+            (* Exchange so racing domains record one trip, not N. *)
+            if not (Atomic.exchange t.tripped true) then
+              Tm_obs.Flight.emit Tm_obs.Flight.Cancel_deadline
+                (match Atomic.get t.budget_ms with
+                | Some ms -> int_of_float ms
+                | None -> 0)
+                0 "";
             true
           end)
   || (match t.parent with None -> false | Some p -> cancelled p)

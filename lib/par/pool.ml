@@ -138,9 +138,17 @@ let spawn t f =
   let task () =
     let record = Tm_obs.Obs.enabled () in
     let t0 = if record then Monotonic_clock.now () else 0L in
+    (* Task begin/end on the executing domain's ring: the post-mortem
+       view of which worker was running what when the process died. *)
+    (match ctx with
+    | Some id -> Tm_obs.Flight.emit_traced id Tm_obs.Flight.Task_begin 0 0 ""
+    | None -> Tm_obs.Flight.emit Tm_obs.Flight.Task_begin 0 0 "");
     (match body () with
     | v -> fulfil fut (Done v)
     | exception e -> fulfil fut (Failed (e, Printexc.get_raw_backtrace ())));
+    (match ctx with
+    | Some id -> Tm_obs.Flight.emit_traced id Tm_obs.Flight.Task_end 0 0 ""
+    | None -> Tm_obs.Flight.emit Tm_obs.Flight.Task_end 0 0 "");
     if record then
       Tm_obs.Obs.observe h_task_ms
         (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6)

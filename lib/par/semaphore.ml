@@ -8,6 +8,12 @@
    admission paths that need a bound are shedding decisions where
    millisecond granularity is plenty. *)
 
+(* Park/timeout visibility: admission stalls are exactly the moments an
+   overload post-mortem needs, so both land in the metrics sink and the
+   flight recorder. *)
+let c_parked = Tm_obs.Obs.counter "semaphore.parked"
+let c_timeouts = Tm_obs.Obs.counter "semaphore.timeouts"
+
 type t = {
   lock : Mutex.t;
   released : Condition.t;
@@ -32,21 +38,36 @@ let waiting t = Mutex.protect t.lock (fun () -> t.waiting)
 let available t = Mutex.protect t.lock (fun () -> t.capacity - t.in_use)
 
 let try_acquire t =
-  Mutex.protect t.lock (fun () ->
-      if t.in_use < t.capacity then begin
-        t.in_use <- t.in_use + 1;
-        true
-      end
-      else false)
+  let got =
+    Mutex.protect t.lock (fun () ->
+        if t.in_use < t.capacity then begin
+          t.in_use <- t.in_use + 1;
+          Some t.in_use
+        end
+        else None)
+  in
+  match got with
+  | Some n ->
+    Tm_obs.Flight.emit Tm_obs.Flight.Sem_acquire n 0 "";
+    true
+  | None -> false
 
 let acquire t =
-  Mutex.protect t.lock (fun () ->
-      t.waiting <- t.waiting + 1;
-      while t.in_use >= t.capacity do
-        Condition.wait t.released t.lock
-      done;
-      t.waiting <- t.waiting - 1;
-      t.in_use <- t.in_use + 1)
+  let n =
+    Mutex.protect t.lock (fun () ->
+        t.waiting <- t.waiting + 1;
+        if t.in_use >= t.capacity then begin
+          Tm_obs.Obs.incr c_parked;
+          Tm_obs.Flight.emit Tm_obs.Flight.Sem_park t.waiting 0 ""
+        end;
+        while t.in_use >= t.capacity do
+          Condition.wait t.released t.lock
+        done;
+        t.waiting <- t.waiting - 1;
+        t.in_use <- t.in_use + 1;
+        t.in_use)
+  in
+  Tm_obs.Flight.emit Tm_obs.Flight.Sem_acquire n 0 ""
 
 (* Sleep quantum for the polling waits: long enough not to burn a core,
    short enough that admission deadlines keep ms granularity. *)
@@ -57,25 +78,39 @@ let past d = Int64.compare (Monotonic_clock.now ()) d >= 0
 
 let acquire_for t ~timeout_ms =
   if try_acquire t then true
-  else if timeout_ms <= 0.0 then false
+  else if timeout_ms <= 0.0 then begin
+    Tm_obs.Obs.incr c_timeouts;
+    Tm_obs.Flight.emit Tm_obs.Flight.Sem_timeout 0 0 "";
+    false
+  end
   else begin
     let deadline = deadline_of timeout_ms in
     Mutex.protect t.lock (fun () -> t.waiting <- t.waiting + 1);
+    Tm_obs.Obs.incr c_parked;
+    Tm_obs.Flight.emit Tm_obs.Flight.Sem_park (waiting t) 0 "";
     let rec wait () =
       let got =
         Mutex.protect t.lock (fun () ->
             if t.in_use < t.capacity then begin
               t.in_use <- t.in_use + 1;
-              true
+              Some t.in_use
             end
-            else false)
+            else None)
       in
-      if got then true
-      else if past deadline then false
-      else begin
-        Unix.sleepf poll_s;
-        wait ()
-      end
+      match got with
+      | Some n ->
+        Tm_obs.Flight.emit Tm_obs.Flight.Sem_acquire n 0 "";
+        true
+      | None ->
+        if past deadline then begin
+          Tm_obs.Obs.incr c_timeouts;
+          Tm_obs.Flight.emit Tm_obs.Flight.Sem_timeout (int_of_float timeout_ms) 0 "";
+          false
+        end
+        else begin
+          Unix.sleepf poll_s;
+          wait ()
+        end
     in
     Fun.protect
       ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.waiting <- t.waiting - 1))

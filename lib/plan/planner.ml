@@ -95,18 +95,25 @@ let fresh ~overrides ~shape ~built ~paths =
   let reason =
     match overrides with [] -> reason | _ -> "replanned on observed cardinalities; " ^ reason
   in
-  {
-    Plan.shape;
-    strategy;
-    cover;
-    join_order = Cost.join_order ests;
-    est_rows = est_rows_of cover;
-    cost;
-    rivals;
-    calibration;
-    cached = false;
-    reason;
-  }
+  let p =
+    {
+      Plan.shape;
+      strategy;
+      cover;
+      join_order = Cost.join_order ests;
+      est_rows = est_rows_of cover;
+      cost;
+      rivals;
+      calibration;
+      cached = false;
+      reason;
+    }
+  in
+  (* Fresh builds only — cache hits are the common, uninteresting case.
+     [b] > 0 marks a mid-query rebuild on observed cardinalities. *)
+  Tm_obs.Flight.emit Tm_obs.Flight.Plan_build p.Plan.est_rows (List.length overrides)
+    p.Plan.reason;
+  p
 
 (* [paths] is a thunk so a cache hit never pays for estimation: the
    catalog and Edge-table statistics are only consulted on a miss (or

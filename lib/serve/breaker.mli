@@ -30,9 +30,11 @@ val success : t -> unit
 (** The handler answered: reset the failure count (and close the
     breaker if it was half-open). *)
 
-val failure : t -> unit
+val failure : ?cls:string -> t -> unit
 (** The handler failed with a breaker-class error: count it (Closed),
-    or re-open with doubled cooldown (Half-open probe failure). *)
+    or re-open with doubled cooldown (Half-open probe failure). [cls]
+    names the failure class (e.g. ["corrupt-page"], ["poisoned"]) and
+    is carried on the warning and flight event an open emits. *)
 
 val state : t -> [ `Closed | `Open | `Half_open ]
 val trips : t -> int

@@ -200,7 +200,9 @@ let warnings_json () =
    count as breaker failures; parse errors, timeouts and empty results
    resolve the half-open probe as a success. *)
 let breaker_ok breaker = match breaker with None -> () | Some b -> Breaker.success b
-let breaker_fail breaker = match breaker with None -> () | Some b -> Breaker.failure b
+
+let breaker_fail ~cls breaker =
+  match breaker with None -> () | Some b -> Breaker.failure ~cls b
 
 let run_query ?cancel ?breaker (db : Database.t) params =
   match List.assoc_opt "q" params with
@@ -258,13 +260,13 @@ let run_query ?cancel ?breaker (db : Database.t) params =
                 (Printf.sprintf "{\"error\":\"deadline of %s ms expired\"}" (json_float ms)))
             [@analyze.boundary])
           | exception Tm_storage.Pager.Corrupt_page { page; detail } ->
-            ((breaker_fail breaker;
+            ((breaker_fail ~cls:"corrupt-page" breaker;
               respond 500 json
                 (Printf.sprintf "{\"error\":%s}"
                    (json_string (Printf.sprintf "corrupt page %d: %s" page detail))))
             [@analyze.boundary])
           | exception Fault.Io_error { site; detail } ->
-            (breaker_fail breaker;
+            (breaker_fail ~cls:"io-error" breaker;
              respond 500 json
                (Printf.sprintf "{\"error\":%s}"
                   (json_string (Printf.sprintf "io error at %s: %s" site detail)))
@@ -308,6 +310,8 @@ let index_body =
       "  /journal              query-lifecycle journal (JSON)";
       "  /slow[?threshold_ms=N]  slow-query log (JSON, slowest first)";
       "  /warnings             structured warnings (JSON)";
+      "  /debug/flight[?format=json|chrome|text]  flight-recorder timeline";
+      "  /debug/last-dump      metadata of the latest post-mortem dump (JSON)";
       "  /stats                serving/overload counters (JSON)";
       "  /drain                stop accepting, finish in-flight, exit";
       "  /query?q=XPATH[&hint=auto|STRATEGY][&timeout_ms=N]  run a twig query";
@@ -335,6 +339,35 @@ let handle ?canary ?durable ?cancel ?breaker (db : Database.t) ~meth ~target =
         in
         respond 200 json (Tm_obs.Journal.to_json (Tm_obs.Journal.slow ?threshold_ms ()))
       | "/warnings" -> respond 200 json (warnings_json ())
+      | "/debug/flight" ->
+        if not (Tm_obs.Flight.enabled ()) then
+          respond 503 json
+            "{\"error\":\"flight recorder disabled; enable with --flight or TWIGMATCH_FLIGHT=1\"}"
+        else begin
+          let events = Tm_obs.Flight.snapshot () in
+          match List.assoc_opt "format" params with
+          | Some "chrome" -> respond 200 json (Tm_obs.Export.flight_to_chrome events)
+          | Some "text" ->
+            let t0 =
+              match events with [] -> 0 | e :: _ -> e.Tm_obs.Flight.e_ts_ns
+            in
+            respond 200 text
+              (String.concat "\n"
+                 (List.map (Tm_obs.Flight.event_to_string ~t0) events)
+              ^ "\n")
+          | Some _ | None -> respond 200 json (Tm_obs.Export.flight_to_json events)
+        end
+      | "/debug/last-dump" -> (
+        match Tm_obs.Flight.last_dump () with
+        | None -> respond 404 json "{\"error\":\"no post-mortem dump written yet\"}"
+        | Some d ->
+          respond 200 json
+            (Printf.sprintf
+               "{\"path\":%s,\"reason\":%s,\"time\":%s,\"events\":%d,\"domains\":%d}"
+               (json_string d.Tm_obs.Flight.ld_path)
+               (json_string d.Tm_obs.Flight.ld_reason)
+               (json_float d.Tm_obs.Flight.ld_time)
+               d.Tm_obs.Flight.ld_events d.Tm_obs.Flight.ld_domains))
       | "/query" -> run_query ?cancel ?breaker db params
       | "/plan" -> plan_query db params
       | _ -> respond 404 text "not found\n"
@@ -522,7 +555,13 @@ let register_gauges () =
     Tm_obs.Obs.gauge "serve.in_flight" (fun () -> read (fun t -> float_of_int (Atomic.get t.s_in_flight)));
     Tm_obs.Obs.gauge "serve.queued" (fun () -> read (fun t -> float_of_int (Atomic.get t.s_queued)));
     Tm_obs.Obs.gauge "serve.p99_ms" (fun () ->
-        read (fun t -> match recent_p99 t with Some p -> p | None -> 0.0))
+        read (fun t -> match recent_p99 t with Some p -> p | None -> 0.0));
+    (* Queue depth from the admission semaphore itself (permits held
+       beyond the execution slots), not the shadow atomics — the gauge
+       and the admission decision can't drift apart. *)
+    Tm_obs.Obs.gauge "serve.queue_depth" (fun () ->
+        read (fun t ->
+            float_of_int (max 0 (Semaphore.in_use t.slots - t.config.max_in_flight))))
   end
 
 let create ?port:(want_port = 0) ?canary ?durable ?(config = default_config) db =
@@ -616,6 +655,14 @@ let write_response fd (r : response) =
    ([s_write_failures]). Returns whether the response reached the
    client. *)
 let finish t fd resp =
+  (* Close the request's flight window: the ambient context is only
+     installed on the admitted path, so shed-at-accept responses (which
+     never saw a [Req_begin]) don't produce an orphan end marker. *)
+  if Tm_obs.Flight.enabled () then begin
+    match Tm_obs.Obs.context () with
+    | Some rid -> Tm_obs.Flight.emit_traced rid Tm_obs.Flight.Req_end resp.status 0 ""
+    | None -> ()
+  end;
   match write_response fd resp with
   | () ->
     Atomic.incr t.s_responses;
@@ -715,49 +762,64 @@ let serve_admitted t client token t_accept =
   Atomic.incr t.s_in_flight;
   Fun.protect ~finally:(fun () -> Atomic.decr t.s_in_flight)
   @@ fun () ->
-  Tm_obs.Obs.observe h_queue_wait_ms (ms_since t_accept);
-  if Cancel.cancelled token then begin
-    (* The request spent its whole budget waiting: shed it instead of
-       running work whose client-visible deadline already expired. *)
-    Atomic.incr t.s_shed_deadline;
-    Tm_obs.Obs.incr c_shed;
-    ignore
-      (finish t client
-         (respond ~retry_after_s:(retry_after_estimate t) 503 json
-            "{\"error\":\"deadline expired in the admission queue\"}"))
-  end
-  else
-    match read_request t client with
-    | Too_large ->
-      ignore (finish t client (respond 413 json "{\"error\":\"request headers too large\"}"))
-    | Read_timeout ->
-      Atomic.incr t.s_read_timeouts;
-      ignore (finish t client (respond 408 json "{\"error\":\"timed out reading request\"}"))
-    | Read_error msg ->
+  (* Request-scoped flight window: a fresh process-unique id tags every
+     event this request triggers (semaphore, executor, WAL, breaker) so
+     a post-mortem can reconstruct each in-flight request's last
+     moments. Installed as the ambient context; [finish] closes the
+     window with the response status. *)
+  let rid = if Tm_obs.Flight.enabled () then Tm_obs.Journal.next_id () else 0 in
+  let body () =
+    Tm_obs.Obs.observe h_queue_wait_ms (ms_since t_accept);
+    if Cancel.cancelled token then begin
+      (* The request spent its whole budget waiting: shed it instead of
+         running work whose client-visible deadline already expired. *)
+      Atomic.incr t.s_shed_deadline;
+      Tm_obs.Obs.incr c_shed;
+      Tm_obs.Flight.emit Tm_obs.Flight.Shed 2 0 "deadline expired in queue";
       ignore
         (finish t client
-           (respond 400 json (Printf.sprintf "{\"error\":%s}" (json_string ("read: " ^ msg)))))
-    | Complete raw -> (
-      match request_line raw with
-      | None -> ignore (finish t client (respond 400 json "{\"error\":\"malformed request line\"}"))
-      | Some (meth, target) -> (
-        let path, _ = split_target target in
-        match path with
-        | "/drain" ->
-          drain t;
-          ignore
-            (finish t client
-               (respond 202 json "{\"status\":\"draining\",\"note\":\"listener closed; finishing in-flight requests\"}"))
-        | "/stats" -> ignore (finish t client (respond 200 json (stats_json t)))
-        | _ ->
-          let resp =
-            handle ?canary:t.canary ?durable:t.durable ~cancel:token ~breaker:t.breaker t.db
-              ~meth ~target
-          in
-          let delivered = finish t client resp in
-          (* Shed decisions watch the client-observed latency of
-             requests that actually ran (queue wait included). *)
-          if delivered && resp.status <> 429 then record_latency t (ms_since t_accept)))
+           (respond ~retry_after_s:(retry_after_estimate t) 503 json
+              "{\"error\":\"deadline expired in the admission queue\"}"))
+    end
+    else
+      match read_request t client with
+      | Too_large ->
+        ignore (finish t client (respond 413 json "{\"error\":\"request headers too large\"}"))
+      | Read_timeout ->
+        Atomic.incr t.s_read_timeouts;
+        ignore (finish t client (respond 408 json "{\"error\":\"timed out reading request\"}"))
+      | Read_error msg ->
+        ignore
+          (finish t client
+             (respond 400 json (Printf.sprintf "{\"error\":%s}" (json_string ("read: " ^ msg)))))
+      | Complete raw -> (
+        match request_line raw with
+        | None -> ignore (finish t client (respond 400 json "{\"error\":\"malformed request line\"}"))
+        | Some (meth, target) -> (
+          let path, _ = split_target target in
+          match path with
+          | "/drain" ->
+            drain t;
+            ignore
+              (finish t client
+                 (respond 202 json "{\"status\":\"draining\",\"note\":\"listener closed; finishing in-flight requests\"}"))
+          | "/stats" -> ignore (finish t client (respond 200 json (stats_json t)))
+          | _ ->
+            let resp =
+              handle ?canary:t.canary ?durable:t.durable ~cancel:token ~breaker:t.breaker t.db
+                ~meth ~target
+            in
+            let delivered = finish t client resp in
+            (* Shed decisions watch the client-observed latency of
+               requests that actually ran (queue wait included). *)
+            if delivered && resp.status <> 429 then record_latency t (ms_since t_accept)))
+  in
+  if rid = 0 then body ()
+  else begin
+    Tm_obs.Flight.emit_traced rid Tm_obs.Flight.Req_begin rid
+      (Semaphore.in_use t.slots) "";
+    Tm_obs.Obs.with_context rid body
+  end
 
 (* Shed at the accept edge: a typed 429 with a Retry-After estimate,
    written from the accept domain (bounded by SO_SNDTIMEO). *)
@@ -771,6 +833,9 @@ let shed_at_accept t client kind =
     | `Queue_full -> "admission queue full"
     | `Overload -> "shedding under latency pressure"
   in
+  Tm_obs.Flight.emit Tm_obs.Flight.Shed
+    (match kind with `Queue_full -> 0 | `Overload -> 1)
+    0 why;
   Fun.protect
     ~finally:(fun () -> close_quiet client)
     (fun () ->
@@ -846,6 +911,22 @@ let run ?pool t =
   in
   loop ();
   if Atomic.get t.draining && not (Atomic.get t.stopping) then
-    if Semaphore.await_idle ~timeout_ms:t.config.drain_deadline_ms t.slots then Drained
+    if Semaphore.await_idle ~timeout_ms:t.config.drain_deadline_ms t.slots then begin
+      (* Everything in flight has finished: the accounting invariant
+         must balance exactly now. A miss means a connection vanished
+         without a response, a logged write failure, or a logged accept
+         fault — capture the evidence while it is still in the rings. *)
+      let s = stats t in
+      let accounted = s.responses + s.write_failures + s.accept_faults in
+      if accounted <> s.accepted then begin
+        Tm_obs.Obs.warn ~site:"serve.accounting"
+          (Printf.sprintf
+             "accounting violation after drain: accepted=%d but responses=%d + write_failures=%d + accept_faults=%d"
+             s.accepted s.responses s.write_failures s.accept_faults);
+        if Tm_obs.Flight.enabled () then
+          ignore (Tm_obs.Flight.dump ~reason:"accounting-violation")
+      end;
+      Drained
+    end
     else Drain_timed_out (Semaphore.in_use t.slots)
   else Stopped

@@ -95,6 +95,7 @@ let with_retry st f =
       ->
       st.retries <- st.retries + 1;
       Tm_obs.Obs.incr c_retries;
+      Tm_obs.Flight.emit Tm_obs.Flight.Pool_retry attempt 0 "";
       for _ = 1 to 1 lsl (4 + attempt) do
         Domain.cpu_relax ()
       done;
@@ -123,7 +124,8 @@ let evict_one pager st =
   Hashtbl.remove st.frames id;
   Hashtbl.remove st.last_used id;
   st.evictions <- st.evictions + 1;
-  Tm_obs.Obs.incr c_evictions
+  Tm_obs.Obs.incr c_evictions;
+  Tm_obs.Flight.emit Tm_obs.Flight.Pool_evict id 0 ""
 
 (* Called with the stripe lock held. The miss path performs the
    physical read inside the critical section, which also prevents two

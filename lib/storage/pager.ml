@@ -327,55 +327,75 @@ let prune_versions_locked t id =
     pinned epoch. Version chains reachable from a registered pin are
     kept alive until {!unpin}. *)
 let pin t =
-  locked t (fun () ->
-      let e = t.epoch in
-      Hashtbl.replace t.pins e (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins e));
-      e)
+  let e =
+    locked t (fun () ->
+        let e = t.epoch in
+        Hashtbl.replace t.pins e (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins e));
+        e)
+  in
+  Tm_obs.Flight.emit Tm_obs.Flight.Epoch_pin e 0 "";
+  e
 
 let unpin t e =
-  locked t (fun () ->
-      (match Hashtbl.find_opt t.pins e with
-      | Some n when n > 1 -> Hashtbl.replace t.pins e (n - 1)
-      | Some _ -> Hashtbl.remove t.pins e
-      | None -> ());
-      if Hashtbl.length t.versioned > 0 then
-        (* Re-prune every versioned page against the remaining pins;
-           with no pins left this clears all chains. *)
-        let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
-        List.iter (fun id -> prune_versions_locked t id) ids)
+  let reclaimed =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.pins e with
+        | Some n when n > 1 -> Hashtbl.replace t.pins e (n - 1)
+        | Some _ -> Hashtbl.remove t.pins e
+        | None -> ());
+        let before = Hashtbl.length t.versioned in
+        if before > 0 then begin
+          (* Re-prune every versioned page against the remaining pins;
+             with no pins left this clears all chains. *)
+          let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
+          List.iter (fun id -> prune_versions_locked t id) ids
+        end;
+        before - Hashtbl.length t.versioned)
+  in
+  Tm_obs.Flight.emit Tm_obs.Flight.Epoch_unpin e 0 "";
+  if reclaimed > 0 then Tm_obs.Flight.emit Tm_obs.Flight.Epoch_prune e reclaimed ""
 
 (** Drop every version chain unconditionally. Only legal with no
     registered pins (checkpoint/recovery quiescence); with pins
     present it degrades to a prune. *)
 let clear_versions t =
-  locked t (fun () ->
-      let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
-      if Hashtbl.length t.pins = 0 then
-        List.iter
-          (fun id ->
-            t.versions.(id) <- [];
-            Hashtbl.remove t.versioned id;
-            Atomic.decr t.snapshot_work)
-          ids
-      else List.iter (fun id -> prune_versions_locked t id) ids)
+  let epoch, reclaimed =
+    locked t (fun () ->
+        let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.versioned [] in
+        let before = List.length ids in
+        if Hashtbl.length t.pins = 0 then
+          List.iter
+            (fun id ->
+              t.versions.(id) <- [];
+              Hashtbl.remove t.versioned id;
+              Atomic.decr t.snapshot_work)
+            ids
+        else List.iter (fun id -> prune_versions_locked t id) ids;
+        (t.epoch, before - Hashtbl.length t.versioned))
+  in
+  if reclaimed > 0 then Tm_obs.Flight.emit Tm_obs.Flight.Epoch_prune epoch reclaimed ""
 [@@analyze.no_failpoint "version-chain GC: no live page bytes are read or written"]
 
 let begin_txn t =
-  locked t (fun () ->
-      (match Atomic.get t.txn with
-      | Some _ -> invalid_arg "Pager.begin_txn: a transaction is already active"
-      | None -> ());
-      let tx =
-        {
-          t_epoch = t.epoch + 1;
-          t_writer = (Domain.self () :> int);
-          t_dirty = Hashtbl.create 32;
-          t_participants = [];
-        }
-      in
-      Atomic.set t.txn (Some tx);
-      Atomic.incr t.snapshot_work;
-      tx.t_epoch)
+  let e =
+    locked t (fun () ->
+        (match Atomic.get t.txn with
+        | Some _ -> invalid_arg "Pager.begin_txn: a transaction is already active"
+        | None -> ());
+        let tx =
+          {
+            t_epoch = t.epoch + 1;
+            t_writer = (Domain.self () :> int);
+            t_dirty = Hashtbl.create 32;
+            t_participants = [];
+          }
+        in
+        Atomic.set t.txn (Some tx);
+        Atomic.incr t.snapshot_work;
+        tx.t_epoch)
+  in
+  Tm_obs.Flight.emit Tm_obs.Flight.Txn_begin e 0 "";
+  e
 
 (** Register a commit/abort callback on the active transaction. Runs
     after the epoch flips (commit) or the pre-images are restored
@@ -426,7 +446,7 @@ let image_crc t id =
     "current". Version chains of touched pages are pruned against the
     live pins, then participants run with [~committed:true]. *)
 let commit_txn t =
-  let participants =
+  let participants, epoch, dirty =
     locked t (fun () ->
         match Atomic.get t.txn with
         | None -> invalid_arg "Pager.commit_txn: no active transaction"
@@ -435,8 +455,10 @@ let commit_txn t =
           Hashtbl.iter (fun id () -> prune_versions_locked t id) tx.t_dirty;
           Atomic.set t.txn None;
           Atomic.decr t.snapshot_work;
-          tx.t_participants)
+          (tx.t_participants, tx.t_epoch, Hashtbl.length tx.t_dirty))
   in
+  Tm_obs.Flight.emit Tm_obs.Flight.Txn_commit epoch dirty "";
+  Tm_obs.Flight.emit Tm_obs.Flight.Epoch_publish epoch 0 "";
   List.iter (fun f -> f ~committed:true) participants
 
 (** Restore every touched page to its pre-transaction image (pages
@@ -476,8 +498,10 @@ let abort_txn t =
             tx.t_dirty;
           Atomic.set t.txn None;
           Atomic.decr t.snapshot_work;
-          (tx.t_participants, Hashtbl.fold (fun id () acc -> id :: acc) tx.t_dirty []))
+          ((tx.t_participants, tx.t_epoch), Hashtbl.fold (fun id () acc -> id :: acc) tx.t_dirty []))
   in
+  let participants, epoch = participants in
+  Tm_obs.Flight.emit Tm_obs.Flight.Txn_abort epoch (List.length dirty) "";
   List.iter (fun f -> f ~committed:false) participants;
   dirty
 [@@analyze.no_failpoint "txn rollback: restores pre-images captured by a faultable write"]

@@ -190,9 +190,20 @@ let append t frame =
   t.appended <- t.appended + 1;
   Tm_obs.Obs.incr c_appends;
   Tm_obs.Obs.add c_append_bytes (Bytes.length encoded);
-  (match frame with
-  | Commit _ -> Tm_obs.Obs.incr c_commits
-  | Begin _ | Op _ | Page _ | Checkpoint _ -> ())
+  let kind =
+    match frame with
+    | Begin _ -> 'B'
+    | Op _ -> 'O'
+    | Page _ -> 'P'
+    | Commit _ -> 'C'
+    | Checkpoint _ -> 'K'
+  in
+  Tm_obs.Flight.emit Tm_obs.Flight.Wal_append (Char.code kind) (Bytes.length encoded) "";
+  match frame with
+  | Commit txn ->
+    Tm_obs.Obs.incr c_commits;
+    Tm_obs.Flight.emit Tm_obs.Flight.Wal_commit txn 0 ""
+  | Begin _ | Op _ | Page _ | Checkpoint _ -> ()
 
 (** Make every appended frame durable ([fsync]). The [wal.fsync]
     failpoint fires first ([Fail] retried boundedly). *)
@@ -200,7 +211,8 @@ let sync t =
   with_retry (fun () ->
       Tm_fault.Fault.guard site_fsync;
       Unix.fsync t.fd);
-  Tm_obs.Obs.incr c_syncs
+  Tm_obs.Obs.incr c_syncs;
+  Tm_obs.Flight.emit Tm_obs.Flight.Wal_fsync 0 0 ""
 
 let close t = Unix.close t.fd
 
@@ -285,7 +297,8 @@ let scan path =
 let truncate path len =
   if Sys.file_exists path then begin
     Unix.truncate path len;
-    Tm_obs.Obs.incr c_truncations
+    Tm_obs.Obs.incr c_truncations;
+    Tm_obs.Flight.emit Tm_obs.Flight.Wal_truncate len 0 ""
   end
 
 (** Close, truncate to empty and reopen — the checkpoint reset. *)
@@ -294,4 +307,5 @@ let reset t =
   (* O_APPEND handles positioning for appends; creation-mode handles
      start at 0 already. Reset the frame counter for status output. *)
   t.appended <- 0;
-  Tm_obs.Obs.incr c_truncations
+  Tm_obs.Obs.incr c_truncations;
+  Tm_obs.Flight.emit Tm_obs.Flight.Wal_truncate 0 0 ""

@@ -224,6 +224,134 @@ let test_chaos_deadline_sheds_are_answered () =
       check Alcotest.int "still exhaustively accounted" s.Server.accepted
         (s.Server.responses + s.Server.write_failures + s.Server.accept_faults))
 
+(* Flight-recorder post-mortem under load: with the recorder on, hold
+   both execution slots mid-query (cold caches + delayed page reads),
+   then dump the rings — exactly what the SIGQUIT handler does to a
+   killed server. The post-mortem must parse with every CRC frame
+   intact, keep each domain's window dense and time-ordered, and
+   reconstruct each in-flight request as a [req.begin] (with its
+   [query.begin]) that never reached [req.end]. *)
+let test_chaos_flight_dump_reconstructs_in_flight () =
+  let module Flight = Tm_obs.Flight in
+  Tm_obs.Obs.set_warn_handler (Some (fun _ -> ()));
+  let db = mk_db () in
+  let config =
+    {
+      Server.default_config with
+      Server.max_in_flight = 2;
+      max_queue = 4;
+      request_timeout_ms = 30_000.0;
+      read_timeout_ms = 2_000.0;
+      drain_deadline_ms = 10_000.0;
+    }
+  in
+  let dump_file = Filename.temp_file "twigchaos" ".dump" in
+  Flight.with_enabled true @@ fun () ->
+  Flight.clear ();
+  Flight.set_dump_path (Some dump_file);
+  let t = Server.create ~port:0 ~config db in
+  (* roomy pool: the two admitted handlers and their executors' scan
+     subtasks must all run concurrently for the overlap to be held *)
+  Tm_par.Pool.with_pool ~jobs:6 @@ fun pool ->
+  let d = Domain.spawn (fun () -> Server.run ~pool t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Flight.set_dump_path None;
+      Flight.clear ();
+      Tm_obs.Obs.set_warn_handler None;
+      (try Sys.remove dump_file with Sys_error _ -> ());
+      Server.stop t;
+      ignore (Domain.join d))
+    (fun () ->
+      (* cold caches so the queries must visit the pager, where every
+         read stalls long enough to straddle the dump *)
+      Database.drop_caches db;
+      Fault.inject ~site:"pager.read" ~action:(Fault.Delay_ms 150) (Fault.Every 1);
+      let port = Server.port t in
+      let clients =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () -> exchange port "/query?q=%2Fbook%2F%2Fauthor"))
+      in
+      (* wait until both requests opened their flight windows and began
+         executing — from there each sits >= 150 ms in a page read.
+         Requests and queries are separate windows: [req.begin] is keyed
+         by the request id, the executor installs its own query trace. *)
+      let open_windows bkind ekind events =
+        let ended id =
+          List.exists
+            (fun (e : Flight.event) -> e.Flight.e_kind == ekind && e.Flight.e_trace = id)
+            events
+        in
+        List.filter_map
+          (fun (e : Flight.event) ->
+            if e.Flight.e_kind == bkind && e.Flight.e_trace <> 0 && not (ended e.Flight.e_trace)
+            then Some e.Flight.e_trace
+            else None)
+          events
+        |> List.sort_uniq compare
+      in
+      let rec wait n =
+        if n = 0 then Alcotest.fail "requests never reached mid-query execution";
+        let live = Flight.snapshot () in
+        if
+          List.length (open_windows Flight.Req_begin Flight.Req_end live) < 2
+          || List.length (open_windows Flight.Query_begin Flight.Query_end live) < 2
+        then begin
+          Unix.sleepf 0.002;
+          wait (n - 1)
+        end
+      in
+      wait 5_000;
+      let live = Flight.snapshot () in
+      let held_reqs = open_windows Flight.Req_begin Flight.Req_end live in
+      let held_queries = open_windows Flight.Query_begin Flight.Query_end live in
+      (match Flight.dump ~reason:"chaos-kill" with
+      | None -> Alcotest.fail "enabled recorder with a configured path must dump"
+      | Some p -> check Alcotest.string "dump path honoured" dump_file p);
+      (* the storm keeps running; the post-mortem is already on disk *)
+      List.iter (fun c -> ignore (Domain.join c)) clients;
+      let dump = Flight.load_dump dump_file in
+      check Alcotest.bool "every CRC frame intact" true (dump.Flight.d_damaged = None);
+      check Alcotest.string "dump reason recorded" "chaos-kill" dump.Flight.d_reason;
+      check Alcotest.int "footer count matches the frames" dump.Flight.d_total
+        (List.fold_left (fun a (_, es) -> a + List.length es) 0 dump.Flight.d_domains);
+      (* per-domain ordering: dense sequence numbers, monotone clock *)
+      List.iter
+        (fun (_, es) ->
+          ignore
+            (List.fold_left
+               (fun prev (e : Flight.event) ->
+                 (match prev with
+                 | None -> ()
+                 | Some (pseq, pts) ->
+                   check Alcotest.int "dense per-domain seq" (pseq + 1) e.Flight.e_seq;
+                   check Alcotest.bool "monotone per-domain clock" true
+                     (e.Flight.e_ts_ns >= pts));
+                 Some (e.Flight.e_seq, e.Flight.e_ts_ns))
+               None es))
+        dump.Flight.d_domains;
+      (* reconstruction: every window held open at dump time appears in
+         the post-mortem with its begin marker and no end *)
+      let events = Flight.merge_events dump.Flight.d_domains in
+      let has kind id =
+        List.exists
+          (fun (e : Flight.event) -> e.Flight.e_kind == kind && e.Flight.e_trace = id)
+          events
+      in
+      check Alcotest.int "both held requests seen live" 2 (List.length held_reqs);
+      check Alcotest.int "both held queries seen live" 2 (List.length held_queries);
+      List.iter
+        (fun rid ->
+          check Alcotest.bool "req.begin survived" true (has Flight.Req_begin rid);
+          check Alcotest.bool "no req.end: still in flight" false (has Flight.Req_end rid))
+        held_reqs;
+      List.iter
+        (fun qid ->
+          check Alcotest.bool "query.begin survived" true (has Flight.Query_begin qid);
+          check Alcotest.bool "no query.end: still executing" false (has Flight.Query_end qid))
+        held_queries)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -233,5 +361,7 @@ let () =
             test_chaos_no_silent_drops;
           Alcotest.test_case "queue-expired budgets still answered" `Quick
             test_chaos_deadline_sheds_are_answered;
+          Alcotest.test_case "mid-storm dump reconstructs in-flight requests" `Quick
+            test_chaos_flight_dump_reconstructs_in_flight;
         ] );
     ]

@@ -428,6 +428,105 @@ let test_journal_rendering () =
 (* ------------------------------------------------------------------ *)
 (* Warning routing                                                     *)
 (* ------------------------------------------------------------------ *)
+(* Registered gauges: the wal.* health mirror and the flight pair      *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir () =
+  let path = Filename.temp_file "twigobs" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let find_id doc name =
+  T.fold doc (fun acc n -> if T.label_name n = name && acc = None then Some n.T.id else acc) None
+  |> Option.get
+
+let wal_gauge_names = [ "wal.log_bytes_since_checkpoint"; "wal.last_txn"; "wal.poisoned" ]
+
+let test_wal_gauges () =
+  (* with no live Durable handle the gauges read NaN: registered but
+     sampling nothing, skipped by Prometheus, null in JSON *)
+  let g = Export.all_gauges () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name g with
+      | None -> Alcotest.fail (name ^ " not registered")
+      | Some v -> check Alcotest.bool (name ^ " reads NaN without a handle") true (Float.is_nan v))
+    wal_gauge_names;
+  check Alcotest.bool "NaN gauge absent from Prometheus" false
+    (contains (Export.metrics_to_prometheus ()) "twigmatch_wal_last_txn");
+  check Alcotest.bool "NaN gauge null in JSON" true
+    (contains (Export.metrics_to_json ()) "\"wal.last_txn\":null");
+  (* the most recently opened handle becomes the gauges' source *)
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  Fun.protect ~finally:(fun () -> Durable.close d) @@ fun () ->
+  let sample name = List.assoc name (Export.all_gauges ()) in
+  (* a fresh log is just the WAL header *)
+  let base = sample "wal.log_bytes_since_checkpoint" in
+  check Alcotest.bool "fresh log: header only" true (base > 0.0 && base < 64.0);
+  check (Alcotest.float 0.0) "fresh log: no transactions" 0.0 (sample "wal.last_txn");
+  check (Alcotest.float 0.0) "healthy handle: not poisoned" 0.0 (sample "wal.poisoned");
+  check Alcotest.bool "live gauge exported to Prometheus" true
+    (contains (Export.metrics_to_prometheus ())
+       "# TYPE twigmatch_wal_poisoned gauge\ntwigmatch_wal_poisoned 0\n");
+  (* a committed transaction moves both the log-growth and txn gauges,
+     and the gauges must agree with the handle's own wal_status *)
+  let book = find_id db.Database.doc "book" in
+  ignore (Durable.insert_subtree d ~parent:book (T.elem_text "note" "g"));
+  let s = Durable.wal_status d in
+  check (Alcotest.float 0.0) "gauge mirrors wal_status" (float_of_int s.Durable.log_bytes)
+    (sample "wal.log_bytes_since_checkpoint");
+  check Alcotest.bool "log grew past the header" true (float_of_int s.Durable.log_bytes > base);
+  check (Alcotest.float 0.0) "one transaction committed" 1.0 (sample "wal.last_txn");
+  (* checkpoint truncates the log back to its header *)
+  Durable.checkpoint d;
+  check (Alcotest.float 0.0) "checkpoint resets log growth" base
+    (sample "wal.log_bytes_since_checkpoint")
+
+let test_wal_gauges_deregister () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let db = Database.create ~strategies:[ Database.RP ] (book_doc ()) in
+  let d = Durable.create ~dir db in
+  check Alcotest.bool "live handle: gauge is a number" false
+    (Float.is_nan (List.assoc "wal.last_txn" (Export.all_gauges ())));
+  Durable.close d;
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " NaN again after close") true
+        (Float.is_nan (List.assoc name (Export.all_gauges ()))))
+    wal_gauge_names
+
+let test_flight_gauges () =
+  let module Flight = Tm_obs.Flight in
+  Flight.with_enabled false (fun () ->
+      check (Alcotest.float 0.0) "recorder off" 0.0
+        (List.assoc "flight.enabled" (Export.all_gauges ())));
+  Flight.with_enabled true (fun () ->
+      Flight.clear ();
+      check (Alcotest.float 0.0) "recorder on" 1.0
+        (List.assoc "flight.enabled" (Export.all_gauges ()));
+      let before = List.assoc "flight.events" (Export.all_gauges ()) in
+      Flight.emit Flight.Wal_fsync 0 0 "";
+      Flight.emit Flight.Wal_fsync 0 0 "";
+      let after = List.assoc "flight.events" (Export.all_gauges ()) in
+      check (Alcotest.float 0.0) "event gauge counts emits" 2.0 (after -. before);
+      check Alcotest.bool "exported to Prometheus" true
+        (contains (Export.metrics_to_prometheus ())
+           "# TYPE twigmatch_flight_enabled gauge\ntwigmatch_flight_enabled 1\n"));
+  Flight.clear ()
+
+(* ------------------------------------------------------------------ *)
 
 let test_warn_routing_from_fault_env () =
   let captured = ref [] in
@@ -488,6 +587,12 @@ let () =
           Alcotest.test_case "ring wraps in id order" `Quick test_journal_wraps_and_orders;
           Alcotest.test_case "slow view" `Quick test_journal_slow_view;
           Alcotest.test_case "rendering" `Quick test_journal_rendering;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "wal health mirror" `Quick test_wal_gauges;
+          Alcotest.test_case "deregister on close" `Quick test_wal_gauges_deregister;
+          Alcotest.test_case "flight pair" `Quick test_flight_gauges;
         ] );
       ( "warnings",
         [ Alcotest.test_case "fault env routes through warn" `Quick test_warn_routing_from_fault_env ]

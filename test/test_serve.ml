@@ -147,7 +147,11 @@ let test_socket_roundtrip () =
       check Alcotest.bool "healthy over the wire" true (contains health "\"status\":\"ok\"");
       let metrics = fetch (Server.port t) "/metrics" in
       check Alcotest.bool "metrics over the wire" true
-        (contains metrics "twigmatch_serve_requests"))
+        (contains metrics "twigmatch_serve_requests");
+      (* the admission semaphore's queue-depth gauge registers with the
+         first server and exports alongside the shadow gauges *)
+      check Alcotest.bool "queue depth gauge exported" true
+        (contains metrics "# TYPE twigmatch_serve_queue_depth gauge\ntwigmatch_serve_queue_depth 0\n"))
 
 (* Open a raw connection, send [send] verbatim, and read whatever the
    server answers until it closes — the hardened-parsing harness. *)
@@ -331,6 +335,103 @@ let test_healthz_wal_degraded () =
   check Alcotest.bool "poison reason surfaced" true
     (contains degraded.Server.body "\"poisoned\":\"")
 
+(* ------------------------------------------------------------------ *)
+(* Breaker counters and the open-warning                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_counters_and_warn () =
+  let module Obs = Tm_obs.Obs in
+  let opened = Obs.counter "breaker.opened"
+  and closed = Obs.counter "breaker.closed"
+  and rejections = Obs.counter "breaker.rejections" in
+  let captured = ref [] in
+  Obs.with_enabled true @@ fun () ->
+  Obs.set_warn_handler (Some (fun w -> captured := w :: !captured));
+  Fun.protect ~finally:(fun () -> Obs.set_warn_handler None) @@ fun () ->
+  let o0 = Obs.value opened and c0 = Obs.value closed and r0 = Obs.value rejections in
+  let b = Breaker.create ~failure_threshold:2 ~cooldown_ms:60.0 () in
+  Breaker.failure ~cls:"io-error" b;
+  check Alcotest.int "below threshold: no open counted" o0 (Obs.value opened);
+  check Alcotest.int "below threshold: no warning" 0 (List.length !captured);
+  Breaker.failure ~cls:"io-error" b;
+  check Alcotest.int "threshold trip counted once" (o0 + 1) (Obs.value opened);
+  (match Breaker.admit b with
+  | Breaker.Reject _ -> ()
+  | Breaker.Allow -> Alcotest.fail "open breaker must reject");
+  ignore (Breaker.admit b);
+  check Alcotest.int "every rejection counted" (r0 + 2) (Obs.value rejections);
+  Unix.sleepf 0.09;
+  check Alcotest.bool "cooled probe admitted" true (Breaker.admit b = Breaker.Allow);
+  Breaker.success b;
+  check Alcotest.int "close counted on the transition" (c0 + 1) (Obs.value closed);
+  Breaker.success b;
+  check Alcotest.int "steady-state success not re-counted" (c0 + 1) (Obs.value closed);
+  match List.rev !captured with
+  | [] -> Alcotest.fail "breaker open produced no warning"
+  | w :: _ ->
+    check Alcotest.string "warn site" "serve.breaker" w.Obs.w_site;
+    check Alcotest.bool "warn names the failure class" true (contains w.Obs.w_msg "io-error");
+    check Alcotest.bool "warn counts the failures" true
+      (contains w.Obs.w_msg "2 consecutive failures")
+
+(* ------------------------------------------------------------------ *)
+(* /debug endpoints                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_debug_flight_endpoint () =
+  let module Flight = Tm_obs.Flight in
+  let db = mk_db () in
+  Flight.with_enabled false (fun () ->
+      let r = Server.handle db ~meth:"GET" ~target:"/debug/flight" in
+      check Alcotest.int "disabled recorder: 503" 503 r.Server.status;
+      check Alcotest.bool "disabled body says how to enable" true
+        (contains r.Server.body "TWIGMATCH_FLIGHT"));
+  Flight.with_enabled true (fun () ->
+      Flight.clear ();
+      Flight.emit Flight.Wal_fsync 0 0 "";
+      Flight.emit_traced 9 Flight.Req_begin 9 1 "";
+      let r = Server.handle db ~meth:"GET" ~target:"/debug/flight" in
+      check Alcotest.int "json timeline: 200" 200 r.Server.status;
+      check Alcotest.bool "json content type" true (contains r.Server.content_type "json");
+      check Alcotest.bool "kinds in the timeline" true
+        (contains r.Server.body "\"wal.fsync\"" && contains r.Server.body "\"req.begin\"");
+      check Alcotest.bool "trace id rides along" true (contains r.Server.body "\"trace\":9");
+      let chrome = Server.handle db ~meth:"GET" ~target:"/debug/flight?format=chrome" in
+      check Alcotest.bool "chrome format is a bare array" true
+        (String.length chrome.Server.body >= 2
+        && chrome.Server.body.[0] = '['
+        && chrome.Server.body.[String.length chrome.Server.body - 1] = ']');
+      let text = Server.handle db ~meth:"GET" ~target:"/debug/flight?format=text" in
+      check Alcotest.bool "text content type" true (contains text.Server.content_type "text/plain");
+      check Alcotest.bool "text timeline renders kinds" true
+        (contains text.Server.body "wal.fsync"));
+  Flight.clear ()
+
+let test_debug_last_dump_endpoint () =
+  let module Flight = Tm_obs.Flight in
+  let db = mk_db () in
+  let r = Server.handle db ~meth:"GET" ~target:"/debug/last-dump" in
+  check Alcotest.int "no dump yet: 404" 404 r.Server.status;
+  let path = Filename.temp_file "twigserve" ".dump" in
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_dump_path None;
+      Flight.clear ();
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Flight.with_enabled true (fun () ->
+      Flight.clear ();
+      Flight.emit Flight.Wal_fsync 0 0 "";
+      Flight.set_dump_path (Some path);
+      match Flight.dump ~reason:"test-trigger" with
+      | None -> Alcotest.fail "configured dump path should produce a dump"
+      | Some p -> check Alcotest.string "dump landed on the configured path" path p);
+  let r = Server.handle db ~meth:"GET" ~target:"/debug/last-dump" in
+  check Alcotest.int "dump metadata: 200" 200 r.Server.status;
+  check Alcotest.bool "names the path" true (contains r.Server.body path);
+  check Alcotest.bool "names the reason" true (contains r.Server.body "test-trigger");
+  check Alcotest.bool "counts events" true (contains r.Server.body "\"events\":")
+
 let () =
   Alcotest.run "serve"
     [
@@ -345,12 +446,16 @@ let () =
           Alcotest.test_case "routing errors" `Quick test_routing_errors;
           Alcotest.test_case "/healthz reports WAL, degrades when poisoned" `Quick
             test_healthz_wal_degraded;
+          Alcotest.test_case "/debug/flight formats and 503" `Quick test_debug_flight_endpoint;
+          Alcotest.test_case "/debug/last-dump metadata" `Quick test_debug_last_dump_endpoint;
         ] );
       ( "overload",
         [
           Alcotest.test_case "adaptive shed limit" `Quick test_adaptive_shed_limit;
           Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
           Alcotest.test_case "breaker under concurrent callers" `Quick test_breaker_concurrent;
+          Alcotest.test_case "breaker counters and open warning" `Quick
+            test_breaker_counters_and_warn;
           Alcotest.test_case "hardened parsing: 400/408/413" `Quick test_hardened_parsing;
           Alcotest.test_case "admission full sheds 429 + Retry-After" `Quick test_shed_429;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
